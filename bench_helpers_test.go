@@ -1,0 +1,6 @@
+package segrid
+
+import "math/big"
+
+// ratInt builds an integer rational for benchmark formulas.
+func ratInt(n int64) *big.Rat { return big.NewRat(n, 1) }

@@ -1,0 +1,513 @@
+// Package segrid's benchmark harness: one benchmark per table and figure of
+// the paper's evaluation (Section V), plus ablation benches for the design
+// choices called out in DESIGN.md and microbenchmarks of the solver
+// substrate. Run with:
+//
+//	go test -bench=. -benchmem
+//
+// cmd/benchtables prints the same experiments as paper-style tables.
+package segrid
+
+import (
+	"fmt"
+	"testing"
+
+	"segrid/internal/acflow"
+	"segrid/internal/acse"
+	"segrid/internal/core"
+	"segrid/internal/dcflow"
+	"segrid/internal/dcopf"
+	"segrid/internal/grid"
+	"segrid/internal/se"
+	"segrid/internal/smt"
+	"segrid/internal/synth"
+)
+
+// mustCase loads a registered test system or fails the benchmark.
+func mustCase(b *testing.B, name string) *grid.System {
+	b.Helper()
+	sys, err := grid.Case(name)
+	if err != nil {
+		b.Fatalf("Case(%s): %v", name, err)
+	}
+	return sys
+}
+
+// verifyScenario mirrors the Fig. 4 timing scenario from
+// internal/experiments.
+func verifyScenario(sys *grid.System, target int) *core.Scenario {
+	sc := core.NewScenario(sys)
+	sc.TargetStates = []int{target}
+	sc.MaxAlteredMeasurements = sys.NumMeasurements() / 4
+	sc.MaxCompromisedBuses = sys.Buses / 4
+	return sc
+}
+
+func runVerify(b *testing.B, sc *core.Scenario, wantFeasible bool) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		res, err := core.Verify(sc)
+		if err != nil {
+			b.Fatalf("Verify: %v", err)
+		}
+		if res.Feasible != wantFeasible {
+			b.Fatalf("Feasible = %v, want %v", res.Feasible, wantFeasible)
+		}
+	}
+}
+
+// BenchmarkFig4aVerification measures attack-verification time against
+// problem size (paper Fig. 4(a)).
+func BenchmarkFig4aVerification(b *testing.B) {
+	for _, name := range []string{"ieee14", "ieee30", "ieee57", "ieee118"} {
+		sys := mustCase(b, name)
+		b.Run(name, func(b *testing.B) {
+			runVerify(b, verifyScenario(sys, 1+sys.Buses/2), true)
+		})
+	}
+}
+
+// BenchmarkFig4bTakenMeasurements measures verification time against the
+// share of taken measurements (paper Fig. 4(b)).
+func BenchmarkFig4bTakenMeasurements(b *testing.B) {
+	sys := mustCase(b, "ieee30")
+	for _, frac := range []float64{0.6, 0.8, 1.0} {
+		b.Run(fmt.Sprintf("taken%.0f%%", frac*100), func(b *testing.B) {
+			sc := verifyScenario(sys, 1+sys.Buses/2)
+			if err := sc.Meas.KeepFraction(frac); err != nil {
+				b.Fatalf("KeepFraction: %v", err)
+			}
+			runVerify(b, sc, true)
+		})
+	}
+}
+
+// BenchmarkFig4cResourceLimit measures verification time against the
+// attacker's resource limit (paper Fig. 4(c)).
+func BenchmarkFig4cResourceLimit(b *testing.B) {
+	sys := mustCase(b, "ieee30")
+	for _, limit := range []int{8, 16, 28} {
+		b.Run(fmt.Sprintf("tcz%d", limit), func(b *testing.B) {
+			sc := core.NewScenario(sys)
+			sc.TargetStates = []int{1 + sys.Buses/2}
+			sc.MaxAlteredMeasurements = limit
+			runVerify(b, sc, true)
+		})
+	}
+}
+
+// BenchmarkFig4dSatVsUnsat compares satisfiable and unsatisfiable
+// verification (paper Fig. 4(d)).
+func BenchmarkFig4dSatVsUnsat(b *testing.B) {
+	for _, name := range []string{"ieee14", "ieee30", "ieee57"} {
+		sys := mustCase(b, name)
+		b.Run(name+"/sat", func(b *testing.B) {
+			runVerify(b, verifyScenario(sys, 1+sys.Buses/2), true)
+		})
+		b.Run(name+"/unsat", func(b *testing.B) {
+			sc := core.NewScenario(sys)
+			sc.AnyState = true
+			sc.MaxAlteredMeasurements = 3
+			runVerify(b, sc, false)
+		})
+	}
+}
+
+// synthReq builds the Fig. 5 synthesis workload: unrestricted attacker,
+// known-feasible budget.
+func synthReq(b *testing.B, sys *grid.System, budget int) *synth.Requirements {
+	b.Helper()
+	sc := core.NewScenario(sys)
+	sc.AnyState = true
+	return &synth.Requirements{Attack: sc, MaxSecuredBuses: budget, Prune: true}
+}
+
+func runSynth(b *testing.B, mk func() *synth.Requirements) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		if _, err := synth.Synthesize(mk()); err != nil {
+			b.Fatalf("Synthesize: %v", err)
+		}
+	}
+}
+
+// Feasible synthesis budgets per system (greedy baseline size + 2,
+// precomputed; see internal/experiments.synthRequirements).
+var synthBudgets = map[string]int{"ieee14": 7, "ieee30": 12, "ieee57": 23, "ieee118": 43}
+
+// BenchmarkFig5aSynthesis measures synthesis time against problem size
+// (paper Fig. 5(a)).
+func BenchmarkFig5aSynthesis(b *testing.B) {
+	for _, name := range []string{"ieee14", "ieee30", "ieee57"} {
+		sys := mustCase(b, name)
+		b.Run(name, func(b *testing.B) {
+			runSynth(b, func() *synth.Requirements { return synthReq(b, sys, synthBudgets[name]) })
+		})
+	}
+}
+
+// BenchmarkFig5bSynthesisTaken measures synthesis time against the share of
+// taken measurements (paper Fig. 5(b)).
+func BenchmarkFig5bSynthesisTaken(b *testing.B) {
+	sys := mustCase(b, "ieee30")
+	for _, frac := range []float64{0.8, 1.0} {
+		b.Run(fmt.Sprintf("taken%.0f%%", frac*100), func(b *testing.B) {
+			runSynth(b, func() *synth.Requirements {
+				req := synthReq(b, sys, synthBudgets["ieee30"]+2)
+				meas := grid.NewMeasurementConfig(sys)
+				if err := meas.KeepFraction(frac); err != nil {
+					b.Fatalf("KeepFraction: %v", err)
+				}
+				req.Attack.Meas = meas
+				return req
+			})
+		})
+	}
+}
+
+// BenchmarkFig5cSynthesisLimit measures synthesis time against the
+// attacker's resource limit (paper Fig. 5(c)).
+func BenchmarkFig5cSynthesisLimit(b *testing.B) {
+	sys := mustCase(b, "ieee30")
+	for _, pct := range []int{40, 80, 100} {
+		b.Run(fmt.Sprintf("tcz%d%%", pct), func(b *testing.B) {
+			runSynth(b, func() *synth.Requirements {
+				req := synthReq(b, sys, synthBudgets["ieee30"])
+				req.Attack.MaxAlteredMeasurements = pct * sys.NumMeasurements() / 100
+				return req
+			})
+		})
+	}
+}
+
+// BenchmarkFig5dSynthesisUnsat measures synthesis time in unsatisfiable
+// cases as the operator budget approaches the minimum from below (paper
+// Fig. 5(d); the 30-bus minimum is 11 buses).
+func BenchmarkFig5dSynthesisUnsat(b *testing.B) {
+	sys := mustCase(b, "ieee30")
+	for _, budget := range []int{8, 10} {
+		b.Run(fmt.Sprintf("budget%d", budget), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				req := synthReq(b, sys, budget)
+				if _, err := synth.Synthesize(req); err == nil {
+					b.Fatalf("budget %d unexpectedly satisfiable", budget)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkTableIVModelMemory builds and solves the unrestricted-attacker
+// verification model; -benchmem's B/op column is the Table IV analogue.
+func BenchmarkTableIVModelMemory(b *testing.B) {
+	for _, name := range []string{"ieee14", "ieee30", "ieee57", "ieee118"} {
+		sys := mustCase(b, name)
+		b.Run(name, func(b *testing.B) {
+			sc := core.NewScenario(sys)
+			sc.AnyState = true
+			runVerify(b, sc, true)
+		})
+	}
+}
+
+// BenchmarkCaseStudyObjective1 times the paper's Section III-I Objective 1
+// verification (16 measurements / 7 buses, distinct amounts).
+func BenchmarkCaseStudyObjective1(b *testing.B) {
+	sc := core.NewScenario(core.CaseStudyMeasurements(true).System())
+	sc.Meas = core.CaseStudyMeasurements(true)
+	sc.Knowledge = core.CaseStudyKnowledge()
+	sc.TargetStates = []int{9, 10}
+	sc.MaxAlteredMeasurements = 16
+	sc.MaxCompromisedBuses = 7
+	sc.DistinctPairs = [][2]int{{9, 10}}
+	runVerify(b, sc, true)
+}
+
+// BenchmarkCaseStudyObjective2 times the topology-poisoning variant of
+// Objective 2.
+func BenchmarkCaseStudyObjective2(b *testing.B) {
+	sc := core.NewScenario(core.CaseStudyMeasurements(false).System())
+	sc.Meas = core.CaseStudyMeasurements(false)
+	if err := sc.Meas.Secure(46); err != nil {
+		b.Fatalf("Secure: %v", err)
+	}
+	sc.TargetStates = []int{12}
+	sc.OnlyTargets = true
+	sc.AllowExclusion = true
+	sc.AllowInclusion = true
+	sc.InService, sc.FixedLines, sc.SecuredStatus = core.CaseStudyTopology()
+	runVerify(b, sc, true)
+}
+
+// --- ablation benches (design choices from DESIGN.md) -------------------
+
+// BenchmarkAblationCardinality compares the sequential-counter at-most-k
+// encoding against the naive binomial encoding. The constraint counts the
+// 14 bus-compromise variables (T_CB = 3): the binomial encoding is
+// C(14,4) = 1001 clauses here, but would be C(44,7) ≈ 38 million on the
+// measurement-count constraint — which is exactly why the sequential
+// counter is the default.
+func BenchmarkAblationCardinality(b *testing.B) {
+	mk := func(naive bool) *core.Scenario {
+		sc := core.NewScenario(core.CaseStudyMeasurements(false).System())
+		sc.Meas = core.CaseStudyMeasurements(false)
+		sc.TargetStates = []int{12}
+		sc.MaxCompromisedBuses = 3
+		opts := smt.DefaultOptions()
+		opts.NaiveCardinality = naive
+		sc.Options = &opts
+		return sc
+	}
+	b.Run("seqcounter", func(b *testing.B) { runVerify(b, mk(false), true) })
+	b.Run("binomial", func(b *testing.B) { runVerify(b, mk(true), true) })
+}
+
+// BenchmarkAblationTheoryCheck compares eager DPLL(T) (simplex check at
+// every propagation fixpoint) against the lazy variant (full Boolean
+// assignments only).
+func BenchmarkAblationTheoryCheck(b *testing.B) {
+	sys := mustCase(b, "ieee57")
+	mk := func(eager bool) *core.Scenario {
+		sc := verifyScenario(sys, 1+sys.Buses/2)
+		opts := smt.DefaultOptions()
+		opts.TheoryCheckAtFixpoint = eager
+		sc.Options = &opts
+		return sc
+	}
+	b.Run("fixpoint", func(b *testing.B) { runVerify(b, mk(true), true) })
+	b.Run("finalonly", func(b *testing.B) { runVerify(b, mk(false), true) })
+}
+
+// BenchmarkAblationPruning compares synthesis with and without the Eq. 30
+// candidate-space reduction.
+func BenchmarkAblationPruning(b *testing.B) {
+	sys := mustCase(b, "ieee30")
+	for _, prune := range []bool{true, false} {
+		name := "eq30"
+		if !prune {
+			name = "noprune"
+		}
+		b.Run(name, func(b *testing.B) {
+			runSynth(b, func() *synth.Requirements {
+				req := synthReq(b, sys, synthBudgets["ieee30"])
+				req.Prune = prune
+				return req
+			})
+		})
+	}
+}
+
+// --- substrate microbenchmarks ------------------------------------------
+
+// BenchmarkWLSEstimation measures one full WLS estimation on each system.
+func BenchmarkWLSEstimation(b *testing.B) {
+	for _, name := range []string{"ieee14", "ieee57", "ieee300"} {
+		sys := mustCase(b, name)
+		b.Run(name, func(b *testing.B) {
+			meas := grid.NewMeasurementConfig(sys)
+			est, err := se.NewEstimator(meas, se.Config{RefBus: 1, Sigma: 0.01})
+			if err != nil {
+				b.Fatalf("NewEstimator: %v", err)
+			}
+			angles := make([]float64, sys.Buses+1)
+			for j := 2; j <= sys.Buses; j++ {
+				angles[j] = 0.01 * float64(j%9)
+			}
+			z, err := dcflow.MeasureAll(sys, nil, angles)
+			if err != nil {
+				b.Fatalf("MeasureAll: %v", err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := est.Estimate(z); err != nil {
+					b.Fatalf("Estimate: %v", err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkSMTSolver measures the SMT substrate on a pure pigeonhole
+// instance (propositional stress) and a linear-arithmetic chain.
+func BenchmarkSMTSolver(b *testing.B) {
+	b.Run("pigeonhole7", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			s := smt.NewSolver(smt.DefaultOptions())
+			const holes = 7
+			vars := make([][]smt.BoolVar, holes+1)
+			for p := range vars {
+				vars[p] = make([]smt.BoolVar, holes)
+				for h := range vars[p] {
+					vars[p][h] = s.BoolVar("v")
+				}
+			}
+			for p := 0; p <= holes; p++ {
+				fs := make([]smt.Formula, holes)
+				for h := 0; h < holes; h++ {
+					fs[h] = smt.B(vars[p][h])
+				}
+				s.Assert(smt.Or(fs...))
+			}
+			for h := 0; h < holes; h++ {
+				fs := make([]smt.Formula, holes+1)
+				for p := 0; p <= holes; p++ {
+					fs[p] = smt.B(vars[p][h])
+				}
+				s.AssertAtMostK(fs, 1)
+			}
+			res, err := s.Check()
+			if err != nil || res.Status != smt.Unsat {
+				b.Fatalf("pigeonhole: %v %v", res.Status, err)
+			}
+		}
+	})
+	b.Run("lra-chain200", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			s := smt.NewSolver(smt.DefaultOptions())
+			prev := s.RealVar("x0")
+			s.Assert(smt.GE(smt.NewLinExpr().TermInt(1, prev), ratInt(0)))
+			for k := 1; k < 200; k++ {
+				cur := s.RealVar("x")
+				diff := smt.NewLinExpr().TermInt(1, cur).TermInt(-1, prev)
+				s.Assert(smt.GE(diff, ratInt(1)))
+				prev = cur
+			}
+			s.Assert(smt.LE(smt.NewLinExpr().TermInt(1, prev), ratInt(100)))
+			res, err := s.Check()
+			if err != nil || res.Status != smt.Unsat {
+				b.Fatalf("chain: %v %v", res.Status, err)
+			}
+		}
+	})
+}
+
+// --- extension benches ----------------------------------------------------
+
+// BenchmarkACPowerFlow measures one Newton–Raphson solve on the lifted
+// 14- and 30-bus networks.
+func BenchmarkACPowerFlow(b *testing.B) {
+	for _, name := range []string{"ieee14", "ieee30"} {
+		sys := mustCase(b, name)
+		n, err := acflow.FromDC(sys, 0.1, 0.02)
+		if err != nil {
+			b.Fatalf("FromDC: %v", err)
+		}
+		p := make([]float64, n.Buses+1)
+		q := make([]float64, n.Buses+1)
+		for j := 2; j <= n.Buses; j++ {
+			p[j] = -0.05
+			q[j] = -0.015
+		}
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := n.Solve(acflow.FlowCase{Slack: 1, SlackV: 1.02, P: p, Q: q}); err != nil {
+					b.Fatalf("Solve: %v", err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkACStateEstimation measures one Gauss–Newton WLS estimation over
+// the full AC measurement set.
+func BenchmarkACStateEstimation(b *testing.B) {
+	sys := mustCase(b, "ieee14")
+	n, err := acflow.FromDC(sys, 0.1, 0.02)
+	if err != nil {
+		b.Fatalf("FromDC: %v", err)
+	}
+	p := make([]float64, n.Buses+1)
+	q := make([]float64, n.Buses+1)
+	for j := 2; j <= n.Buses; j++ {
+		p[j] = -0.05
+		q[j] = -0.015
+	}
+	st, err := n.Solve(acflow.FlowCase{Slack: 1, SlackV: 1.02, P: p, Q: q})
+	if err != nil {
+		b.Fatalf("Solve: %v", err)
+	}
+	ms := acse.FullMeasurementSet(n)
+	z, err := acse.MeasureAll(n, st, ms)
+	if err != nil {
+		b.Fatalf("MeasureAll: %v", err)
+	}
+	est, err := acse.NewEstimator(n, ms, 1, 0.01)
+	if err != nil {
+		b.Fatalf("NewEstimator: %v", err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := est.Estimate(z); err != nil {
+			b.Fatalf("Estimate: %v", err)
+		}
+	}
+}
+
+// BenchmarkDCOPF measures one exact-rational optimal dispatch.
+func BenchmarkDCOPF(b *testing.B) {
+	for _, name := range []string{"ieee14", "ieee30"} {
+		sys := mustCase(b, name)
+		load := make([]float64, sys.Buses+1)
+		for j := 2; j <= sys.Buses; j++ {
+			load[j] = 0.05
+		}
+		c := &dcopf.Case{
+			Sys: sys,
+			Gens: []dcopf.Generator{
+				{Bus: 1, MinP: 0, MaxP: 2, Cost: 20},
+				{Bus: 3, MinP: 0, MaxP: 1, Cost: 35},
+			},
+			Load:   load,
+			RefBus: 1,
+		}
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := c.Solve(); err != nil {
+					b.Fatalf("Solve: %v", err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkMeasurementSynthesis measures the measurement-granular
+// Algorithm 1 against the unlimited attacker on the 14-bus system.
+func BenchmarkMeasurementSynthesis(b *testing.B) {
+	sys := mustCase(b, "ieee14")
+	for i := 0; i < b.N; i++ {
+		sc := core.NewScenario(sys)
+		sc.AnyState = true
+		if _, err := synth.SynthesizeMeasurements(&synth.MeasurementRequirements{
+			Attack:                 sc,
+			MaxSecuredMeasurements: sys.Buses - 1,
+		}); err != nil {
+			b.Fatalf("SynthesizeMeasurements: %v", err)
+		}
+	}
+}
+
+// BenchmarkLNRIdentification measures one full LNR pass with a planted
+// gross error.
+func BenchmarkLNRIdentification(b *testing.B) {
+	sys := mustCase(b, "ieee14")
+	meas := grid.NewMeasurementConfig(sys)
+	est, err := se.NewEstimator(meas, se.Config{RefBus: 1, Sigma: 0.005})
+	if err != nil {
+		b.Fatalf("NewEstimator: %v", err)
+	}
+	angles := make([]float64, sys.Buses+1)
+	for j := 2; j <= sys.Buses; j++ {
+		angles[j] = 0.01 * float64(j%5)
+	}
+	z, err := dcflow.MeasureAll(sys, nil, angles)
+	if err != nil {
+		b.Fatalf("MeasureAll: %v", err)
+	}
+	z[9] += 0.8
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := est.IdentifyBadData(z, 3.5, 3); err != nil {
+			b.Fatalf("IdentifyBadData: %v", err)
+		}
+	}
+}

@@ -1,0 +1,92 @@
+// Defenseplanning synthesizes cost-effective security architectures
+// (paper Section IV) for the 14- and 30-bus systems, compares them against
+// the observability-based greedy baseline (Kim–Poor style), and
+// cross-validates the results with the algebraic protection condition of
+// Bobba et al.
+package main
+
+import (
+	"errors"
+	"fmt"
+	"log"
+
+	"segrid/internal/baseline"
+	"segrid/internal/core"
+	"segrid/internal/grid"
+	"segrid/internal/synth"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	fmt.Println("== Paper Section IV-E scenarios (IEEE 14-bus) ==")
+	for _, s := range []struct {
+		scenario, budget int
+	}{
+		{1, 4}, {2, 4}, {2, 5}, {3, 5}, {3, 6},
+	} {
+		req, err := synth.CaseStudyRequirements(s.scenario, s.budget)
+		if err != nil {
+			return err
+		}
+		arch, err := synth.Synthesize(req)
+		switch {
+		case errors.Is(err, synth.ErrNoArchitecture):
+			fmt.Printf("scenario %d, budget %d: no architecture exists\n", s.scenario, s.budget)
+		case err != nil:
+			return err
+		default:
+			fmt.Printf("scenario %d, budget %d: secure buses %v (%d iterations)\n",
+				s.scenario, s.budget, arch.SecuredBuses, arch.Iterations)
+		}
+	}
+
+	fmt.Println()
+	fmt.Println("== SMT synthesis vs greedy observability baseline ==")
+	for _, name := range []string{"ieee14", "ieee30"} {
+		sys, err := grid.Case(name)
+		if err != nil {
+			return err
+		}
+		meas := grid.NewMeasurementConfig(sys)
+		greedy, err := baseline.GreedyBusProtection(meas, 1, 0)
+		if err != nil {
+			return err
+		}
+
+		// Head-to-head at the greedy baseline's budget. Eq. 30 pruning is
+		// off here: it forbids adjacent-bus pairs, a restriction the greedy
+		// baseline doesn't respect, so the candidate spaces must match for
+		// a fair size comparison.
+		attack := core.NewScenario(sys)
+		attack.AnyState = true
+		req := &synth.Requirements{
+			Attack:          attack,
+			MaxSecuredBuses: len(greedy),
+		}
+		arch, err := synth.Synthesize(req)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%s: greedy baseline secures %d buses %v\n", name, len(greedy), greedy)
+		fmt.Printf("%s: SMT synthesis secures %d buses %v\n", name, len(arch.SecuredBuses), arch.SecuredBuses)
+
+		// Cross-validate with the algebraic rank condition.
+		check := grid.NewMeasurementConfig(sys)
+		for _, j := range arch.SecuredBuses {
+			if err := check.SecureBus(j); err != nil {
+				return err
+			}
+		}
+		ok, err := baseline.ProtectsAllStates(check, 1)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%s: algebraic (Bobba et al.) cross-check of SMT architecture: protects = %v\n\n", name, ok)
+	}
+	return nil
+}

@@ -1,0 +1,109 @@
+// Quickstart: load the IEEE 14-bus system, run weighted-least-squares state
+// estimation with noisy SCADA measurements, watch the chi-square bad data
+// detector catch a gross error — and then watch a model-derived stealthy
+// false data injection attack sail straight through it.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"segrid/internal/core"
+	"segrid/internal/dcflow"
+	"segrid/internal/grid"
+	"segrid/internal/se"
+	"segrid/internal/stat"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	sys := grid.IEEE14()
+	meas := grid.NewMeasurementConfig(sys)
+	fmt.Printf("IEEE 14-bus: %d lines, %d potential measurements\n",
+		sys.NumLines(), sys.NumMeasurements())
+
+	// A plausible operating point: loads on every bus, slack on bus 1.
+	cons := make([]float64, sys.Buses+1)
+	total := 0.0
+	for j := 2; j <= sys.Buses; j++ {
+		cons[j] = 0.1 + 0.01*float64(j)
+		total += cons[j]
+	}
+	cons[1] = -total
+	angles, err := dcflow.SolveFlow(sys, cons, 1)
+	if err != nil {
+		return err
+	}
+
+	// SCADA measurements with Gaussian noise.
+	const sigma = 0.004
+	z, err := dcflow.MeasureAll(sys, nil, angles)
+	if err != nil {
+		return err
+	}
+	noise := stat.NewNormalSampler(1)
+	for id := 1; id <= sys.NumMeasurements(); id++ {
+		z[id] += noise.Sample(0, sigma)
+	}
+
+	// Weighted least squares estimation + chi-square bad data detection.
+	est, err := se.NewEstimator(meas, se.Config{RefBus: 1, Sigma: sigma})
+	if err != nil {
+		return err
+	}
+	det, err := se.NewDetector(est, 0.05)
+	if err != nil {
+		return err
+	}
+	sol, err := est.Estimate(z)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("clean estimate:   J = %8.2f  (τ = %.2f)  bad data: %v\n",
+		sol.J, det.Threshold(), det.BadDataDetected(sol))
+
+	// A gross error trips the detector...
+	zBad := append([]float64(nil), z...)
+	zBad[7] += 1.0
+	solBad, err := est.Estimate(zBad)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("gross error:      J = %8.2f  (τ = %.2f)  bad data: %v\n",
+		solBad.J, det.Threshold(), det.BadDataDetected(solBad))
+
+	// ...but a coordinated injection synthesized by the formal attack model
+	// does not, despite corrupting the bus-12 state estimate.
+	sc := core.NewScenario(sys)
+	sc.TargetStates = []int{12}
+	res, err := core.Verify(sc)
+	if err != nil {
+		return err
+	}
+	if !res.Feasible {
+		return fmt.Errorf("quickstart: attack model unexpectedly unsat")
+	}
+	deltas, err := core.FloatMeasurementDeltas(sc, res)
+	if err != nil {
+		return err
+	}
+	zAtt := append([]float64(nil), z...)
+	for id := 1; id <= sys.NumMeasurements(); id++ {
+		zAtt[id] += deltas[id]
+	}
+	solAtt, err := est.Estimate(zAtt)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("stealthy attack:  J = %8.2f  (τ = %.2f)  bad data: %v\n",
+		solAtt.J, det.Threshold(), det.BadDataDetected(solAtt))
+	fmt.Printf("  altered measurements: %v\n", res.AlteredMeasurements)
+	fmt.Printf("  bus 12 estimate drifted %.4f rad while the residual moved %.2e\n",
+		solAtt.Angles[12]-sol.Angles[12], solAtt.J-sol.J)
+	return nil
+}

@@ -1,0 +1,3 @@
+module segrid
+
+go 1.22

@@ -1,0 +1,340 @@
+// Package acflow implements the full (nonlinear) AC steady-state model:
+// Newton–Raphson power flow and the AC measurement functions with analytic
+// Jacobians used by the AC state estimator (internal/acse).
+//
+// The reproduced paper — like the UFDI literature it builds on — works in
+// the DC approximation. This package is the substrate for the repository's
+// extension experiments: how DC-crafted stealthy attacks behave against an
+// AC estimator (approximate stealthiness; see EXPERIMENTS.md).
+//
+// Conventions: per-unit quantities; bus voltages in polar form V∠θ; line
+// π-model with series admittance g+jb and total shunt charging susceptance
+// split between the terminals.
+package acflow
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"segrid/internal/grid"
+	"segrid/internal/matrix"
+)
+
+// ErrDiverged is returned when Newton–Raphson fails to converge.
+var ErrDiverged = errors.New("acflow: power flow did not converge")
+
+// Branch is an AC transmission line in π-model form.
+type Branch struct {
+	ID       int // 1-based, dense
+	From, To int // 1-based bus IDs
+	// R and X are the series resistance and reactance (p.u.); X must be
+	// nonzero.
+	R, X float64
+	// Charging is the total line charging susceptance (p.u.), split
+	// half-and-half between the terminals.
+	Charging float64
+}
+
+// Series returns the series admittance g + jb of the branch.
+func (br Branch) Series() (g, b float64) {
+	d := br.R*br.R + br.X*br.X
+	return br.R / d, -br.X / d
+}
+
+// Network is an AC network.
+type Network struct {
+	Name     string
+	Buses    int
+	Branches []Branch
+}
+
+// NewNetwork validates and builds an AC network.
+func NewNetwork(name string, buses int, branches []Branch) (*Network, error) {
+	if buses < 2 {
+		return nil, errors.New("acflow: network needs at least two buses")
+	}
+	if len(branches) == 0 {
+		return nil, errors.New("acflow: network needs at least one branch")
+	}
+	for i, br := range branches {
+		if br.ID != i+1 {
+			return nil, fmt.Errorf("acflow: branch at position %d has ID %d, want %d", i, br.ID, i+1)
+		}
+		if br.From < 1 || br.From > buses || br.To < 1 || br.To > buses || br.From == br.To {
+			return nil, fmt.Errorf("acflow: branch %d endpoints (%d,%d) invalid", br.ID, br.From, br.To)
+		}
+		if br.X == 0 {
+			return nil, fmt.Errorf("acflow: branch %d has zero reactance", br.ID)
+		}
+	}
+	return &Network{Name: name, Buses: buses, Branches: append([]Branch(nil), branches...)}, nil
+}
+
+// FromDC lifts a DC test system to an AC network: reactances are the
+// reciprocals of the DC admittances, resistances default to X·rxRatio and
+// line charging to the given total susceptance per line. This is a
+// documented synthetic lift — the repository embeds the paper's DC data,
+// not the original AC case files.
+func FromDC(sys *grid.System, rxRatio, charging float64) (*Network, error) {
+	branches := make([]Branch, len(sys.Lines))
+	for i, ln := range sys.Lines {
+		x := 1 / ln.Admittance
+		branches[i] = Branch{
+			ID:       ln.ID,
+			From:     ln.From,
+			To:       ln.To,
+			R:        x * rxRatio,
+			X:        x,
+			Charging: charging,
+		}
+	}
+	return NewNetwork(sys.Name+"-ac", sys.Buses, branches)
+}
+
+// State is a full AC operating point.
+type State struct {
+	// V and Theta are 1-based per bus (index 0 unused).
+	V     []float64
+	Theta []float64
+}
+
+// NewFlatState returns the flat start: all voltages 1 p.u., all angles 0.
+func NewFlatState(buses int) *State {
+	v := make([]float64, buses+1)
+	for i := 1; i <= buses; i++ {
+		v[i] = 1
+	}
+	return &State{V: v, Theta: make([]float64, buses+1)}
+}
+
+// Clone deep-copies the state.
+func (s *State) Clone() *State {
+	return &State{
+		V:     append([]float64(nil), s.V...),
+		Theta: append([]float64(nil), s.Theta...),
+	}
+}
+
+// Admittance builds the bus admittance matrix as dense G and B parts
+// (1-based indexing, row/col 0 unused).
+func (n *Network) Admittance() (g, b [][]float64) {
+	g = make([][]float64, n.Buses+1)
+	b = make([][]float64, n.Buses+1)
+	for i := range g {
+		g[i] = make([]float64, n.Buses+1)
+		b[i] = make([]float64, n.Buses+1)
+	}
+	for _, br := range n.Branches {
+		gs, bs := br.Series()
+		f, t := br.From, br.To
+		g[f][f] += gs
+		b[f][f] += bs + br.Charging/2
+		g[t][t] += gs
+		b[t][t] += bs + br.Charging/2
+		g[f][t] -= gs
+		b[f][t] -= bs
+		g[t][f] -= gs
+		b[t][f] -= bs
+	}
+	return g, b
+}
+
+// Injections computes the net complex power injection (generation minus
+// load) at every bus for the given state: P_i + jQ_i = V_i Σ_k V_k
+// (G_ik cos θ_ik + B_ik sin θ_ik, G_ik sin θ_ik − B_ik cos θ_ik).
+func (n *Network) Injections(st *State) (p, q []float64) {
+	g, b := n.Admittance()
+	p = make([]float64, n.Buses+1)
+	q = make([]float64, n.Buses+1)
+	for i := 1; i <= n.Buses; i++ {
+		for k := 1; k <= n.Buses; k++ {
+			if g[i][k] == 0 && b[i][k] == 0 {
+				continue
+			}
+			dij := st.Theta[i] - st.Theta[k]
+			c, s := math.Cos(dij), math.Sin(dij)
+			p[i] += st.V[i] * st.V[k] * (g[i][k]*c + b[i][k]*s)
+			q[i] += st.V[i] * st.V[k] * (g[i][k]*s - b[i][k]*c)
+		}
+	}
+	return p, q
+}
+
+// FlowCase describes a power-flow problem: the slack bus fixes V∠0; PV
+// buses fix (P, V); the remaining PQ buses fix (P, Q). Injections follow
+// the generation-positive convention.
+type FlowCase struct {
+	Slack  int
+	SlackV float64
+	// P and Q are 1-based net injections per bus (generation − load).
+	P, Q []float64
+	// PV maps bus → voltage setpoint for PV buses (optional).
+	PV map[int]float64
+}
+
+// Solve runs Newton–Raphson from a flat start and returns the converged
+// state.
+func (n *Network) Solve(fc FlowCase) (*State, error) {
+	if fc.Slack < 1 || fc.Slack > n.Buses {
+		return nil, fmt.Errorf("acflow: slack bus %d out of range", fc.Slack)
+	}
+	if len(fc.P) != n.Buses+1 || len(fc.Q) != n.Buses+1 {
+		return nil, fmt.Errorf("acflow: injection vectors must be 1-based with length %d", n.Buses+1)
+	}
+	st := NewFlatState(n.Buses)
+	if fc.SlackV > 0 {
+		st.V[fc.Slack] = fc.SlackV
+	}
+	for bus, v := range fc.PV {
+		if bus < 1 || bus > n.Buses {
+			return nil, fmt.Errorf("acflow: PV bus %d out of range", bus)
+		}
+		st.V[bus] = v
+	}
+
+	// Unknowns: θ at all non-slack buses, V at PQ buses.
+	var thetaIdx, vIdx []int
+	for i := 1; i <= n.Buses; i++ {
+		if i == fc.Slack {
+			continue
+		}
+		thetaIdx = append(thetaIdx, i)
+		if _, isPV := fc.PV[i]; !isPV {
+			vIdx = append(vIdx, i)
+		}
+	}
+	nUnk := len(thetaIdx) + len(vIdx)
+
+	g, b := n.Admittance()
+	calc := func() (p, q []float64) {
+		p = make([]float64, n.Buses+1)
+		q = make([]float64, n.Buses+1)
+		for i := 1; i <= n.Buses; i++ {
+			for k := 1; k <= n.Buses; k++ {
+				if g[i][k] == 0 && b[i][k] == 0 {
+					continue
+				}
+				dij := st.Theta[i] - st.Theta[k]
+				c, s := math.Cos(dij), math.Sin(dij)
+				p[i] += st.V[i] * st.V[k] * (g[i][k]*c + b[i][k]*s)
+				q[i] += st.V[i] * st.V[k] * (g[i][k]*s - b[i][k]*c)
+			}
+		}
+		return p, q
+	}
+
+	const maxIter = 40
+	for iter := 0; iter < maxIter; iter++ {
+		p, q := calc()
+		mismatch := make([]float64, nUnk)
+		maxAbs := 0.0
+		for r, i := range thetaIdx {
+			mismatch[r] = fc.P[i] - p[i]
+			maxAbs = math.Max(maxAbs, math.Abs(mismatch[r]))
+		}
+		for r, i := range vIdx {
+			mismatch[len(thetaIdx)+r] = fc.Q[i] - q[i]
+			maxAbs = math.Max(maxAbs, math.Abs(mismatch[len(thetaIdx)+r]))
+		}
+		if maxAbs < 1e-10 {
+			return st, nil
+		}
+		jac := n.flowJacobian(st, g, b, p, q, thetaIdx, vIdx)
+		dx, err := jac.SolveLU(mismatch)
+		if err != nil {
+			return nil, fmt.Errorf("acflow: Jacobian solve: %w", err)
+		}
+		for r, i := range thetaIdx {
+			st.Theta[i] += dx[r]
+		}
+		for r, i := range vIdx {
+			st.V[i] += dx[len(thetaIdx)+r]
+		}
+	}
+	return nil, ErrDiverged
+}
+
+// flowJacobian assembles the standard NR power-flow Jacobian
+// [∂P/∂θ ∂P/∂V; ∂Q/∂θ ∂Q/∂V] over the unknown ordering used by Solve.
+func (n *Network) flowJacobian(st *State, g, b [][]float64, p, q []float64, thetaIdx, vIdx []int) *matrix.Dense {
+	nT, nV := len(thetaIdx), len(vIdx)
+	jac := matrix.NewDense(nT+nV, nT+nV)
+	colOfTheta := make(map[int]int, nT)
+	for c, i := range thetaIdx {
+		colOfTheta[i] = c
+	}
+	colOfV := make(map[int]int, nV)
+	for c, i := range vIdx {
+		colOfV[i] = nT + c
+	}
+	for r, i := range thetaIdx {
+		// dP_i rows.
+		for k := 1; k <= n.Buses; k++ {
+			dij := st.Theta[i] - st.Theta[k]
+			c, s := math.Cos(dij), math.Sin(dij)
+			if col, ok := colOfTheta[k]; ok {
+				if k == i {
+					jac.Set(r, col, -q[i]-b[i][i]*st.V[i]*st.V[i])
+				} else if g[i][k] != 0 || b[i][k] != 0 {
+					jac.Set(r, col, st.V[i]*st.V[k]*(g[i][k]*s-b[i][k]*c))
+				}
+			}
+			if col, ok := colOfV[k]; ok {
+				if k == i {
+					jac.Set(r, col, p[i]/st.V[i]+g[i][i]*st.V[i])
+				} else if g[i][k] != 0 || b[i][k] != 0 {
+					jac.Set(r, col, st.V[i]*(g[i][k]*c+b[i][k]*s))
+				}
+			}
+		}
+	}
+	for rr, i := range vIdx {
+		r := nT + rr
+		// dQ_i rows.
+		for k := 1; k <= n.Buses; k++ {
+			dij := st.Theta[i] - st.Theta[k]
+			c, s := math.Cos(dij), math.Sin(dij)
+			if col, ok := colOfTheta[k]; ok {
+				if k == i {
+					jac.Set(r, col, p[i]-g[i][i]*st.V[i]*st.V[i])
+				} else if g[i][k] != 0 || b[i][k] != 0 {
+					jac.Set(r, col, -st.V[i]*st.V[k]*(g[i][k]*c+b[i][k]*s))
+				}
+			}
+			if col, ok := colOfV[k]; ok {
+				if k == i {
+					jac.Set(r, col, q[i]/st.V[i]-b[i][i]*st.V[i])
+				} else if g[i][k] != 0 || b[i][k] != 0 {
+					jac.Set(r, col, st.V[i]*(g[i][k]*s-b[i][k]*c))
+				}
+			}
+		}
+	}
+	return jac
+}
+
+// BranchFlow returns the complex power flow P+jQ entering the branch at the
+// given terminal bus (which must be one of its endpoints).
+func (n *Network) BranchFlow(st *State, branchID, atBus int) (pf, qf float64, err error) {
+	if branchID < 1 || branchID > len(n.Branches) {
+		return 0, 0, fmt.Errorf("acflow: branch %d out of range", branchID)
+	}
+	br := n.Branches[branchID-1]
+	var i, j int
+	switch atBus {
+	case br.From:
+		i, j = br.From, br.To
+	case br.To:
+		i, j = br.To, br.From
+	default:
+		return 0, 0, fmt.Errorf("acflow: bus %d is not a terminal of branch %d", atBus, branchID)
+	}
+	gs, bs := br.Series()
+	dij := st.Theta[i] - st.Theta[j]
+	c, s := math.Cos(dij), math.Sin(dij)
+	vi, vj := st.V[i], st.V[j]
+	pf = vi*vi*gs - vi*vj*(gs*c+bs*s)
+	qf = -vi*vi*(bs+br.Charging/2) - vi*vj*(gs*s-bs*c)
+	return pf, qf, nil
+}

@@ -1,0 +1,250 @@
+package acflow
+
+import (
+	"math"
+	"testing"
+
+	"segrid/internal/dcflow"
+	"segrid/internal/grid"
+)
+
+// twoBus returns a minimal network: one line, R=0.01, X=0.1.
+func twoBus(t *testing.T) *Network {
+	t.Helper()
+	n, err := NewNetwork("twobus", 2, []Branch{{ID: 1, From: 1, To: 2, R: 0.01, X: 0.1}})
+	if err != nil {
+		t.Fatalf("NewNetwork: %v", err)
+	}
+	return n
+}
+
+func TestNewNetworkValidation(t *testing.T) {
+	tests := []struct {
+		name     string
+		buses    int
+		branches []Branch
+	}{
+		{"one bus", 1, []Branch{{ID: 1, From: 1, To: 1, X: 0.1}}},
+		{"no branches", 3, nil},
+		{"bad id", 3, []Branch{{ID: 2, From: 1, To: 2, X: 0.1}}},
+		{"self loop", 3, []Branch{{ID: 1, From: 2, To: 2, X: 0.1}}},
+		{"zero x", 3, []Branch{{ID: 1, From: 1, To: 2, X: 0}}},
+		{"out of range", 3, []Branch{{ID: 1, From: 1, To: 9, X: 0.1}}},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := NewNetwork("bad", tc.buses, tc.branches); err == nil {
+				t.Fatalf("invalid network accepted")
+			}
+		})
+	}
+}
+
+func TestSeriesAdmittance(t *testing.T) {
+	br := Branch{R: 0.01, X: 0.1}
+	g, b := br.Series()
+	d := 0.01*0.01 + 0.1*0.1
+	if math.Abs(g-0.01/d) > 1e-12 || math.Abs(b+0.1/d) > 1e-12 {
+		t.Fatalf("Series = %v,%v", g, b)
+	}
+}
+
+func TestTwoBusFlowAgainstHandCalc(t *testing.T) {
+	n := twoBus(t)
+	p := make([]float64, 3)
+	q := make([]float64, 3)
+	p[2] = -0.5 // load of 0.5 p.u.
+	q[2] = -0.2
+	st, err := n.Solve(FlowCase{Slack: 1, SlackV: 1.0, P: p, Q: q})
+	if err != nil {
+		t.Fatalf("Solve: %v", err)
+	}
+	// The solution must satisfy the power balance equations exactly.
+	pc, qc := n.Injections(st)
+	if math.Abs(pc[2]+0.5) > 1e-8 || math.Abs(qc[2]+0.2) > 1e-8 {
+		t.Fatalf("bus 2 injections = %v, %v; want −0.5, −0.2", pc[2], qc[2])
+	}
+	// Receiving-end voltage sags and angle lags.
+	if st.V[2] >= 1.0 {
+		t.Errorf("V2 = %v, want < 1 under load", st.V[2])
+	}
+	if st.Theta[2] >= 0 {
+		t.Errorf("θ2 = %v, want < 0 under load", st.Theta[2])
+	}
+	// Line losses: sending P exceeds 0.5.
+	pf, _, err := n.BranchFlow(st, 1, 1)
+	if err != nil {
+		t.Fatalf("BranchFlow: %v", err)
+	}
+	if pf <= 0.5 {
+		t.Errorf("sending-end P = %v, want > 0.5 (losses)", pf)
+	}
+}
+
+func TestFlowBalancesOnIEEE14Lift(t *testing.T) {
+	sys := grid.IEEE14()
+	n, err := FromDC(sys, 0.2, 0.02)
+	if err != nil {
+		t.Fatalf("FromDC: %v", err)
+	}
+	p := make([]float64, n.Buses+1)
+	q := make([]float64, n.Buses+1)
+	for j := 2; j <= n.Buses; j++ {
+		p[j] = -(0.05 + 0.01*float64(j%5))
+		q[j] = -0.02
+	}
+	st, err := n.Solve(FlowCase{Slack: 1, SlackV: 1.02, P: p, Q: q})
+	if err != nil {
+		t.Fatalf("Solve: %v", err)
+	}
+	pc, qc := n.Injections(st)
+	for j := 2; j <= n.Buses; j++ {
+		if math.Abs(pc[j]-p[j]) > 1e-7 || math.Abs(qc[j]-q[j]) > 1e-7 {
+			t.Fatalf("bus %d: injections %v,%v want %v,%v", j, pc[j], qc[j], p[j], q[j])
+		}
+	}
+	// Slack absorbs losses: total P injection is positive (losses > 0).
+	total := 0.0
+	for j := 1; j <= n.Buses; j++ {
+		total += pc[j]
+	}
+	if total <= 0 {
+		t.Errorf("total injection %v, want > 0 (resistive losses)", total)
+	}
+}
+
+func TestPVBusHoldsVoltage(t *testing.T) {
+	sys := grid.IEEE14()
+	n, err := FromDC(sys, 0.2, 0.0)
+	if err != nil {
+		t.Fatalf("FromDC: %v", err)
+	}
+	p := make([]float64, n.Buses+1)
+	q := make([]float64, n.Buses+1)
+	for j := 2; j <= n.Buses; j++ {
+		p[j] = -0.05
+		q[j] = -0.02
+	}
+	p[2] = 0.4 // generator at bus 2
+	st, err := n.Solve(FlowCase{
+		Slack: 1, SlackV: 1.02,
+		P: p, Q: q,
+		PV: map[int]float64{2: 1.01},
+	})
+	if err != nil {
+		t.Fatalf("Solve: %v", err)
+	}
+	if math.Abs(st.V[2]-1.01) > 1e-9 {
+		t.Fatalf("PV bus voltage %v, want 1.01", st.V[2])
+	}
+	pc, _ := n.Injections(st)
+	if math.Abs(pc[2]-0.4) > 1e-7 {
+		t.Fatalf("PV bus P %v, want 0.4", pc[2])
+	}
+}
+
+func TestSolveInputValidation(t *testing.T) {
+	n := twoBus(t)
+	if _, err := n.Solve(FlowCase{Slack: 0, P: make([]float64, 3), Q: make([]float64, 3)}); err == nil {
+		t.Fatalf("bad slack accepted")
+	}
+	if _, err := n.Solve(FlowCase{Slack: 1, P: make([]float64, 1), Q: make([]float64, 3)}); err == nil {
+		t.Fatalf("bad vector length accepted")
+	}
+	if _, err := n.Solve(FlowCase{Slack: 1, P: make([]float64, 3), Q: make([]float64, 3), PV: map[int]float64{9: 1}}); err == nil {
+		t.Fatalf("bad PV bus accepted")
+	}
+}
+
+func TestSolveDivergesOnAbsurdLoad(t *testing.T) {
+	n := twoBus(t)
+	p := make([]float64, 3)
+	q := make([]float64, 3)
+	p[2] = -100 // far beyond the line's transfer capability
+	if _, err := n.Solve(FlowCase{Slack: 1, SlackV: 1, P: p, Q: q}); err == nil {
+		t.Fatalf("absurd loading converged")
+	}
+}
+
+func TestBranchFlowDirectionality(t *testing.T) {
+	n := twoBus(t)
+	p := make([]float64, 3)
+	q := make([]float64, 3)
+	p[2] = -0.3
+	st, err := n.Solve(FlowCase{Slack: 1, SlackV: 1, P: p, Q: q})
+	if err != nil {
+		t.Fatalf("Solve: %v", err)
+	}
+	pf, _, err := n.BranchFlow(st, 1, 1)
+	if err != nil {
+		t.Fatalf("BranchFlow: %v", err)
+	}
+	pt, _, err := n.BranchFlow(st, 1, 2)
+	if err != nil {
+		t.Fatalf("BranchFlow: %v", err)
+	}
+	// Sending positive, receiving negative, |sending| ≥ |receiving|.
+	if pf <= 0 || pt >= 0 {
+		t.Fatalf("flow directions wrong: %v / %v", pf, pt)
+	}
+	if pf+pt <= 0 {
+		t.Fatalf("losses %v, want > 0", pf+pt)
+	}
+	if _, _, err := n.BranchFlow(st, 1, 99); err == nil {
+		t.Fatalf("bad terminal accepted")
+	}
+	if _, _, err := n.BranchFlow(st, 9, 1); err == nil {
+		t.Fatalf("bad branch accepted")
+	}
+}
+
+func TestStateClone(t *testing.T) {
+	st := NewFlatState(3)
+	cl := st.Clone()
+	cl.V[1] = 2
+	cl.Theta[2] = 1
+	if st.V[1] != 1 || st.Theta[2] != 0 {
+		t.Fatalf("Clone shares storage")
+	}
+}
+
+func TestZeroResistanceMatchesDCApproximately(t *testing.T) {
+	// With R=0, no charging, small angles: AC flows approach the DC model.
+	sys := grid.IEEE14()
+	n, err := FromDC(sys, 0, 0)
+	if err != nil {
+		t.Fatalf("FromDC: %v", err)
+	}
+	p := make([]float64, n.Buses+1)
+	q := make([]float64, n.Buses+1)
+	for j := 2; j <= n.Buses; j++ {
+		p[j] = -0.02
+	}
+	st, err := n.Solve(FlowCase{Slack: 1, SlackV: 1, P: p, Q: q})
+	if err != nil {
+		t.Fatalf("Solve: %v", err)
+	}
+	// DC angles for the same injections (consumption convention flips
+	// sign: consumption = −injection).
+	cons := make([]float64, sys.Buses+1)
+	for j := 1; j <= sys.Buses; j++ {
+		cons[j] = -p[j]
+	}
+	// Rebalance reference for the DC solve.
+	dcAngles, err := dcSolve(sys, cons)
+	if err != nil {
+		t.Fatalf("dc solve: %v", err)
+	}
+	for j := 2; j <= sys.Buses; j++ {
+		if math.Abs(st.Theta[j]-dcAngles[j]) > 5e-3 {
+			t.Fatalf("bus %d: AC θ %v vs DC θ %v — approximation gap too large",
+				j, st.Theta[j], dcAngles[j])
+		}
+	}
+}
+
+// dcSolve avoids an import cycle in tests by inlining the DC solve via
+// dcflow.
+func dcSolve(sys *grid.System, cons []float64) ([]float64, error) {
+	return dcflow.SolveFlow(sys, cons, 1)
+}

@@ -1,0 +1,357 @@
+// Package acse implements AC weighted-least-squares state estimation by
+// Gauss–Newton iteration, with the same chi-square bad data detection as
+// the DC estimator. It exists for the repository's extension experiments:
+// attacks crafted against the DC model (the paper's setting) are only
+// approximately stealthy against an AC estimator, and this package
+// measures by how much.
+package acse
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"segrid/internal/acflow"
+	"segrid/internal/matrix"
+	"segrid/internal/stat"
+)
+
+// ErrDiverged is returned when Gauss–Newton fails to converge.
+var ErrDiverged = errors.New("acse: estimator did not converge")
+
+// MeasKind enumerates AC measurement types.
+type MeasKind int8
+
+// AC measurement kinds.
+const (
+	MeasPFlowFrom MeasKind = iota + 1 // P into the branch at the from bus
+	MeasPFlowTo                       // P into the branch at the to bus
+	MeasQFlowFrom                     // Q into the branch at the from bus
+	MeasQFlowTo                       // Q into the branch at the to bus
+	MeasPInj                          // net real power injection at a bus
+	MeasQInj                          // net reactive power injection
+	MeasVMag                          // voltage magnitude
+)
+
+// Measurement identifies one AC measurement: a kind plus the branch or bus
+// it refers to.
+type Measurement struct {
+	Kind MeasKind
+	Ref  int // branch ID for flow kinds, bus ID otherwise
+}
+
+// FullMeasurementSet returns every measurement the model supports:
+// 4l flows + 2b injections + b voltage magnitudes.
+func FullMeasurementSet(n *acflow.Network) []Measurement {
+	l := len(n.Branches)
+	out := make([]Measurement, 0, 4*l+3*n.Buses)
+	for _, kind := range []MeasKind{MeasPFlowFrom, MeasPFlowTo, MeasQFlowFrom, MeasQFlowTo} {
+		for id := 1; id <= l; id++ {
+			out = append(out, Measurement{Kind: kind, Ref: id})
+		}
+	}
+	for _, kind := range []MeasKind{MeasPInj, MeasQInj, MeasVMag} {
+		for bus := 1; bus <= n.Buses; bus++ {
+			out = append(out, Measurement{Kind: kind, Ref: bus})
+		}
+	}
+	return out
+}
+
+// Evaluate computes the measurement function h(x) for one measurement.
+func Evaluate(n *acflow.Network, st *acflow.State, m Measurement) (float64, error) {
+	switch m.Kind {
+	case MeasPFlowFrom, MeasQFlowFrom:
+		if m.Ref < 1 || m.Ref > len(n.Branches) {
+			return 0, fmt.Errorf("acse: branch %d out of range", m.Ref)
+		}
+		p, q, err := n.BranchFlow(st, m.Ref, n.Branches[m.Ref-1].From)
+		if err != nil {
+			return 0, err
+		}
+		if m.Kind == MeasPFlowFrom {
+			return p, nil
+		}
+		return q, nil
+	case MeasPFlowTo, MeasQFlowTo:
+		if m.Ref < 1 || m.Ref > len(n.Branches) {
+			return 0, fmt.Errorf("acse: branch %d out of range", m.Ref)
+		}
+		p, q, err := n.BranchFlow(st, m.Ref, n.Branches[m.Ref-1].To)
+		if err != nil {
+			return 0, err
+		}
+		if m.Kind == MeasPFlowTo {
+			return p, nil
+		}
+		return q, nil
+	case MeasPInj, MeasQInj:
+		if m.Ref < 1 || m.Ref > n.Buses {
+			return 0, fmt.Errorf("acse: bus %d out of range", m.Ref)
+		}
+		p, q := n.Injections(st)
+		if m.Kind == MeasPInj {
+			return p[m.Ref], nil
+		}
+		return q[m.Ref], nil
+	case MeasVMag:
+		if m.Ref < 1 || m.Ref > n.Buses {
+			return 0, fmt.Errorf("acse: bus %d out of range", m.Ref)
+		}
+		return st.V[m.Ref], nil
+	default:
+		return 0, fmt.Errorf("acse: unknown measurement kind %d", m.Kind)
+	}
+}
+
+// MeasureAll evaluates a list of measurements at a state.
+func MeasureAll(n *acflow.Network, st *acflow.State, ms []Measurement) ([]float64, error) {
+	// Injections are O(b²) per call; compute them once.
+	p, q := n.Injections(st)
+	out := make([]float64, len(ms))
+	for i, m := range ms {
+		switch m.Kind {
+		case MeasPInj:
+			if m.Ref < 1 || m.Ref > n.Buses {
+				return nil, fmt.Errorf("acse: bus %d out of range", m.Ref)
+			}
+			out[i] = p[m.Ref]
+		case MeasQInj:
+			if m.Ref < 1 || m.Ref > n.Buses {
+				return nil, fmt.Errorf("acse: bus %d out of range", m.Ref)
+			}
+			out[i] = q[m.Ref]
+		default:
+			v, err := Evaluate(n, st, m)
+			if err != nil {
+				return nil, err
+			}
+			out[i] = v
+		}
+	}
+	return out, nil
+}
+
+// Estimator runs Gauss–Newton WLS over the AC measurement model. States are
+// θ at every non-slack bus plus V at every bus (2b−1 unknowns).
+type Estimator struct {
+	net    *acflow.Network
+	ms     []Measurement
+	slack  int
+	sigma  float64
+	thetas []int // bus per θ-state, in column order
+}
+
+// NewEstimator builds an AC estimator. The measurement set must make the
+// system observable (at least 2b−1 measurements; rank is checked during
+// Estimate via the LU solve).
+func NewEstimator(n *acflow.Network, ms []Measurement, slack int, sigma float64) (*Estimator, error) {
+	if slack < 1 || slack > n.Buses {
+		return nil, fmt.Errorf("acse: slack bus %d out of range", slack)
+	}
+	if sigma <= 0 {
+		return nil, fmt.Errorf("acse: sigma must be positive")
+	}
+	if len(ms) < 2*n.Buses-1 {
+		return nil, fmt.Errorf("acse: %d measurements cannot determine %d states", len(ms), 2*n.Buses-1)
+	}
+	e := &Estimator{net: n, ms: append([]Measurement(nil), ms...), slack: slack, sigma: sigma}
+	for bus := 1; bus <= n.Buses; bus++ {
+		if bus != slack {
+			e.thetas = append(e.thetas, bus)
+		}
+	}
+	return e, nil
+}
+
+// NumStates returns 2b−1.
+func (e *Estimator) NumStates() int { return 2*e.net.Buses - 1 }
+
+// NumMeasurements returns the configured measurement count.
+func (e *Estimator) NumMeasurements() int { return len(e.ms) }
+
+// Solution is an AC estimation result.
+type Solution struct {
+	State *acflow.State
+	// J is the weighted residual sum of squares, χ² with m−n degrees of
+	// freedom under Gaussian noise.
+	J          float64
+	Iterations int
+}
+
+// Estimate runs Gauss–Newton from a flat start.
+func (e *Estimator) Estimate(z []float64) (*Solution, error) {
+	if len(z) != len(e.ms) {
+		return nil, fmt.Errorf("acse: measurement vector length %d, want %d", len(z), len(e.ms))
+	}
+	st := acflow.NewFlatState(e.net.Buses)
+	w := 1 / (e.sigma * e.sigma)
+	const maxIter = 50
+	for iter := 1; iter <= maxIter; iter++ {
+		h, err := MeasureAll(e.net, st, e.ms)
+		if err != nil {
+			return nil, err
+		}
+		resid := make([]float64, len(z))
+		for i := range z {
+			resid[i] = z[i] - h[i]
+		}
+		jac, err := e.jacobian(st)
+		if err != nil {
+			return nil, err
+		}
+		// Normal equations with uniform weights: (JᵀJ)Δx = Jᵀr.
+		jt := jac.Transpose()
+		gain, err := jt.Mul(jac)
+		if err != nil {
+			return nil, err
+		}
+		rhs, err := jt.MulVec(resid)
+		if err != nil {
+			return nil, err
+		}
+		dx, err := gain.SolveLU(rhs)
+		if err != nil {
+			return nil, fmt.Errorf("acse: gain solve (unobservable?): %w", err)
+		}
+		maxStep := 0.0
+		for c, bus := range e.thetas {
+			st.Theta[bus] += dx[c]
+			maxStep = math.Max(maxStep, math.Abs(dx[c]))
+		}
+		off := len(e.thetas)
+		for bus := 1; bus <= e.net.Buses; bus++ {
+			st.V[bus] += dx[off+bus-1]
+			maxStep = math.Max(maxStep, math.Abs(dx[off+bus-1]))
+		}
+		if maxStep < 1e-10 {
+			hFinal, err := MeasureAll(e.net, st, e.ms)
+			if err != nil {
+				return nil, err
+			}
+			j := 0.0
+			for i := range z {
+				d := z[i] - hFinal[i]
+				j += w * d * d
+			}
+			return &Solution{State: st, J: j, Iterations: iter}, nil
+		}
+	}
+	return nil, ErrDiverged
+}
+
+// Detector is the chi-square bad data detector for the AC estimator.
+type Detector struct {
+	threshold float64
+	dof       int
+}
+
+// NewDetector builds the χ²_{m−n} detector at significance alpha.
+func NewDetector(e *Estimator, alpha float64) (*Detector, error) {
+	dof := e.NumMeasurements() - e.NumStates()
+	if dof <= 0 {
+		return nil, errors.New("acse: no measurement redundancy")
+	}
+	q, err := stat.ChiSquareQuantile(1-alpha, dof)
+	if err != nil {
+		return nil, err
+	}
+	return &Detector{threshold: q, dof: dof}, nil
+}
+
+// Threshold returns τ.
+func (d *Detector) Threshold() float64 { return d.threshold }
+
+// BadDataDetected reports whether the residual exceeds τ.
+func (d *Detector) BadDataDetected(sol *Solution) bool { return sol.J > d.threshold }
+
+// jacobian assembles ∂h/∂x at the state, columns ordered θ(non-slack) then
+// V(all buses). Derivatives are the standard polar-form expressions.
+func (e *Estimator) jacobian(st *acflow.State) (*matrix.Dense, error) {
+	n := e.net
+	nT := len(e.thetas)
+	cols := nT + n.Buses
+	jac := matrix.NewDense(len(e.ms), cols)
+	thetaCol := make(map[int]int, nT)
+	for c, bus := range e.thetas {
+		thetaCol[bus] = c
+	}
+	vCol := func(bus int) int { return nT + bus - 1 }
+
+	// Injections need the full admittance structure; reuse acflow's
+	// computation through finite formulas below.
+	pInj, qInj := n.Injections(st)
+	g, b := n.Admittance()
+
+	setTheta := func(row, bus int, val float64) {
+		if c, ok := thetaCol[bus]; ok {
+			jac.Set(row, c, jac.At(row, c)+val)
+		}
+	}
+	setV := func(row, bus int, val float64) {
+		c := vCol(bus)
+		jac.Set(row, c, jac.At(row, c)+val)
+	}
+
+	for row, m := range e.ms {
+		switch m.Kind {
+		case MeasPFlowFrom, MeasPFlowTo, MeasQFlowFrom, MeasQFlowTo:
+			br := n.Branches[m.Ref-1]
+			i, j := br.From, br.To
+			if m.Kind == MeasPFlowTo || m.Kind == MeasQFlowTo {
+				i, j = j, i
+			}
+			gs, bs := br.Series()
+			bc2 := br.Charging / 2
+			vi, vj := st.V[i], st.V[j]
+			dij := st.Theta[i] - st.Theta[j]
+			c, s := math.Cos(dij), math.Sin(dij)
+			switch m.Kind {
+			case MeasPFlowFrom, MeasPFlowTo:
+				setTheta(row, i, vi*vj*(gs*s-bs*c))
+				setTheta(row, j, -vi*vj*(gs*s-bs*c))
+				setV(row, i, 2*vi*gs-vj*(gs*c+bs*s))
+				setV(row, j, -vi*(gs*c+bs*s))
+			default: // Q flows
+				setTheta(row, i, -vi*vj*(gs*c+bs*s))
+				setTheta(row, j, vi*vj*(gs*c+bs*s))
+				setV(row, i, -2*vi*(bs+bc2)-vj*(gs*s-bs*c))
+				setV(row, j, -vi*(gs*s-bs*c))
+			}
+		case MeasPInj:
+			i := m.Ref
+			vi := st.V[i]
+			setTheta(row, i, -qInj[i]-b[i][i]*vi*vi)
+			setV(row, i, pInj[i]/vi+g[i][i]*vi)
+			for k := 1; k <= n.Buses; k++ {
+				if k == i || (g[i][k] == 0 && b[i][k] == 0) {
+					continue
+				}
+				dik := st.Theta[i] - st.Theta[k]
+				c, s := math.Cos(dik), math.Sin(dik)
+				// ∂P_i/∂θ_k = V_iV_k(G_ik sinθ_ik − B_ik cosθ_ik) for k≠i.
+				setTheta(row, k, vi*st.V[k]*(g[i][k]*s-b[i][k]*c))
+				setV(row, k, vi*(g[i][k]*c+b[i][k]*s))
+			}
+		case MeasQInj:
+			i := m.Ref
+			vi := st.V[i]
+			setTheta(row, i, pInj[i]-g[i][i]*vi*vi)
+			setV(row, i, qInj[i]/vi-b[i][i]*vi)
+			for k := 1; k <= n.Buses; k++ {
+				if k == i || (g[i][k] == 0 && b[i][k] == 0) {
+					continue
+				}
+				dik := st.Theta[i] - st.Theta[k]
+				c, s := math.Cos(dik), math.Sin(dik)
+				setTheta(row, k, -vi*st.V[k]*(g[i][k]*c+b[i][k]*s))
+				setV(row, k, vi*(g[i][k]*s-b[i][k]*c))
+			}
+		case MeasVMag:
+			setV(row, m.Ref, 1)
+		default:
+			return nil, fmt.Errorf("acse: unknown measurement kind %d", m.Kind)
+		}
+	}
+	return jac, nil
+}

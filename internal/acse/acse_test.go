@@ -1,0 +1,297 @@
+package acse
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"segrid/internal/acflow"
+	"segrid/internal/core"
+	"segrid/internal/grid"
+	"segrid/internal/stat"
+)
+
+// testNetwork lifts the IEEE 14-bus DC case to AC.
+func testNetwork(t *testing.T) *acflow.Network {
+	t.Helper()
+	n, err := acflow.FromDC(grid.IEEE14(), 0.2, 0.02)
+	if err != nil {
+		t.Fatalf("FromDC: %v", err)
+	}
+	return n
+}
+
+// operatingPoint solves a plausible loaded state.
+func operatingPoint(t *testing.T, n *acflow.Network) *acflow.State {
+	t.Helper()
+	p := make([]float64, n.Buses+1)
+	q := make([]float64, n.Buses+1)
+	for j := 2; j <= n.Buses; j++ {
+		p[j] = -(0.04 + 0.01*float64(j%6))
+		q[j] = -0.015
+	}
+	st, err := n.Solve(acflow.FlowCase{Slack: 1, SlackV: 1.02, P: p, Q: q})
+	if err != nil {
+		t.Fatalf("Solve: %v", err)
+	}
+	return st
+}
+
+func TestEstimateRecoversOperatingPoint(t *testing.T) {
+	n := testNetwork(t)
+	st := operatingPoint(t, n)
+	ms := FullMeasurementSet(n)
+	z, err := MeasureAll(n, st, ms)
+	if err != nil {
+		t.Fatalf("MeasureAll: %v", err)
+	}
+	est, err := NewEstimator(n, ms, 1, 0.01)
+	if err != nil {
+		t.Fatalf("NewEstimator: %v", err)
+	}
+	sol, err := est.Estimate(z)
+	if err != nil {
+		t.Fatalf("Estimate: %v", err)
+	}
+	for j := 1; j <= n.Buses; j++ {
+		if math.Abs(sol.State.V[j]-st.V[j]) > 1e-6 {
+			t.Fatalf("bus %d: V̂ %v, want %v", j, sol.State.V[j], st.V[j])
+		}
+		if math.Abs(sol.State.Theta[j]-st.Theta[j]-sol.State.Theta[1]+st.Theta[1]) > 1e-6 {
+			t.Fatalf("bus %d: θ̂ mismatch", j)
+		}
+	}
+	if sol.J > 1e-10 {
+		t.Fatalf("noiseless residual J = %v, want ~0", sol.J)
+	}
+}
+
+func TestEstimateWithNoiseAndDetector(t *testing.T) {
+	n := testNetwork(t)
+	st := operatingPoint(t, n)
+	ms := FullMeasurementSet(n)
+	clean, err := MeasureAll(n, st, ms)
+	if err != nil {
+		t.Fatalf("MeasureAll: %v", err)
+	}
+	const sigma = 0.002
+	est, err := NewEstimator(n, ms, 1, sigma)
+	if err != nil {
+		t.Fatalf("NewEstimator: %v", err)
+	}
+	det, err := NewDetector(est, 0.01)
+	if err != nil {
+		t.Fatalf("NewDetector: %v", err)
+	}
+	sampler := stat.NewNormalSampler(9)
+	z := append([]float64(nil), clean...)
+	for i := range z {
+		z[i] += sampler.Sample(0, sigma)
+	}
+	sol, err := est.Estimate(z)
+	if err != nil {
+		t.Fatalf("Estimate: %v", err)
+	}
+	if det.BadDataDetected(sol) {
+		t.Fatalf("clean noisy measurements flagged: J=%v τ=%v", sol.J, det.Threshold())
+	}
+	// Gross error trips it.
+	z[0] += 0.8
+	solBad, err := est.Estimate(z)
+	if err != nil {
+		t.Fatalf("Estimate: %v", err)
+	}
+	if !det.BadDataDetected(solBad) {
+		t.Fatalf("gross error undetected: J=%v τ=%v", solBad.J, det.Threshold())
+	}
+}
+
+// TestJacobianMatchesFiniteDifferences validates every analytic derivative
+// against central finite differences at a non-trivial operating point.
+func TestJacobianMatchesFiniteDifferences(t *testing.T) {
+	n := testNetwork(t)
+	st := operatingPoint(t, n)
+	ms := FullMeasurementSet(n)
+	est, err := NewEstimator(n, ms, 1, 0.01)
+	if err != nil {
+		t.Fatalf("NewEstimator: %v", err)
+	}
+	jac, err := est.jacobian(st)
+	if err != nil {
+		t.Fatalf("jacobian: %v", err)
+	}
+	const h = 1e-7
+	perturb := func(col int, delta float64) *acflow.State {
+		p := st.Clone()
+		if col < len(est.thetas) {
+			p.Theta[est.thetas[col]] += delta
+		} else {
+			p.V[col-len(est.thetas)+1] += delta
+		}
+		return p
+	}
+	cols := est.NumStates()
+	rng := rand.New(rand.NewSource(17))
+	// Check a random sample of (row, col) pairs plus every column once.
+	checked := 0
+	for col := 0; col < cols; col++ {
+		plus, err := MeasureAll(n, perturb(col, h), ms)
+		if err != nil {
+			t.Fatalf("MeasureAll: %v", err)
+		}
+		minus, err := MeasureAll(n, perturb(col, -h), ms)
+		if err != nil {
+			t.Fatalf("MeasureAll: %v", err)
+		}
+		for trial := 0; trial < 30; trial++ {
+			row := rng.Intn(len(ms))
+			fd := (plus[row] - minus[row]) / (2 * h)
+			an := jac.At(row, col)
+			if math.Abs(fd-an) > 1e-4*(1+math.Abs(an)) {
+				t.Fatalf("∂h[%d]/∂x[%d]: analytic %v, finite-diff %v (meas %+v)",
+					row, col, an, fd, ms[row])
+			}
+			checked++
+		}
+	}
+	if checked == 0 {
+		t.Fatalf("no derivatives checked")
+	}
+}
+
+// TestDCAttackAgainstACEstimator is the repository's headline extension
+// experiment: a stealthy attack crafted on the DC model, injected into AC
+// measurements, is only approximately stealthy — the residual grows with
+// attack magnitude, and large attacks become detectable.
+func TestDCAttackAgainstACEstimator(t *testing.T) {
+	sys := grid.IEEE14()
+	n := testNetwork(t)
+	st := operatingPoint(t, n)
+	ms := FullMeasurementSet(n)
+	clean, err := MeasureAll(n, st, ms)
+	if err != nil {
+		t.Fatalf("MeasureAll: %v", err)
+	}
+	const sigma = 0.002
+	est, err := NewEstimator(n, ms, 1, sigma)
+	if err != nil {
+		t.Fatalf("NewEstimator: %v", err)
+	}
+	det, err := NewDetector(est, 0.05)
+	if err != nil {
+		t.Fatalf("NewDetector: %v", err)
+	}
+
+	// DC attack on state 12 from the formal model.
+	sc := core.NewScenario(sys)
+	sc.TargetStates = []int{12}
+	res, err := core.Verify(sc)
+	if err != nil {
+		t.Fatalf("Verify: %v", err)
+	}
+	if !res.Feasible {
+		t.Fatalf("DC attack infeasible")
+	}
+
+	// Map the DC deltas onto the AC real-power measurements: forward flow
+	// i → MeasPFlowFrom(i), backward → MeasPFlowTo(i), injection j →
+	// −ΔP^B (the DC model uses the consumption convention; AC injections
+	// are generation-positive).
+	apply := func(scale float64) []float64 {
+		base, err := core.FloatMeasurementDeltas(sc, res)
+		if err != nil {
+			t.Fatalf("FloatMeasurementDeltas: %v", err)
+		}
+		z := append([]float64(nil), clean...)
+		l := sys.NumLines()
+		for i, m := range ms {
+			switch m.Kind {
+			case MeasPFlowFrom:
+				z[i] += scale * base[m.Ref]
+			case MeasPFlowTo:
+				z[i] += scale * base[l+m.Ref]
+			case MeasPInj:
+				z[i] -= scale * base[2*l+m.Ref]
+			}
+		}
+		return z
+	}
+
+	// The DC model normalizes the attack; rescale to physical magnitudes:
+	// Δθ12 ≈ 0.01 rad slips through, ≈ 0.2 rad lights the detector up, and
+	// the residual grows monotonically (quadratically) in between.
+	unit := math.Abs(res.StateChangeFloat(12))
+	if unit == 0 {
+		t.Fatalf("attack did not move state 12")
+	}
+	prevJ := -1.0
+	for _, mag := range []float64{0.01, 0.05, 0.2} {
+		sol, err := est.Estimate(apply(mag / unit))
+		if err != nil {
+			t.Fatalf("Estimate at Δθ=%v: %v", mag, err)
+		}
+		if sol.J <= prevJ {
+			t.Fatalf("residual not monotone in attack magnitude: %v then %v", prevJ, sol.J)
+		}
+		prevJ = sol.J
+		detected := det.BadDataDetected(sol)
+		switch mag {
+		case 0.01:
+			if detected {
+				t.Fatalf("small DC attack (Δθ=%v) detected: J=%v τ=%v", mag, sol.J, det.Threshold())
+			}
+		case 0.2:
+			if !detected {
+				t.Fatalf("large DC attack (Δθ=%v) undetected: J=%v τ=%v", mag, sol.J, det.Threshold())
+			}
+		}
+	}
+}
+
+func TestEstimatorValidation(t *testing.T) {
+	n := testNetwork(t)
+	ms := FullMeasurementSet(n)
+	if _, err := NewEstimator(n, ms, 0, 0.01); err == nil {
+		t.Fatalf("bad slack accepted")
+	}
+	if _, err := NewEstimator(n, ms, 1, 0); err == nil {
+		t.Fatalf("zero sigma accepted")
+	}
+	if _, err := NewEstimator(n, ms[:5], 1, 0.01); err == nil {
+		t.Fatalf("unobservable set accepted")
+	}
+	est, err := NewEstimator(n, ms, 1, 0.01)
+	if err != nil {
+		t.Fatalf("NewEstimator: %v", err)
+	}
+	if _, err := est.Estimate(make([]float64, 3)); err == nil {
+		t.Fatalf("bad vector length accepted")
+	}
+}
+
+func TestEvaluateValidation(t *testing.T) {
+	n := testNetwork(t)
+	st := acflow.NewFlatState(n.Buses)
+	if _, err := Evaluate(n, st, Measurement{Kind: MeasPFlowFrom, Ref: 99}); err == nil {
+		t.Fatalf("bad branch accepted")
+	}
+	if _, err := Evaluate(n, st, Measurement{Kind: MeasVMag, Ref: 0}); err == nil {
+		t.Fatalf("bad bus accepted")
+	}
+	if _, err := Evaluate(n, st, Measurement{Kind: 99, Ref: 1}); err == nil {
+		t.Fatalf("bad kind accepted")
+	}
+	v, err := Evaluate(n, st, Measurement{Kind: MeasVMag, Ref: 3})
+	if err != nil || v != 1 {
+		t.Fatalf("VMag at flat start = %v, %v", v, err)
+	}
+}
+
+func TestFullMeasurementSetSize(t *testing.T) {
+	n := testNetwork(t)
+	ms := FullMeasurementSet(n)
+	want := 4*len(n.Branches) + 3*n.Buses
+	if len(ms) != want {
+		t.Fatalf("len = %d, want %d", len(ms), want)
+	}
+}

@@ -1,0 +1,180 @@
+// Package baseline implements the comparison approaches the paper is
+// positioned against: the classical algebraic attack construction a = H·c
+// of Liu et al. [2], the observability-based protection condition of Bobba
+// et al. [6] ("securing a basic measurement set defends all states"), and a
+// greedy protection-selection heuristic in the spirit of Kim & Poor [7].
+// They serve both as baselines for the benchmarks and as independent
+// cross-checks of the SMT-based verification and synthesis results.
+package baseline
+
+import (
+	"errors"
+	"fmt"
+
+	"segrid/internal/dcflow"
+	"segrid/internal/grid"
+	"segrid/internal/matrix"
+)
+
+// rankTol is the pivot tolerance for numerical rank decisions.
+const rankTol = 1e-8
+
+// AlgebraicAttack computes the classical false data injection vector
+// a = H·c for a state change c (1-based per bus; the reference bus entry
+// must be 0). The result is the 1-based full measurement delta vector. By
+// construction the attack is stealthy against any WLS estimator using the
+// same topology.
+func AlgebraicAttack(sys *grid.System, mapped []bool, c []float64) ([]float64, error) {
+	return dcflow.MeasureAll(sys, mapped, c)
+}
+
+// securedRows extracts the reference-reduced Jacobian rows of secured,
+// taken measurements.
+func securedRows(meas *grid.MeasurementConfig, refBus int, secured []bool) (*matrix.Dense, error) {
+	sys := meas.System()
+	full := dcflow.BuildH(sys, nil)
+	ids := make([]int, 0, sys.NumMeasurements())
+	for id := 1; id <= sys.NumMeasurements(); id++ {
+		if meas.Taken[id] && secured[id] {
+			ids = append(ids, id)
+		}
+	}
+	out := matrix.NewDense(len(ids), sys.Buses-1)
+	for r, id := range ids {
+		col := 0
+		for j := 1; j <= sys.Buses; j++ {
+			if j == refBus {
+				continue
+			}
+			out.Set(r, col, full.At(id-1, j-1))
+			col++
+		}
+	}
+	return out, nil
+}
+
+// ProtectsAllStates implements Bobba et al.'s condition: the secured (and
+// taken) measurements defend state estimation against every UFDI attack iff
+// their Jacobian rows have full column rank b−1 — then no nonzero state
+// change can avoid touching a protected measurement.
+func ProtectsAllStates(meas *grid.MeasurementConfig, refBus int) (bool, error) {
+	sys := meas.System()
+	if refBus < 1 || refBus > sys.Buses {
+		return false, fmt.Errorf("baseline: reference bus %d out of range 1..%d", refBus, sys.Buses)
+	}
+	rows, err := securedRows(meas, refBus, meas.Secured)
+	if err != nil {
+		return false, err
+	}
+	return rows.Rank(rankTol) == sys.Buses-1, nil
+}
+
+// GreedyMeasurementProtection selects taken measurements to secure, one at
+// a time, each step choosing the lowest-ID measurement that increases the
+// rank of the secured row space, until the secured rows span all states
+// (Kim & Poor's greedy selection specialized to the DC model). It returns
+// the selected measurement IDs.
+func GreedyMeasurementProtection(meas *grid.MeasurementConfig, refBus int) ([]int, error) {
+	sys := meas.System()
+	if refBus < 1 || refBus > sys.Buses {
+		return nil, fmt.Errorf("baseline: reference bus %d out of range 1..%d", refBus, sys.Buses)
+	}
+	full := dcflow.BuildH(sys, nil)
+	n := sys.Buses - 1
+	rowsData := make([][]float64, 0, n)
+	var selected []int
+	rank := 0
+	for id := 1; id <= sys.NumMeasurements() && rank < n; id++ {
+		if !meas.Taken[id] {
+			continue
+		}
+		row := make([]float64, n)
+		col := 0
+		for j := 1; j <= sys.Buses; j++ {
+			if j == refBus {
+				continue
+			}
+			row[col] = full.At(id-1, j-1)
+			col++
+		}
+		candidate := append(rowsData[:len(rowsData):len(rowsData)], row)
+		cm, err := matrix.FromRows(candidate)
+		if err != nil {
+			return nil, err
+		}
+		if r := cm.Rank(rankTol); r > rank {
+			rank = r
+			rowsData = candidate
+			selected = append(selected, id)
+		}
+	}
+	if rank < n {
+		return nil, errors.New("baseline: taken measurements cannot span the state space")
+	}
+	return selected, nil
+}
+
+// GreedyBusProtection selects buses to secure: each step adds the bus whose
+// measurements increase the secured row rank the most (ties to the lowest
+// bus ID), until all states are defended. It is the bus-granular analogue
+// the paper's synthesis is compared against and returns the selected buses.
+func GreedyBusProtection(meas *grid.MeasurementConfig, refBus int, maxBuses int) ([]int, error) {
+	sys := meas.System()
+	if refBus < 1 || refBus > sys.Buses {
+		return nil, fmt.Errorf("baseline: reference bus %d out of range 1..%d", refBus, sys.Buses)
+	}
+	full := dcflow.BuildH(sys, nil)
+	n := sys.Buses - 1
+	rowOf := func(id int) []float64 {
+		row := make([]float64, n)
+		col := 0
+		for j := 1; j <= sys.Buses; j++ {
+			if j == refBus {
+				continue
+			}
+			row[col] = full.At(id-1, j-1)
+			col++
+		}
+		return row
+	}
+	var chosen []int
+	chosenSet := make(map[int]bool)
+	var rowsData [][]float64
+	rank := 0
+	for rank < n {
+		if maxBuses > 0 && len(chosen) >= maxBuses {
+			return nil, fmt.Errorf("baseline: greedy needs more than %d buses", maxBuses)
+		}
+		bestBus, bestRank := -1, rank
+		for j := 1; j <= sys.Buses; j++ {
+			if chosenSet[j] {
+				continue
+			}
+			candidate := rowsData[:len(rowsData):len(rowsData)]
+			for _, id := range sys.MeasAtBus(j) {
+				if meas.Taken[id] {
+					candidate = append(candidate, rowOf(id))
+				}
+			}
+			cm, err := matrix.FromRows(candidate)
+			if err != nil {
+				return nil, err
+			}
+			if r := cm.Rank(rankTol); r > bestRank {
+				bestRank, bestBus = r, j
+			}
+		}
+		if bestBus < 0 {
+			return nil, errors.New("baseline: no bus increases coverage; states unprotectable")
+		}
+		chosen = append(chosen, bestBus)
+		chosenSet[bestBus] = true
+		for _, id := range sys.MeasAtBus(bestBus) {
+			if meas.Taken[id] {
+				rowsData = append(rowsData, rowOf(id))
+			}
+		}
+		rank = bestRank
+	}
+	return chosen, nil
+}

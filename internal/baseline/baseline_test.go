@@ -1,0 +1,184 @@
+package baseline
+
+import (
+	"math"
+	"testing"
+
+	"segrid/internal/dcflow"
+	"segrid/internal/grid"
+	"segrid/internal/se"
+)
+
+func TestAlgebraicAttackIsStealthy(t *testing.T) {
+	sys := grid.IEEE14()
+	meas := grid.NewMeasurementConfig(sys)
+	est, err := se.NewEstimator(meas, se.Config{RefBus: 1, Sigma: 0.01})
+	if err != nil {
+		t.Fatalf("NewEstimator: %v", err)
+	}
+	det, err := se.NewDetector(est, 0.05)
+	if err != nil {
+		t.Fatalf("NewDetector: %v", err)
+	}
+	angles := make([]float64, sys.Buses+1)
+	for j := 2; j <= sys.Buses; j++ {
+		angles[j] = 0.01 * float64(j)
+	}
+	z, err := dcflow.MeasureAll(sys, nil, angles)
+	if err != nil {
+		t.Fatalf("MeasureAll: %v", err)
+	}
+	c := make([]float64, sys.Buses+1)
+	c[9] = 0.2
+	c[10] = 0.2
+	a, err := AlgebraicAttack(sys, nil, c)
+	if err != nil {
+		t.Fatalf("AlgebraicAttack: %v", err)
+	}
+	for id := 1; id < len(z); id++ {
+		z[id] += a[id]
+	}
+	sol, err := est.Estimate(z)
+	if err != nil {
+		t.Fatalf("Estimate: %v", err)
+	}
+	if det.BadDataDetected(sol) {
+		t.Fatalf("algebraic attack detected, J=%v", sol.J)
+	}
+	if math.Abs(sol.Angles[9]-angles[9]-0.2) > 1e-7 {
+		t.Fatalf("state 9 not corrupted by attack")
+	}
+}
+
+func TestProtectsAllStates(t *testing.T) {
+	sys := grid.IEEE14()
+	// Nothing secured: not protected.
+	meas := grid.NewMeasurementConfig(sys)
+	ok, err := ProtectsAllStates(meas, 1)
+	if err != nil {
+		t.Fatalf("ProtectsAllStates: %v", err)
+	}
+	if ok {
+		t.Fatalf("unprotected grid reported protected")
+	}
+	// Secure all forward flows: spans the network (spanning tree ⊂ lines).
+	for i := 1; i <= sys.NumLines(); i++ {
+		if err := meas.Secure(i); err != nil {
+			t.Fatalf("Secure: %v", err)
+		}
+	}
+	ok, err = ProtectsAllStates(meas, 1)
+	if err != nil {
+		t.Fatalf("ProtectsAllStates: %v", err)
+	}
+	if !ok {
+		t.Fatalf("all line flows secured but not protected")
+	}
+	if _, err := ProtectsAllStates(meas, 0); err == nil {
+		t.Fatalf("bad ref bus accepted")
+	}
+}
+
+func TestSecuredButUntakenDoesNotProtect(t *testing.T) {
+	sys := grid.IEEE14()
+	meas := grid.NewMeasurementConfig(sys)
+	for i := 1; i <= sys.NumLines(); i++ {
+		if err := meas.Secure(i); err != nil {
+			t.Fatalf("Secure: %v", err)
+		}
+	}
+	// Untake them all: securing measurements the estimator never reads is
+	// worthless.
+	ids := make([]int, sys.NumLines())
+	for i := range ids {
+		ids[i] = i + 1
+	}
+	if err := meas.Untake(ids...); err != nil {
+		t.Fatalf("Untake: %v", err)
+	}
+	ok, err := ProtectsAllStates(meas, 1)
+	if err != nil {
+		t.Fatalf("ProtectsAllStates: %v", err)
+	}
+	if ok {
+		t.Fatalf("untaken secured measurements reported protective")
+	}
+}
+
+func TestGreedyMeasurementProtection(t *testing.T) {
+	for _, name := range []string{"ieee14", "ieee30", "ieee57"} {
+		sys, err := grid.Case(name)
+		if err != nil {
+			t.Fatalf("Case: %v", err)
+		}
+		meas := grid.NewMeasurementConfig(sys)
+		ids, err := GreedyMeasurementProtection(meas, 1)
+		if err != nil {
+			t.Fatalf("%s: GreedyMeasurementProtection: %v", name, err)
+		}
+		// A basic measurement set has exactly b−1 members.
+		if len(ids) != sys.Buses-1 {
+			t.Fatalf("%s: selected %d measurements, want %d", name, len(ids), sys.Buses-1)
+		}
+		for _, id := range ids {
+			if err := meas.Secure(id); err != nil {
+				t.Fatalf("Secure: %v", err)
+			}
+		}
+		ok, err := ProtectsAllStates(meas, 1)
+		if err != nil {
+			t.Fatalf("ProtectsAllStates: %v", err)
+		}
+		if !ok {
+			t.Fatalf("%s: greedy selection does not protect", name)
+		}
+	}
+}
+
+func TestGreedyMeasurementProtectionUnobservable(t *testing.T) {
+	sys := grid.IEEE14()
+	meas := grid.NewMeasurementConfig(sys)
+	// Untake everything but one measurement.
+	ids := meas.TakenIDs()
+	if err := meas.Untake(ids[1:]...); err != nil {
+		t.Fatalf("Untake: %v", err)
+	}
+	if _, err := GreedyMeasurementProtection(meas, 1); err == nil {
+		t.Fatalf("unobservable set accepted")
+	}
+}
+
+func TestGreedyBusProtection(t *testing.T) {
+	sys := grid.IEEE14()
+	meas := grid.NewMeasurementConfig(sys)
+	buses, err := GreedyBusProtection(meas, 1, 0)
+	if err != nil {
+		t.Fatalf("GreedyBusProtection: %v", err)
+	}
+	if len(buses) == 0 || len(buses) > sys.Buses {
+		t.Fatalf("selected %d buses", len(buses))
+	}
+	for _, j := range buses {
+		if err := meas.SecureBus(j); err != nil {
+			t.Fatalf("SecureBus: %v", err)
+		}
+	}
+	ok, err := ProtectsAllStates(meas, 1)
+	if err != nil {
+		t.Fatalf("ProtectsAllStates: %v", err)
+	}
+	if !ok {
+		t.Fatalf("greedy bus selection %v does not protect", buses)
+	}
+}
+
+func TestGreedyBusProtectionBudget(t *testing.T) {
+	sys := grid.IEEE14()
+	meas := grid.NewMeasurementConfig(sys)
+	if _, err := GreedyBusProtection(meas, 1, 1); err == nil {
+		t.Fatalf("1-bus budget unexpectedly sufficient")
+	}
+	if _, err := GreedyBusProtection(meas, 99, 0); err == nil {
+		t.Fatalf("bad ref bus accepted")
+	}
+}

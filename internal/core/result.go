@@ -1,0 +1,116 @@
+package core
+
+import (
+	"fmt"
+	"math/big"
+	"sort"
+
+	"segrid/internal/smt"
+)
+
+// Result is the outcome of an attack verification run. When Feasible is
+// true the remaining fields describe one concrete attack (the paper's
+// attack vector: the assignments of cz, cb, el, il and the state changes).
+type Result struct {
+	Feasible bool
+
+	// AlteredMeasurements lists the measurement IDs the attacker must
+	// inject false data into (cz), ascending.
+	AlteredMeasurements []int
+
+	// CompromisedBuses lists the substations hosting those measurements
+	// (cb), ascending.
+	CompromisedBuses []int
+
+	// ExcludedLines and IncludedLines describe the topology poisoning part
+	// of the attack, if any.
+	ExcludedLines []int
+	IncludedLines []int
+
+	// StateChanges maps bus → Δθ for every corrupted state (exact model
+	// values).
+	StateChanges map[int]*big.Rat
+
+	// TopoFlowDeltas maps line → the topology-induced flow measurement
+	// delta ΔPT the model chose for an excluded/included line (exact
+	// values; base-case dependent in reality, free in the model).
+	TopoFlowDeltas map[int]*big.Rat
+
+	// Stats reports solver work and model size.
+	Stats smt.Stats
+}
+
+// StateChangeFloat returns Δθ of a bus as float64 (0 when unchanged).
+func (r *Result) StateChangeFloat(bus int) float64 {
+	if c, ok := r.StateChanges[bus]; ok {
+		f, _ := c.Float64()
+		return f
+	}
+	return 0
+}
+
+// Check solves the model in its current scope state and extracts the
+// result.
+func (m *Model) Check() (*Result, error) {
+	res, err := m.solver.Check()
+	if err != nil {
+		return nil, fmt.Errorf("core: attack model check: %w", err)
+	}
+	out := &Result{Stats: res.Stats}
+	if res.Status == smt.Unsat {
+		return out, nil
+	}
+	if res.Status != smt.Sat {
+		return nil, fmt.Errorf("core: attack model check inconclusive")
+	}
+	out.Feasible = true
+	sys := m.sc.System()
+	for id := 1; id <= sys.NumMeasurements(); id++ {
+		if m.hasCZ[id] && res.Bool(m.cz[id]) {
+			out.AlteredMeasurements = append(out.AlteredMeasurements, id)
+		}
+	}
+	for j := 1; j <= sys.Buses; j++ {
+		if res.Bool(m.cb[j]) {
+			out.CompromisedBuses = append(out.CompromisedBuses, j)
+		}
+	}
+	out.TopoFlowDeltas = make(map[int]*big.Rat)
+	for i := 1; i <= sys.NumLines(); i++ {
+		attacked := false
+		if m.hasEL[i] && res.Bool(m.el[i]) {
+			out.ExcludedLines = append(out.ExcludedLines, i)
+			attacked = true
+		}
+		if m.hasIL[i] && res.Bool(m.il[i]) {
+			out.IncludedLines = append(out.IncludedLines, i)
+			attacked = true
+		}
+		if attacked && m.hasDPT[i] {
+			out.TopoFlowDeltas[i] = res.Real(m.dpt[i])
+		}
+	}
+	out.StateChanges = make(map[int]*big.Rat)
+	for j := 1; j <= sys.Buses; j++ {
+		if !m.hasDT[j] {
+			continue
+		}
+		v := res.Real(m.dtheta[j])
+		if v.Sign() != 0 {
+			out.StateChanges[j] = v
+		}
+	}
+	sort.Ints(out.AlteredMeasurements)
+	sort.Ints(out.CompromisedBuses)
+	return out, nil
+}
+
+// Verify builds the model for the scenario and checks it once. It is the
+// package's convenience entry point.
+func Verify(sc *Scenario) (*Result, error) {
+	m, err := NewModel(sc)
+	if err != nil {
+		return nil, err
+	}
+	return m.Check()
+}

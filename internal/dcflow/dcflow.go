@@ -1,0 +1,161 @@
+// Package dcflow implements the DC power flow model and the topology
+// processor of the reproduced paper (Section II): constructing the
+// measurement Jacobian H = [DA; −DA; AᵀDA] from the mapped topology
+// (Eq. 2), evaluating measurement functions, and solving base-case flows.
+//
+// Sign conventions follow the paper: the forward flow of line i is
+// P_i = Y_i·(θ_from − θ_to) (Eq. 3), and the consumption at bus j is
+// Σ incoming flows − Σ outgoing flows (Eq. 4).
+package dcflow
+
+import (
+	"fmt"
+
+	"segrid/internal/grid"
+	"segrid/internal/matrix"
+)
+
+// AllMapped returns a 1-based topology mapping with every line in service.
+func AllMapped(sys *grid.System) []bool {
+	mapped := make([]bool, sys.NumLines()+1)
+	for i := 1; i <= sys.NumLines(); i++ {
+		mapped[i] = true
+	}
+	return mapped
+}
+
+// BuildH constructs the full (2l+b) × b measurement Jacobian over all
+// potential measurements for the given mapped topology (1-based; nil means
+// all lines in service). Row ordering matches the paper's measurement
+// numbering; column j−1 corresponds to bus j's phase angle.
+func BuildH(sys *grid.System, mapped []bool) *matrix.Dense {
+	l := sys.NumLines()
+	b := sys.Buses
+	h := matrix.NewDense(2*l+b, b)
+	for _, ln := range sys.Lines {
+		if mapped != nil && !mapped[ln.ID] {
+			continue
+		}
+		fwd := ln.ID - 1
+		bwd := l + ln.ID - 1
+		h.Set(fwd, ln.From-1, ln.Admittance)
+		h.Set(fwd, ln.To-1, -ln.Admittance)
+		h.Set(bwd, ln.From-1, -ln.Admittance)
+		h.Set(bwd, ln.To-1, ln.Admittance)
+		// Consumption rows (Eq. 4): incoming minus outgoing.
+		toRow := 2*l + ln.To - 1
+		h.Set(toRow, ln.From-1, h.At(toRow, ln.From-1)+ln.Admittance)
+		h.Set(toRow, ln.To-1, h.At(toRow, ln.To-1)-ln.Admittance)
+		fromRow := 2*l + ln.From - 1
+		h.Set(fromRow, ln.From-1, h.At(fromRow, ln.From-1)-ln.Admittance)
+		h.Set(fromRow, ln.To-1, h.At(fromRow, ln.To-1)+ln.Admittance)
+	}
+	return h
+}
+
+// ReduceH drops the reference-bus column (fixing θ_ref = 0) and keeps only
+// the rows of taken measurements, in ascending measurement-ID order. It
+// returns the reduced Jacobian and the taken measurement IDs in row order.
+func ReduceH(h *matrix.Dense, sys *grid.System, meas *grid.MeasurementConfig, refBus int) (*matrix.Dense, []int, error) {
+	if refBus < 1 || refBus > sys.Buses {
+		return nil, nil, fmt.Errorf("dcflow: reference bus %d out of range 1..%d", refBus, sys.Buses)
+	}
+	ids := meas.TakenIDs()
+	out := matrix.NewDense(len(ids), sys.Buses-1)
+	for r, id := range ids {
+		col := 0
+		for j := 1; j <= sys.Buses; j++ {
+			if j == refBus {
+				continue
+			}
+			out.Set(r, col, h.At(id-1, j-1))
+			col++
+		}
+	}
+	return out, ids, nil
+}
+
+// MeasureAll evaluates every potential measurement for the given bus angles
+// (1-based angles[1..b]) under the mapped topology. Result is 1-based with
+// index 0 unused.
+func MeasureAll(sys *grid.System, mapped []bool, angles []float64) ([]float64, error) {
+	if len(angles) != sys.Buses+1 {
+		return nil, fmt.Errorf("dcflow: angles length %d, want %d", len(angles), sys.Buses+1)
+	}
+	l := sys.NumLines()
+	z := make([]float64, sys.NumMeasurements()+1)
+	for _, ln := range sys.Lines {
+		if mapped != nil && !mapped[ln.ID] {
+			continue
+		}
+		flow := ln.Admittance * (angles[ln.From] - angles[ln.To])
+		z[ln.ID] = flow
+		z[l+ln.ID] = -flow
+		z[2*l+ln.To] += flow
+		z[2*l+ln.From] -= flow
+	}
+	return z, nil
+}
+
+// SolveFlow computes bus angles for given net consumptions (1-based,
+// consumption[1..b]; positive = load under the paper's Eq. 4 convention)
+// with the reference bus fixed at angle 0. Consumptions must balance to
+// zero within tolerance; the reference bus entry is treated as the slack
+// and recomputed.
+func SolveFlow(sys *grid.System, consumption []float64, refBus int) ([]float64, error) {
+	b := sys.Buses
+	if len(consumption) != b+1 {
+		return nil, fmt.Errorf("dcflow: consumption length %d, want %d", len(consumption), b+1)
+	}
+	if refBus < 1 || refBus > b {
+		return nil, fmt.Errorf("dcflow: reference bus %d out of range", refBus)
+	}
+	// Build the reduced susceptance system: for each non-reference bus j,
+	// consumption_j = Σ_in Y(θ_from − θ_to) − Σ_out Y(θ_from − θ_to).
+	idx := make([]int, b+1) // bus → reduced column, −1 for reference
+	col := 0
+	for j := 1; j <= b; j++ {
+		if j == refBus {
+			idx[j] = -1
+			continue
+		}
+		idx[j] = col
+		col++
+	}
+	a := matrix.NewDense(b-1, b-1)
+	rhs := make([]float64, b-1)
+	addTerm := func(row, bus int, coeff float64) {
+		if idx[bus] >= 0 {
+			a.Set(row, idx[bus], a.At(row, idx[bus])+coeff)
+		}
+	}
+	for j := 1; j <= b; j++ {
+		if j == refBus {
+			continue
+		}
+		row := idx[j]
+		rhs[row] = consumption[j]
+		for _, id := range sys.InLines(j) {
+			ln := sys.Line(id)
+			addTerm(row, ln.From, ln.Admittance)
+			addTerm(row, ln.To, -ln.Admittance)
+		}
+		for _, id := range sys.OutLines(j) {
+			ln := sys.Line(id)
+			addTerm(row, ln.From, -ln.Admittance)
+			addTerm(row, ln.To, ln.Admittance)
+		}
+	}
+	sol, err := a.SolveLU(rhs)
+	if err != nil {
+		return nil, fmt.Errorf("dcflow: power flow solve: %w", err)
+	}
+	angles := make([]float64, b+1)
+	for j := 1; j <= b; j++ {
+		if j == refBus {
+			continue
+		}
+		angles[j] = sol[idx[j]]
+	}
+	return angles, nil
+}

@@ -1,0 +1,168 @@
+package dcflow
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"segrid/internal/grid"
+)
+
+func TestBuildHShape(t *testing.T) {
+	sys := grid.IEEE14()
+	h := BuildH(sys, nil)
+	if h.Rows() != 54 || h.Cols() != 14 {
+		t.Fatalf("H is %dx%d, want 54x14", h.Rows(), h.Cols())
+	}
+}
+
+func TestBuildHLineRows(t *testing.T) {
+	sys := grid.IEEE14()
+	h := BuildH(sys, nil)
+	// Line 1: 1→2, Y=16.90. Forward row 0: +Y at col 0, −Y at col 1.
+	if h.At(0, 0) != 16.90 || h.At(0, 1) != -16.90 {
+		t.Fatalf("forward row of line 1 wrong: %v %v", h.At(0, 0), h.At(0, 1))
+	}
+	// Backward row l+0 = 20: negated.
+	if h.At(20, 0) != -16.90 || h.At(20, 1) != 16.90 {
+		t.Fatalf("backward row of line 1 wrong")
+	}
+}
+
+func TestBuildHInjectionRowsSumFlows(t *testing.T) {
+	sys := grid.IEEE14()
+	h := BuildH(sys, nil)
+	l := sys.NumLines()
+	// Paper Eq. 4: consumption row of bus j = Σ incoming forward rows −
+	// Σ outgoing forward rows.
+	for j := 1; j <= sys.Buses; j++ {
+		for col := 0; col < sys.Buses; col++ {
+			want := 0.0
+			for _, id := range sys.InLines(j) {
+				want += h.At(id-1, col)
+			}
+			for _, id := range sys.OutLines(j) {
+				want -= h.At(id-1, col)
+			}
+			if got := h.At(2*l+j-1, col); math.Abs(got-want) > 1e-9 {
+				t.Fatalf("injection row bus %d col %d = %v, want %v", j, col, got, want)
+			}
+		}
+	}
+}
+
+func TestBuildHMappedExclusion(t *testing.T) {
+	sys := grid.IEEE14()
+	mapped := AllMapped(sys)
+	mapped[13] = false // exclude line 13 (6→13)
+	h := BuildH(sys, mapped)
+	// Line 13 rows must be zero.
+	for col := 0; col < sys.Buses; col++ {
+		if h.At(12, col) != 0 || h.At(20+12, col) != 0 {
+			t.Fatalf("excluded line rows non-zero")
+		}
+	}
+	// Bus 6 injection row must no longer reference bus 13.
+	l := sys.NumLines()
+	if h.At(2*l+5, 12) != 0 {
+		t.Fatalf("bus 6 injection still couples to bus 13 after exclusion")
+	}
+}
+
+func TestMeasureAllConsistentWithH(t *testing.T) {
+	sys := grid.IEEE30()
+	rng := rand.New(rand.NewSource(3))
+	angles := make([]float64, sys.Buses+1)
+	for j := 2; j <= sys.Buses; j++ {
+		angles[j] = rng.NormFloat64() * 0.1
+	}
+	z, err := MeasureAll(sys, nil, angles)
+	if err != nil {
+		t.Fatalf("MeasureAll: %v", err)
+	}
+	h := BuildH(sys, nil)
+	x := angles[1:]
+	hx, err := h.MulVec(x)
+	if err != nil {
+		t.Fatalf("MulVec: %v", err)
+	}
+	for id := 1; id <= sys.NumMeasurements(); id++ {
+		if math.Abs(z[id]-hx[id-1]) > 1e-9 {
+			t.Fatalf("measurement %d: MeasureAll=%v H·x=%v", id, z[id], hx[id-1])
+		}
+	}
+}
+
+func TestMeasureAllBadLength(t *testing.T) {
+	sys := grid.IEEE14()
+	if _, err := MeasureAll(sys, nil, make([]float64, 3)); err == nil {
+		t.Fatalf("bad angle length accepted")
+	}
+}
+
+func TestSolveFlowBalances(t *testing.T) {
+	sys := grid.IEEE14()
+	// Bus 1 is slack; put load on a few buses and matching generation on 2.
+	cons := make([]float64, sys.Buses+1)
+	cons[3] = 0.9
+	cons[9] = 0.5
+	cons[14] = 0.3
+	cons[2] = -1.7
+	angles, err := SolveFlow(sys, cons, 1)
+	if err != nil {
+		t.Fatalf("SolveFlow: %v", err)
+	}
+	if angles[1] != 0 {
+		t.Fatalf("reference angle not zero")
+	}
+	z, err := MeasureAll(sys, nil, angles)
+	if err != nil {
+		t.Fatalf("MeasureAll: %v", err)
+	}
+	l := sys.NumLines()
+	for j := 2; j <= sys.Buses; j++ {
+		if math.Abs(z[2*l+j]-cons[j]) > 1e-8 {
+			t.Fatalf("bus %d consumption = %v, want %v", j, z[2*l+j], cons[j])
+		}
+	}
+	// Slack absorbs the balance: total consumption sums to zero.
+	total := 0.0
+	for j := 1; j <= sys.Buses; j++ {
+		total += z[2*l+j]
+	}
+	if math.Abs(total) > 1e-8 {
+		t.Fatalf("total consumption %v, want 0", total)
+	}
+}
+
+func TestSolveFlowErrors(t *testing.T) {
+	sys := grid.IEEE14()
+	if _, err := SolveFlow(sys, make([]float64, 3), 1); err == nil {
+		t.Fatalf("bad length accepted")
+	}
+	if _, err := SolveFlow(sys, make([]float64, sys.Buses+1), 0); err == nil {
+		t.Fatalf("bad ref bus accepted")
+	}
+}
+
+func TestReduceH(t *testing.T) {
+	sys := grid.IEEE14()
+	meas := grid.NewMeasurementConfig(sys)
+	if err := meas.Untake(5, 10); err != nil {
+		t.Fatalf("Untake: %v", err)
+	}
+	h := BuildH(sys, nil)
+	red, ids, err := ReduceH(h, sys, meas, 1)
+	if err != nil {
+		t.Fatalf("ReduceH: %v", err)
+	}
+	if red.Rows() != 52 || red.Cols() != 13 {
+		t.Fatalf("reduced H is %dx%d, want 52x13", red.Rows(), red.Cols())
+	}
+	if len(ids) != 52 || ids[0] != 1 || ids[4] != 6 {
+		t.Fatalf("taken IDs wrong: %v...", ids[:6])
+	}
+	if _, _, err := ReduceH(h, sys, meas, 0); err == nil {
+		t.Fatalf("bad ref bus accepted")
+	}
+}

@@ -1,0 +1,126 @@
+package dcflow
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"segrid/internal/grid"
+)
+
+// TestSolveFlowMeasureRoundTrip: on random synthetic systems, solving the
+// flow for random balanced consumptions and re-measuring returns those
+// consumptions (DC power flow is exact).
+func TestSolveFlowMeasureRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	f := func(seed int64) bool {
+		lr := rand.New(rand.NewSource(seed))
+		buses := 6 + lr.Intn(20)
+		lines := buses + lr.Intn(buses)
+		maxLines := buses * (buses - 1) / 2
+		if lines > maxLines {
+			lines = maxLines
+		}
+		sys, err := grid.Synthetic("prop", buses, lines, uint64(seed)+1)
+		if err != nil {
+			return false
+		}
+		cons := make([]float64, buses+1)
+		total := 0.0
+		for j := 2; j <= buses; j++ {
+			cons[j] = lr.NormFloat64() * 0.3
+			total += cons[j]
+		}
+		cons[1] = -total
+		angles, err := SolveFlow(sys, cons, 1)
+		if err != nil {
+			return false
+		}
+		z, err := MeasureAll(sys, nil, angles)
+		if err != nil {
+			return false
+		}
+		l := sys.NumLines()
+		for j := 1; j <= buses; j++ {
+			if math.Abs(z[2*l+j]-cons[j]) > 1e-7 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40, Rand: rng}); err != nil {
+		t.Fatalf("round-trip property failed: %v", err)
+	}
+}
+
+// TestSuperpositionProperty: the DC model is linear, so measurements of a
+// sum of angle vectors equal the sum of measurements — the property that
+// makes a = H·c attacks stealthy.
+func TestSuperpositionProperty(t *testing.T) {
+	sys := grid.IEEE30()
+	rng := rand.New(rand.NewSource(21))
+	f := func(seed int64) bool {
+		lr := rand.New(rand.NewSource(seed))
+		a := make([]float64, sys.Buses+1)
+		b := make([]float64, sys.Buses+1)
+		sum := make([]float64, sys.Buses+1)
+		for j := 2; j <= sys.Buses; j++ {
+			a[j] = lr.NormFloat64() * 0.1
+			b[j] = lr.NormFloat64() * 0.1
+			sum[j] = a[j] + b[j]
+		}
+		za, err := MeasureAll(sys, nil, a)
+		if err != nil {
+			return false
+		}
+		zb, err := MeasureAll(sys, nil, b)
+		if err != nil {
+			return false
+		}
+		zs, err := MeasureAll(sys, nil, sum)
+		if err != nil {
+			return false
+		}
+		for id := 1; id <= sys.NumMeasurements(); id++ {
+			if math.Abs(zs[id]-za[id]-zb[id]) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40, Rand: rng}); err != nil {
+		t.Fatalf("superposition property failed: %v", err)
+	}
+}
+
+// TestExcludedLineCarriesNoCoupling: excluding lines from the mapping must
+// zero exactly their rows and their endpoints' coupling through them.
+func TestExcludedLineCarriesNoCoupling(t *testing.T) {
+	sys := grid.IEEE30()
+	mapped := AllMapped(sys)
+	for _, drop := range []int{1, 17, 41} {
+		mapped[drop] = false
+	}
+	h := BuildH(sys, mapped)
+	full := BuildH(sys, nil)
+	l := sys.NumLines()
+	for _, drop := range []int{1, 17, 41} {
+		for col := 0; col < sys.Buses; col++ {
+			if h.At(drop-1, col) != 0 || h.At(l+drop-1, col) != 0 {
+				t.Fatalf("line %d rows not zeroed", drop)
+			}
+		}
+	}
+	// Rows of untouched lines are identical to the full mapping.
+	for i := 1; i <= l; i++ {
+		if i == 1 || i == 17 || i == 41 {
+			continue
+		}
+		for col := 0; col < sys.Buses; col++ {
+			if h.At(i-1, col) != full.At(i-1, col) {
+				t.Fatalf("line %d rows disturbed by exclusion", i)
+			}
+		}
+	}
+}

@@ -1,0 +1,200 @@
+// Package dcopf solves DC optimal power flow — least-cost generator
+// dispatch subject to power balance, generator limits and line flow limits
+// — on the exact rational LP optimizer (internal/lra).
+//
+// Its role in this repository is attack impact analysis: the paper (and
+// its companion work on optimal power flow) motivates UFDI attacks by
+// their downstream effect on operations. A corrupted state estimate means
+// corrupted load estimates, and the operator's redispatch against those
+// phantom loads carries a real cost and can overload real lines.
+package dcopf
+
+import (
+	"errors"
+	"fmt"
+	"math/big"
+
+	"segrid/internal/grid"
+	"segrid/internal/lra"
+	"segrid/internal/numeric"
+)
+
+// ErrInfeasible is returned when no dispatch satisfies the constraints.
+var ErrInfeasible = errors.New("dcopf: no feasible dispatch")
+
+// Generator is a dispatchable source with a linear cost.
+type Generator struct {
+	Bus        int     // 1-based
+	MinP, MaxP float64 // p.u. output limits, MinP ≤ MaxP
+	Cost       float64 // $ per p.u.·h
+}
+
+// Case is a DC-OPF problem.
+type Case struct {
+	Sys  *grid.System
+	Gens []Generator
+	// Load is the 1-based per-bus consumption (positive).
+	Load []float64
+	// LineLimit is the 1-based per-line |flow| limit; 0 means unlimited.
+	LineLimit []float64
+	// RefBus anchors the angles.
+	RefBus int
+}
+
+// Dispatch is an optimal solution.
+type Dispatch struct {
+	// Gen is the output per generator, aligned with Case.Gens.
+	Gen []float64
+	// Cost is the total generation cost.
+	Cost float64
+	// Flows is the 1-based per-line power flow (from → to positive).
+	Flows []float64
+	// Angles is the 1-based per-bus angle.
+	Angles []float64
+}
+
+// rat converts a float to an exact rational with 1e-9 quantization —
+// plenty for p.u. quantities and keeps the exact arithmetic small.
+func rat(f float64) *big.Rat {
+	return new(big.Rat).SetFrac64(int64(f*1e9+copysign(0.5, f)), 1_000_000_000)
+}
+
+func copysign(h, f float64) float64 {
+	if f < 0 {
+		return -h
+	}
+	return h
+}
+
+// Solve builds and optimizes the dispatch LP.
+func (c *Case) Solve() (*Dispatch, error) {
+	sys := c.Sys
+	if sys == nil {
+		return nil, errors.New("dcopf: case has no system")
+	}
+	if len(c.Load) != sys.Buses+1 {
+		return nil, fmt.Errorf("dcopf: load vector length %d, want %d", len(c.Load), sys.Buses+1)
+	}
+	if c.LineLimit != nil && len(c.LineLimit) != sys.NumLines()+1 {
+		return nil, fmt.Errorf("dcopf: line limit length %d, want %d", len(c.LineLimit), sys.NumLines()+1)
+	}
+	if c.RefBus < 1 || c.RefBus > sys.Buses {
+		return nil, fmt.Errorf("dcopf: reference bus %d out of range", c.RefBus)
+	}
+	if len(c.Gens) == 0 {
+		return nil, errors.New("dcopf: no generators")
+	}
+	for i, g := range c.Gens {
+		if g.Bus < 1 || g.Bus > sys.Buses {
+			return nil, fmt.Errorf("dcopf: generator %d at bus %d out of range", i, g.Bus)
+		}
+		if g.MinP > g.MaxP {
+			return nil, fmt.Errorf("dcopf: generator %d has MinP > MaxP", i)
+		}
+	}
+
+	s := lra.NewSimplex()
+	// Angle variables (reference pinned to 0).
+	theta := make([]int, sys.Buses+1)
+	for j := 1; j <= sys.Buses; j++ {
+		theta[j] = s.NewVar()
+	}
+	s.AssertLower(theta[c.RefBus], numeric.Delta{}, lra.NoTag)
+	s.AssertUpper(theta[c.RefBus], numeric.Delta{}, lra.NoTag)
+
+	// Generator variables with box bounds.
+	gen := make([]int, len(c.Gens))
+	for i, g := range c.Gens {
+		gen[i] = s.NewVar()
+		s.AssertLower(gen[i], numeric.DeltaFromRat(rat(g.MinP)), lra.NoTag)
+		s.AssertUpper(gen[i], numeric.DeltaFromRat(rat(g.MaxP)), lra.NoTag)
+	}
+
+	// Line flows as slack definitions, optionally bounded.
+	flow := make([]int, sys.NumLines()+1)
+	for _, ln := range sys.Lines {
+		y := rat(ln.Admittance)
+		sv, err := s.DefineSlack([]lra.Term{
+			{Var: theta[ln.From], Coeff: y},
+			{Var: theta[ln.To], Coeff: new(big.Rat).Neg(y)},
+		})
+		if err != nil {
+			return nil, fmt.Errorf("dcopf: flow slack: %w", err)
+		}
+		flow[ln.ID] = sv
+		if c.LineLimit != nil && c.LineLimit[ln.ID] > 0 {
+			lim := rat(c.LineLimit[ln.ID])
+			s.AssertUpper(sv, numeric.DeltaFromRat(lim), lra.NoTag)
+			s.AssertLower(sv, numeric.DeltaFromRat(new(big.Rat).Neg(lim)), lra.NoTag)
+		}
+	}
+
+	// Bus balance: Σ gen_at_bus − load_j = Σ outflows − Σ inflows.
+	for j := 1; j <= sys.Buses; j++ {
+		terms := []lra.Term{}
+		for i, g := range c.Gens {
+			if g.Bus == j {
+				terms = append(terms, lra.Term{Var: gen[i], Coeff: big.NewRat(1, 1)})
+			}
+		}
+		for _, id := range sys.OutLines(j) {
+			terms = append(terms, lra.Term{Var: flow[id], Coeff: big.NewRat(-1, 1)})
+		}
+		for _, id := range sys.InLines(j) {
+			terms = append(terms, lra.Term{Var: flow[id], Coeff: big.NewRat(1, 1)})
+		}
+		if len(terms) == 0 {
+			// Isolated unloaded bus: balance trivially if load is zero.
+			if c.Load[j] != 0 {
+				return nil, ErrInfeasible
+			}
+			continue
+		}
+		sv, err := s.DefineSlack(terms)
+		if err != nil {
+			return nil, fmt.Errorf("dcopf: balance slack: %w", err)
+		}
+		load := numeric.DeltaFromRat(rat(c.Load[j]))
+		if conflict := s.AssertLower(sv, load, lra.NoTag); conflict != nil {
+			return nil, ErrInfeasible
+		}
+		if conflict := s.AssertUpper(sv, load, lra.NoTag); conflict != nil {
+			return nil, ErrInfeasible
+		}
+	}
+
+	// Minimize total cost ⇔ maximize its negation.
+	obj := make([]lra.Term, len(c.Gens))
+	for i, g := range c.Gens {
+		obj[i] = lra.Term{Var: gen[i], Coeff: new(big.Rat).Neg(rat(g.Cost))}
+	}
+	opt, err := s.Maximize(obj)
+	switch {
+	case errors.Is(err, lra.ErrInfeasible):
+		return nil, ErrInfeasible
+	case errors.Is(err, lra.ErrUnbounded):
+		// Impossible with box-bounded generators; defend anyway.
+		return nil, fmt.Errorf("dcopf: unbounded objective")
+	case err != nil:
+		return nil, err
+	}
+
+	model := s.Model()
+	out := &Dispatch{
+		Gen:    make([]float64, len(c.Gens)),
+		Flows:  make([]float64, sys.NumLines()+1),
+		Angles: make([]float64, sys.Buses+1),
+	}
+	for i := range c.Gens {
+		out.Gen[i], _ = model[gen[i]].Float64()
+	}
+	for _, ln := range sys.Lines {
+		out.Flows[ln.ID], _ = model[flow[ln.ID]].Float64()
+	}
+	for j := 1; j <= sys.Buses; j++ {
+		out.Angles[j], _ = model[theta[j]].Float64()
+	}
+	cost, _ := new(big.Rat).Neg(opt.Rat()).Float64()
+	out.Cost = cost
+	return out, nil
+}

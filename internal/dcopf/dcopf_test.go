@@ -1,0 +1,206 @@
+package dcopf
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"segrid/internal/grid"
+)
+
+// threeBusSystem: 1—2—3 chain plus 1—3, all admittance 10.
+func threeBusSystem(t *testing.T) *grid.System {
+	t.Helper()
+	sys, err := grid.NewSystem("tri", 3, []grid.Line{
+		{ID: 1, From: 1, To: 2, Admittance: 10},
+		{ID: 2, From: 2, To: 3, Admittance: 10},
+		{ID: 3, From: 1, To: 3, Admittance: 10},
+	})
+	if err != nil {
+		t.Fatalf("NewSystem: %v", err)
+	}
+	return sys
+}
+
+func TestCheapGeneratorWins(t *testing.T) {
+	sys := threeBusSystem(t)
+	c := &Case{
+		Sys: sys,
+		Gens: []Generator{
+			{Bus: 1, MinP: 0, MaxP: 2, Cost: 10},
+			{Bus: 2, MinP: 0, MaxP: 2, Cost: 30},
+		},
+		Load:   []float64{0, 0, 0, 1.0},
+		RefBus: 1,
+	}
+	d, err := c.Solve()
+	if err != nil {
+		t.Fatalf("Solve: %v", err)
+	}
+	if math.Abs(d.Gen[0]-1.0) > 1e-7 || math.Abs(d.Gen[1]) > 1e-7 {
+		t.Fatalf("dispatch %v, want cheap unit serving everything", d.Gen)
+	}
+	if math.Abs(d.Cost-10.0) > 1e-6 {
+		t.Fatalf("cost %v, want 10", d.Cost)
+	}
+	// Flows balance the load at bus 3.
+	into3 := d.Flows[2] + d.Flows[3]
+	if math.Abs(into3-1.0) > 1e-7 {
+		t.Fatalf("inflow to bus 3 = %v, want 1", into3)
+	}
+}
+
+func TestLineLimitForcesExpensiveUnit(t *testing.T) {
+	sys := threeBusSystem(t)
+	limits := []float64{0, 0.3, 0.3, 0.3} // every line capped at 0.3
+	c := &Case{
+		Sys: sys,
+		Gens: []Generator{
+			{Bus: 1, MinP: 0, MaxP: 2, Cost: 10},
+			{Bus: 3, MinP: 0, MaxP: 2, Cost: 50},
+		},
+		Load:      []float64{0, 0, 0, 1.0},
+		LineLimit: limits,
+		RefBus:    1,
+	}
+	d, err := c.Solve()
+	if err != nil {
+		t.Fatalf("Solve: %v", err)
+	}
+	// Bus 1 can deliver at most what the network carries into bus 3; the
+	// local (expensive) unit covers the rest, so its output is positive.
+	if d.Gen[1] <= 0.01 {
+		t.Fatalf("expensive local unit idle (%v) despite congestion", d.Gen[1])
+	}
+	if d.Cost <= 10.0 {
+		t.Fatalf("cost %v does not reflect congestion", d.Cost)
+	}
+	for id := 1; id <= sys.NumLines(); id++ {
+		if math.Abs(d.Flows[id]) > 0.3+1e-7 {
+			t.Fatalf("line %d flow %v exceeds limit", id, d.Flows[id])
+		}
+	}
+}
+
+func TestInfeasibleWhenLoadExceedsCapacity(t *testing.T) {
+	sys := threeBusSystem(t)
+	c := &Case{
+		Sys:    sys,
+		Gens:   []Generator{{Bus: 1, MinP: 0, MaxP: 0.5, Cost: 10}},
+		Load:   []float64{0, 0, 0, 1.0},
+		RefBus: 1,
+	}
+	if _, err := c.Solve(); !errors.Is(err, ErrInfeasible) {
+		t.Fatalf("err = %v, want ErrInfeasible", err)
+	}
+}
+
+func TestValidation(t *testing.T) {
+	sys := threeBusSystem(t)
+	good := func() *Case {
+		return &Case{
+			Sys:    sys,
+			Gens:   []Generator{{Bus: 1, MinP: 0, MaxP: 1, Cost: 1}},
+			Load:   []float64{0, 0, 0, 0.1},
+			RefBus: 1,
+		}
+	}
+	tests := []struct {
+		name string
+		mut  func(*Case)
+	}{
+		{"nil sys", func(c *Case) { c.Sys = nil }},
+		{"bad load len", func(c *Case) { c.Load = []float64{0} }},
+		{"bad limit len", func(c *Case) { c.LineLimit = []float64{0} }},
+		{"bad ref", func(c *Case) { c.RefBus = 9 }},
+		{"no gens", func(c *Case) { c.Gens = nil }},
+		{"bad gen bus", func(c *Case) { c.Gens[0].Bus = 9 }},
+		{"inverted limits", func(c *Case) { c.Gens[0].MinP = 2 }},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			c := good()
+			tc.mut(c)
+			if _, err := c.Solve(); err == nil {
+				t.Fatalf("invalid case accepted")
+			}
+		})
+	}
+}
+
+func TestIEEE14EconomicDispatch(t *testing.T) {
+	sys := grid.IEEE14()
+	load := make([]float64, sys.Buses+1)
+	total := 0.0
+	for j := 2; j <= sys.Buses; j++ {
+		load[j] = 0.08
+		total += load[j]
+	}
+	c := &Case{
+		Sys: sys,
+		Gens: []Generator{
+			{Bus: 1, MinP: 0, MaxP: 1.0, Cost: 20},
+			{Bus: 2, MinP: 0, MaxP: 0.6, Cost: 25},
+			{Bus: 6, MinP: 0, MaxP: 0.6, Cost: 40},
+		},
+		Load:   load,
+		RefBus: 1,
+	}
+	d, err := c.Solve()
+	if err != nil {
+		t.Fatalf("Solve: %v", err)
+	}
+	sum := d.Gen[0] + d.Gen[1] + d.Gen[2]
+	if math.Abs(sum-total) > 1e-6 {
+		t.Fatalf("generation %v, load %v", sum, total)
+	}
+	// Merit order: the cheapest unit is at its limit before the priciest
+	// runs.
+	if d.Gen[2] > 1e-7 && d.Gen[0] < 1.0-1e-7 {
+		t.Fatalf("merit order violated: %v", d.Gen)
+	}
+}
+
+// TestAttackImpactOnDispatch quantifies the paper's motivation: an
+// undetected attack corrupts the load estimates the operator dispatches
+// against, and the phantom loads carry a real cost delta.
+func TestAttackImpactOnDispatch(t *testing.T) {
+	sys := grid.IEEE14()
+	load := make([]float64, sys.Buses+1)
+	for j := 2; j <= sys.Buses; j++ {
+		load[j] = 0.07
+	}
+	gens := []Generator{
+		{Bus: 1, MinP: 0, MaxP: 1.2, Cost: 20},
+		{Bus: 3, MinP: 0, MaxP: 0.8, Cost: 35},
+	}
+	base := &Case{Sys: sys, Gens: gens, Load: load, RefBus: 1}
+	honest, err := base.Solve()
+	if err != nil {
+		t.Fatalf("Solve(honest): %v", err)
+	}
+
+	// The attacker shifts the load estimate: +0.2 p.u. at bus 12 appears,
+	// −0.2 disappears at bus 2 (a load-redistribution attack consistent
+	// with some stealthy state corruption).
+	corrupted := append([]float64(nil), load...)
+	corrupted[12] += 0.2
+	corrupted[2] -= 0.2
+	fooled := &Case{Sys: sys, Gens: gens, Load: corrupted, RefBus: 1}
+	poisoned, err := fooled.Solve()
+	if err != nil {
+		t.Fatalf("Solve(poisoned): %v", err)
+	}
+	if math.Abs(poisoned.Cost-honest.Cost) < 1e-9 {
+		t.Logf("costs equal (%v); acceptable when no congestion differentiates buses", honest.Cost)
+	}
+	// The dispatched flows differ: the operator now routes power toward
+	// the phantom load.
+	diff := 0.0
+	for id := 1; id <= sys.NumLines(); id++ {
+		diff += math.Abs(poisoned.Flows[id] - honest.Flows[id])
+	}
+	if diff < 0.05 {
+		t.Fatalf("attack barely moved the dispatch (Σ|Δflow| = %v)", diff)
+	}
+}

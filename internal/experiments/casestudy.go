@@ -1,0 +1,131 @@
+package experiments
+
+import (
+	"errors"
+	"fmt"
+
+	"segrid/internal/core"
+	"segrid/internal/synth"
+)
+
+// CaseStudyAttacks reruns the paper's Section III-I case study (IEEE
+// 14-bus) and prints each objective's outcome.
+func CaseStudyAttacks(cfg Config) error {
+	fmt.Fprintln(cfg.Out, "Case study (Section III-I), IEEE 14-bus")
+
+	// Objective 1: attack states 9 and 10.
+	obj1 := func(cz, cb int, distinct bool) (*core.Result, error) {
+		sc := core.NewScenario(core.CaseStudyMeasurements(true).System())
+		sc.Meas = core.CaseStudyMeasurements(true)
+		sc.Knowledge = core.CaseStudyKnowledge()
+		sc.TargetStates = []int{9, 10}
+		sc.MaxAlteredMeasurements = cz
+		sc.MaxCompromisedBuses = cb
+		if distinct {
+			sc.DistinctPairs = [][2]int{{9, 10}}
+		}
+		return core.Verify(sc)
+	}
+	for _, run := range []struct {
+		label    string
+		cz, cb   int
+		distinct bool
+	}{
+		{"objective 1, distinct amounts, T_CZ=16 T_CB=7", 16, 7, true},
+		{"objective 1, distinct amounts, T_CZ=16 T_CB=6", 16, 6, true},
+		{"objective 1, equal amounts,    T_CZ=15 T_CB=6", 15, 6, false},
+	} {
+		res, err := obj1(run.cz, run.cb, run.distinct)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(cfg.Out, "  %s → %s", run.label, verdict(res.Feasible))
+		if res.Feasible {
+			fmt.Fprintf(cfg.Out, "; measurements %v buses %v", res.AlteredMeasurements, res.CompromisedBuses)
+		}
+		fmt.Fprintln(cfg.Out)
+	}
+
+	// Objective 2: attack state 12 alone.
+	obj2 := func(secure46, topo bool) (*core.Result, error) {
+		sc := core.NewScenario(core.CaseStudyMeasurements(false).System())
+		sc.Meas = core.CaseStudyMeasurements(false)
+		if secure46 {
+			if err := sc.Meas.Secure(46); err != nil {
+				return nil, err
+			}
+		}
+		sc.TargetStates = []int{12}
+		sc.OnlyTargets = true
+		if topo {
+			sc.AllowExclusion = true
+			sc.AllowInclusion = true
+			sc.InService, sc.FixedLines, sc.SecuredStatus = core.CaseStudyTopology()
+		}
+		return core.Verify(sc)
+	}
+	for _, run := range []struct {
+		label            string
+		secure46, topo   bool
+		expectedFeasible bool
+	}{
+		{"objective 2, state 12 only", false, false, true},
+		{"objective 2, measurement 46 secured", true, false, false},
+		{"objective 2, 46 secured + topology poisoning", true, true, true},
+	} {
+		res, err := obj2(run.secure46, run.topo)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(cfg.Out, "  %s → %s", run.label, verdict(res.Feasible))
+		if res.Feasible {
+			fmt.Fprintf(cfg.Out, "; measurements %v", res.AlteredMeasurements)
+			if len(res.ExcludedLines) > 0 {
+				fmt.Fprintf(cfg.Out, " excluded lines %v", res.ExcludedLines)
+			}
+		}
+		fmt.Fprintln(cfg.Out)
+		if res.Feasible != run.expectedFeasible {
+			return fmt.Errorf("case study %q: got %v, paper says %v",
+				run.label, res.Feasible, run.expectedFeasible)
+		}
+	}
+	return nil
+}
+
+// CaseStudySynthesis reruns the paper's Section IV-E synthesis scenarios.
+func CaseStudySynthesis(cfg Config) error {
+	fmt.Fprintln(cfg.Out, "Synthesis case study (Section IV-E), IEEE 14-bus")
+	for _, run := range []struct {
+		scenario int
+		budget   int
+		expect   bool // architecture exists
+	}{
+		{1, 4, true},
+		{2, 4, false},
+		{2, 5, true},
+		{3, 5, false},
+		{3, 6, true},
+	} {
+		req, err := synth.CaseStudyRequirements(run.scenario, run.budget)
+		if err != nil {
+			return err
+		}
+		arch, err := synth.Synthesize(req)
+		switch {
+		case err == nil && run.expect:
+			fmt.Fprintf(cfg.Out, "  scenario %d, %d buses → architecture %v (%d iterations, %s)\n",
+				run.scenario, run.budget, arch.SecuredBuses, arch.Iterations,
+				arch.Duration().Round(1e6))
+		case errors.Is(err, synth.ErrNoArchitecture) && !run.expect:
+			fmt.Fprintf(cfg.Out, "  scenario %d, %d buses → no architecture (matches paper)\n",
+				run.scenario, run.budget)
+		case err != nil:
+			return fmt.Errorf("scenario %d budget %d: %w", run.scenario, run.budget, err)
+		default:
+			return fmt.Errorf("scenario %d budget %d: architecture %v found, paper says none",
+				run.scenario, run.budget, arch.SecuredBuses)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,102 @@
+package experiments
+
+import (
+	"fmt"
+
+	"segrid/internal/acflow"
+	"segrid/internal/acse"
+	"segrid/internal/core"
+	"segrid/internal/grid"
+)
+
+// ACTransferRow is one point of the DC-attack-vs-AC-estimator curve.
+type ACTransferRow struct {
+	// MaxShift is the worst-case state corruption magnitude (rad).
+	MaxShift float64
+	// J is the AC estimator's residual statistic; Tau the χ² threshold.
+	J, Tau   float64
+	Detected bool
+}
+
+// ACTransfer runs the repository's extension experiment: a DC-crafted
+// stealthy attack is injected into AC measurements at increasing
+// magnitudes; the residual grows with the linearization error until the
+// detector fires. (Not part of the paper's evaluation; see EXPERIMENTS.md
+// "Extension experiments".)
+func ACTransfer(cfg Config) ([]ACTransferRow, error) {
+	fmt.Fprintln(cfg.Out, "Extension: DC-crafted attack vs AC estimator (IEEE 14-bus lift)")
+	fmt.Fprintf(cfg.Out, "%-12s %14s %10s %10s\n", "max |Δθ|", "J", "τ", "detected")
+
+	sys := grid.IEEE14()
+	n, err := acflow.FromDC(sys, 0.1, 0.0)
+	if err != nil {
+		return nil, err
+	}
+	p := make([]float64, n.Buses+1)
+	q := make([]float64, n.Buses+1)
+	for j := 2; j <= n.Buses; j++ {
+		p[j] = -(0.04 + 0.01*float64(j%6))
+		q[j] = -0.015
+	}
+	st, err := n.Solve(acflow.FlowCase{Slack: 1, SlackV: 1.02, P: p, Q: q})
+	if err != nil {
+		return nil, err
+	}
+	ms := acse.FullMeasurementSet(n)
+	clean, err := acse.MeasureAll(n, st, ms)
+	if err != nil {
+		return nil, err
+	}
+	est, err := acse.NewEstimator(n, ms, 1, 0.002)
+	if err != nil {
+		return nil, err
+	}
+	det, err := acse.NewDetector(est, 0.05)
+	if err != nil {
+		return nil, err
+	}
+
+	sc := core.NewScenario(sys)
+	sc.TargetStates = []int{12}
+	res, err := core.Verify(sc)
+	if err != nil {
+		return nil, err
+	}
+	if !res.Feasible {
+		return nil, fmt.Errorf("extension: DC attack infeasible")
+	}
+	base, err := core.FloatMeasurementDeltas(sc, res)
+	if err != nil {
+		return nil, err
+	}
+	unit := res.StateChangeFloat(12)
+	if unit < 0 {
+		unit = -unit
+	}
+
+	l := sys.NumLines()
+	var rows []ACTransferRow
+	for _, mag := range []float64{0.005, 0.01, 0.02, 0.05, 0.1, 0.2} {
+		scale := mag / unit
+		z := append([]float64(nil), clean...)
+		for i, m := range ms {
+			switch m.Kind {
+			case acse.MeasPFlowFrom:
+				z[i] += scale * base[m.Ref]
+			case acse.MeasPFlowTo:
+				z[i] += scale * base[l+m.Ref]
+			case acse.MeasPInj:
+				z[i] -= scale * base[2*l+m.Ref]
+			}
+		}
+		sol, err := est.Estimate(z)
+		if err != nil {
+			fmt.Fprintf(cfg.Out, "%-12.3f %14s\n", mag, "diverged")
+			continue
+		}
+		row := ACTransferRow{MaxShift: mag, J: sol.J, Tau: det.Threshold(), Detected: det.BadDataDetected(sol)}
+		rows = append(rows, row)
+		fmt.Fprintf(cfg.Out, "%-12.3f %14.2f %10.1f %10v\n", mag, row.J, row.Tau, row.Detected)
+	}
+	return rows, nil
+}

@@ -1,0 +1,292 @@
+// Package integration replays attack vectors produced by the formal model
+// (internal/core) against the real WLS estimator and bad data detector
+// (internal/se), closing the loop the paper's threat model asserts: vectors
+// the model calls feasible are genuinely stealthy, and the residual test
+// that catches gross errors stays silent.
+package integration
+
+import (
+	"math"
+	"testing"
+
+	"segrid/internal/core"
+	"segrid/internal/dcflow"
+	"segrid/internal/grid"
+	"segrid/internal/se"
+	"segrid/internal/stat"
+)
+
+// baseCase sets up a plausible operating point on the given system.
+func baseCase(t *testing.T, sys *grid.System) []float64 {
+	t.Helper()
+	cons := make([]float64, sys.Buses+1)
+	total := 0.0
+	for j := 2; j <= sys.Buses; j++ {
+		load := 0.1 + 0.02*float64(j%7)
+		cons[j] = load
+		total += load
+	}
+	cons[1] = -total
+	angles, err := dcflow.SolveFlow(sys, cons, 1)
+	if err != nil {
+		t.Fatalf("SolveFlow: %v", err)
+	}
+	return angles
+}
+
+// supportOfTaken returns the taken-measurement IDs whose delta is nonzero.
+func supportOfTaken(meas *grid.MeasurementConfig, deltas []float64, tol float64) []int {
+	var out []int
+	for id := 1; id < len(deltas); id++ {
+		if meas.Taken[id] && math.Abs(deltas[id]) > tol {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+func equalInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// runStealthCheck verifies a non-topology attack end to end.
+func runStealthCheck(t *testing.T, sc *core.Scenario, res *core.Result, noisy bool) {
+	t.Helper()
+	sys := sc.System()
+	angles := baseCase(t, sys)
+	z, err := dcflow.MeasureAll(sys, nil, angles)
+	if err != nil {
+		t.Fatalf("MeasureAll: %v", err)
+	}
+	const sigma = 0.01
+	if noisy {
+		sampler := stat.NewNormalSampler(11)
+		for id := 1; id < len(z); id++ {
+			z[id] += sampler.Sample(0, sigma)
+		}
+	}
+	est, err := se.NewEstimator(sc.Meas, se.Config{RefBus: sc.RefBus, Sigma: sigma})
+	if err != nil {
+		t.Fatalf("NewEstimator: %v", err)
+	}
+	det, err := se.NewDetector(est, 0.05)
+	if err != nil {
+		t.Fatalf("NewDetector: %v", err)
+	}
+	before, err := est.Estimate(z)
+	if err != nil {
+		t.Fatalf("Estimate(before): %v", err)
+	}
+	if det.BadDataDetected(before) {
+		t.Fatalf("clean measurements flagged as bad data")
+	}
+
+	deltas, err := core.FloatMeasurementDeltas(sc, res)
+	if err != nil {
+		t.Fatalf("FloatMeasurementDeltas: %v", err)
+	}
+	// Invariant: the support of the exact deltas on taken measurements is
+	// the model's attack vector.
+	support := supportOfTaken(sc.Meas, deltas, 1e-12)
+	if !equalInts(support, res.AlteredMeasurements) {
+		t.Fatalf("delta support %v != model attack vector %v", support, res.AlteredMeasurements)
+	}
+
+	attacked := make([]float64, len(z))
+	copy(attacked, z)
+	for id := 1; id < len(z); id++ {
+		attacked[id] += deltas[id]
+	}
+	after, err := est.Estimate(attacked)
+	if err != nil {
+		t.Fatalf("Estimate(after): %v", err)
+	}
+	if det.BadDataDetected(after) {
+		t.Fatalf("attack detected: J=%v > τ=%v", after.J, det.Threshold())
+	}
+	if math.Abs(after.J-before.J) > 1e-6*(1+before.J) {
+		t.Fatalf("residual changed: %v → %v; attack not stealthy", before.J, after.J)
+	}
+	// The estimate must actually be corrupted by the model's Δθ.
+	for bus, change := range res.StateChanges {
+		want, _ := change.Float64()
+		got := after.Angles[bus] - before.Angles[bus]
+		if math.Abs(got-want) > 1e-6*(1+math.Abs(want)) {
+			t.Fatalf("bus %d estimate shifted by %v, want %v", bus, got, want)
+		}
+	}
+}
+
+func TestObjective2AttackIsStealthy(t *testing.T) {
+	sc := core.NewScenario(grid.IEEE14())
+	sc.Meas = core.CaseStudyMeasurements(false)
+	sc.TargetStates = []int{12}
+	sc.OnlyTargets = true
+	res, err := core.Verify(sc)
+	if err != nil {
+		t.Fatalf("Verify: %v", err)
+	}
+	if !res.Feasible {
+		t.Fatalf("objective 2 infeasible")
+	}
+	runStealthCheck(t, sc, res, false)
+	runStealthCheck(t, sc, res, true)
+}
+
+func TestObjective1AttacksAreStealthy(t *testing.T) {
+	for _, distinct := range []bool{true, false} {
+		sc := core.NewScenario(grid.IEEE14())
+		sc.Meas = core.CaseStudyMeasurements(true)
+		sc.Knowledge = core.CaseStudyKnowledge()
+		sc.TargetStates = []int{9, 10}
+		if distinct {
+			sc.MaxAlteredMeasurements = 16
+			sc.MaxCompromisedBuses = 7
+			sc.DistinctPairs = [][2]int{{9, 10}}
+		} else {
+			sc.MaxAlteredMeasurements = 15
+			sc.MaxCompromisedBuses = 6
+		}
+		res, err := core.Verify(sc)
+		if err != nil {
+			t.Fatalf("Verify: %v", err)
+		}
+		if !res.Feasible {
+			t.Fatalf("objective 1 (distinct=%v) infeasible", distinct)
+		}
+		runStealthCheck(t, sc, res, true)
+	}
+}
+
+func TestRandomTargetAttacksAreStealthy(t *testing.T) {
+	// Across systems and target choices, every feasible vector must pass
+	// the end-to-end stealth check.
+	for _, name := range []string{"ieee14", "ieee30"} {
+		sys, err := grid.Case(name)
+		if err != nil {
+			t.Fatalf("Case: %v", err)
+		}
+		for _, target := range []int{2, sys.Buses / 2, sys.Buses} {
+			if target == 1 {
+				continue
+			}
+			sc := core.NewScenario(sys)
+			sc.TargetStates = []int{target}
+			res, err := core.Verify(sc)
+			if err != nil {
+				t.Fatalf("Verify: %v", err)
+			}
+			if !res.Feasible {
+				t.Fatalf("%s target %d infeasible without constraints", name, target)
+			}
+			runStealthCheck(t, sc, res, false)
+		}
+	}
+}
+
+// TestTopologyPoisoningStealthy replays the paper's Objective 2 topology
+// attack with a base-case-consistent magnitude: the attacker excludes line
+// 13 and scales Δθ12 so bus 6's injection (the secured measurement 46)
+// stays untouched. The estimator, fed the poisoned topology, must see no
+// bad data while its state estimate for bus 12 is corrupted.
+func TestTopologyPoisoningStealthy(t *testing.T) {
+	sys := grid.IEEE14()
+	meas := core.CaseStudyMeasurements(false)
+	if err := meas.Secure(46); err != nil {
+		t.Fatalf("Secure: %v", err)
+	}
+	angles := baseCase(t, sys)
+	z, err := dcflow.MeasureAll(sys, nil, angles)
+	if err != nil {
+		t.Fatalf("MeasureAll: %v", err)
+	}
+
+	// Pre-attack estimator on the true topology: clean.
+	const sigma = 0.01
+	estTrue, err := se.NewEstimator(meas, se.Config{RefBus: 1, Sigma: sigma})
+	if err != nil {
+		t.Fatalf("NewEstimator(true): %v", err)
+	}
+	detTrue, err := se.NewDetector(estTrue, 0.05)
+	if err != nil {
+		t.Fatalf("NewDetector: %v", err)
+	}
+	before, err := estTrue.Estimate(z)
+	if err != nil {
+		t.Fatalf("Estimate(before): %v", err)
+	}
+	if detTrue.BadDataDetected(before) {
+		t.Fatalf("clean measurements flagged")
+	}
+
+	// The attack: poison topology to exclude line 13 and choose
+	// Δθ12 = PL0_13 / Y12 so that bus 6's consumption reading stays exact:
+	// ΔPB_6 = −Y12·Δθ12·(−1) ... with paper conventions the line-12 flow
+	// delta (−Y12·Δθ12, line 12 leaves bus 6) and the vanished line-13
+	// flow (−PL0_13 leaving bus 6) must cancel.
+	y12 := sys.Line(12).Admittance
+	y13 := sys.Line(13).Admittance
+	pl013 := y13 * (angles[6] - angles[13])
+	dtheta12 := -pl013 / y12
+
+	mapped := dcflow.AllMapped(sys)
+	mapped[13] = false
+	attackedAngles := make([]float64, len(angles))
+	copy(attackedAngles, angles)
+	attackedAngles[12] += dtheta12
+
+	// The attacker rewrites every taken measurement to be consistent with
+	// the poisoned topology and corrupted state.
+	zWant, err := dcflow.MeasureAll(sys, mapped, attackedAngles)
+	if err != nil {
+		t.Fatalf("MeasureAll(poisoned): %v", err)
+	}
+	attacked := make([]float64, len(z))
+	copy(attacked, z)
+	var altered []int
+	for id := 1; id < len(z); id++ {
+		if !meas.Taken[id] {
+			continue
+		}
+		if math.Abs(zWant[id]-z[id]) > 1e-9 {
+			attacked[id] = zWant[id]
+			altered = append(altered, id)
+		}
+	}
+	// The altered set matches the paper's topology-poisoning vector; in
+	// particular the secured measurement 46 is untouched.
+	want := []int{12, 13, 32, 33, 39, 53}
+	if !equalInts(altered, want) {
+		t.Fatalf("altered = %v, want %v", altered, want)
+	}
+
+	// The estimator — believing the poisoned topology — sees no bad data
+	// and reports the corrupted state.
+	estPoisoned, err := se.NewEstimator(meas, se.Config{RefBus: 1, Sigma: sigma, Mapped: mapped})
+	if err != nil {
+		t.Fatalf("NewEstimator(poisoned): %v", err)
+	}
+	detPoisoned, err := se.NewDetector(estPoisoned, 0.05)
+	if err != nil {
+		t.Fatalf("NewDetector: %v", err)
+	}
+	after, err := estPoisoned.Estimate(attacked)
+	if err != nil {
+		t.Fatalf("Estimate(after): %v", err)
+	}
+	if detPoisoned.BadDataDetected(after) {
+		t.Fatalf("topology-poisoning attack detected: J=%v τ=%v", after.J, detPoisoned.Threshold())
+	}
+	if math.Abs(after.Angles[12]-before.Angles[12]-dtheta12) > 1e-6 {
+		t.Fatalf("bus 12 estimate shifted by %v, want %v",
+			after.Angles[12]-before.Angles[12], dtheta12)
+	}
+}

@@ -1,0 +1,185 @@
+package lra
+
+import (
+	"errors"
+	"math/big"
+	"sort"
+
+	"segrid/internal/numeric"
+)
+
+// ErrInfeasible is returned by Maximize when the current bounds are
+// infeasible (Check would fail).
+var ErrInfeasible = errors.New("lra: infeasible")
+
+// ErrUnbounded is returned by Maximize when the objective can grow without
+// limit over the feasible region.
+var ErrUnbounded = errors.New("lra: objective unbounded")
+
+// Maximize drives the current feasible assignment to one maximizing the
+// linear objective Σ coeff·var, using bounded-variable simplex with
+// Bland's rule. The assignment (and therefore Model) is left at the
+// optimum. Bounds are not modified.
+func (s *Simplex) Maximize(obj []Term) (numeric.Delta, error) {
+	if conflict := s.Check(); conflict != nil {
+		return numeric.Delta{}, ErrInfeasible
+	}
+	for {
+		improved, err := s.improveStep(obj)
+		if err != nil {
+			return numeric.Delta{}, err
+		}
+		if !improved {
+			break
+		}
+	}
+	return s.objectiveValue(obj), nil
+}
+
+// objectiveValue evaluates the objective at the current assignment.
+func (s *Simplex) objectiveValue(obj []Term) numeric.Delta {
+	val := numeric.Delta{}
+	for _, t := range obj {
+		val = val.Add(s.beta[t.Var].MulRat(t.Coeff))
+	}
+	return val
+}
+
+// reducedCosts expresses the objective over nonbasic variables by
+// substituting basic variables with their defining rows.
+func (s *Simplex) reducedCosts(obj []Term) map[int]*big.Rat {
+	costs := make(map[int]*big.Rat)
+	add := func(v int, c *big.Rat) {
+		if old, ok := costs[v]; ok {
+			sum := new(big.Rat).Add(old, c)
+			if sum.Sign() == 0 {
+				delete(costs, v)
+			} else {
+				costs[v] = sum
+			}
+		} else if c.Sign() != 0 {
+			costs[v] = new(big.Rat).Set(c)
+		}
+	}
+	for _, t := range obj {
+		if row, ok := s.rows[t.Var]; ok {
+			for v, c := range row {
+				add(v, new(big.Rat).Mul(t.Coeff, c))
+			}
+		} else {
+			add(t.Var, t.Coeff)
+		}
+	}
+	return costs
+}
+
+// improveStep performs one simplex improvement iteration; it reports
+// whether the objective strictly improved or a (possibly degenerate) pivot
+// was taken, returning false at optimality.
+func (s *Simplex) improveStep(obj []Term) (bool, error) {
+	costs := s.reducedCosts(obj)
+	// Bland's rule: smallest-index eligible entering variable.
+	vars := make([]int, 0, len(costs))
+	for v := range costs {
+		vars = append(vars, v)
+	}
+	sort.Ints(vars)
+	for _, j := range vars {
+		c := costs[j]
+		increase := c.Sign() > 0
+		if increase && !s.canIncrease(j) {
+			continue
+		}
+		if !increase && !s.canDecrease(j) {
+			continue
+		}
+		return s.moveAlong(j, increase)
+	}
+	return false, nil
+}
+
+// moveAlong moves nonbasic variable j in the improving direction as far as
+// its own bound or the first blocking basic variable allows.
+func (s *Simplex) moveAlong(j int, increase bool) (bool, error) {
+	// Maximum step from j's own bound.
+	var selfLimit *numeric.Delta
+	if increase {
+		if s.upper[j].has {
+			d := s.upper[j].val.Sub(s.beta[j])
+			selfLimit = &d
+		}
+	} else {
+		if s.lower[j].has {
+			d := s.beta[j].Sub(s.lower[j].val)
+			selfLimit = &d
+		}
+	}
+
+	// Blocking basic variables: β_B moves by a_Bj·Δ (Δ signed).
+	type blocker struct {
+		basic  int
+		limit  numeric.Delta // max |Δ| allowed
+		target numeric.Delta // bound β_B hits
+	}
+	var best *blocker
+	users := make([]int, 0, len(s.colUse[j]))
+	for b := range s.colUse[j] {
+		users = append(users, b)
+	}
+	sort.Ints(users)
+	for _, b := range users {
+		row, ok := s.rows[b]
+		if !ok {
+			continue
+		}
+		a, ok := row[j]
+		if !ok || a.Sign() == 0 {
+			continue
+		}
+		// Effective direction of β_B: sign(a) if increasing j, −sign(a)
+		// otherwise.
+		up := (a.Sign() > 0) == increase
+		var gap numeric.Delta
+		var target numeric.Delta
+		if up {
+			if !s.upper[b].has {
+				continue
+			}
+			gap = s.upper[b].val.Sub(s.beta[b])
+			target = s.upper[b].val
+		} else {
+			if !s.lower[b].has {
+				continue
+			}
+			gap = s.beta[b].Sub(s.lower[b].val)
+			target = s.lower[b].val
+		}
+		absA := new(big.Rat).Abs(a)
+		limit := gap.MulRat(new(big.Rat).Inv(absA))
+		if best == nil || limit.Cmp(best.limit) < 0 {
+			best = &blocker{basic: b, limit: limit, target: target}
+		}
+	}
+
+	// Choose the binding constraint.
+	if selfLimit != nil && (best == nil || selfLimit.Cmp(best.limit) <= 0) {
+		if selfLimit.IsZero() {
+			return false, nil // already at the bound; no improvement possible here
+		}
+		var target numeric.Delta
+		if increase {
+			target = s.upper[j].val
+		} else {
+			target = s.lower[j].val
+		}
+		s.update(j, target)
+		return true, nil
+	}
+	if best == nil {
+		return false, ErrUnbounded
+	}
+	// Pivot the blocking basic out; j enters at the value that puts the
+	// basic variable exactly on its bound (possibly a degenerate step).
+	s.pivotAndUpdate(best.basic, j, best.target)
+	return true, nil
+}

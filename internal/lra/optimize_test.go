@@ -1,0 +1,245 @@
+package lra
+
+import (
+	"errors"
+	"math/big"
+	"math/rand"
+	"testing"
+)
+
+func TestMaximizeBox(t *testing.T) {
+	// max x + 2y s.t. 0 ≤ x ≤ 3, 0 ≤ y ≤ 4 → 11 at (3,4).
+	s := NewSimplex()
+	x, y := s.NewVar(), s.NewVar()
+	s.AssertLower(x, dl(0), 1)
+	s.AssertUpper(x, dl(3), 2)
+	s.AssertLower(y, dl(0), 3)
+	s.AssertUpper(y, dl(4), 4)
+	opt, err := s.Maximize([]Term{{x, rat(1, 1)}, {y, rat(2, 1)}})
+	if err != nil {
+		t.Fatalf("Maximize: %v", err)
+	}
+	if opt.Rat().Cmp(rat(11, 1)) != 0 {
+		t.Fatalf("optimum = %v, want 11", opt)
+	}
+	m := s.Model()
+	if m[x].Cmp(rat(3, 1)) != 0 || m[y].Cmp(rat(4, 1)) != 0 {
+		t.Fatalf("optimizer at (%v,%v), want (3,4)", m[x], m[y])
+	}
+}
+
+func TestMaximizeWithCoupling(t *testing.T) {
+	// max x + y s.t. x + 2y ≤ 6, x ≤ 4, x,y ≥ 0 → (4,1) value 5.
+	s := NewSimplex()
+	x, y := s.NewVar(), s.NewVar()
+	sum := mustSlack(t, s, []Term{{x, rat(1, 1)}, {y, rat(2, 1)}})
+	s.AssertUpper(sum, dl(6), 1)
+	s.AssertUpper(x, dl(4), 2)
+	s.AssertLower(x, dl(0), 3)
+	s.AssertLower(y, dl(0), 4)
+	opt, err := s.Maximize([]Term{{x, rat(1, 1)}, {y, rat(1, 1)}})
+	if err != nil {
+		t.Fatalf("Maximize: %v", err)
+	}
+	if opt.Rat().Cmp(rat(5, 1)) != 0 {
+		t.Fatalf("optimum = %v, want 5", opt)
+	}
+}
+
+func TestMaximizeDegenerate(t *testing.T) {
+	// Degenerate vertex: x ≤ 2, y ≤ 2, x + y ≤ 4 (redundant at (2,2)).
+	s := NewSimplex()
+	x, y := s.NewVar(), s.NewVar()
+	sum := mustSlack(t, s, []Term{{x, rat(1, 1)}, {y, rat(1, 1)}})
+	s.AssertUpper(x, dl(2), 1)
+	s.AssertUpper(y, dl(2), 2)
+	s.AssertUpper(sum, dl(4), 3)
+	s.AssertLower(x, dl(0), 4)
+	s.AssertLower(y, dl(0), 5)
+	opt, err := s.Maximize([]Term{{x, rat(3, 1)}, {y, rat(1, 1)}})
+	if err != nil {
+		t.Fatalf("Maximize: %v", err)
+	}
+	if opt.Rat().Cmp(rat(8, 1)) != 0 {
+		t.Fatalf("optimum = %v, want 8", opt)
+	}
+}
+
+func TestMaximizeUnbounded(t *testing.T) {
+	s := NewSimplex()
+	x := s.NewVar()
+	s.AssertLower(x, dl(0), 1)
+	if _, err := s.Maximize([]Term{{x, rat(1, 1)}}); !errors.Is(err, ErrUnbounded) {
+		t.Fatalf("err = %v, want ErrUnbounded", err)
+	}
+}
+
+func TestMaximizeInfeasible(t *testing.T) {
+	s := NewSimplex()
+	x := s.NewVar()
+	y := mustSlack(t, s, []Term{{x, rat(1, 1)}})
+	s.AssertLower(x, dl(5), 1)
+	s.AssertUpper(y, dl(0), 2)
+	if _, err := s.Maximize([]Term{{x, rat(1, 1)}}); !errors.Is(err, ErrInfeasible) {
+		t.Fatalf("err = %v, want ErrInfeasible", err)
+	}
+}
+
+func TestMinimizeViaNegation(t *testing.T) {
+	// min x + y over x + y ≥ 3 with x,y ∈ [0, 5]: −max(−x−y) = 3.
+	s := NewSimplex()
+	x, y := s.NewVar(), s.NewVar()
+	sum := mustSlack(t, s, []Term{{x, rat(1, 1)}, {y, rat(1, 1)}})
+	s.AssertLower(sum, dl(3), 1)
+	for i, v := range []int{x, y} {
+		s.AssertLower(v, dl(0), Tag(10+i))
+		s.AssertUpper(v, dl(5), Tag(20+i))
+	}
+	opt, err := s.Maximize([]Term{{x, rat(-1, 1)}, {y, rat(-1, 1)}})
+	if err != nil {
+		t.Fatalf("Maximize: %v", err)
+	}
+	if opt.Rat().Cmp(rat(-3, 1)) != 0 {
+		t.Fatalf("optimum = %v, want −3", opt)
+	}
+}
+
+// TestMaximizeAgainstBruteForce checks random small LPs against vertex
+// enumeration over a box with one coupling row.
+func TestMaximizeAgainstBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 120; trial++ {
+		n := 2 + rng.Intn(3)
+		s := NewSimplex()
+		xs := make([]int, n)
+		lo := make([]int64, n)
+		hi := make([]int64, n)
+		for i := range xs {
+			xs[i] = s.NewVar()
+			lo[i] = int64(rng.Intn(5)) - 2
+			hi[i] = lo[i] + int64(rng.Intn(5))
+			s.AssertLower(xs[i], dl(lo[i]), Tag(2*i))
+			s.AssertUpper(xs[i], dl(hi[i]), Tag(2*i+1))
+		}
+		// One coupling constraint Σ a_i x_i ≤ rhs with a_i ∈ {0,1,2}.
+		coeffs := make([]int64, n)
+		terms := []Term{}
+		for i := range coeffs {
+			coeffs[i] = int64(rng.Intn(3))
+			if coeffs[i] != 0 {
+				terms = append(terms, Term{xs[i], rat(coeffs[i], 1)})
+			}
+		}
+		var sumBound int64 = int64(rng.Intn(10)) - 2
+		hasCoupling := len(terms) > 0
+		if hasCoupling {
+			sv := mustSlack(t, s, terms)
+			s.AssertUpper(sv, dl(sumBound), 100)
+		}
+		obj := make([]int64, n)
+		objTerms := []Term{}
+		for i := range obj {
+			obj[i] = int64(rng.Intn(7)) - 3
+			if obj[i] != 0 {
+				objTerms = append(objTerms, Term{xs[i], rat(obj[i], 1)})
+			}
+		}
+
+		// Brute force over a fine grid of the small integer box (vertices
+		// of this LP are at integer or simple fractional points; grid step
+		// 1/2 is exact enough for verification via comparison ≤).
+		best := new(big.Rat)
+		feasible := false
+		var walk func(i int, acc []int64)
+		walk = func(i int, acc []int64) {
+			if i == n {
+				var coupled int64
+				for k := range acc {
+					coupled += coeffs[k] * acc[k]
+				}
+				if hasCoupling && coupled > 2*sumBound { // acc in half units
+					return
+				}
+				val := big.NewRat(0, 1)
+				for k := range acc {
+					val.Add(val, big.NewRat(obj[k]*acc[k], 2))
+				}
+				if !feasible || val.Cmp(best) > 0 {
+					best = val
+					feasible = true
+				}
+				return
+			}
+			for v := 2 * lo[i]; v <= 2*hi[i]; v++ {
+				walk(i+1, append(acc, v))
+			}
+		}
+		walk(0, nil)
+		if !feasible {
+			continue
+		}
+
+		opt, err := s.Maximize(objTerms)
+		if errors.Is(err, ErrInfeasible) {
+			t.Fatalf("trial %d: solver infeasible but grid found points", trial)
+		}
+		if err != nil {
+			t.Fatalf("trial %d: Maximize: %v", trial, err)
+		}
+		// The LP optimum is ≥ any grid point and the grid contains the
+		// half-integral vertices of this constraint system.
+		if opt.Rat().Cmp(best) < 0 {
+			t.Fatalf("trial %d: LP optimum %v below grid best %v", trial, opt.Rat(), best)
+		}
+		// And the optimizer's point must be feasible (bounds respected).
+		m := s.Model()
+		for i := range xs {
+			if m[xs[i]].Cmp(rat(lo[i], 1)) < 0 || m[xs[i]].Cmp(rat(hi[i], 1)) > 0 {
+				t.Fatalf("trial %d: optimum violates box", trial)
+			}
+		}
+		if hasCoupling {
+			sum := new(big.Rat)
+			for i := range xs {
+				sum.Add(sum, new(big.Rat).Mul(rat(coeffs[i], 1), m[xs[i]]))
+			}
+			if sum.Cmp(rat(sumBound, 1)) > 0 {
+				t.Fatalf("trial %d: optimum violates coupling", trial)
+			}
+		}
+	}
+}
+
+// TestMaximizePreservesDeltaStrictness: optimizing respects strict bounds.
+func TestMaximizeStrictBound(t *testing.T) {
+	s := NewSimplex()
+	x := s.NewVar()
+	s.AssertLower(x, dl(0), 1)
+	s.AssertUpper(x, strictBelow(2), 2) // x < 2
+	opt, err := s.Maximize([]Term{{x, rat(1, 1)}})
+	if err != nil {
+		t.Fatalf("Maximize: %v", err)
+	}
+	// Supremum is 2 − δ: standard part 2, negative infinitesimal.
+	if opt.Rat().Cmp(rat(2, 1)) != 0 || opt.Inf().Sign() >= 0 {
+		t.Fatalf("optimum = %v, want 2 − δ", opt)
+	}
+	m := s.Model()
+	if m[x].Cmp(rat(2, 1)) >= 0 {
+		t.Fatalf("model x = %v violates strict bound", m[x])
+	}
+}
+
+func TestObjectiveValueHelper(t *testing.T) {
+	s := NewSimplex()
+	x := s.NewVar()
+	s.AssertLower(x, dl(3), 1)
+	s.AssertUpper(x, dl(3), 2)
+	if c := s.Check(); c != nil {
+		t.Fatalf("Check: %v", c)
+	}
+	v := s.objectiveValue([]Term{{x, rat(2, 1)}})
+	if v.Rat().Cmp(rat(6, 1)) != 0 {
+		t.Fatalf("objective value %v, want 6", v)
+	}
+}

@@ -1,0 +1,63 @@
+package matrix
+
+import "math"
+
+// NullSpace returns a basis of the right null space of m (vectors x with
+// m·x = 0), one basis vector per slice, using Gauss–Jordan elimination with
+// partial pivoting and the given tolerance. An empty result means the
+// matrix has full column rank.
+func (m *Dense) NullSpace(tol float64) [][]float64 {
+	work := m.Clone()
+	rows, cols := work.rows, work.cols
+	pivotCol := make([]int, 0, cols) // pivot column per pivot row
+	row := 0
+	for col := 0; col < cols && row < rows; col++ {
+		// Partial pivot.
+		pivot := -1
+		maxAbs := tol
+		for r := row; r < rows; r++ {
+			if a := math.Abs(work.At(r, col)); a > maxAbs {
+				maxAbs, pivot = a, r
+			}
+		}
+		if pivot < 0 {
+			continue
+		}
+		work.swapRows(pivot, row)
+		inv := 1 / work.At(row, col)
+		for c := col; c < cols; c++ {
+			work.Set(row, c, work.At(row, c)*inv)
+		}
+		for r := 0; r < rows; r++ {
+			if r == row {
+				continue
+			}
+			f := work.At(r, col)
+			if f == 0 {
+				continue
+			}
+			for c := col; c < cols; c++ {
+				work.Set(r, c, work.At(r, c)-f*work.At(row, c))
+			}
+		}
+		pivotCol = append(pivotCol, col)
+		row++
+	}
+	isPivot := make([]bool, cols)
+	for _, c := range pivotCol {
+		isPivot[c] = true
+	}
+	var basis [][]float64
+	for free := 0; free < cols; free++ {
+		if isPivot[free] {
+			continue
+		}
+		vec := make([]float64, cols)
+		vec[free] = 1
+		for r, pc := range pivotCol {
+			vec[pc] = -work.At(r, free)
+		}
+		basis = append(basis, vec)
+	}
+	return basis
+}

@@ -1,0 +1,136 @@
+// Package numeric provides exact rational arithmetic helpers and
+// delta-rationals for the linear-arithmetic theory solver.
+//
+// A delta-rational is a value of the form a + b·δ where a and b are
+// rationals and δ is a positive infinitesimal. Delta-rationals give a sound
+// representation of strict inequalities in the simplex solver: the strict
+// bound x > c is handled as the non-strict bound x ≥ c + δ. See Dutertre &
+// de Moura, "A Fast Linear-Arithmetic Solver for DPLL(T)" (CAV 2006).
+package numeric
+
+import (
+	"fmt"
+	"math/big"
+)
+
+// Common rational constants. These must never be mutated; use Clone before
+// passing them to any in-place big.Rat operation.
+var (
+	zeroRat = big.NewRat(0, 1)
+	oneRat  = big.NewRat(1, 1)
+)
+
+// Zero returns a fresh rational equal to 0.
+func Zero() *big.Rat { return new(big.Rat) }
+
+// One returns a fresh rational equal to 1.
+func One() *big.Rat { return big.NewRat(1, 1) }
+
+// RatFromInt returns a fresh rational with the value of n.
+func RatFromInt(n int64) *big.Rat { return big.NewRat(n, 1) }
+
+// RatFromFloat converts a float64 to an exact rational. It reports an error
+// for NaN and infinities, which have no rational value.
+func RatFromFloat(f float64) (*big.Rat, error) {
+	r := new(big.Rat)
+	if r.SetFloat64(f) == nil {
+		return nil, fmt.Errorf("numeric: float %v has no rational value", f)
+	}
+	return r, nil
+}
+
+// Delta is an immutable delta-rational a + b·δ. The zero value is the number
+// zero. Delta values share their component rationals, so components must be
+// treated as read-only.
+type Delta struct {
+	a *big.Rat // standard part
+	b *big.Rat // infinitesimal coefficient
+}
+
+// DeltaFromRat returns the delta-rational r + 0·δ. The rational is not
+// copied; callers must not mutate it afterwards.
+func DeltaFromRat(r *big.Rat) Delta { return Delta{a: r} }
+
+// DeltaFromInt returns the delta-rational n + 0·δ.
+func DeltaFromInt(n int64) Delta { return Delta{a: big.NewRat(n, 1)} }
+
+// NewDelta returns the delta-rational a + b·δ. Neither argument is copied.
+func NewDelta(a, b *big.Rat) Delta { return Delta{a: a, b: b} }
+
+// Rat returns the standard (non-infinitesimal) part.
+func (d Delta) Rat() *big.Rat {
+	if d.a == nil {
+		return zeroRat
+	}
+	return d.a
+}
+
+// Inf returns the coefficient of δ.
+func (d Delta) Inf() *big.Rat {
+	if d.b == nil {
+		return zeroRat
+	}
+	return d.b
+}
+
+// Add returns d + e.
+func (d Delta) Add(e Delta) Delta {
+	return Delta{
+		a: new(big.Rat).Add(d.Rat(), e.Rat()),
+		b: new(big.Rat).Add(d.Inf(), e.Inf()),
+	}
+}
+
+// Sub returns d − e.
+func (d Delta) Sub(e Delta) Delta {
+	return Delta{
+		a: new(big.Rat).Sub(d.Rat(), e.Rat()),
+		b: new(big.Rat).Sub(d.Inf(), e.Inf()),
+	}
+}
+
+// Neg returns −d.
+func (d Delta) Neg() Delta {
+	return Delta{
+		a: new(big.Rat).Neg(d.Rat()),
+		b: new(big.Rat).Neg(d.Inf()),
+	}
+}
+
+// MulRat returns d scaled by the rational r.
+func (d Delta) MulRat(r *big.Rat) Delta {
+	return Delta{
+		a: new(big.Rat).Mul(d.Rat(), r),
+		b: new(big.Rat).Mul(d.Inf(), r),
+	}
+}
+
+// Cmp compares d and e lexicographically on (standard part, δ coefficient),
+// which is the correct order for any sufficiently small positive δ. It
+// returns −1, 0 or +1.
+func (d Delta) Cmp(e Delta) int {
+	if c := d.Rat().Cmp(e.Rat()); c != 0 {
+		return c
+	}
+	return d.Inf().Cmp(e.Inf())
+}
+
+// IsZero reports whether d is exactly zero.
+func (d Delta) IsZero() bool {
+	return d.Rat().Sign() == 0 && d.Inf().Sign() == 0
+}
+
+// Eval substitutes a concrete positive value eps for δ and returns the
+// resulting rational a + b·eps.
+func (d Delta) Eval(eps *big.Rat) *big.Rat {
+	out := new(big.Rat).Mul(d.Inf(), eps)
+	return out.Add(out, d.Rat())
+}
+
+// String renders the delta-rational, e.g. "3/2 + 1·δ".
+func (d Delta) String() string {
+	if d.Inf().Sign() == 0 {
+		return d.Rat().RatString()
+	}
+	return fmt.Sprintf("%s + %s·δ", d.Rat().RatString(), d.Inf().RatString())
+}

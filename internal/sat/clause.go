@@ -1,0 +1,22 @@
+package sat
+
+// clause is a disjunction of literals. For clauses of length ≥ 2 the first
+// two positions hold the watched literals.
+type clause struct {
+	lits     []Lit
+	activity float64
+	learnt   bool
+	// deleted marks clauses lazily removed by learnt-clause reduction;
+	// watcher lists drop them on the next traversal.
+	deleted bool
+}
+
+func (c *clause) len() int { return len(c.lits) }
+
+// watcher records that a clause is watching a literal. blocker is another
+// literal from the clause; when the blocker is already true the clause is
+// satisfied and the watcher list traversal can skip dereferencing the clause.
+type watcher struct {
+	c       *clause
+	blocker Lit
+}

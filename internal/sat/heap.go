@@ -1,0 +1,101 @@
+package sat
+
+// varHeap is a max-heap of variables ordered by VSIDS activity, with an
+// index map for decrease-key style updates. It backs the branching
+// heuristic.
+type varHeap struct {
+	activity *[]float64 // shared with the solver
+	heap     []Var
+	index    []int32 // var → position in heap, −1 if absent
+}
+
+func newVarHeap(activity *[]float64) *varHeap {
+	return &varHeap{activity: activity}
+}
+
+func (h *varHeap) grow(n int) {
+	for len(h.index) < n {
+		h.index = append(h.index, -1)
+	}
+}
+
+func (h *varHeap) less(a, b Var) bool {
+	return (*h.activity)[a] > (*h.activity)[b]
+}
+
+func (h *varHeap) contains(v Var) bool { return h.index[v] >= 0 }
+
+func (h *varHeap) empty() bool { return len(h.heap) == 0 }
+
+func (h *varHeap) push(v Var) {
+	if h.contains(v) {
+		return
+	}
+	h.heap = append(h.heap, v)
+	h.index[v] = int32(len(h.heap) - 1)
+	h.up(len(h.heap) - 1)
+}
+
+func (h *varHeap) pop() Var {
+	top := h.heap[0]
+	last := len(h.heap) - 1
+	h.heap[0] = h.heap[last]
+	h.index[h.heap[0]] = 0
+	h.heap = h.heap[:last]
+	h.index[top] = -1
+	if len(h.heap) > 0 {
+		h.down(0)
+	}
+	return top
+}
+
+// update restores heap order for v after its activity increased.
+func (h *varHeap) update(v Var) {
+	if h.contains(v) {
+		h.up(int(h.index[v]))
+	}
+}
+
+// rebuild re-heapifies after a global activity rescale.
+func (h *varHeap) rebuild() {
+	for i := len(h.heap)/2 - 1; i >= 0; i-- {
+		h.down(i)
+	}
+}
+
+func (h *varHeap) up(i int) {
+	v := h.heap[i]
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !h.less(v, h.heap[parent]) {
+			break
+		}
+		h.heap[i] = h.heap[parent]
+		h.index[h.heap[i]] = int32(i)
+		i = parent
+	}
+	h.heap[i] = v
+	h.index[v] = int32(i)
+}
+
+func (h *varHeap) down(i int) {
+	v := h.heap[i]
+	n := len(h.heap)
+	for {
+		child := 2*i + 1
+		if child >= n {
+			break
+		}
+		if child+1 < n && h.less(h.heap[child+1], h.heap[child]) {
+			child++
+		}
+		if !h.less(h.heap[child], v) {
+			break
+		}
+		h.heap[i] = h.heap[child]
+		h.index[h.heap[i]] = int32(i)
+		i = child
+	}
+	h.heap[i] = v
+	h.index[v] = int32(i)
+}

@@ -1,0 +1,85 @@
+// Package sat implements a CDCL (conflict-driven clause learning) SAT solver
+// with two-literal watching, first-UIP clause learning, VSIDS branching,
+// phase saving, Luby restarts, activity-based learnt-clause deletion, and a
+// theory hook for DPLL(T) integration.
+//
+// The solver is the propositional engine underneath package smt, which
+// replaces the Z3 backend used by the paper this repository reproduces.
+package sat
+
+import "fmt"
+
+// Var is a propositional variable index. Variables are dense and 0-based;
+// they are created with Solver.NewVar.
+type Var int32
+
+// Lit is a literal: a variable together with a sign. The encoding follows
+// MiniSat: lit = 2·var for the positive literal and 2·var+1 for the negated
+// literal.
+type Lit int32
+
+// LitUndef is the sentinel "no literal" value.
+const LitUndef Lit = -1
+
+// NewLit builds a literal from a variable and a sign. neg=true yields ¬v.
+func NewLit(v Var, neg bool) Lit {
+	l := Lit(v) << 1
+	if neg {
+		l |= 1
+	}
+	return l
+}
+
+// PosLit returns the positive literal of v.
+func PosLit(v Var) Lit { return Lit(v) << 1 }
+
+// NegLit returns the negative literal of v.
+func NegLit(v Var) Lit { return Lit(v)<<1 | 1 }
+
+// Var returns the literal's variable.
+func (l Lit) Var() Var { return Var(l >> 1) }
+
+// IsNeg reports whether the literal is negated.
+func (l Lit) IsNeg() bool { return l&1 == 1 }
+
+// Not returns the complementary literal.
+func (l Lit) Not() Lit { return l ^ 1 }
+
+// String renders the literal 1-based with a leading '-' when negated, in the
+// DIMACS style (variable 0 prints as 1 or -1).
+func (l Lit) String() string {
+	if l == LitUndef {
+		return "undef"
+	}
+	if l.IsNeg() {
+		return fmt.Sprintf("-%d", l.Var()+1)
+	}
+	return fmt.Sprintf("%d", l.Var()+1)
+}
+
+// lbool is a lifted boolean: true, false or undefined.
+type lbool int8
+
+const (
+	lUndef lbool = 0
+	lTrue  lbool = 1
+	lFalse lbool = -1
+)
+
+func boolToLbool(b bool) lbool {
+	if b {
+		return lTrue
+	}
+	return lFalse
+}
+
+// litValue returns the value of literal l under assignment of its variable.
+func litValue(assign lbool, l Lit) lbool {
+	if assign == lUndef {
+		return lUndef
+	}
+	if l.IsNeg() {
+		return -assign
+	}
+	return assign
+}

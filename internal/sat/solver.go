@@ -1,0 +1,664 @@
+package sat
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// Status is the outcome of a Solve call.
+type Status int8
+
+const (
+	// StatusUnknown means the solver stopped before reaching an answer
+	// (e.g. a conflict budget was exhausted).
+	StatusUnknown Status = iota
+	// StatusSat means a satisfying assignment was found.
+	StatusSat
+	// StatusUnsat means the formula is unsatisfiable.
+	StatusUnsat
+)
+
+// String implements fmt.Stringer.
+func (s Status) String() string {
+	switch s {
+	case StatusSat:
+		return "sat"
+	case StatusUnsat:
+		return "unsat"
+	default:
+		return "unknown"
+	}
+}
+
+// ErrBudget is returned by Solve when the conflict budget is exhausted.
+var ErrBudget = errors.New("sat: conflict budget exhausted")
+
+// Stats collects solver counters, useful for the evaluation harness.
+type Stats struct {
+	Vars         int
+	Clauses      int
+	Learnts      int
+	Conflicts    int64
+	Decisions    int64
+	Propagations int64
+	Restarts     int64
+	TheoryChecks int64
+}
+
+// Options configure a Solver.
+type Options struct {
+	// Theory, if non-nil, is consulted for literals registered with
+	// WatchTheoryVar (DPLL(T) integration).
+	Theory Theory
+	// CheckAtFixpoint makes the solver call Theory.Check after every unit
+	// propagation fixpoint rather than only on full assignments. This is
+	// the eager integration the paper's Z3 backend uses; disabling it is an
+	// ablation knob.
+	CheckAtFixpoint bool
+	// MaxConflicts bounds the search; ≤ 0 means unlimited.
+	MaxConflicts int64
+}
+
+// Solver is a CDCL SAT solver. The zero value is not usable; construct with
+// NewSolver.
+type Solver struct {
+	opts Options
+
+	clauses []*clause
+	learnts []*clause
+	watches [][]watcher // indexed by Lit
+
+	assigns  []lbool // indexed by Var
+	level    []int32
+	reason   []*clause
+	polarity []bool // saved phases
+	theory   []bool // var is a theory atom
+
+	trail    []Lit
+	trailLim []int32
+	qhead    int
+	thead    int // next trail position to hand to the theory
+
+	activity []float64
+	varInc   float64
+	order    *varHeap
+
+	clauseInc    float64
+	maxLearnts   float64
+	seen         []bool
+	analyzeStack []Lit
+
+	stats  Stats
+	unsat  bool // empty clause added at level 0
+	nVars  int
+	budget int64
+}
+
+const (
+	varActivityDecay    = 1.0 / 0.95
+	clauseActivityDecay = 1.0 / 0.999
+	rescaleLimit        = 1e100
+	lubyUnit            = 128 // conflicts per restart unit
+)
+
+// NewSolver constructs a solver with the given options.
+func NewSolver(opts Options) *Solver {
+	s := &Solver{
+		opts:      opts,
+		varInc:    1,
+		clauseInc: 1,
+	}
+	s.order = newVarHeap(&s.activity)
+	return s
+}
+
+// NewVar introduces a fresh variable and returns it.
+func (s *Solver) NewVar() Var {
+	v := Var(s.nVars)
+	s.nVars++
+	s.watches = append(s.watches, nil, nil)
+	s.assigns = append(s.assigns, lUndef)
+	s.level = append(s.level, 0)
+	s.reason = append(s.reason, nil)
+	s.polarity = append(s.polarity, true) // default phase: false (lit ¬v)
+	s.theory = append(s.theory, false)
+	s.activity = append(s.activity, 0)
+	s.seen = append(s.seen, false)
+	s.order.grow(s.nVars)
+	s.order.push(v)
+	return v
+}
+
+// NumVars returns the number of variables created so far.
+func (s *Solver) NumVars() int { return s.nVars }
+
+// WatchTheoryVar registers v as a theory atom: assignments to v are relayed
+// to the theory via Theory.Assert.
+func (s *Solver) WatchTheoryVar(v Var) { s.theory[v] = true }
+
+// Statistics returns a snapshot of the solver counters.
+func (s *Solver) Statistics() Stats {
+	st := s.stats
+	st.Vars = s.nVars
+	st.Clauses = len(s.clauses)
+	st.Learnts = len(s.learnts)
+	return st
+}
+
+// AddClause adds a clause over existing variables. It must be called before
+// Solve (at decision level 0). Duplicate literals are merged, tautologies
+// are dropped, and false literals (at level 0) are removed.
+func (s *Solver) AddClause(lits ...Lit) error {
+	if len(s.trailLim) != 0 {
+		return errors.New("sat: AddClause called above decision level 0")
+	}
+	for _, l := range lits {
+		if l == LitUndef || int(l.Var()) >= s.nVars {
+			return fmt.Errorf("sat: clause references unknown literal %v", l)
+		}
+	}
+	// Normalize: sort, dedupe, drop tautologies and false literals.
+	sorted := make([]Lit, len(lits))
+	copy(sorted, lits)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	out := sorted[:0]
+	var prev Lit = LitUndef
+	for _, l := range sorted {
+		if l == prev {
+			continue
+		}
+		if prev != LitUndef && l == prev.Not() {
+			return nil // tautology
+		}
+		switch s.value(l) {
+		case lTrue:
+			return nil // already satisfied at level 0
+		case lFalse:
+			prev = l
+			continue // drop false literal
+		}
+		out = append(out, l)
+		prev = l
+	}
+	switch len(out) {
+	case 0:
+		s.unsat = true
+		return nil
+	case 1:
+		if !s.enqueue(out[0], nil) {
+			s.unsat = true
+		} else if confl := s.propagate(); confl != nil {
+			s.unsat = true
+		}
+		return nil
+	}
+	c := &clause{lits: append([]Lit(nil), out...)}
+	s.clauses = append(s.clauses, c)
+	s.attach(c)
+	return nil
+}
+
+func (s *Solver) attach(c *clause) {
+	l0, l1 := c.lits[0], c.lits[1]
+	s.watches[l0.Not()] = append(s.watches[l0.Not()], watcher{c: c, blocker: l1})
+	s.watches[l1.Not()] = append(s.watches[l1.Not()], watcher{c: c, blocker: l0})
+}
+
+func (s *Solver) detach(c *clause) {
+	c.deleted = true // watcher lists drop it lazily during propagation
+}
+
+func (s *Solver) value(l Lit) lbool { return litValue(s.assigns[l.Var()], l) }
+
+// Value returns the truth value of v in the model after a sat answer.
+func (s *Solver) Value(v Var) bool { return s.assigns[v] == lTrue }
+
+func (s *Solver) decisionLevel() int { return len(s.trailLim) }
+
+// enqueue assigns literal l with the given reason clause. It returns false
+// when l is already false (a conflict the caller must handle).
+func (s *Solver) enqueue(l Lit, from *clause) bool {
+	switch s.value(l) {
+	case lTrue:
+		return true
+	case lFalse:
+		return false
+	}
+	v := l.Var()
+	s.assigns[v] = boolToLbool(!l.IsNeg())
+	s.level[v] = int32(s.decisionLevel())
+	s.reason[v] = from
+	s.trail = append(s.trail, l)
+	return true
+}
+
+// propagate performs unit propagation until fixpoint, returning a
+// conflicting clause or nil.
+func (s *Solver) propagate() *clause {
+	for s.qhead < len(s.trail) {
+		p := s.trail[s.qhead] // p is true; visit clauses watching ¬p
+		s.qhead++
+		s.stats.Propagations++
+		ws := s.watches[p]
+		kept := ws[:0]
+		for i := 0; i < len(ws); i++ {
+			w := ws[i]
+			if w.c.deleted {
+				continue
+			}
+			if s.value(w.blocker) == lTrue {
+				kept = append(kept, w)
+				continue
+			}
+			c := w.c
+			// Ensure c.lits[0] is the other watched literal.
+			falseLit := p.Not()
+			if c.lits[0] == falseLit {
+				c.lits[0], c.lits[1] = c.lits[1], c.lits[0]
+			}
+			first := c.lits[0]
+			if first != w.blocker && s.value(first) == lTrue {
+				kept = append(kept, watcher{c: c, blocker: first})
+				continue
+			}
+			// Find a new literal to watch.
+			found := false
+			for k := 2; k < len(c.lits); k++ {
+				if s.value(c.lits[k]) != lFalse {
+					c.lits[1], c.lits[k] = c.lits[k], c.lits[1]
+					nw := c.lits[1].Not()
+					s.watches[nw] = append(s.watches[nw], watcher{c: c, blocker: first})
+					found = true
+					break
+				}
+			}
+			if found {
+				continue
+			}
+			// Clause is unit or conflicting.
+			kept = append(kept, watcher{c: c, blocker: first})
+			if s.value(first) == lFalse {
+				// Conflict: keep remaining watchers and bail out.
+				kept = append(kept, ws[i+1:]...)
+				s.watches[p] = kept
+				s.qhead = len(s.trail)
+				return c
+			}
+			if !s.enqueue(first, c) {
+				// enqueue cannot fail here: first is not false.
+				panic("sat: internal error: enqueue failed on unit literal")
+			}
+		}
+		s.watches[p] = kept
+	}
+	return nil
+}
+
+// theoryFeed relays newly assigned theory literals to the theory solver in
+// trail order. It returns a theory conflict explanation or nil.
+func (s *Solver) theoryFeed() []Lit {
+	if s.opts.Theory == nil {
+		return nil
+	}
+	for s.thead < len(s.trail) {
+		l := s.trail[s.thead]
+		s.thead++
+		if !s.theory[l.Var()] {
+			continue
+		}
+		if expl := s.opts.Theory.Assert(l); expl != nil {
+			return expl
+		}
+	}
+	return nil
+}
+
+// cancelUntil backtracks to the given decision level.
+func (s *Solver) cancelUntil(level int) {
+	if s.decisionLevel() <= level {
+		return
+	}
+	bound := int(s.trailLim[level])
+	for i := len(s.trail) - 1; i >= bound; i-- {
+		v := s.trail[i].Var()
+		s.assigns[v] = lUndef
+		s.reason[v] = nil
+		s.polarity[v] = s.trail[i].IsNeg()
+		if !s.order.contains(v) {
+			s.order.push(v)
+		}
+	}
+	if s.opts.Theory != nil {
+		s.opts.Theory.Pop(s.decisionLevel() - level)
+	}
+	s.trail = s.trail[:bound]
+	s.trailLim = s.trailLim[:level]
+	s.qhead = bound
+	if s.thead > bound {
+		s.thead = bound
+	}
+}
+
+func (s *Solver) bumpVar(v Var) {
+	s.activity[v] += s.varInc
+	if s.activity[v] > rescaleLimit {
+		for i := range s.activity {
+			s.activity[i] /= rescaleLimit
+		}
+		s.varInc /= rescaleLimit
+		s.order.rebuild()
+	}
+	s.order.update(v)
+}
+
+func (s *Solver) bumpClause(c *clause) {
+	c.activity += s.clauseInc
+	if c.activity > rescaleLimit {
+		for _, lc := range s.learnts {
+			lc.activity /= rescaleLimit
+		}
+		s.clauseInc /= rescaleLimit
+	}
+}
+
+// analyze performs first-UIP conflict analysis. It returns the learnt clause
+// (asserting literal first) and the backtrack level.
+func (s *Solver) analyze(confl *clause) ([]Lit, int) {
+	learnt := []Lit{LitUndef} // slot 0 for the asserting literal
+	counter := 0
+	p := LitUndef
+	index := len(s.trail) - 1
+	curLevel := s.decisionLevel()
+
+	for {
+		s.bumpClause(confl)
+		for _, q := range confl.lits {
+			if q == p {
+				continue
+			}
+			v := q.Var()
+			if s.seen[v] || s.level[v] == 0 {
+				continue
+			}
+			s.seen[v] = true
+			s.bumpVar(v)
+			if int(s.level[v]) >= curLevel {
+				counter++
+			} else {
+				learnt = append(learnt, q)
+			}
+		}
+		for !s.seen[s.trail[index].Var()] {
+			index--
+		}
+		p = s.trail[index]
+		index--
+		s.seen[p.Var()] = false
+		counter--
+		if counter == 0 {
+			break
+		}
+		confl = s.reason[p.Var()]
+		if confl == nil {
+			panic("sat: internal error: missing reason during conflict analysis")
+		}
+	}
+	learnt[0] = p.Not()
+
+	collected := append([]Lit(nil), learnt...)
+	s.minimize(&learnt)
+
+	// Find backtrack level: the max level among learnt[1:].
+	btLevel := 0
+	if len(learnt) > 1 {
+		maxIdx := 1
+		for i := 2; i < len(learnt); i++ {
+			if s.level[learnt[i].Var()] > s.level[learnt[maxIdx].Var()] {
+				maxIdx = i
+			}
+		}
+		learnt[1], learnt[maxIdx] = learnt[maxIdx], learnt[1]
+		btLevel = int(s.level[learnt[1].Var()])
+	}
+	for _, l := range collected {
+		s.seen[l.Var()] = false
+	}
+	return learnt, btLevel
+}
+
+// minimize removes literals whose reason clause is fully covered by the
+// remaining learnt literals (local clause minimization).
+func (s *Solver) minimize(learnt *[]Lit) {
+	lits := *learnt
+	out := lits[:1]
+	for i := 1; i < len(lits); i++ {
+		l := lits[i]
+		r := s.reason[l.Var()]
+		if r == nil {
+			out = append(out, l)
+			continue
+		}
+		redundant := true
+		for _, q := range r.lits {
+			if q == l.Not() {
+				continue
+			}
+			if !s.seen[q.Var()] && s.level[q.Var()] != 0 {
+				redundant = false
+				break
+			}
+		}
+		if !redundant {
+			out = append(out, l)
+		}
+	}
+	*learnt = out
+}
+
+// recordLearnt attaches a learnt clause and enqueues its asserting literal.
+func (s *Solver) recordLearnt(learnt []Lit) {
+	if len(learnt) == 1 {
+		if !s.enqueue(learnt[0], nil) {
+			s.unsat = true
+		}
+		return
+	}
+	c := &clause{lits: append([]Lit(nil), learnt...), learnt: true}
+	s.learnts = append(s.learnts, c)
+	s.attach(c)
+	s.bumpClause(c)
+	if !s.enqueue(learnt[0], c) {
+		panic("sat: internal error: asserting literal already false")
+	}
+}
+
+// reduceDB removes roughly half of the learnt clauses, keeping the most
+// active and all binary clauses.
+func (s *Solver) reduceDB() {
+	sort.Slice(s.learnts, func(i, j int) bool {
+		return s.learnts[i].activity > s.learnts[j].activity
+	})
+	kept := s.learnts[:0]
+	limit := len(s.learnts) / 2
+	for i, c := range s.learnts {
+		if c.len() == 2 || i < limit || s.isReason(c) {
+			kept = append(kept, c)
+			continue
+		}
+		s.detach(c)
+	}
+	s.learnts = kept
+}
+
+func (s *Solver) isReason(c *clause) bool {
+	v := c.lits[0].Var()
+	return s.assigns[v] != lUndef && s.reason[v] == c
+}
+
+// pickBranchLit selects the next decision literal, or LitUndef when all
+// variables are assigned.
+func (s *Solver) pickBranchLit() Lit {
+	for !s.order.empty() {
+		v := s.order.pop()
+		if s.assigns[v] == lUndef {
+			return NewLit(v, s.polarity[v])
+		}
+	}
+	return LitUndef
+}
+
+// luby computes the Luby restart sequence value for 0-based index x:
+// 1 1 2 1 1 2 4 1 1 2 1 1 2 4 8 …
+func luby(x int64) int64 {
+	// Find the finite subsequence that contains index x and its size.
+	size, seq := int64(1), 0
+	for size < x+1 {
+		seq++
+		size = 2*size + 1
+	}
+	for size-1 != x {
+		size = (size - 1) >> 1
+		seq--
+		x %= size
+	}
+	return int64(1) << seq
+}
+
+// handleConflict runs conflict analysis and backtracking for a conflicting
+// clause. It returns false when the formula is proven unsat.
+func (s *Solver) handleConflict(confl *clause) bool {
+	s.stats.Conflicts++
+	if s.decisionLevel() == 0 {
+		return false
+	}
+	learnt, btLevel := s.analyze(confl)
+	s.cancelUntil(btLevel)
+	s.recordLearnt(learnt)
+	if s.unsat {
+		return false
+	}
+	s.decayActivities()
+	return true
+}
+
+func (s *Solver) decayActivities() {
+	s.varInc *= varActivityDecay
+	s.clauseInc *= clauseActivityDecay
+}
+
+// theoryConflictClause converts a theory explanation (literals that are all
+// true) into a conflicting clause of their negations and dispatches it. It
+// returns false when the formula is proven unsat.
+func (s *Solver) theoryConflictClause(expl []Lit) bool {
+	lits := make([]Lit, len(expl))
+	maxLevel := 0
+	for i, l := range expl {
+		if s.value(l) != lTrue {
+			panic("sat: theory explanation contains non-true literal")
+		}
+		lits[i] = l.Not()
+		if lv := int(s.level[l.Var()]); lv > maxLevel {
+			maxLevel = lv
+		}
+	}
+	if maxLevel == 0 {
+		return false
+	}
+	// The conflict may live entirely below the current decision level;
+	// backtrack there first so analyze sees a current-level conflict.
+	s.cancelUntil(maxLevel)
+	return s.handleConflict(&clause{lits: lits})
+}
+
+// Solve runs the CDCL search and returns the status. On StatusSat the model
+// is available through Value.
+func (s *Solver) Solve() (Status, error) {
+	if s.unsat {
+		return StatusUnsat, nil
+	}
+	if confl := s.propagate(); confl != nil {
+		return StatusUnsat, nil
+	}
+	if expl := s.theoryFeed(); expl != nil {
+		// Top-level theory conflict.
+		return StatusUnsat, nil
+	}
+	if s.opts.Theory != nil {
+		if expl := s.opts.Theory.Check(false); expl != nil {
+			s.stats.TheoryChecks++
+			return StatusUnsat, nil
+		}
+	}
+
+	s.maxLearnts = float64(len(s.clauses))/3 + 1000
+	restartNum := int64(0)
+	conflictsUntilRestart := luby(restartNum) * lubyUnit
+	s.budget = s.opts.MaxConflicts
+
+	for {
+		confl := s.propagate()
+		if confl == nil {
+			if expl := s.theoryFeed(); expl != nil {
+				if !s.theoryConflictClause(expl) {
+					return StatusUnsat, nil
+				}
+				continue
+			}
+			if s.opts.Theory != nil && s.opts.CheckAtFixpoint {
+				s.stats.TheoryChecks++
+				if expl := s.opts.Theory.Check(false); expl != nil {
+					if !s.theoryConflictClause(expl) {
+						return StatusUnsat, nil
+					}
+					continue
+				}
+			}
+		}
+		if confl != nil {
+			if !s.handleConflict(confl) {
+				return StatusUnsat, nil
+			}
+			if s.budget > 0 && s.stats.Conflicts >= s.budget {
+				return StatusUnknown, ErrBudget
+			}
+			conflictsUntilRestart--
+			continue
+		}
+
+		if conflictsUntilRestart <= 0 {
+			s.stats.Restarts++
+			restartNum++
+			conflictsUntilRestart = luby(restartNum) * lubyUnit
+			s.cancelUntil(0)
+			continue
+		}
+		if float64(len(s.learnts)) > s.maxLearnts {
+			s.reduceDB()
+			s.maxLearnts *= 1.2
+		}
+
+		next := s.pickBranchLit()
+		if next == LitUndef {
+			// Full assignment: run the final theory check.
+			if s.opts.Theory != nil {
+				s.stats.TheoryChecks++
+				if expl := s.opts.Theory.Check(true); expl != nil {
+					if !s.theoryConflictClause(expl) {
+						return StatusUnsat, nil
+					}
+					continue
+				}
+			}
+			return StatusSat, nil
+		}
+		s.stats.Decisions++
+		s.trailLim = append(s.trailLim, int32(len(s.trail)))
+		if s.opts.Theory != nil {
+			s.opts.Theory.Push()
+		}
+		if !s.enqueue(next, nil) {
+			panic("sat: internal error: decision literal already assigned")
+		}
+	}
+}

@@ -1,0 +1,349 @@
+package sat
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func mustAdd(t *testing.T, s *Solver, lits ...Lit) {
+	t.Helper()
+	if err := s.AddClause(lits...); err != nil {
+		t.Fatalf("AddClause(%v): %v", lits, err)
+	}
+}
+
+func newVars(s *Solver, n int) []Var {
+	vs := make([]Var, n)
+	for i := range vs {
+		vs[i] = s.NewVar()
+	}
+	return vs
+}
+
+func TestEmptyFormulaIsSat(t *testing.T) {
+	s := NewSolver(Options{})
+	if st, err := s.Solve(); err != nil || st != StatusSat {
+		t.Fatalf("Solve() = %v, %v; want sat", st, err)
+	}
+}
+
+func TestSingleUnit(t *testing.T) {
+	s := NewSolver(Options{})
+	v := s.NewVar()
+	mustAdd(t, s, PosLit(v))
+	if st, _ := s.Solve(); st != StatusSat {
+		t.Fatalf("want sat")
+	}
+	if !s.Value(v) {
+		t.Fatalf("Value(v) = false, want true")
+	}
+}
+
+func TestContradictoryUnits(t *testing.T) {
+	s := NewSolver(Options{})
+	v := s.NewVar()
+	mustAdd(t, s, PosLit(v))
+	mustAdd(t, s, NegLit(v))
+	if st, _ := s.Solve(); st != StatusUnsat {
+		t.Fatalf("want unsat")
+	}
+}
+
+func TestEmptyClauseIsUnsat(t *testing.T) {
+	s := NewSolver(Options{})
+	mustAdd(t, s)
+	if st, _ := s.Solve(); st != StatusUnsat {
+		t.Fatalf("want unsat")
+	}
+}
+
+func TestTautologyDropped(t *testing.T) {
+	s := NewSolver(Options{})
+	v := s.NewVar()
+	mustAdd(t, s, PosLit(v), NegLit(v))
+	if st, _ := s.Solve(); st != StatusSat {
+		t.Fatalf("want sat")
+	}
+}
+
+func TestUnknownLiteralRejected(t *testing.T) {
+	s := NewSolver(Options{})
+	if err := s.AddClause(PosLit(Var(3))); err == nil {
+		t.Fatalf("AddClause with unknown var succeeded, want error")
+	}
+}
+
+func TestSimpleImplicationChain(t *testing.T) {
+	// a, a→b, b→c must force c.
+	s := NewSolver(Options{})
+	vs := newVars(s, 3)
+	mustAdd(t, s, PosLit(vs[0]))
+	mustAdd(t, s, NegLit(vs[0]), PosLit(vs[1]))
+	mustAdd(t, s, NegLit(vs[1]), PosLit(vs[2]))
+	if st, _ := s.Solve(); st != StatusSat {
+		t.Fatalf("want sat")
+	}
+	for i, v := range vs {
+		if !s.Value(v) {
+			t.Errorf("Value(v%d) = false, want true", i)
+		}
+	}
+}
+
+func TestPigeonhole(t *testing.T) {
+	// PHP(n+1, n): n+1 pigeons in n holes is unsat. n=5 exercises real
+	// conflict analysis and restarts.
+	const holes = 5
+	const pigeons = holes + 1
+	s := NewSolver(Options{})
+	vs := make([][]Var, pigeons)
+	for p := range vs {
+		vs[p] = newVars(s, holes)
+	}
+	for p := 0; p < pigeons; p++ {
+		lits := make([]Lit, holes)
+		for h := 0; h < holes; h++ {
+			lits[h] = PosLit(vs[p][h])
+		}
+		mustAdd(t, s, lits...)
+	}
+	for h := 0; h < holes; h++ {
+		for p1 := 0; p1 < pigeons; p1++ {
+			for p2 := p1 + 1; p2 < pigeons; p2++ {
+				mustAdd(t, s, NegLit(vs[p1][h]), NegLit(vs[p2][h]))
+			}
+		}
+	}
+	if st, _ := s.Solve(); st != StatusUnsat {
+		t.Fatalf("pigeonhole want unsat")
+	}
+}
+
+func TestGraphColoringSat(t *testing.T) {
+	// A 5-cycle is 3-colorable.
+	const n, k = 5, 3
+	s := NewSolver(Options{})
+	color := make([][]Var, n)
+	for i := range color {
+		color[i] = newVars(s, k)
+	}
+	for i := 0; i < n; i++ {
+		lits := make([]Lit, k)
+		for c := 0; c < k; c++ {
+			lits[c] = PosLit(color[i][c])
+		}
+		mustAdd(t, s, lits...)
+		j := (i + 1) % n
+		for c := 0; c < k; c++ {
+			mustAdd(t, s, NegLit(color[i][c]), NegLit(color[j][c]))
+		}
+	}
+	if st, _ := s.Solve(); st != StatusSat {
+		t.Fatalf("want sat")
+	}
+	// Check model is a proper coloring.
+	pick := func(i int) int {
+		for c := 0; c < k; c++ {
+			if s.Value(color[i][c]) {
+				return c
+			}
+		}
+		return -1
+	}
+	for i := 0; i < n; i++ {
+		ci, cj := pick(i), pick((i+1)%n)
+		if ci < 0 {
+			t.Fatalf("vertex %d has no color", i)
+		}
+		if ci == cj {
+			t.Fatalf("adjacent vertices %d,%d share color %d", i, (i+1)%n, ci)
+		}
+	}
+}
+
+func TestTwoCycleOddUnsat(t *testing.T) {
+	// A triangle is not 2-colorable.
+	const n, k = 3, 2
+	s := NewSolver(Options{})
+	color := make([][]Var, n)
+	for i := range color {
+		color[i] = newVars(s, k)
+	}
+	for i := 0; i < n; i++ {
+		mustAdd(t, s, PosLit(color[i][0]), PosLit(color[i][1]))
+		for j := i + 1; j < n; j++ {
+			for c := 0; c < k; c++ {
+				mustAdd(t, s, NegLit(color[i][c]), NegLit(color[j][c]))
+			}
+		}
+	}
+	if st, _ := s.Solve(); st != StatusUnsat {
+		t.Fatalf("want unsat")
+	}
+}
+
+func TestConflictBudget(t *testing.T) {
+	const holes = 7
+	s := NewSolver(Options{MaxConflicts: 3})
+	vs := make([][]Var, holes+1)
+	for p := range vs {
+		vs[p] = newVars(s, holes)
+	}
+	for p := 0; p <= holes; p++ {
+		lits := make([]Lit, holes)
+		for h := 0; h < holes; h++ {
+			lits[h] = PosLit(vs[p][h])
+		}
+		mustAdd(t, s, lits...)
+	}
+	for h := 0; h < holes; h++ {
+		for p1 := 0; p1 <= holes; p1++ {
+			for p2 := p1 + 1; p2 <= holes; p2++ {
+				mustAdd(t, s, NegLit(vs[p1][h]), NegLit(vs[p2][h]))
+			}
+		}
+	}
+	st, err := s.Solve()
+	if st != StatusUnknown || err == nil {
+		t.Fatalf("Solve() = %v, %v; want unknown with budget error", st, err)
+	}
+}
+
+func TestLubySequence(t *testing.T) {
+	want := []int64{1, 1, 2, 1, 1, 2, 4, 1, 1, 2, 1, 1, 2, 4, 8}
+	for i, w := range want {
+		if got := luby(int64(i)); got != w {
+			t.Errorf("luby(%d) = %d, want %d", i, got, w)
+		}
+	}
+}
+
+// bruteForceSat exhaustively checks satisfiability of a CNF over n vars.
+func bruteForceSat(n int, cnf [][]Lit) bool {
+	for mask := 0; mask < 1<<n; mask++ {
+		ok := true
+		for _, cl := range cnf {
+			sat := false
+			for _, l := range cl {
+				val := mask>>uint(l.Var())&1 == 1
+				if l.IsNeg() {
+					val = !val
+				}
+				if val {
+					sat = true
+					break
+				}
+			}
+			if !sat {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return true
+		}
+	}
+	return false
+}
+
+func modelSatisfies(s *Solver, cnf [][]Lit) bool {
+	for _, cl := range cnf {
+		sat := false
+		for _, l := range cl {
+			val := s.Value(l.Var())
+			if l.IsNeg() {
+				val = !val
+			}
+			if val {
+				sat = true
+				break
+			}
+		}
+		if !sat {
+			return false
+		}
+	}
+	return true
+}
+
+// TestRandomCNFAgainstBruteForce fuzzes the solver with random 3-CNF
+// instances near the phase-transition density and cross-checks sat/unsat and
+// model validity against exhaustive search.
+func TestRandomCNFAgainstBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 400; trial++ {
+		n := 3 + rng.Intn(8)   // 3..10 vars
+		m := 2 + rng.Intn(5*n) // up to ~5n clauses
+		cnf := make([][]Lit, 0, m)
+		for c := 0; c < m; c++ {
+			width := 1 + rng.Intn(3)
+			cl := make([]Lit, width)
+			for i := range cl {
+				cl[i] = NewLit(Var(rng.Intn(n)), rng.Intn(2) == 1)
+			}
+			cnf = append(cnf, cl)
+		}
+		s := NewSolver(Options{})
+		newVars(s, n)
+		for _, cl := range cnf {
+			if err := s.AddClause(cl...); err != nil {
+				t.Fatalf("trial %d: AddClause: %v", trial, err)
+			}
+		}
+		st, err := s.Solve()
+		if err != nil {
+			t.Fatalf("trial %d: Solve: %v", trial, err)
+		}
+		want := bruteForceSat(n, cnf)
+		if (st == StatusSat) != want {
+			t.Fatalf("trial %d: got %v, brute force says sat=%v\ncnf=%v", trial, st, want, cnf)
+		}
+		if st == StatusSat && !modelSatisfies(s, cnf) {
+			t.Fatalf("trial %d: model does not satisfy formula\ncnf=%v", trial, cnf)
+		}
+	}
+}
+
+// TestRandomCNFStatistics sanity-checks that statistics counters move.
+func TestRandomCNFStatistics(t *testing.T) {
+	s := NewSolver(Options{})
+	vs := newVars(s, 20)
+	rng := rand.New(rand.NewSource(7))
+	for c := 0; c < 85; c++ {
+		cl := make([]Lit, 3)
+		for i := range cl {
+			cl[i] = NewLit(vs[rng.Intn(len(vs))], rng.Intn(2) == 1)
+		}
+		mustAdd(t, s, cl...)
+	}
+	if _, err := s.Solve(); err != nil {
+		t.Fatalf("Solve: %v", err)
+	}
+	st := s.Statistics()
+	if st.Vars != 20 {
+		t.Errorf("Stats.Vars = %d, want 20", st.Vars)
+	}
+	if st.Decisions == 0 {
+		t.Errorf("Stats.Decisions = 0, want > 0")
+	}
+}
+
+func TestLitHelpers(t *testing.T) {
+	v := Var(3)
+	p, n := PosLit(v), NegLit(v)
+	if p.Var() != v || n.Var() != v {
+		t.Fatalf("Var round-trip broken")
+	}
+	if p.IsNeg() || !n.IsNeg() {
+		t.Fatalf("sign accessors broken")
+	}
+	if p.Not() != n || n.Not() != p {
+		t.Fatalf("Not() broken")
+	}
+	if p.String() != "4" || n.String() != "-4" {
+		t.Fatalf("String() = %q,%q; want 4,-4", p, n)
+	}
+	if LitUndef.String() != "undef" {
+		t.Fatalf("LitUndef.String() = %q", LitUndef.String())
+	}
+}

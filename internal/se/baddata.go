@@ -1,0 +1,110 @@
+package se
+
+import (
+	"fmt"
+	"math"
+)
+
+// BadDataReport is the outcome of iterative largest-normalized-residual
+// (LNR) bad data identification.
+type BadDataReport struct {
+	// Removed lists the measurement IDs identified as bad and removed, in
+	// removal order.
+	Removed []int
+	// Final is the estimate over the surviving measurements.
+	Final *Solution
+}
+
+// IdentifyBadData runs the classical iterative LNR test: estimate, compute
+// normalized residuals r_i/√Ω_ii, remove the largest one if it exceeds the
+// threshold (typically 3.0), and repeat until clean, unobservable, or
+// maxRemove measurements are gone.
+//
+// The UFDI attacks this repository studies are exactly the injections this
+// procedure cannot catch: a stealthy attack leaves every normalized
+// residual at its no-attack value (see TestStealthyAttackEvadesLNR).
+func (e *Estimator) IdentifyBadData(z []float64, threshold float64, maxRemove int) (*BadDataReport, error) {
+	if threshold <= 0 {
+		return nil, fmt.Errorf("se: LNR threshold must be positive, got %v", threshold)
+	}
+	if maxRemove < 0 {
+		return nil, fmt.Errorf("se: maxRemove must be non-negative")
+	}
+	report := &BadDataReport{}
+	current := e
+	for {
+		sol, err := current.Estimate(z)
+		if err != nil {
+			return nil, err
+		}
+		report.Final = sol
+		if len(report.Removed) >= maxRemove {
+			return report, nil
+		}
+		worstID, worstVal, err := current.largestNormalizedResidual(z, sol)
+		if err != nil {
+			return nil, err
+		}
+		if worstVal <= threshold {
+			return report, nil
+		}
+		// Remove the suspect and re-estimate; stop if that would break
+		// observability.
+		meas := current.meas.Clone()
+		if err := meas.Untake(worstID); err != nil {
+			return nil, err
+		}
+		next, err := NewEstimator(meas, Config{RefBus: current.refBus, Sigma: current.sigma})
+		if err != nil {
+			// Unobservable without the suspect: keep what we have.
+			return report, nil
+		}
+		report.Removed = append(report.Removed, worstID)
+		current = next
+	}
+}
+
+// largestNormalizedResidual computes r_N,i = |r_i|/√Ω_ii with
+// Ω = R − H G⁻¹ Hᵀ (uniform weights), returning the measurement ID and
+// value of the maximum.
+func (e *Estimator) largestNormalizedResidual(z []float64, sol *Solution) (int, float64, error) {
+	mRows := len(e.ids)
+	// X = G⁻¹ Hᵀ, column by column; S = H X; Ω_ii = σ² − S_ii·σ²·w = σ²(1 − K_ii)
+	// with K = H G⁻¹ Hᵀ W and uniform w = 1/σ².
+	ht := e.h.Transpose()
+	sigma2 := e.sigma * e.sigma
+	worstID, worstVal := -1, 0.0
+	// Solve G x = htCol for each measurement column lazily: S_ii = h_i · x_i.
+	for i := 0; i < mRows; i++ {
+		col := make([]float64, ht.Rows())
+		for r := 0; r < ht.Rows(); r++ {
+			col[r] = ht.At(r, i)
+		}
+		x, err := e.gain.SolveLU(col)
+		if err != nil {
+			return 0, 0, fmt.Errorf("se: residual covariance: %w", err)
+		}
+		sii := 0.0
+		for c := 0; c < e.h.Cols(); c++ {
+			sii += e.h.At(i, c) * x[c]
+		}
+		// Ω_ii = σ²(1 − S_ii/σ²·... ) — with uniform weights, K_ii =
+		// S_ii·w, so Ω_ii = σ² − S_ii.
+		omega := sigma2 - sii
+		if omega < 1e-12 {
+			// Critical measurement: its residual carries no redundancy and
+			// the LNR test cannot judge it.
+			continue
+		}
+		resid := z[e.ids[i]] - sol.Estimated[i]
+		norm := math.Abs(resid) / math.Sqrt(omega)
+		if norm > worstVal {
+			worstVal = norm
+			worstID = e.ids[i]
+		}
+	}
+	if worstID < 0 {
+		return 0, 0, nil
+	}
+	return worstID, worstVal, nil
+}

@@ -1,0 +1,273 @@
+package se
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+
+	"segrid/internal/dcflow"
+	"segrid/internal/grid"
+	"segrid/internal/stat"
+)
+
+func fullConfig(sys *grid.System) *grid.MeasurementConfig {
+	return grid.NewMeasurementConfig(sys)
+}
+
+func TestEstimateRecoversTrueState(t *testing.T) {
+	for _, name := range []string{"ieee14", "ieee30"} {
+		sys, err := grid.Case(name)
+		if err != nil {
+			t.Fatalf("Case: %v", err)
+		}
+		meas := fullConfig(sys)
+		est, err := NewEstimator(meas, Config{RefBus: 1, Sigma: 0.01})
+		if err != nil {
+			t.Fatalf("%s: NewEstimator: %v", name, err)
+		}
+		rng := rand.New(rand.NewSource(1))
+		angles := make([]float64, sys.Buses+1)
+		for j := 2; j <= sys.Buses; j++ {
+			angles[j] = rng.NormFloat64() * 0.2
+		}
+		z, err := dcflow.MeasureAll(sys, nil, angles)
+		if err != nil {
+			t.Fatalf("MeasureAll: %v", err)
+		}
+		sol, err := est.Estimate(z)
+		if err != nil {
+			t.Fatalf("Estimate: %v", err)
+		}
+		for j := 1; j <= sys.Buses; j++ {
+			if math.Abs(sol.Angles[j]-angles[j]) > 1e-7 {
+				t.Fatalf("%s: bus %d angle %v, want %v", name, j, sol.Angles[j], angles[j])
+			}
+		}
+		if sol.ResidualNorm > 1e-8 {
+			t.Fatalf("%s: noiseless residual %v, want ~0", name, sol.ResidualNorm)
+		}
+	}
+}
+
+func TestEstimateWithNoiseWithinThreshold(t *testing.T) {
+	sys := grid.IEEE14()
+	meas := fullConfig(sys)
+	const sigma = 0.005
+	est, err := NewEstimator(meas, Config{RefBus: 1, Sigma: sigma})
+	if err != nil {
+		t.Fatalf("NewEstimator: %v", err)
+	}
+	det, err := NewDetector(est, 0.01)
+	if err != nil {
+		t.Fatalf("NewDetector: %v", err)
+	}
+	sampler := stat.NewNormalSampler(77)
+	angles := make([]float64, sys.Buses+1)
+	for j := 2; j <= sys.Buses; j++ {
+		angles[j] = 0.05 * float64(j-1)
+	}
+	falseAlarms := 0
+	const trials = 50
+	for trial := 0; trial < trials; trial++ {
+		z, err := dcflow.MeasureAll(sys, nil, angles)
+		if err != nil {
+			t.Fatalf("MeasureAll: %v", err)
+		}
+		for id := 1; id <= sys.NumMeasurements(); id++ {
+			z[id] += sampler.Sample(0, sigma)
+		}
+		sol, err := est.Estimate(z)
+		if err != nil {
+			t.Fatalf("Estimate: %v", err)
+		}
+		if det.BadDataDetected(sol) {
+			falseAlarms++
+		}
+	}
+	// At significance 1% the false alarm rate over 50 trials should be tiny.
+	if falseAlarms > 5 {
+		t.Fatalf("%d/%d false alarms at alpha=0.01", falseAlarms, trials)
+	}
+}
+
+func TestGrossErrorDetected(t *testing.T) {
+	sys := grid.IEEE14()
+	meas := fullConfig(sys)
+	const sigma = 0.005
+	est, err := NewEstimator(meas, Config{RefBus: 1, Sigma: sigma})
+	if err != nil {
+		t.Fatalf("NewEstimator: %v", err)
+	}
+	det, err := NewDetector(est, 0.05)
+	if err != nil {
+		t.Fatalf("NewDetector: %v", err)
+	}
+	angles := make([]float64, sys.Buses+1)
+	for j := 2; j <= sys.Buses; j++ {
+		angles[j] = 0.03 * float64(j)
+	}
+	z, err := dcflow.MeasureAll(sys, nil, angles)
+	if err != nil {
+		t.Fatalf("MeasureAll: %v", err)
+	}
+	// A gross error on one line flow (not an a=Hc attack) must trip BDD.
+	z[7] += 1.5
+	sol, err := est.Estimate(z)
+	if err != nil {
+		t.Fatalf("Estimate: %v", err)
+	}
+	if !det.BadDataDetected(sol) {
+		t.Fatalf("gross error passed BDD: J=%v τ=%v", sol.J, det.Threshold())
+	}
+}
+
+func TestStealthyInjectionPassesBDD(t *testing.T) {
+	// The classical Liu et al. construction: a = Hc leaves the residual
+	// unchanged. This is the vulnerability the whole paper is about.
+	sys := grid.IEEE14()
+	meas := fullConfig(sys)
+	est, err := NewEstimator(meas, Config{RefBus: 1, Sigma: 0.005})
+	if err != nil {
+		t.Fatalf("NewEstimator: %v", err)
+	}
+	det, err := NewDetector(est, 0.05)
+	if err != nil {
+		t.Fatalf("NewDetector: %v", err)
+	}
+	angles := make([]float64, sys.Buses+1)
+	for j := 2; j <= sys.Buses; j++ {
+		angles[j] = 0.02 * float64(j)
+	}
+	z, err := dcflow.MeasureAll(sys, nil, angles)
+	if err != nil {
+		t.Fatalf("MeasureAll: %v", err)
+	}
+	solBefore, err := est.Estimate(z)
+	if err != nil {
+		t.Fatalf("Estimate: %v", err)
+	}
+	// Attack: shift bus 12's angle by 0.1 (c with a single nonzero entry),
+	// a = H·c applied to all measurements.
+	attacked := make([]float64, sys.Buses+1)
+	copy(attacked, angles)
+	attacked[12] += 0.1
+	zAtt, err := dcflow.MeasureAll(sys, nil, attacked)
+	if err != nil {
+		t.Fatalf("MeasureAll: %v", err)
+	}
+	solAfter, err := est.Estimate(zAtt)
+	if err != nil {
+		t.Fatalf("Estimate: %v", err)
+	}
+	if det.BadDataDetected(solAfter) {
+		t.Fatalf("stealthy attack detected; residual machinery wrong")
+	}
+	if math.Abs(solAfter.J-solBefore.J) > 1e-9 {
+		t.Fatalf("residual changed: %v → %v, want unchanged", solBefore.J, solAfter.J)
+	}
+	if math.Abs(solAfter.Angles[12]-solBefore.Angles[12]-0.1) > 1e-7 {
+		t.Fatalf("estimated state not corrupted by attack")
+	}
+}
+
+func TestUnobservableRejected(t *testing.T) {
+	sys := grid.IEEE14()
+	meas := fullConfig(sys)
+	// Take only one measurement: clearly unobservable.
+	ids := meas.TakenIDs()
+	if err := meas.Untake(ids[1:]...); err != nil {
+		t.Fatalf("Untake: %v", err)
+	}
+	_, err := NewEstimator(meas, Config{RefBus: 1, Sigma: 0.01})
+	if !errors.Is(err, ErrUnobservable) {
+		t.Fatalf("err = %v, want ErrUnobservable", err)
+	}
+}
+
+func TestUnobservableByRankRejected(t *testing.T) {
+	sys := grid.IEEE14()
+	meas := fullConfig(sys)
+	// Keep plenty of measurements but none touching bus 8 (only line 14
+	// reaches it): untake its flow measurements and its injection, plus
+	// the injection at bus 7.
+	if err := meas.Untake(14, 34, sys.InjectionMeas(8), sys.InjectionMeas(7)); err != nil {
+		t.Fatalf("Untake: %v", err)
+	}
+	_, err := NewEstimator(meas, Config{RefBus: 1, Sigma: 0.01})
+	if !errors.Is(err, ErrUnobservable) {
+		t.Fatalf("err = %v, want ErrUnobservable", err)
+	}
+}
+
+func TestEstimatorConfigValidation(t *testing.T) {
+	sys := grid.IEEE14()
+	meas := fullConfig(sys)
+	if _, err := NewEstimator(meas, Config{RefBus: 1, Sigma: 0}); err == nil {
+		t.Fatalf("sigma 0 accepted")
+	}
+	if _, err := NewEstimator(meas, Config{RefBus: 99, Sigma: 0.01}); err == nil {
+		t.Fatalf("bad ref bus accepted")
+	}
+}
+
+func TestEstimateBadLength(t *testing.T) {
+	sys := grid.IEEE14()
+	est, err := NewEstimator(fullConfig(sys), Config{RefBus: 1, Sigma: 0.01})
+	if err != nil {
+		t.Fatalf("NewEstimator: %v", err)
+	}
+	if _, err := est.Estimate(make([]float64, 3)); err == nil {
+		t.Fatalf("bad measurement vector length accepted")
+	}
+}
+
+func TestDetectorProperties(t *testing.T) {
+	sys := grid.IEEE14()
+	est, err := NewEstimator(fullConfig(sys), Config{RefBus: 1, Sigma: 0.01})
+	if err != nil {
+		t.Fatalf("NewEstimator: %v", err)
+	}
+	det, err := NewDetector(est, 0.05)
+	if err != nil {
+		t.Fatalf("NewDetector: %v", err)
+	}
+	if det.DegreesOfFreedom() != 54-13 {
+		t.Fatalf("dof = %d, want 41", det.DegreesOfFreedom())
+	}
+	if det.Threshold() <= 0 {
+		t.Fatalf("threshold not positive")
+	}
+	if _, err := NewDetector(est, 2); err == nil {
+		t.Fatalf("alpha ≥ 1 accepted")
+	}
+}
+
+func TestEstimatorWithTopologyMapping(t *testing.T) {
+	// When a line is out of service and the topology processor knows it,
+	// estimation over the remaining grid must still work.
+	sys := grid.IEEE14()
+	mapped := dcflow.AllMapped(sys)
+	mapped[13] = false
+	meas := fullConfig(sys)
+	// The excluded line's measurements read zero in reality.
+	est, err := NewEstimator(meas, Config{RefBus: 1, Sigma: 0.01, Mapped: mapped})
+	if err != nil {
+		t.Fatalf("NewEstimator: %v", err)
+	}
+	angles := make([]float64, sys.Buses+1)
+	for j := 2; j <= sys.Buses; j++ {
+		angles[j] = 0.01 * float64(j)
+	}
+	z, err := dcflow.MeasureAll(sys, mapped, angles)
+	if err != nil {
+		t.Fatalf("MeasureAll: %v", err)
+	}
+	sol, err := est.Estimate(z)
+	if err != nil {
+		t.Fatalf("Estimate: %v", err)
+	}
+	if sol.ResidualNorm > 1e-8 {
+		t.Fatalf("residual %v with consistent topology, want ~0", sol.ResidualNorm)
+	}
+}

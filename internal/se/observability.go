@@ -1,0 +1,91 @@
+package se
+
+import (
+	"math"
+	"sort"
+
+	"segrid/internal/dcflow"
+	"segrid/internal/grid"
+	"segrid/internal/matrix"
+)
+
+// ObservableIslands partitions the buses into maximal groups whose
+// *relative* states are determined by the taken measurements: within an
+// island, every angle difference is observable; across islands, nothing
+// ties the angles together. A fully observable system yields one island.
+//
+// The computation is numerical: two buses belong to the same island iff
+// their coordinates agree in every right-null-space direction of the taken
+// measurement Jacobian (the angle shifts the measurements cannot see). No
+// reference reduction is applied — the global-shift direction moves every
+// bus equally and so never splits islands.
+func ObservableIslands(meas *grid.MeasurementConfig) ([][]int, error) {
+	sys := meas.System()
+	full := dcflow.BuildH(sys, nil)
+	ids := meas.TakenIDs()
+	rows := make([][]float64, len(ids))
+	for r, id := range ids {
+		row := make([]float64, sys.Buses)
+		for c := 0; c < sys.Buses; c++ {
+			row[c] = full.At(id-1, c)
+		}
+		rows[r] = row
+	}
+	h, err := matrix.FromRows(rows)
+	if err != nil {
+		return nil, err
+	}
+	basis := h.NullSpace(1e-9)
+
+	// Union-find over buses: same island iff their coordinates agree (to
+	// tolerance) in every null direction.
+	parent := make([]int, sys.Buses+1)
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		if parent[x] != x {
+			parent[x] = find(parent[x])
+		}
+		return parent[x]
+	}
+	const tol = 1e-6
+	sameIsland := func(a, b int) bool {
+		for _, vec := range basis {
+			if math.Abs(vec[a-1]-vec[b-1]) > tol {
+				return false
+			}
+		}
+		return true
+	}
+	for a := 1; a <= sys.Buses; a++ {
+		for b := a + 1; b <= sys.Buses; b++ {
+			if find(a) != find(b) && sameIsland(a, b) {
+				parent[find(a)] = find(b)
+			}
+		}
+	}
+	groups := make(map[int][]int)
+	for bus := 1; bus <= sys.Buses; bus++ {
+		root := find(bus)
+		groups[root] = append(groups[root], bus)
+	}
+	out := make([][]int, 0, len(groups))
+	for _, buses := range groups {
+		sort.Ints(buses)
+		out = append(out, buses)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i][0] < out[j][0] })
+	return out, nil
+}
+
+// Observable reports whether the taken measurements make the whole system
+// observable (a single island).
+func Observable(meas *grid.MeasurementConfig) (bool, error) {
+	islands, err := ObservableIslands(meas)
+	if err != nil {
+		return false, err
+	}
+	return len(islands) == 1, nil
+}

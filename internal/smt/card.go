@@ -1,0 +1,112 @@
+package smt
+
+import (
+	"fmt"
+
+	"segrid/internal/sat"
+)
+
+// assertCard lowers a cardinality constraint over arbitrary formulas: each
+// operand is Tseitin-encoded to a literal and the counting circuit is built
+// over those literals.
+func (e *encoder) assertCard(cc cardConstraint) error {
+	lits := make([]sat.Lit, 0, len(cc.fs))
+	for _, f := range cc.fs {
+		l, err := e.encode(f)
+		if err != nil {
+			return err
+		}
+		lits = append(lits, l)
+	}
+	switch cc.kind {
+	case cardAtMost:
+		e.atMostK(lits, cc.k)
+	case cardAtLeast:
+		// Σ x ≥ k  ⇔  Σ ¬x ≤ n − k.
+		neg := make([]sat.Lit, len(lits))
+		for i, l := range lits {
+			neg[i] = l.Not()
+		}
+		e.atMostK(neg, len(lits)-cc.k)
+	default:
+		return fmt.Errorf("smt: unknown cardinality kind %d", cc.kind)
+	}
+	return nil
+}
+
+// atMostK encodes Σ lits ≤ k.
+func (e *encoder) atMostK(lits []sat.Lit, k int) {
+	n := len(lits)
+	if k >= n {
+		return
+	}
+	if k < 0 {
+		e.unsat = true
+		return
+	}
+	if k == 0 {
+		for _, l := range lits {
+			e.mustAdd(l.Not())
+		}
+		return
+	}
+	if e.owner.opts.NaiveCardinality {
+		e.atMostKPairwise(lits, k)
+		return
+	}
+	e.atMostKSeqCounter(lits, k)
+}
+
+// atMostKSeqCounter is the sequential-counter encoding LT_{n,k} of Sinz
+// (CP 2005): registers s[i][j] mean "at least j+1 of the first i+1 inputs
+// are true". O(n·k) clauses and auxiliary variables, arc-consistent under
+// unit propagation.
+func (e *encoder) atMostKSeqCounter(lits []sat.Lit, k int) {
+	n := len(lits)
+	reg := make([][]sat.Lit, n-1)
+	for i := range reg {
+		reg[i] = make([]sat.Lit, k)
+		for j := range reg[i] {
+			reg[i][j] = sat.PosLit(e.sat.NewVar())
+		}
+	}
+	// Base: x0 → s[0][0]; s[0][j] false for j ≥ 1.
+	e.mustAdd(lits[0].Not(), reg[0][0])
+	for j := 1; j < k; j++ {
+		e.mustAdd(reg[0][j].Not())
+	}
+	for i := 1; i < n-1; i++ {
+		e.mustAdd(lits[i].Not(), reg[i][0])
+		e.mustAdd(reg[i-1][0].Not(), reg[i][0])
+		for j := 1; j < k; j++ {
+			e.mustAdd(lits[i].Not(), reg[i-1][j-1].Not(), reg[i][j])
+			e.mustAdd(reg[i-1][j].Not(), reg[i][j])
+		}
+		e.mustAdd(lits[i].Not(), reg[i-1][k-1].Not())
+	}
+	e.mustAdd(lits[n-1].Not(), reg[n-2][k-1].Not())
+}
+
+// atMostKPairwise is the naive binomial encoding: for every (k+1)-subset at
+// least one literal is false. Exponential in k; retained as an ablation
+// baseline.
+func (e *encoder) atMostKPairwise(lits []sat.Lit, k int) {
+	subset := make([]sat.Lit, 0, k+1)
+	var rec func(start int)
+	rec = func(start int) {
+		if len(subset) == k+1 {
+			clause := make([]sat.Lit, len(subset))
+			for i, l := range subset {
+				clause[i] = l.Not()
+			}
+			e.mustAdd(clause...)
+			return
+		}
+		for i := start; i < len(lits); i++ {
+			subset = append(subset, lits[i])
+			rec(i + 1)
+			subset = subset[:len(subset)-1]
+		}
+	}
+	rec(0)
+}

@@ -1,0 +1,375 @@
+package smt
+
+import (
+	"fmt"
+	"math/big"
+
+	"segrid/internal/lra"
+	"segrid/internal/numeric"
+	"segrid/internal/sat"
+)
+
+// atomKey identifies a canonical upper-bound atom: slack ≤ rhs + k·δ.
+type atomKey struct {
+	slack int
+	rhs   string
+	k     int8
+}
+
+// boundSpec is the theory meaning of an atom's SAT variable. The positive
+// literal asserts slack ≤ pos; the negative literal asserts slack ≥ neg.
+type boundSpec struct {
+	slack int
+	pos   numeric.Delta // upper bound when the literal is true
+	neg   numeric.Delta // lower bound when the literal is false
+}
+
+// theoryAdapter bridges the simplex solver into the SAT core's Theory hook.
+type theoryAdapter struct {
+	simplex *lra.Simplex
+	bounds  map[sat.Var]boundSpec
+}
+
+var _ sat.Theory = (*theoryAdapter)(nil)
+
+func (t *theoryAdapter) Assert(l sat.Lit) []sat.Lit {
+	spec, ok := t.bounds[l.Var()]
+	if !ok {
+		return nil
+	}
+	var conflict []lra.Tag
+	if l.IsNeg() {
+		conflict = t.simplex.AssertLower(spec.slack, spec.neg, lra.Tag(l))
+	} else {
+		conflict = t.simplex.AssertUpper(spec.slack, spec.pos, lra.Tag(l))
+	}
+	return tagsToLits(conflict)
+}
+
+func (t *theoryAdapter) Check(final bool) []sat.Lit {
+	return tagsToLits(t.simplex.Check())
+}
+
+func (t *theoryAdapter) Push()     { t.simplex.Push() }
+func (t *theoryAdapter) Pop(n int) { t.simplex.Pop(n) }
+
+func tagsToLits(tags []lra.Tag) []sat.Lit {
+	if tags == nil {
+		return nil
+	}
+	lits := make([]sat.Lit, len(tags))
+	for i, tg := range tags {
+		lits[i] = sat.Lit(tg)
+	}
+	return lits
+}
+
+// encoder lowers the assertion stack into a fresh SAT instance plus simplex
+// tableau for a single Check call.
+type encoder struct {
+	owner   *Solver
+	sat     *sat.Solver
+	simplex *lra.Simplex
+	theory  *theoryAdapter
+
+	realToSimplex []int
+	slackByKey    map[string]int
+	atomVars      map[atomKey]sat.Var
+	boolToSat     []sat.Var
+	memo          map[Formula]sat.Lit
+
+	trueLit sat.Lit
+	unsat   bool
+	nAtoms  int
+}
+
+func newEncoder(owner *Solver) *encoder {
+	simplex := lra.NewSimplex()
+	theory := &theoryAdapter{simplex: simplex, bounds: make(map[sat.Var]boundSpec)}
+	e := &encoder{
+		owner: owner,
+		sat: sat.NewSolver(sat.Options{
+			Theory:          theory,
+			CheckAtFixpoint: owner.opts.TheoryCheckAtFixpoint,
+			MaxConflicts:    owner.opts.MaxConflicts,
+		}),
+		simplex:    simplex,
+		theory:     theory,
+		slackByKey: make(map[string]int),
+		atomVars:   make(map[atomKey]sat.Var),
+		memo:       make(map[Formula]sat.Lit),
+	}
+	// A dedicated always-true literal anchors constant formulas.
+	tv := e.sat.NewVar()
+	e.trueLit = sat.PosLit(tv)
+	e.mustAdd(e.trueLit)
+	// Register every real variable with the simplex up front so models are
+	// total.
+	e.realToSimplex = make([]int, len(owner.realNames))
+	for i := range owner.realNames {
+		e.realToSimplex[i] = simplex.NewVar()
+	}
+	e.boolToSat = make([]sat.Var, len(owner.boolNames))
+	for i := range owner.boolNames {
+		e.boolToSat[i] = e.sat.NewVar()
+	}
+	return e
+}
+
+func (e *encoder) mustAdd(lits ...sat.Lit) {
+	if err := e.sat.AddClause(lits...); err != nil {
+		// Clauses are built from variables the encoder itself created;
+		// a failure here is a bug, not an input error.
+		panic(fmt.Sprintf("smt: internal clause error: %v", err))
+	}
+}
+
+// assertTop asserts a formula at the top level, flattening conjunctions and
+// emitting disjunctions of literals as plain clauses.
+func (e *encoder) assertTop(f Formula) error {
+	switch g := f.(type) {
+	case *constF:
+		if !g.val {
+			e.unsat = true
+		}
+		return nil
+	case *andF:
+		for _, c := range g.fs {
+			if err := e.assertTop(c); err != nil {
+				return err
+			}
+		}
+		return nil
+	case *orF:
+		lits := make([]sat.Lit, 0, len(g.fs))
+		for _, c := range g.fs {
+			l, err := e.encode(c)
+			if err != nil {
+				return err
+			}
+			lits = append(lits, l)
+		}
+		e.mustAdd(lits...)
+		return nil
+	default:
+		l, err := e.encode(f)
+		if err != nil {
+			return err
+		}
+		e.mustAdd(l)
+		return nil
+	}
+}
+
+// encode lowers a formula to a SAT literal (Tseitin transformation with
+// structural sharing by node identity).
+func (e *encoder) encode(f Formula) (sat.Lit, error) {
+	if l, ok := e.memo[f]; ok {
+		return l, nil
+	}
+	var lit sat.Lit
+	switch g := f.(type) {
+	case *constF:
+		if g.val {
+			lit = e.trueLit
+		} else {
+			lit = e.trueLit.Not()
+		}
+	case *boolF:
+		if int(g.v) >= len(e.boolToSat) {
+			return 0, fmt.Errorf("smt: formula references unknown Boolean variable b%d", g.v)
+		}
+		lit = sat.PosLit(e.boolToSat[g.v])
+	case *notF:
+		inner, err := e.encode(g.f)
+		if err != nil {
+			return 0, err
+		}
+		lit = inner.Not()
+	case *andF:
+		z := sat.PosLit(e.sat.NewVar())
+		all := make([]sat.Lit, 0, len(g.fs)+1)
+		all = append(all, z)
+		for _, c := range g.fs {
+			cl, err := e.encode(c)
+			if err != nil {
+				return 0, err
+			}
+			e.mustAdd(z.Not(), cl) // z → c
+			all = append(all, cl.Not())
+		}
+		e.mustAdd(all...) // ∧c → z
+		lit = z
+	case *orF:
+		z := sat.PosLit(e.sat.NewVar())
+		all := make([]sat.Lit, 0, len(g.fs)+1)
+		all = append(all, z.Not())
+		for _, c := range g.fs {
+			cl, err := e.encode(c)
+			if err != nil {
+				return 0, err
+			}
+			e.mustAdd(z, cl.Not()) // c → z
+			all = append(all, cl)
+		}
+		e.mustAdd(all...) // z → ∨c
+		lit = z
+	case *atomF:
+		l, err := e.encodeAtom(g)
+		if err != nil {
+			return 0, err
+		}
+		lit = l
+	default:
+		return 0, fmt.Errorf("smt: unknown formula node %T", f)
+	}
+	e.memo[f] = lit
+	return lit, nil
+}
+
+// encodeAtom maps an arithmetic atom to a (possibly negated) theory literal
+// over a canonical upper-bound atom on a shared slack variable.
+func (e *encoder) encodeAtom(a *atomF) (sat.Lit, error) {
+	canon, factor, key := a.expr.normalize()
+	rhs := new(big.Rat).Quo(a.rhs, factor)
+	op := a.op
+	if factor.Sign() < 0 {
+		switch op {
+		case opLE:
+			op = opGE
+		case opGE:
+			op = opLE
+		case opLT:
+			op = opGT
+		case opGT:
+			op = opLT
+		}
+	}
+
+	slackVar, err := e.slackFor(canon, key)
+	if err != nil {
+		return 0, err
+	}
+
+	// Canonical form: an upper-bound atom "slack ≤ rhs + k·δ" (k ∈ {0,−1}),
+	// possibly negated.
+	var k int8
+	negated := false
+	switch op {
+	case opLE:
+		k = 0
+	case opLT:
+		k = -1
+	case opGE: // s ≥ c ⇔ ¬(s < c)
+		k, negated = -1, true
+	case opGT: // s > c ⇔ ¬(s ≤ c)
+		k, negated = 0, true
+	}
+
+	ak := atomKey{slack: slackVar, rhs: rhs.RatString(), k: k}
+	v, ok := e.atomVars[ak]
+	if !ok {
+		v = e.sat.NewVar()
+		e.sat.WatchTheoryVar(v)
+		e.atomVars[ak] = v
+		e.nAtoms++
+		kr := big.NewRat(int64(k), 1)
+		negKr := big.NewRat(int64(k)+1, 1)
+		e.theory.bounds[v] = boundSpec{
+			slack: slackVar,
+			pos:   numeric.NewDelta(rhs, kr),
+			// ¬(s ≤ c + k·δ) ⇔ s ≥ c + (k+1)·δ
+			neg: numeric.NewDelta(rhs, negKr),
+		}
+	}
+	l := sat.PosLit(v)
+	if negated {
+		l = l.Not()
+	}
+	return l, nil
+}
+
+// slackFor returns the simplex variable representing the canonical
+// expression, introducing a slack row on first use. Single-variable
+// canonical expressions map directly to the variable.
+func (e *encoder) slackFor(canon *LinExpr, key string) (int, error) {
+	if sv, ok := e.slackByKey[key]; ok {
+		return sv, nil
+	}
+	vars := canon.Vars()
+	if len(vars) == 1 {
+		v := vars[0]
+		if int(v) >= len(e.realToSimplex) {
+			return 0, fmt.Errorf("smt: atom references unknown real variable x%d", v)
+		}
+		// Canonical leading coefficient is 1, so the expression is the
+		// variable itself.
+		sv := e.realToSimplex[v]
+		e.slackByKey[key] = sv
+		return sv, nil
+	}
+	terms := make([]lra.Term, 0, len(vars))
+	for _, v := range vars {
+		if int(v) >= len(e.realToSimplex) {
+			return 0, fmt.Errorf("smt: atom references unknown real variable x%d", v)
+		}
+		terms = append(terms, lra.Term{Var: e.realToSimplex[v], Coeff: canon.Coeff(v)})
+	}
+	sv, err := e.simplex.DefineSlack(terms)
+	if err != nil {
+		return 0, fmt.Errorf("smt: define slack: %w", err)
+	}
+	e.slackByKey[key] = sv
+	return sv, nil
+}
+
+// solve runs the SAT search and packages the result.
+func (e *encoder) solve() (*Result, error) {
+	res := &Result{}
+	fill := func() {
+		sst := e.sat.Statistics()
+		lst := e.simplex.Statistics()
+		res.Stats = Stats{
+			BoolVars:     sst.Vars,
+			Clauses:      sst.Clauses,
+			RealVars:     len(e.realToSimplex),
+			Atoms:        e.nAtoms,
+			SlackVars:    lst.Rows,
+			Conflicts:    sst.Conflicts,
+			Decisions:    sst.Decisions,
+			Propagations: sst.Propagations,
+			Restarts:     sst.Restarts,
+			TheoryChecks: sst.TheoryChecks,
+			Pivots:       lst.Pivots,
+		}
+	}
+	if e.unsat {
+		res.Status = Unsat
+		fill()
+		return res, nil
+	}
+	status, err := e.sat.Solve()
+	fill()
+	if err != nil {
+		res.Status = Unknown
+		return res, err
+	}
+	switch status {
+	case sat.StatusSat:
+		res.Status = Sat
+		res.boolVals = make([]bool, len(e.boolToSat))
+		for i, v := range e.boolToSat {
+			res.boolVals[i] = e.sat.Value(v)
+		}
+		model := e.simplex.Model()
+		res.realVals = make([]*big.Rat, len(e.realToSimplex))
+		for i, sv := range e.realToSimplex {
+			res.realVals[i] = model[sv]
+		}
+	case sat.StatusUnsat:
+		res.Status = Unsat
+	default:
+		res.Status = Unknown
+	}
+	return res, nil
+}

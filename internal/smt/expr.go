@@ -1,0 +1,154 @@
+// Package smt provides a satisfiability-modulo-theories solver for the
+// quantifier-free combination of propositional logic and linear real
+// arithmetic, plus cardinality constraints — the fragment the reproduced
+// paper uses through Z3. It layers Tseitin CNF conversion and a
+// sequential-counter cardinality encoding on the CDCL core (internal/sat)
+// and integrates the simplex theory solver (internal/lra) DPLL(T)-style.
+package smt
+
+import (
+	"fmt"
+	"math/big"
+	"sort"
+	"strings"
+)
+
+// RealVar names a real-valued variable. Create with Solver.RealVar.
+type RealVar int32
+
+// BoolVar names a Boolean variable. Create with Solver.BoolVar.
+type BoolVar int32
+
+// LinExpr is a linear expression Σ coeff·var over real variables. The zero
+// value is the empty sum; build terms with AddTerm/AddExpr.
+type LinExpr struct {
+	coeffs map[RealVar]*big.Rat
+}
+
+// NewLinExpr returns an empty linear expression.
+func NewLinExpr() *LinExpr {
+	return &LinExpr{coeffs: make(map[RealVar]*big.Rat)}
+}
+
+// Term adds coeff·v to the expression and returns it for chaining.
+func (e *LinExpr) Term(coeff *big.Rat, v RealVar) *LinExpr {
+	if coeff.Sign() == 0 {
+		return e
+	}
+	if old, ok := e.coeffs[v]; ok {
+		sum := new(big.Rat).Add(old, coeff)
+		if sum.Sign() == 0 {
+			delete(e.coeffs, v)
+		} else {
+			e.coeffs[v] = sum
+		}
+		return e
+	}
+	e.coeffs[v] = new(big.Rat).Set(coeff)
+	return e
+}
+
+// TermInt adds coeff·v with an integer coefficient.
+func (e *LinExpr) TermInt(coeff int64, v RealVar) *LinExpr {
+	return e.Term(big.NewRat(coeff, 1), v)
+}
+
+// AddExpr adds coeff·other to the expression and returns it for chaining.
+func (e *LinExpr) AddExpr(coeff *big.Rat, other *LinExpr) *LinExpr {
+	for v, c := range other.coeffs {
+		e.Term(new(big.Rat).Mul(coeff, c), v)
+	}
+	return e
+}
+
+// Clone returns an independent copy.
+func (e *LinExpr) Clone() *LinExpr {
+	out := NewLinExpr()
+	for v, c := range e.coeffs {
+		out.coeffs[v] = new(big.Rat).Set(c)
+	}
+	return out
+}
+
+// IsEmpty reports whether the expression has no terms (is identically 0).
+func (e *LinExpr) IsEmpty() bool { return len(e.coeffs) == 0 }
+
+// Vars returns the variables of the expression in ascending order.
+func (e *LinExpr) Vars() []RealVar {
+	out := make([]RealVar, 0, len(e.coeffs))
+	for v := range e.coeffs {
+		out = append(out, v)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Coeff returns the coefficient of v (zero if absent). The result must not
+// be mutated.
+func (e *LinExpr) Coeff(v RealVar) *big.Rat {
+	if c, ok := e.coeffs[v]; ok {
+		return c
+	}
+	return new(big.Rat)
+}
+
+// Eval evaluates the expression under the given assignment; missing
+// variables count as 0.
+func (e *LinExpr) Eval(assign map[RealVar]*big.Rat) *big.Rat {
+	sum := new(big.Rat)
+	for v, c := range e.coeffs {
+		if val, ok := assign[v]; ok {
+			sum.Add(sum, new(big.Rat).Mul(c, val))
+		}
+	}
+	return sum
+}
+
+// String renders the expression deterministically, e.g. "2·x1 − 1/3·x4".
+func (e *LinExpr) String() string {
+	vars := e.Vars()
+	if len(vars) == 0 {
+		return "0"
+	}
+	var b strings.Builder
+	for i, v := range vars {
+		c := e.coeffs[v]
+		if i > 0 {
+			if c.Sign() < 0 {
+				b.WriteString(" - ")
+				c = new(big.Rat).Neg(c)
+			} else {
+				b.WriteString(" + ")
+			}
+		}
+		if c.Cmp(big.NewRat(1, 1)) == 0 {
+			fmt.Fprintf(&b, "x%d", v)
+		} else {
+			fmt.Fprintf(&b, "%s·x%d", c.RatString(), v)
+		}
+	}
+	return b.String()
+}
+
+// normalize returns the canonical form of the expression — scaled so the
+// smallest-indexed variable has coefficient 1 — together with the applied
+// scale factor f such that e = f·canonical. The canonical key is a
+// deterministic string used to share simplex slack variables between atoms
+// over the same hyperplane. The receiver is not modified.
+func (e *LinExpr) normalize() (canon *LinExpr, factor *big.Rat, key string) {
+	vars := e.Vars()
+	if len(vars) == 0 {
+		return NewLinExpr(), big.NewRat(1, 1), ""
+	}
+	lead := e.coeffs[vars[0]]
+	factor = new(big.Rat).Set(lead)
+	inv := new(big.Rat).Inv(lead)
+	canon = NewLinExpr()
+	var b strings.Builder
+	for _, v := range vars {
+		c := new(big.Rat).Mul(e.coeffs[v], inv)
+		canon.coeffs[v] = c
+		fmt.Fprintf(&b, "%d:%s;", v, c.RatString())
+	}
+	return canon, factor, b.String()
+}

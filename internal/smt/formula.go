@@ -1,0 +1,205 @@
+package smt
+
+import (
+	"fmt"
+	"math/big"
+	"strings"
+)
+
+// Formula is a Boolean combination of Boolean variables and linear
+// arithmetic atoms. Formulas are immutable; build them with the package
+// constructors and assert them on a Solver.
+type Formula interface {
+	isFormula()
+	String() string
+}
+
+type constF struct{ val bool }
+
+type boolF struct{ v BoolVar }
+
+type notF struct{ f Formula }
+
+type andF struct{ fs []Formula }
+
+type orF struct{ fs []Formula }
+
+// atomOp is the comparison operator of an arithmetic atom.
+type atomOp int8
+
+const (
+	opLE atomOp = iota + 1 // ≤
+	opLT                   // <
+	opGE                   // ≥
+	opGT                   // >
+)
+
+func (op atomOp) String() string {
+	switch op {
+	case opLE:
+		return "<="
+	case opLT:
+		return "<"
+	case opGE:
+		return ">="
+	default:
+		return ">"
+	}
+}
+
+type atomF struct {
+	expr *LinExpr
+	op   atomOp
+	rhs  *big.Rat
+}
+
+func (*constF) isFormula() {}
+func (*boolF) isFormula()  {}
+func (*notF) isFormula()   {}
+func (*andF) isFormula()   {}
+func (*orF) isFormula()    {}
+func (*atomF) isFormula()  {}
+
+func (f *constF) String() string {
+	if f.val {
+		return "true"
+	}
+	return "false"
+}
+func (f *boolF) String() string { return fmt.Sprintf("b%d", f.v) }
+func (f *notF) String() string  { return "¬(" + f.f.String() + ")" }
+func (f *andF) String() string  { return joinFormulas(f.fs, " ∧ ") }
+func (f *orF) String() string   { return joinFormulas(f.fs, " ∨ ") }
+func (f *atomF) String() string {
+	return fmt.Sprintf("(%s %s %s)", f.expr, f.op, f.rhs.RatString())
+}
+
+func joinFormulas(fs []Formula, sep string) string {
+	parts := make([]string, len(fs))
+	for i, f := range fs {
+		parts[i] = f.String()
+	}
+	return "(" + strings.Join(parts, sep) + ")"
+}
+
+// True is the constant true formula.
+func True() Formula { return &constF{val: true} }
+
+// False is the constant false formula.
+func False() Formula { return &constF{val: false} }
+
+// B lifts a Boolean variable to a formula.
+func B(v BoolVar) Formula { return &boolF{v: v} }
+
+// Not negates a formula.
+func Not(f Formula) Formula {
+	if n, ok := f.(*notF); ok {
+		return n.f
+	}
+	return &notF{f: f}
+}
+
+// And is n-ary conjunction. And() is true.
+func And(fs ...Formula) Formula {
+	flat := make([]Formula, 0, len(fs))
+	for _, f := range fs {
+		switch g := f.(type) {
+		case *constF:
+			if !g.val {
+				return False()
+			}
+		case *andF:
+			flat = append(flat, g.fs...)
+		default:
+			flat = append(flat, f)
+		}
+	}
+	switch len(flat) {
+	case 0:
+		return True()
+	case 1:
+		return flat[0]
+	}
+	return &andF{fs: flat}
+}
+
+// Or is n-ary disjunction. Or() is false.
+func Or(fs ...Formula) Formula {
+	flat := make([]Formula, 0, len(fs))
+	for _, f := range fs {
+		switch g := f.(type) {
+		case *constF:
+			if g.val {
+				return True()
+			}
+		case *orF:
+			flat = append(flat, g.fs...)
+		default:
+			flat = append(flat, f)
+		}
+	}
+	switch len(flat) {
+	case 0:
+		return False()
+	case 1:
+		return flat[0]
+	}
+	return &orF{fs: flat}
+}
+
+// Implies builds a → b.
+func Implies(a, b Formula) Formula { return Or(Not(a), b) }
+
+// Iff builds a ↔ b.
+func Iff(a, b Formula) Formula {
+	return And(Implies(a, b), Implies(b, a))
+}
+
+// LE builds the atom expr ≤ rhs.
+func LE(expr *LinExpr, rhs *big.Rat) Formula { return newAtom(expr, opLE, rhs) }
+
+// LT builds the atom expr < rhs.
+func LT(expr *LinExpr, rhs *big.Rat) Formula { return newAtom(expr, opLT, rhs) }
+
+// GE builds the atom expr ≥ rhs.
+func GE(expr *LinExpr, rhs *big.Rat) Formula { return newAtom(expr, opGE, rhs) }
+
+// GT builds the atom expr > rhs.
+func GT(expr *LinExpr, rhs *big.Rat) Formula { return newAtom(expr, opGT, rhs) }
+
+// Eq builds expr = rhs as the conjunction of two non-strict atoms.
+func Eq(expr *LinExpr, rhs *big.Rat) Formula {
+	return And(LE(expr, rhs), GE(expr, rhs))
+}
+
+// Neq builds expr ≠ rhs as the disjunction of two strict atoms; the theory
+// solver stays convex and the case split lives in the Boolean structure.
+func Neq(expr *LinExpr, rhs *big.Rat) Formula {
+	return Or(LT(expr, rhs), GT(expr, rhs))
+}
+
+// EqZero and NeqZero are shorthands for comparisons against 0.
+func EqZero(expr *LinExpr) Formula { return Eq(expr, new(big.Rat)) }
+
+// NeqZero builds expr ≠ 0.
+func NeqZero(expr *LinExpr) Formula { return Neq(expr, new(big.Rat)) }
+
+// newAtom folds constant expressions immediately.
+func newAtom(expr *LinExpr, op atomOp, rhs *big.Rat) Formula {
+	if expr.IsEmpty() {
+		cmp := new(big.Rat).Cmp(rhs) // 0 vs rhs
+		var val bool
+		switch op {
+		case opLE:
+			val = cmp <= 0
+		case opLT:
+			val = cmp < 0
+		case opGE:
+			val = cmp >= 0
+		default:
+			val = cmp > 0
+		}
+		return &constF{val: val}
+	}
+	return &atomF{expr: expr.Clone(), op: op, rhs: new(big.Rat).Set(rhs)}
+}

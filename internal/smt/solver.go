@@ -1,0 +1,226 @@
+package smt
+
+import (
+	"fmt"
+	"math/big"
+	"runtime"
+	"time"
+)
+
+// Status is the outcome of a Check call.
+type Status int8
+
+const (
+	// Unknown means the solver gave up (e.g. budget exhausted).
+	Unknown Status = iota
+	// Sat means the assertions are satisfiable; a model is available.
+	Sat
+	// Unsat means the assertions are unsatisfiable.
+	Unsat
+)
+
+// String implements fmt.Stringer.
+func (s Status) String() string {
+	switch s {
+	case Sat:
+		return "sat"
+	case Unsat:
+		return "unsat"
+	default:
+		return "unknown"
+	}
+}
+
+// Options configure a Solver.
+type Options struct {
+	// TheoryCheckAtFixpoint enables the eager DPLL(T) integration: the
+	// simplex consistency check runs at every unit-propagation fixpoint.
+	// When false it runs only on full Boolean assignments (ablation knob).
+	TheoryCheckAtFixpoint bool
+	// MaxConflicts bounds the SAT search per Check; ≤ 0 means unlimited.
+	MaxConflicts int64
+	// NaiveCardinality switches the at-most-k constraint encoding from the
+	// sequential counter to the quadratic pairwise encoding (only practical
+	// for very small k·n; ablation knob).
+	NaiveCardinality bool
+}
+
+// DefaultOptions returns the configuration used throughout the paper
+// reproduction.
+func DefaultOptions() Options {
+	return Options{TheoryCheckAtFixpoint: true}
+}
+
+// Stats describes the size of the encoded problem and the work done by one
+// Check call. It backs the paper's Table IV (model memory/size) and the
+// timing figures.
+type Stats struct {
+	BoolVars     int
+	Clauses      int
+	RealVars     int
+	Atoms        int
+	SlackVars    int
+	Conflicts    int64
+	Decisions    int64
+	Propagations int64
+	Restarts     int64
+	TheoryChecks int64
+	Pivots       int64
+	// AllocBytes is the total heap allocated while encoding and solving,
+	// the reproduction's analogue of the paper's solver memory usage.
+	AllocBytes uint64
+	Duration   time.Duration
+}
+
+// cardKind distinguishes cardinality assertion directions.
+type cardKind int8
+
+const (
+	cardAtMost cardKind = iota + 1
+	cardAtLeast
+)
+
+type cardConstraint struct {
+	fs   []Formula
+	k    int
+	kind cardKind
+}
+
+type scope struct {
+	asserts []Formula
+	cards   []cardConstraint
+}
+
+// Solver is an SMT solver with push/pop scopes. Each Check re-encodes the
+// asserted stack into a fresh SAT+simplex instance (the CDCL search itself
+// is incremental within a Check). The zero value is not usable; construct
+// with NewSolver.
+type Solver struct {
+	opts      Options
+	boolNames []string
+	realNames []string
+	scopes    []*scope
+	lastStats Stats
+}
+
+// NewSolver constructs a solver.
+func NewSolver(opts Options) *Solver {
+	return &Solver{
+		opts:   opts,
+		scopes: []*scope{{}},
+	}
+}
+
+// BoolVar creates a fresh Boolean variable. The name is used only for
+// diagnostics.
+func (s *Solver) BoolVar(name string) BoolVar {
+	s.boolNames = append(s.boolNames, name)
+	return BoolVar(len(s.boolNames) - 1)
+}
+
+// RealVar creates a fresh real variable.
+func (s *Solver) RealVar(name string) RealVar {
+	s.realNames = append(s.realNames, name)
+	return RealVar(len(s.realNames) - 1)
+}
+
+// BoolName returns the diagnostic name of v.
+func (s *Solver) BoolName(v BoolVar) string { return s.boolNames[v] }
+
+// RealName returns the diagnostic name of v.
+func (s *Solver) RealName(v RealVar) string { return s.realNames[v] }
+
+// NumBoolVars returns the number of Boolean variables created.
+func (s *Solver) NumBoolVars() int { return len(s.boolNames) }
+
+// Assert adds f to the current scope.
+func (s *Solver) Assert(f Formula) {
+	top := s.scopes[len(s.scopes)-1]
+	top.asserts = append(top.asserts, f)
+}
+
+// AssertAtMostK asserts that at most k of the given formulas are true.
+func (s *Solver) AssertAtMostK(fs []Formula, k int) {
+	top := s.scopes[len(s.scopes)-1]
+	top.cards = append(top.cards, cardConstraint{fs: cloneFormulas(fs), k: k, kind: cardAtMost})
+}
+
+// AssertAtLeastK asserts that at least k of the given formulas are true.
+func (s *Solver) AssertAtLeastK(fs []Formula, k int) {
+	top := s.scopes[len(s.scopes)-1]
+	top.cards = append(top.cards, cardConstraint{fs: cloneFormulas(fs), k: k, kind: cardAtLeast})
+}
+
+func cloneFormulas(fs []Formula) []Formula {
+	out := make([]Formula, len(fs))
+	copy(out, fs)
+	return out
+}
+
+// Push opens a new assertion scope.
+func (s *Solver) Push() { s.scopes = append(s.scopes, &scope{}) }
+
+// Pop discards the most recent scope. Popping the base scope is an error.
+func (s *Solver) Pop() error {
+	if len(s.scopes) <= 1 {
+		return fmt.Errorf("smt: Pop on base scope")
+	}
+	s.scopes = s.scopes[:len(s.scopes)-1]
+	return nil
+}
+
+// NumScopes returns the current scope depth (≥ 1).
+func (s *Solver) NumScopes() int { return len(s.scopes) }
+
+// LastStats returns statistics of the most recent Check.
+func (s *Solver) LastStats() Stats { return s.lastStats }
+
+// Result carries the outcome of a Check and, on Sat, the model.
+type Result struct {
+	Status Status
+	Stats  Stats
+
+	boolVals []bool
+	realVals []*big.Rat
+}
+
+// Bool returns v's value in the model. It must only be called on a Sat
+// result.
+func (r *Result) Bool(v BoolVar) bool { return r.boolVals[v] }
+
+// Real returns v's value in the model. It must only be called on a Sat
+// result. The returned rational must not be mutated.
+func (r *Result) Real(v RealVar) *big.Rat { return r.realVals[v] }
+
+// Check solves the current assertion stack.
+func (s *Solver) Check() (*Result, error) {
+	start := time.Now()
+	var memBefore runtime.MemStats
+	runtime.ReadMemStats(&memBefore)
+
+	enc := newEncoder(s)
+	for _, sc := range s.scopes {
+		for _, f := range sc.asserts {
+			if err := enc.assertTop(f); err != nil {
+				return nil, err
+			}
+		}
+		for _, cc := range sc.cards {
+			if err := enc.assertCard(cc); err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	res, err := enc.solve()
+	if err != nil {
+		return nil, err
+	}
+
+	var memAfter runtime.MemStats
+	runtime.ReadMemStats(&memAfter)
+	res.Stats.AllocBytes = memAfter.TotalAlloc - memBefore.TotalAlloc
+	res.Stats.Duration = time.Since(start)
+	s.lastStats = res.Stats
+	return res, nil
+}

@@ -1,0 +1,130 @@
+// Package stat provides the small statistical toolbox used by the bad data
+// detector: the chi-square distribution (via the regularized incomplete
+// gamma function) and Gaussian sampling for measurement noise.
+package stat
+
+import (
+	"errors"
+	"math"
+)
+
+// ErrNoConverge is returned when an iterative special-function evaluation
+// fails to converge (out-of-range inputs).
+var ErrNoConverge = errors.New("stat: series did not converge")
+
+// ChiSquareCDF returns P(X ≤ x) for a chi-square distribution with k
+// degrees of freedom.
+func ChiSquareCDF(x float64, k int) (float64, error) {
+	if x < 0 {
+		return 0, nil
+	}
+	if k <= 0 {
+		return 0, errors.New("stat: degrees of freedom must be positive")
+	}
+	return regularizedGammaP(float64(k)/2, x/2)
+}
+
+// ChiSquareQuantile returns the x with P(X ≤ x) = p for a chi-square
+// distribution with k degrees of freedom, via bisection on the CDF.
+func ChiSquareQuantile(p float64, k int) (float64, error) {
+	if p <= 0 || p >= 1 {
+		return 0, errors.New("stat: quantile probability must be in (0,1)")
+	}
+	if k <= 0 {
+		return 0, errors.New("stat: degrees of freedom must be positive")
+	}
+	lo, hi := 0.0, float64(k)+10
+	for {
+		c, err := ChiSquareCDF(hi, k)
+		if err != nil {
+			return 0, err
+		}
+		if c >= p {
+			break
+		}
+		hi *= 2
+		if hi > 1e12 {
+			return 0, ErrNoConverge
+		}
+	}
+	for i := 0; i < 200; i++ {
+		mid := (lo + hi) / 2
+		c, err := ChiSquareCDF(mid, k)
+		if err != nil {
+			return 0, err
+		}
+		if c < p {
+			lo = mid
+		} else {
+			hi = mid
+		}
+		if hi-lo < 1e-10*(1+hi) {
+			break
+		}
+	}
+	return (lo + hi) / 2, nil
+}
+
+// regularizedGammaP computes P(a, x) = γ(a, x)/Γ(a) using the series
+// expansion for x < a+1 and the continued fraction otherwise (Numerical
+// Recipes style).
+func regularizedGammaP(a, x float64) (float64, error) {
+	switch {
+	case x < 0 || a <= 0:
+		return 0, errors.New("stat: invalid incomplete gamma arguments")
+	case x == 0:
+		return 0, nil
+	case x < a+1:
+		return gammaSeries(a, x)
+	default:
+		q, err := gammaContinuedFraction(a, x)
+		if err != nil {
+			return 0, err
+		}
+		return 1 - q, nil
+	}
+}
+
+func gammaSeries(a, x float64) (float64, error) {
+	lg, _ := math.Lgamma(a)
+	ap := a
+	sum := 1 / a
+	del := sum
+	for n := 0; n < 500; n++ {
+		ap++
+		del *= x / ap
+		sum += del
+		if math.Abs(del) < math.Abs(sum)*1e-15 {
+			return sum * math.Exp(-x+a*math.Log(x)-lg), nil
+		}
+	}
+	return 0, ErrNoConverge
+}
+
+func gammaContinuedFraction(a, x float64) (float64, error) {
+	const tiny = 1e-300
+	lg, _ := math.Lgamma(a)
+	b := x + 1 - a
+	c := 1 / tiny
+	d := 1 / b
+	h := d
+	for i := 1; i <= 500; i++ {
+		an := -float64(i) * (float64(i) - a)
+		b += 2
+		d = an*d + b
+		if math.Abs(d) < tiny {
+			d = tiny
+		}
+		c = b + an/c
+		if math.Abs(c) < tiny {
+			c = tiny
+		}
+		d = 1 / d
+		del := d * c
+		h *= del
+		if math.Abs(del-1) < 1e-15 {
+			return math.Exp(-x+a*math.Log(x)-lg) * h, nil
+		}
+	}
+	return 0, ErrNoConverge
+}

@@ -1,0 +1,66 @@
+package synth
+
+import (
+	"fmt"
+
+	"segrid/internal/core"
+)
+
+// CaseStudyRequirements builds the paper's Section IV-E synthesis scenarios
+// on the IEEE 14-bus case study. scenario ∈ {1, 2, 3}:
+//
+//  1. attacker without the admittances of lines 3 and 17, limited to 12
+//     simultaneous measurements;
+//  2. complete knowledge, unlimited resources;
+//  3. scenario 2 plus topology poisoning of the non-core lines 5 and 13 —
+//     the architecture must resist the attacker in every admissible true
+//     topology of those lines.
+//
+// Bus 1 is the reference and, as in all of the paper's printed
+// architectures, required in the secured set.
+func CaseStudyRequirements(scenario, maxBuses int) (*Requirements, error) {
+	attack := func(line5Closed, line13Closed bool) *core.Scenario {
+		sc := core.NewScenario(core.CaseStudyMeasurements(false).System())
+		sc.Meas = core.CaseStudyMeasurements(false)
+		sc.AnyState = true
+		inService, fixed, secured := core.CaseStudyTopology()
+		inService[5] = line5Closed
+		inService[13] = line13Closed
+		sc.InService = inService
+		sc.FixedLines = fixed
+		sc.SecuredStatus = secured
+		return sc
+	}
+	req := &Requirements{
+		MaxSecuredBuses: maxBuses,
+		RequiredBuses:   []int{1},
+		Prune:           true,
+	}
+	switch scenario {
+	case 1:
+		sc := attack(true, true)
+		kn := make([]bool, 21)
+		for i := 1; i <= 20; i++ {
+			kn[i] = i != 3 && i != 17
+		}
+		sc.Knowledge = kn
+		sc.MaxAlteredMeasurements = 12
+		req.Attack = sc
+	case 2:
+		req.Attack = attack(true, true)
+	case 3:
+		for _, variant := range [][2]bool{{true, true}, {true, false}, {false, true}, {false, false}} {
+			sc := attack(variant[0], variant[1])
+			sc.AllowExclusion = true
+			sc.AllowInclusion = true
+			if req.Attack == nil {
+				req.Attack = sc
+			} else {
+				req.ExtraAttacks = append(req.ExtraAttacks, sc)
+			}
+		}
+	default:
+		return nil, fmt.Errorf("synth: unknown case-study scenario %d", scenario)
+	}
+	return req, nil
+}

@@ -1,0 +1,222 @@
+package synth
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"segrid/internal/core"
+	"segrid/internal/smt"
+)
+
+// MeasurementRequirements configures measurement-granular synthesis: the
+// paper notes (Section IV-A) that the same mechanism that selects buses
+// "can be used for synthesizing security architecture with respect to
+// measurements only". The budget counts individual measurements.
+type MeasurementRequirements struct {
+	// Attack is the attacker profile to defend against.
+	Attack *core.Scenario
+
+	// ExtraAttacks lists additional profiles the selection must also
+	// resist (see Requirements.ExtraAttacks).
+	ExtraAttacks []*core.Scenario
+
+	// MaxSecuredMeasurements is the operator's budget T_SM.
+	MaxSecuredMeasurements int
+
+	// ExcludedMeasurements cannot be secured; RequiredMeasurements must be.
+	ExcludedMeasurements []int
+	RequiredMeasurements []int
+
+	// MaxIterations bounds the synthesis loop; ≤ 0 means unlimited.
+	MaxIterations int
+
+	// Options configures the candidate selection solver; nil means
+	// smt.DefaultOptions.
+	Options *smt.Options
+}
+
+// MeasurementArchitecture is a synthesized measurement-protection set.
+type MeasurementArchitecture struct {
+	// SecuredMeasurements lists the measurement IDs to protect, ascending.
+	SecuredMeasurements []int
+
+	// Iterations counts synthesis loop iterations.
+	Iterations int
+
+	// SelectTime and VerifyTime split the synthesis wall time.
+	SelectTime time.Duration
+	VerifyTime time.Duration
+}
+
+// Duration is the total synthesis time.
+func (a *MeasurementArchitecture) Duration() time.Duration {
+	return a.SelectTime + a.VerifyTime
+}
+
+// measurementSelection is the candidate model over individual taken
+// measurements.
+type measurementSelection struct {
+	solver  *smt.Solver
+	sm      map[int]smt.BoolVar // taken measurement ID → selector
+	ids     []int               // taken measurement IDs, ascending
+	blocked [][]smt.Formula
+}
+
+func newMeasurementSelection(req *MeasurementRequirements) (*measurementSelection, error) {
+	sc := req.Attack
+	sys := sc.System()
+	opts := smt.DefaultOptions()
+	if req.Options != nil {
+		opts = *req.Options
+	}
+	m := &measurementSelection{
+		solver: smt.NewSolver(opts),
+		sm:     make(map[int]smt.BoolVar),
+	}
+	for id := 1; id <= sys.NumMeasurements(); id++ {
+		if !sc.Meas.Taken[id] {
+			continue // securing an untaken measurement protects nothing
+		}
+		m.sm[id] = m.solver.BoolVar(fmt.Sprintf("sm_%d", id))
+		m.ids = append(m.ids, id)
+	}
+	fs := make([]smt.Formula, 0, len(m.ids))
+	for _, id := range m.ids {
+		fs = append(fs, smt.B(m.sm[id]))
+	}
+	m.solver.AssertAtMostK(fs, req.MaxSecuredMeasurements)
+	for _, id := range req.ExcludedMeasurements {
+		v, ok := m.sm[id]
+		if !ok {
+			return nil, fmt.Errorf("synth: excluded measurement %d is not taken", id)
+		}
+		m.solver.Assert(smt.Not(smt.B(v)))
+	}
+	for _, id := range req.RequiredMeasurements {
+		v, ok := m.sm[id]
+		if !ok {
+			return nil, fmt.Errorf("synth: required measurement %d is not taken", id)
+		}
+		m.solver.Assert(smt.B(v))
+	}
+	return m, nil
+}
+
+func (m *measurementSelection) next() ([]int, bool, error) {
+	res, err := m.solver.Check()
+	if err != nil {
+		return nil, false, fmt.Errorf("synth: measurement candidate selection: %w", err)
+	}
+	if res.Status != smt.Sat {
+		return nil, false, nil
+	}
+	var out []int
+	for _, id := range m.ids {
+		if res.Bool(m.sm[id]) {
+			out = append(out, id)
+		}
+	}
+	sort.Ints(out)
+	return out, true, nil
+}
+
+// blockByAttack learns the hitting-set constraint from a witness attack:
+// any candidate securing none of the altered measurements admits the same
+// attack.
+func (m *measurementSelection) blockByAttack(altered []int) {
+	fs := make([]smt.Formula, 0, len(altered))
+	for _, id := range altered {
+		if v, ok := m.sm[id]; ok {
+			fs = append(fs, smt.B(v))
+		}
+	}
+	m.blocked = append(m.blocked, fs)
+	m.solver.Assert(smt.Or(fs...))
+}
+
+// blockBySubset removes a failed candidate and its subsets (fallback when
+// no witness support is available).
+func (m *measurementSelection) blockBySubset(failed []int) {
+	in := make(map[int]bool, len(failed))
+	for _, id := range failed {
+		in[id] = true
+	}
+	fs := make([]smt.Formula, 0, len(m.ids))
+	for _, id := range m.ids {
+		if !in[id] {
+			fs = append(fs, smt.B(m.sm[id]))
+		}
+	}
+	m.blocked = append(m.blocked, fs)
+	m.solver.Assert(smt.Or(fs...))
+}
+
+// SynthesizeMeasurements runs Algorithm 1 at measurement granularity.
+func SynthesizeMeasurements(req *MeasurementRequirements) (*MeasurementArchitecture, error) {
+	if req.Attack == nil {
+		return nil, fmt.Errorf("synth: requirements carry no attack scenario")
+	}
+	if req.MaxSecuredMeasurements < 1 {
+		return nil, fmt.Errorf("synth: MaxSecuredMeasurements must be positive, got %d", req.MaxSecuredMeasurements)
+	}
+	attacks := make([]*core.Model, 0, 1+len(req.ExtraAttacks))
+	for _, sc := range append([]*core.Scenario{req.Attack}, req.ExtraAttacks...) {
+		m, err := core.NewModel(sc)
+		if err != nil {
+			return nil, fmt.Errorf("synth: attack model: %w", err)
+		}
+		attacks = append(attacks, m)
+	}
+	selection, err := newMeasurementSelection(req)
+	if err != nil {
+		return nil, err
+	}
+
+	arch := &MeasurementArchitecture{}
+	for {
+		if req.MaxIterations > 0 && arch.Iterations >= req.MaxIterations {
+			return nil, fmt.Errorf("synth: no measurement architecture within %d iterations", req.MaxIterations)
+		}
+		start := time.Now()
+		candidate, ok, err := selection.next()
+		arch.SelectTime += time.Since(start)
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			return nil, ErrNoArchitecture
+		}
+		arch.Iterations++
+
+		start = time.Now()
+		resists := true
+		for _, attack := range attacks {
+			attack.Solver().Push()
+			if err := attack.AssertMeasurementsSecured(candidate); err != nil {
+				return nil, err
+			}
+			res, err := attack.Check()
+			if popErr := attack.Solver().Pop(); popErr != nil {
+				return nil, popErr
+			}
+			if err != nil {
+				return nil, fmt.Errorf("synth: measurement candidate verification: %w", err)
+			}
+			if res.Feasible {
+				resists = false
+				if len(res.AlteredMeasurements) > 0 {
+					selection.blockByAttack(res.AlteredMeasurements)
+				} else {
+					selection.blockBySubset(candidate)
+				}
+				break
+			}
+		}
+		arch.VerifyTime += time.Since(start)
+		if resists {
+			arch.SecuredMeasurements = candidate
+			return arch, nil
+		}
+	}
+}

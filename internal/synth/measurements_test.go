@@ -1,0 +1,224 @@
+package synth
+
+import (
+	"errors"
+	"testing"
+
+	"segrid/internal/baseline"
+	"segrid/internal/core"
+	"segrid/internal/grid"
+)
+
+// TestMeasurementSynthesisMatchesBasicMeasurementTheory: against the
+// full-knowledge unlimited attacker, Bobba et al. prove that a minimal
+// protective measurement set is a basic measurement set of size exactly
+// n = b − 1. Measurement-granular synthesis must find a 13-measurement
+// architecture on the 14-bus system and prove 12 impossible.
+func TestMeasurementSynthesisMatchesBasicMeasurementTheory(t *testing.T) {
+	sys := grid.IEEE14()
+	attack := func() *core.Scenario {
+		sc := core.NewScenario(sys)
+		sc.AnyState = true
+		return sc
+	}
+	n := sys.Buses - 1
+
+	arch, err := SynthesizeMeasurements(&MeasurementRequirements{
+		Attack:                 attack(),
+		MaxSecuredMeasurements: n,
+	})
+	if err != nil {
+		t.Fatalf("SynthesizeMeasurements(%d): %v", n, err)
+	}
+	if len(arch.SecuredMeasurements) > n {
+		t.Fatalf("architecture %v exceeds budget %d", arch.SecuredMeasurements, n)
+	}
+	// Cross-validate with the algebraic rank condition.
+	meas := grid.NewMeasurementConfig(sys)
+	if err := meas.Secure(arch.SecuredMeasurements...); err != nil {
+		t.Fatalf("Secure: %v", err)
+	}
+	ok, err := baseline.ProtectsAllStates(meas, 1)
+	if err != nil {
+		t.Fatalf("ProtectsAllStates: %v", err)
+	}
+	if !ok {
+		t.Fatalf("synthesized measurement set %v fails the rank condition", arch.SecuredMeasurements)
+	}
+
+	// The below-n impossibility is confirmed algebraically: any smaller set
+	// has rank < n and therefore admits an attack (TestFailedCandidate-
+	// RankCondition covers the equivalence); enumerating that proof with
+	// Algorithm 1 over C(54,12) candidates is intractable by design, so the
+	// synthesis-side impossibility is exercised on a small star system in
+	// TestMeasurementSynthesisImpossibilitySmall.
+}
+
+// TestMeasurementSynthesisImpossibilitySmall proves, by exhaustion on a
+// 4-bus star (n = 3), that no budget of n−1 = 2 measurements protects
+// against the unlimited attacker, while n = 3 does.
+func TestMeasurementSynthesisImpossibilitySmall(t *testing.T) {
+	sys, err := grid.NewSystem("star4", 4, []grid.Line{
+		{ID: 1, From: 1, To: 2, Admittance: 5},
+		{ID: 2, From: 1, To: 3, Admittance: 4},
+		{ID: 3, From: 1, To: 4, Admittance: 3},
+	})
+	if err != nil {
+		t.Fatalf("NewSystem: %v", err)
+	}
+	attack := func() *core.Scenario {
+		sc := core.NewScenario(sys)
+		sc.AnyState = true
+		return sc
+	}
+	arch, err := SynthesizeMeasurements(&MeasurementRequirements{
+		Attack:                 attack(),
+		MaxSecuredMeasurements: 3,
+	})
+	if err != nil {
+		t.Fatalf("budget 3: %v", err)
+	}
+	if len(arch.SecuredMeasurements) > 3 {
+		t.Fatalf("architecture %v exceeds budget", arch.SecuredMeasurements)
+	}
+	if _, err := SynthesizeMeasurements(&MeasurementRequirements{
+		Attack:                 attack(),
+		MaxSecuredMeasurements: 2,
+	}); !errors.Is(err, ErrNoArchitecture) {
+		t.Fatalf("budget 2: err = %v, want ErrNoArchitecture", err)
+	}
+}
+
+// TestMeasurementSynthesisAgainstLimitedAttacker: a weaker attacker needs
+// fewer protected measurements than a basic set.
+func TestMeasurementSynthesisAgainstLimitedAttacker(t *testing.T) {
+	sc := core.NewScenario(grid.IEEE14())
+	sc.Meas = core.CaseStudyMeasurements(false)
+	sc.TargetStates = []int{12}
+	sc.OnlyTargets = true
+	arch, err := SynthesizeMeasurements(&MeasurementRequirements{
+		Attack:                 sc,
+		MaxSecuredMeasurements: 1,
+	})
+	if err != nil {
+		t.Fatalf("SynthesizeMeasurements: %v", err)
+	}
+	// One protected measurement from the forced vector {12,32,39,46,53}
+	// blocks the attack — the paper's Objective 2 observation about
+	// measurement 46, generalized.
+	if len(arch.SecuredMeasurements) != 1 {
+		t.Fatalf("architecture %v, want a single measurement", arch.SecuredMeasurements)
+	}
+	forced := map[int]bool{12: true, 32: true, 39: true, 46: true, 53: true}
+	if !forced[arch.SecuredMeasurements[0]] {
+		t.Fatalf("selected %v, want one of the forced vector", arch.SecuredMeasurements)
+	}
+	// Confirm with the attack model.
+	m, err := core.NewModel(sc)
+	if err != nil {
+		t.Fatalf("NewModel: %v", err)
+	}
+	if err := m.AssertMeasurementsSecured(arch.SecuredMeasurements); err != nil {
+		t.Fatalf("AssertMeasurementsSecured: %v", err)
+	}
+	res, err := m.Check()
+	if err != nil {
+		t.Fatalf("Check: %v", err)
+	}
+	if res.Feasible {
+		t.Fatalf("architecture does not block the attack")
+	}
+}
+
+func TestMeasurementSynthesisValidation(t *testing.T) {
+	sc := core.NewScenario(grid.IEEE14())
+	sc.AnyState = true
+	tests := []struct {
+		name string
+		req  *MeasurementRequirements
+	}{
+		{"nil attack", &MeasurementRequirements{MaxSecuredMeasurements: 3}},
+		{"zero budget", &MeasurementRequirements{Attack: sc}},
+		{"excluded untaken", func() *MeasurementRequirements {
+			s := core.NewScenario(grid.IEEE14())
+			s.AnyState = true
+			if err := s.Meas.Untake(5); err != nil {
+				t.Fatalf("Untake: %v", err)
+			}
+			return &MeasurementRequirements{Attack: s, MaxSecuredMeasurements: 3, ExcludedMeasurements: []int{5}}
+		}()},
+		{"required untaken", func() *MeasurementRequirements {
+			s := core.NewScenario(grid.IEEE14())
+			s.AnyState = true
+			if err := s.Meas.Untake(5); err != nil {
+				t.Fatalf("Untake: %v", err)
+			}
+			return &MeasurementRequirements{Attack: s, MaxSecuredMeasurements: 3, RequiredMeasurements: []int{5}}
+		}()},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := SynthesizeMeasurements(tc.req); err == nil {
+				t.Fatalf("invalid requirements accepted")
+			}
+		})
+	}
+}
+
+func TestMeasurementSynthesisIterationBound(t *testing.T) {
+	sc := core.NewScenario(grid.IEEE14())
+	sc.AnyState = true
+	req := &MeasurementRequirements{
+		Attack:                 sc,
+		MaxSecuredMeasurements: 13,
+		MaxIterations:          1,
+	}
+	if _, err := SynthesizeMeasurements(req); err == nil {
+		t.Fatalf("iteration bound not enforced")
+	}
+}
+
+// TestMinChangeExtension: requiring a significant deviation can make an
+// attack infeasible when the feasible deviations are boxed below the
+// threshold... — here we just confirm (a) MinChange=0 keeps Eq. 5
+// semantics, (b) a satisfiable MinChange attack really deviates by ≥ ε,
+// and (c) MinChange interacts with OnlyTargets by tolerating sub-threshold
+// drift on non-targets.
+func TestMinChangeExtension(t *testing.T) {
+	sc := core.NewScenario(grid.IEEE14())
+	sc.Meas = core.CaseStudyMeasurements(false)
+	sc.TargetStates = []int{12}
+	sc.OnlyTargets = true
+	sc.MinChange = 0.75
+	res, err := core.Verify(sc)
+	if err != nil {
+		t.Fatalf("Verify: %v", err)
+	}
+	if !res.Feasible {
+		t.Fatalf("MinChange attack infeasible")
+	}
+	change := res.StateChangeFloat(12)
+	if change < 0.75 && change > -0.75 {
+		t.Fatalf("Δθ12 = %v, want |Δθ| ≥ 0.75", change)
+	}
+	// Sub-threshold drift on other states is tolerated under MinChange
+	// semantics; every reported change must still respect the attacked
+	// threshold only for cx-true states — here only bus 12 is targeted, so
+	// any other *significant* change would violate OnlyTargets.
+	for bus, c := range res.StateChanges {
+		if bus == 12 {
+			continue
+		}
+		f, _ := c.Float64()
+		if f >= 0.75 || f <= -0.75 {
+			t.Fatalf("non-target bus %d deviates significantly (%v) despite OnlyTargets", bus, f)
+		}
+	}
+	if _, err := core.Verify(func() *core.Scenario {
+		s := core.NewScenario(grid.IEEE14())
+		s.MinChange = -1
+		return s
+	}()); err == nil {
+		t.Fatalf("negative MinChange accepted")
+	}
+}

@@ -1,0 +1,315 @@
+// Package synth implements the paper's countermeasure synthesis mechanism
+// (Section IV): an iterative combination of a candidate security
+// architecture selection model (Eqs. 27–30) and the UFDI attack
+// verification model (internal/core). A candidate — a set of buses whose
+// measurements get data-integrity protection — is a solution when the
+// attack model becomes unsatisfiable under it (Algorithm 1).
+package synth
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"time"
+
+	"segrid/internal/core"
+	"segrid/internal/smt"
+)
+
+// ErrNoArchitecture is returned when no bus set within the operator's
+// budget resists the specified attacker.
+var ErrNoArchitecture = errors.New("synth: no security architecture satisfies the requirements")
+
+// Requirements bundles the security requirements (the expected attack
+// model) with the grid operator's constraints.
+type Requirements struct {
+	// Attack is the attacker profile to defend against. Its goal is
+	// typically AnyState (protect every state); any core.Scenario works.
+	Attack *core.Scenario
+
+	// ExtraAttacks lists additional attacker profiles the architecture
+	// must resist as well — e.g. the same attacker over every admissible
+	// true topology of non-core lines (the paper's Scenario 3, where an
+	// architecture must hold whether lines 5 and 13 are in service or
+	// not). All profiles must share the primary scenario's measurement
+	// configuration.
+	ExtraAttacks []*core.Scenario
+
+	// MaxSecuredBuses is T_SB (Eq. 27), the operator's budget.
+	MaxSecuredBuses int
+
+	// ExcludedBuses lists buses the operator cannot secure (Eq. 29).
+	ExcludedBuses []int
+
+	// RequiredBuses lists buses every candidate must secure. The paper's
+	// case-study architectures all include the reference bus, so its
+	// scenarios set RequiredBuses = {RefBus}.
+	RequiredBuses []int
+
+	// Prune enables the Eq. 30 search-space reduction: a secured bus
+	// implies its measurement-connected neighbors are not selected.
+	Prune bool
+
+	// MaxIterations bounds Algorithm 1's loop; ≤ 0 means unlimited.
+	MaxIterations int
+
+	// Options configures the candidate selection solver; nil means
+	// smt.DefaultOptions.
+	Options *smt.Options
+}
+
+// Architecture is a synthesized security architecture.
+type Architecture struct {
+	// SecuredBuses is the bus set to protect, ascending.
+	SecuredBuses []int
+
+	// Iterations is the number of Algorithm 1 loop iterations (candidates
+	// tried, including the successful one).
+	Iterations int
+
+	// SelectTime and VerifyTime split the synthesis wall time between the
+	// two models; the paper's Fig. 5 measures their sum.
+	SelectTime time.Duration
+	VerifyTime time.Duration
+
+	// SelectStats and VerifyStats are the solver statistics of the last
+	// candidate selection and verification checks (model sizes for the
+	// paper's Table IV).
+	SelectStats smt.Stats
+	VerifyStats smt.Stats
+}
+
+// Duration is the total synthesis time.
+func (a *Architecture) Duration() time.Duration { return a.SelectTime + a.VerifyTime }
+
+// selectionModel is F_Secure of Algorithm 1.
+type selectionModel struct {
+	solver  *smt.Solver
+	sb      []smt.BoolVar // 1-based per bus
+	buses   int
+	blocked [][]smt.Formula // blocking clauses, for re-assertion across scopes
+}
+
+// newSelectionModel encodes Eqs. 27–30.
+func newSelectionModel(req *Requirements) (*selectionModel, error) {
+	sc := req.Attack
+	sys := sc.System()
+	opts := smt.DefaultOptions()
+	if req.Options != nil {
+		opts = *req.Options
+	}
+	m := &selectionModel{
+		solver: smt.NewSolver(opts),
+		sb:     make([]smt.BoolVar, sys.Buses+1),
+		buses:  sys.Buses,
+	}
+	for j := 1; j <= sys.Buses; j++ {
+		m.sb[j] = m.solver.BoolVar(fmt.Sprintf("sb_%d", j))
+	}
+	// Eq. 27: operator budget.
+	fs := make([]smt.Formula, 0, sys.Buses)
+	for j := 1; j <= sys.Buses; j++ {
+		fs = append(fs, smt.B(m.sb[j]))
+	}
+	m.solver.AssertAtMostK(fs, req.MaxSecuredBuses)
+	// Eq. 29: operator exclusions.
+	for _, j := range req.ExcludedBuses {
+		if j < 1 || j > sys.Buses {
+			return nil, fmt.Errorf("synth: excluded bus %d out of range 1..%d", j, sys.Buses)
+		}
+		m.solver.Assert(smt.Not(smt.B(m.sb[j])))
+	}
+	for _, j := range req.RequiredBuses {
+		if j < 1 || j > sys.Buses {
+			return nil, fmt.Errorf("synth: required bus %d out of range 1..%d", j, sys.Buses)
+		}
+		m.solver.Assert(smt.B(m.sb[j]))
+	}
+	// Eq. 30: securing a bus makes securing a measurement-connected
+	// neighbor unnecessary; prune candidates that secure both ends of a
+	// line with a taken flow measurement. (As in the paper, this is a
+	// search-space reduction: architectures outside it may still protect
+	// the grid but are never proposed.)
+	if req.Prune {
+		for _, ln := range sys.Lines {
+			connected := sc.Meas.Taken[sys.ForwardFlowMeas(ln.ID)] ||
+				sc.Meas.Taken[sys.BackwardFlowMeas(ln.ID)]
+			if !connected {
+				continue
+			}
+			m.solver.Assert(smt.Or(smt.Not(smt.B(m.sb[ln.From])), smt.Not(smt.B(m.sb[ln.To]))))
+		}
+	}
+	return m, nil
+}
+
+// nextCandidate solves F_Secure; ok is false when no candidates remain.
+func (m *selectionModel) nextCandidate() (buses []int, stats smt.Stats, ok bool, err error) {
+	res, err := m.solver.Check()
+	if err != nil {
+		return nil, smt.Stats{}, false, fmt.Errorf("synth: candidate selection: %w", err)
+	}
+	if res.Status != smt.Sat {
+		return nil, res.Stats, false, nil
+	}
+	for j := 1; j <= m.buses; j++ {
+		if res.Bool(m.sb[j]) {
+			buses = append(buses, j)
+		}
+	}
+	sort.Ints(buses)
+	return buses, res.Stats, true, nil
+}
+
+// blockBySubset removes the failed candidate and all of its subsets:
+// securing fewer buses can never help, so the next candidate must include
+// at least one bus outside the failed set. (This is a sound strengthening
+// of Algorithm 1's per-candidate blocking constraint; the
+// counterexample-guided blockByAttack below is stronger still and is used
+// whenever a witness attack is available.)
+func (m *selectionModel) blockBySubset(failed []int) {
+	in := make(map[int]bool, len(failed))
+	for _, j := range failed {
+		in[j] = true
+	}
+	fs := make([]smt.Formula, 0, m.buses-len(failed))
+	for j := 1; j <= m.buses; j++ {
+		if !in[j] {
+			fs = append(fs, smt.B(m.sb[j]))
+		}
+	}
+	m.block(fs)
+}
+
+// blockByAttack learns from a counterexample: the witness attack altered
+// measurements homed at exactly the given buses, so any candidate securing
+// none of them admits the identical attack. Every future candidate must hit
+// the witness's support. This hitting-set refinement collapses Algorithm
+// 1's iteration count on larger systems without losing completeness.
+func (m *selectionModel) blockByAttack(supportBuses []int) {
+	fs := make([]smt.Formula, 0, len(supportBuses))
+	for _, j := range supportBuses {
+		fs = append(fs, smt.B(m.sb[j]))
+	}
+	m.block(fs)
+}
+
+// block asserts a blocking clause and records it for re-assertion across
+// budget-relaxation scopes.
+func (m *selectionModel) block(fs []smt.Formula) {
+	m.blocked = append(m.blocked, fs)
+	m.solver.Assert(smt.Or(fs...))
+}
+
+// requireFullBudget constrains candidates to use the entire budget; with
+// subset blocking this accelerates convergence. It is retracted (via a
+// fresh phase) when the full-budget space is exhausted, since Eq. 30
+// pruning can make full-size candidates infeasible while smaller ones work.
+func (m *selectionModel) requireFullBudget(k int) {
+	fs := make([]smt.Formula, 0, m.buses)
+	for j := 1; j <= m.buses; j++ {
+		fs = append(fs, smt.B(m.sb[j]))
+	}
+	m.solver.Push()
+	m.solver.AssertAtLeastK(fs, k)
+}
+
+// relaxBudget pops the full-budget constraint. Blocking clauses asserted
+// inside the popped scope are re-asserted at the base scope: a failed
+// candidate stays failed regardless of the budget constraint.
+func (m *selectionModel) relaxBudget() error {
+	if err := m.solver.Pop(); err != nil {
+		return err
+	}
+	for _, fs := range m.blocked {
+		m.solver.Assert(smt.Or(fs...))
+	}
+	return nil
+}
+
+// Synthesize runs Algorithm 1: iterate candidate selection and attack
+// verification until a candidate makes the attack model unsat. It returns
+// ErrNoArchitecture when the candidate space is exhausted.
+func Synthesize(req *Requirements) (*Architecture, error) {
+	if req.Attack == nil {
+		return nil, fmt.Errorf("synth: requirements carry no attack scenario")
+	}
+	if req.MaxSecuredBuses < 1 {
+		return nil, fmt.Errorf("synth: MaxSecuredBuses must be positive, got %d", req.MaxSecuredBuses)
+	}
+	attacks := make([]*core.Model, 0, 1+len(req.ExtraAttacks))
+	for _, sc := range append([]*core.Scenario{req.Attack}, req.ExtraAttacks...) {
+		m, err := core.NewModel(sc)
+		if err != nil {
+			return nil, fmt.Errorf("synth: attack model: %w", err)
+		}
+		attacks = append(attacks, m)
+	}
+	selection, err := newSelectionModel(req)
+	if err != nil {
+		return nil, err
+	}
+
+	arch := &Architecture{}
+	fullBudget := true
+	selection.requireFullBudget(req.MaxSecuredBuses)
+	for {
+		if req.MaxIterations > 0 && arch.Iterations >= req.MaxIterations {
+			return nil, fmt.Errorf("synth: no architecture within %d iterations", req.MaxIterations)
+		}
+		start := time.Now()
+		candidate, selStats, ok, err := selection.nextCandidate()
+		arch.SelectTime += time.Since(start)
+		arch.SelectStats = selStats
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			if fullBudget {
+				// Exhausted the full-budget space (possible when Eq. 30
+				// pruning caps candidate size); fall back to any size.
+				fullBudget = false
+				if err := selection.relaxBudget(); err != nil {
+					return nil, fmt.Errorf("synth: relax budget: %w", err)
+				}
+				continue
+			}
+			return nil, ErrNoArchitecture
+		}
+		arch.Iterations++
+
+		// Verify the candidate: push the security constraints onto every
+		// attack model; unsat across all of them means the architecture
+		// resists the attacker in every required scenario.
+		start = time.Now()
+		resists := true
+		for _, attack := range attacks {
+			attack.Solver().Push()
+			if err := attack.AssertBusesSecured(candidate); err != nil {
+				return nil, err
+			}
+			res, err := attack.Check()
+			if popErr := attack.Solver().Pop(); popErr != nil {
+				return nil, popErr
+			}
+			if err != nil {
+				return nil, fmt.Errorf("synth: candidate verification: %w", err)
+			}
+			arch.VerifyStats = res.Stats
+			if res.Feasible {
+				resists = false
+				if len(res.CompromisedBuses) > 0 {
+					selection.blockByAttack(res.CompromisedBuses)
+				} else {
+					selection.blockBySubset(candidate)
+				}
+				break
+			}
+		}
+		arch.VerifyTime += time.Since(start)
+		if resists {
+			arch.SecuredBuses = candidate
+			return arch, nil
+		}
+	}
+}

@@ -1,0 +1,270 @@
+package synth
+
+import (
+	"errors"
+	"testing"
+
+	"segrid/internal/baseline"
+	"segrid/internal/core"
+	"segrid/internal/grid"
+)
+
+// protectsIn checks that an architecture makes the attack scenario unsat.
+func protectsIn(t *testing.T, buses []int, sc *core.Scenario) bool {
+	t.Helper()
+	m, err := core.NewModel(sc)
+	if err != nil {
+		t.Fatalf("NewModel: %v", err)
+	}
+	if err := m.AssertBusesSecured(buses); err != nil {
+		t.Fatalf("AssertBusesSecured: %v", err)
+	}
+	res, err := m.Check()
+	if err != nil {
+		t.Fatalf("Check: %v", err)
+	}
+	return !res.Feasible
+}
+
+func synthesize(t *testing.T, req *Requirements) *Architecture {
+	t.Helper()
+	arch, err := Synthesize(req)
+	if err != nil {
+		t.Fatalf("Synthesize: %v", err)
+	}
+	return arch
+}
+
+// TestScenario1 reproduces the paper's Scenario 1: a 4-bus architecture
+// exists against the knowledge- and resource-limited attacker.
+func TestScenario1(t *testing.T) {
+	req, err := CaseStudyRequirements(1, 4)
+	if err != nil {
+		t.Fatalf("CaseStudyRequirements: %v", err)
+	}
+	arch := synthesize(t, req)
+	if len(arch.SecuredBuses) > 4 {
+		t.Fatalf("architecture %v exceeds 4 buses", arch.SecuredBuses)
+	}
+	if !protectsIn(t, arch.SecuredBuses, req.Attack) {
+		t.Fatalf("synthesized architecture %v does not protect", arch.SecuredBuses)
+	}
+	// The paper's printed architecture {1,6,7,10} also protects
+	// (architectures are not unique; the paper says so explicitly).
+	if !protectsIn(t, []int{1, 6, 7, 10}, req.Attack) {
+		t.Fatalf("paper's scenario-1 architecture does not protect")
+	}
+}
+
+// TestScenario2 reproduces the paper's Scenario 2: no 4-bus architecture
+// resists the full-knowledge unlimited attacker, and with 5 buses the
+// synthesized set matches the paper's {1, 3, 6, 8, 9}.
+func TestScenario2(t *testing.T) {
+	req4, err := CaseStudyRequirements(2, 4)
+	if err != nil {
+		t.Fatalf("CaseStudyRequirements: %v", err)
+	}
+	if _, err := Synthesize(req4); !errors.Is(err, ErrNoArchitecture) {
+		t.Fatalf("4-bus synthesis = %v, want ErrNoArchitecture (paper Scenario 2)", err)
+	}
+	req5, err := CaseStudyRequirements(2, 5)
+	if err != nil {
+		t.Fatalf("CaseStudyRequirements: %v", err)
+	}
+	arch := synthesize(t, req5)
+	want := []int{1, 3, 6, 8, 9}
+	if len(arch.SecuredBuses) != 5 {
+		t.Fatalf("architecture %v, want 5 buses", arch.SecuredBuses)
+	}
+	if !equalInts(arch.SecuredBuses, want) {
+		// Architectures are not unique; at minimum the paper's must also
+		// protect and ours must verify.
+		t.Logf("synthesized %v differs from paper's %v (both may be valid)", arch.SecuredBuses, want)
+	}
+	if !protectsIn(t, arch.SecuredBuses, req5.Attack) {
+		t.Fatalf("synthesized architecture does not protect")
+	}
+	if !protectsIn(t, want, req5.Attack) {
+		t.Fatalf("paper's scenario-2 architecture does not protect")
+	}
+}
+
+// TestScenario3 reproduces the paper's Scenario 3: with topology poisoning
+// of the non-core lines, no 5-bus architecture exists, and a 6-bus one does
+// (the paper's {1, 4, 6, 8, 10, 14} among them).
+func TestScenario3(t *testing.T) {
+	req5, err := CaseStudyRequirements(3, 5)
+	if err != nil {
+		t.Fatalf("CaseStudyRequirements: %v", err)
+	}
+	if _, err := Synthesize(req5); !errors.Is(err, ErrNoArchitecture) {
+		t.Fatalf("5-bus synthesis = %v, want ErrNoArchitecture (paper Scenario 3)", err)
+	}
+	req6, err := CaseStudyRequirements(3, 6)
+	if err != nil {
+		t.Fatalf("CaseStudyRequirements: %v", err)
+	}
+	arch := synthesize(t, req6)
+	if len(arch.SecuredBuses) > 6 {
+		t.Fatalf("architecture %v exceeds 6 buses", arch.SecuredBuses)
+	}
+	// Both the synthesized and the paper's architecture must protect in
+	// every admissible topology.
+	scenarios := append([]*core.Scenario{req6.Attack}, req6.ExtraAttacks...)
+	for i, sc := range scenarios {
+		if !protectsIn(t, arch.SecuredBuses, sc) {
+			t.Fatalf("synthesized architecture fails topology variant %d", i)
+		}
+		if !protectsIn(t, []int{1, 4, 6, 8, 10, 14}, sc) {
+			t.Fatalf("paper's scenario-3 architecture fails topology variant %d", i)
+		}
+	}
+	if arch.Iterations < 1 {
+		t.Fatalf("Iterations = %d, want ≥ 1", arch.Iterations)
+	}
+	if arch.Duration() <= 0 {
+		t.Fatalf("Duration not positive")
+	}
+}
+
+// TestSynthesisAgreesWithRankCondition cross-validates against Bobba et
+// al.: for a full-knowledge unlimited attacker, an architecture protects
+// iff the secured measurements' Jacobian rows span the state space.
+func TestSynthesisAgreesWithRankCondition(t *testing.T) {
+	req, err := CaseStudyRequirements(2, 5)
+	if err != nil {
+		t.Fatalf("CaseStudyRequirements: %v", err)
+	}
+	arch := synthesize(t, req)
+	meas := core.CaseStudyMeasurements(false)
+	for _, j := range arch.SecuredBuses {
+		if err := meas.SecureBus(j); err != nil {
+			t.Fatalf("SecureBus: %v", err)
+		}
+	}
+	ok, err := baseline.ProtectsAllStates(meas, 1)
+	if err != nil {
+		t.Fatalf("ProtectsAllStates: %v", err)
+	}
+	if !ok {
+		t.Fatalf("SMT-synthesized architecture %v fails the algebraic rank condition", arch.SecuredBuses)
+	}
+}
+
+// TestFailedCandidateRankCondition: conversely, a bus set failing the rank
+// condition must be attack-feasible.
+func TestFailedCandidateRankCondition(t *testing.T) {
+	buses := []int{1, 2, 3} // too small to span 13 states
+	meas := core.CaseStudyMeasurements(false)
+	for _, j := range buses {
+		if err := meas.SecureBus(j); err != nil {
+			t.Fatalf("SecureBus: %v", err)
+		}
+	}
+	ok, err := baseline.ProtectsAllStates(meas, 1)
+	if err != nil {
+		t.Fatalf("ProtectsAllStates: %v", err)
+	}
+	if ok {
+		t.Fatalf("3 buses unexpectedly span the state space")
+	}
+	req, err := CaseStudyRequirements(2, 5)
+	if err != nil {
+		t.Fatalf("CaseStudyRequirements: %v", err)
+	}
+	if protectsIn(t, buses, req.Attack) {
+		t.Fatalf("SMT model says %v protects; rank condition disagrees", buses)
+	}
+}
+
+func TestRequirementsValidation(t *testing.T) {
+	sc := core.NewScenario(grid.IEEE14())
+	sc.AnyState = true
+	tests := []struct {
+		name string
+		req  *Requirements
+	}{
+		{"nil attack", &Requirements{MaxSecuredBuses: 3}},
+		{"zero budget", &Requirements{Attack: sc}},
+		{"bad excluded", &Requirements{Attack: sc, MaxSecuredBuses: 3, ExcludedBuses: []int{99}}},
+		{"bad required", &Requirements{Attack: sc, MaxSecuredBuses: 3, RequiredBuses: []int{0}}},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := Synthesize(tc.req); err == nil {
+				t.Fatalf("invalid requirements accepted")
+			}
+		})
+	}
+}
+
+func TestExcludedBusesRespected(t *testing.T) {
+	req, err := CaseStudyRequirements(2, 6)
+	if err != nil {
+		t.Fatalf("CaseStudyRequirements: %v", err)
+	}
+	req.ExcludedBuses = []int{6}
+	arch := synthesize(t, req)
+	for _, j := range arch.SecuredBuses {
+		if j == 6 {
+			t.Fatalf("excluded bus 6 in architecture %v", arch.SecuredBuses)
+		}
+	}
+	if !protectsIn(t, arch.SecuredBuses, req.Attack) {
+		t.Fatalf("architecture does not protect")
+	}
+}
+
+func TestMaxIterationsBound(t *testing.T) {
+	req, err := CaseStudyRequirements(2, 4)
+	if err != nil {
+		t.Fatalf("CaseStudyRequirements: %v", err)
+	}
+	req.MaxIterations = 1
+	if _, err := Synthesize(req); err == nil {
+		t.Fatalf("iteration bound not enforced")
+	}
+}
+
+// TestPruneOffStillWorks: without Eq. 30 pruning the search space is larger
+// but synthesis still converges (ablation path).
+func TestPruneOffStillWorks(t *testing.T) {
+	req, err := CaseStudyRequirements(1, 4)
+	if err != nil {
+		t.Fatalf("CaseStudyRequirements: %v", err)
+	}
+	req.Prune = false
+	arch := synthesize(t, req)
+	if !protectsIn(t, arch.SecuredBuses, req.Attack) {
+		t.Fatalf("architecture does not protect")
+	}
+}
+
+// TestBudgetRelaxationPath: with aggressive pruning a full-budget candidate
+// may be impossible while a smaller architecture exists; the synthesizer
+// must fall back rather than give up. Securing 7 of 14 buses under Eq. 30
+// pruning (no two adjacent) is at the independence-number edge; use a small
+// attacker so a tiny architecture suffices.
+func TestBudgetRelaxationPath(t *testing.T) {
+	sc := core.NewScenario(grid.IEEE14())
+	sc.Meas = core.CaseStudyMeasurements(false)
+	sc.TargetStates = []int{12}
+	sc.OnlyTargets = true
+	req := &Requirements{Attack: sc, MaxSecuredBuses: 7, Prune: true}
+	arch := synthesize(t, req)
+	if !protectsIn(t, arch.SecuredBuses, sc) {
+		t.Fatalf("architecture does not protect")
+	}
+}
+
+func equalInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
