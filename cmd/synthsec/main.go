@@ -1,11 +1,26 @@
 // Command synthsec synthesizes a security architecture — the set of buses
-// whose measurements need data-integrity protection — that makes state
-// estimation resistant to the attacker profile in a JSON requirements file
-// (paper Section IV, Algorithm 1).
+// (or individual measurements) whose data needs integrity protection — that
+// makes state estimation resistant to the attacker profile in a JSON
+// requirements file (paper Section IV, Algorithm 1).
 //
 // Usage:
 //
-//	synthsec requirements.json
+//	synthsec [flags] requirements.json
+//
+// Flags:
+//
+//	-timeout d        wall-clock budget for the whole run (e.g. 5s; 0 = none)
+//	-max-conflicts n  initial per-verification CDCL conflict budget, escalated
+//	                  on Unknown results (0 = unlimited)
+//	-max-pivots n     initial per-verification simplex pivot budget (0 = unlimited)
+//
+// Exit codes classify the outcome for scripted sweeps:
+//
+//	0  architecture found (printed)
+//	1  error — bad usage, unreadable requirements, malformed model
+//	2  no architecture — proven impossible under the requirements
+//	3  budget exhausted — timeout/iteration/solver budget hit before a
+//	   verdict; the best unverified candidate so far is printed
 //
 // See internal/scenariofile for the file format; examples live under
 // examples/scenarios/.
@@ -13,73 +28,130 @@ package main
 
 import (
 	"errors"
+	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"segrid/internal/scenariofile"
+	"segrid/internal/smt"
 	"segrid/internal/synth"
 )
 
+// Exit codes, shared vocabulary with cmd/ufdiverify (EXPERIMENTS.md).
+const (
+	exitFound     = 0
+	exitError     = 1
+	exitNoArch    = 2
+	exitExhausted = 3
+)
+
 func main() {
-	if err := run(os.Args[1:]); err != nil {
+	code, err := run(os.Args[1:])
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "synthsec:", err)
-		os.Exit(1)
 	}
+	os.Exit(code)
 }
 
-func run(args []string) error {
-	if len(args) != 1 {
-		return fmt.Errorf("usage: synthsec requirements.json")
+func run(args []string) (int, error) {
+	fs := flag.NewFlagSet("synthsec", flag.ContinueOnError)
+	fs.SetOutput(os.Stderr)
+	timeout := fs.Duration("timeout", 0, "wall-clock budget for the whole run (0 = none)")
+	maxConflicts := fs.Int64("max-conflicts", 0, "initial per-verification CDCL conflict budget (0 = unlimited)")
+	maxPivots := fs.Int64("max-pivots", 0, "initial per-verification simplex pivot budget (0 = unlimited)")
+	if err := fs.Parse(args); err != nil {
+		return exitError, nil // flag package already printed the problem
 	}
-	spec, err := scenariofile.LoadSynthesis(args[0])
+	if fs.NArg() != 1 {
+		return exitError, fmt.Errorf("usage: synthsec [flags] requirements.json")
+	}
+	limits := synth.Limits{Timeout: *timeout}
+	if *maxConflicts > 0 || *maxPivots > 0 {
+		limits.InitialBudget = &smt.Budget{
+			MaxConflicts: *maxConflicts,
+			MaxPivots:    *maxPivots,
+		}
+	}
+	spec, err := scenariofile.LoadSynthesis(fs.Arg(0))
 	if err != nil {
-		return err
+		return exitError, err
 	}
 	if spec.MeasurementGranular() {
-		return runMeasurementGranular(spec)
+		return runMeasurementGranular(spec, limits)
 	}
 	req, err := spec.Requirements()
 	if err != nil {
-		return err
+		return exitError, err
 	}
+	req.Limits = limits
 	sys := req.Attack.System()
 	fmt.Printf("system: %s (%d buses, %d lines), operator budget %d buses\n",
 		sys.Name, sys.Buses, sys.NumLines(), req.MaxSecuredBuses)
 	arch, err := synth.Synthesize(req)
-	if errors.Is(err, synth.ErrNoArchitecture) {
+	switch {
+	case errors.Is(err, synth.ErrNoArchitecture):
 		fmt.Println("result: no security architecture satisfies the requirements")
-		return nil
-	}
-	if err != nil {
-		return err
+		return exitNoArch, nil
+	case errors.Is(err, synth.ErrBudgetExhausted):
+		return reportExhausted(err, "buses"), nil
+	case err != nil:
+		return exitError, err
 	}
 	fmt.Printf("result: secure buses %v\n", arch.SecuredBuses)
 	fmt.Printf("  all measurements homed at those buses get data-integrity protection\n")
-	fmt.Printf("  Algorithm 1 iterations: %d\n", arch.Iterations)
-	fmt.Printf("  candidate selection time: %s, verification time: %s\n",
-		arch.SelectTime.Round(1e5), arch.VerifyTime.Round(1e5))
-	return nil
+	printIterations(arch.Iterations, arch.SelectTime, arch.VerifyTime)
+	return exitFound, nil
 }
 
-func runMeasurementGranular(spec *scenariofile.SynthesisSpec) error {
+func runMeasurementGranular(spec *scenariofile.SynthesisSpec, limits synth.Limits) (int, error) {
 	req, err := spec.MeasurementRequirements()
 	if err != nil {
-		return err
+		return exitError, err
 	}
+	req.Limits = limits
 	sys := req.Attack.System()
 	fmt.Printf("system: %s (%d buses, %d lines), operator budget %d measurements\n",
 		sys.Name, sys.Buses, sys.NumLines(), req.MaxSecuredMeasurements)
 	arch, err := synth.SynthesizeMeasurements(req)
-	if errors.Is(err, synth.ErrNoArchitecture) {
+	switch {
+	case errors.Is(err, synth.ErrNoArchitecture):
 		fmt.Println("result: no security architecture satisfies the requirements")
-		return nil
-	}
-	if err != nil {
-		return err
+		return exitNoArch, nil
+	case errors.Is(err, synth.ErrBudgetExhausted):
+		return reportExhausted(err, "measurements"), nil
+	case err != nil:
+		return exitError, err
 	}
 	fmt.Printf("result: secure measurements %v\n", arch.SecuredMeasurements)
-	fmt.Printf("  Algorithm 1 iterations: %d\n", arch.Iterations)
+	printIterations(arch.Iterations, arch.SelectTime, arch.VerifyTime)
+	return exitFound, nil
+}
+
+// reportExhausted prints the graceful-degradation summary for a run that ran
+// out of budget: the cause, the iteration stats, and — crucially for long
+// sweeps — the best (unverified) candidate the search had converged on.
+func reportExhausted(err error, granularity string) int {
+	var be *synth.BudgetExhaustedError
+	if !errors.As(err, &be) {
+		fmt.Printf("result: budget exhausted (%v)\n", err)
+		return exitExhausted
+	}
+	fmt.Println("result: budget exhausted before a verdict")
+	if be.Reason != nil {
+		fmt.Printf("  cause: %v\n", be.Reason)
+	}
+	if len(be.BestCandidate) > 0 {
+		fmt.Printf("  best unverified candidate (%s): %v\n", granularity, be.BestCandidate)
+	} else {
+		fmt.Println("  no candidate was selected before the budget ran out")
+	}
+	printIterations(be.Iterations, be.SelectTime, be.VerifyTime)
+	return exitExhausted
+}
+
+func printIterations(iters int, sel, ver time.Duration) {
+	fmt.Printf("  Algorithm 1 iterations: %d\n", iters)
 	fmt.Printf("  candidate selection time: %s, verification time: %s\n",
-		arch.SelectTime.Round(1e5), arch.VerifyTime.Round(1e5))
-	return nil
+		sel.Round(100*time.Microsecond), ver.Round(100*time.Microsecond))
 }

@@ -5,49 +5,105 @@
 //
 // Usage:
 //
-//	ufdiverify scenario.json
+//	ufdiverify [flags] scenario.json
+//
+// Flags:
+//
+//	-timeout d        wall-clock budget for the check (e.g. 30s; 0 = none)
+//	-max-conflicts n  CDCL conflict budget (0 = unlimited)
+//	-max-pivots n     simplex pivot budget (0 = unlimited)
+//
+// Exit codes classify the outcome for scripted sweeps:
+//
+//	0  sat — an attack vector exists (printed)
+//	1  error — bad usage, unreadable scenario, malformed model
+//	2  unsat — no attack vector satisfies the constraints
+//	3  unknown — a budget or the timeout was exhausted before a verdict
 //
 // See internal/scenariofile for the file format; examples live under
 // examples/scenarios/.
 package main
 
 import (
+	"context"
+	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"segrid/internal/core"
 	"segrid/internal/scenariofile"
+	"segrid/internal/smt"
+)
+
+// Exit codes, shared vocabulary with cmd/synthsec (EXPERIMENTS.md).
+const (
+	exitSat     = 0
+	exitError   = 1
+	exitUnsat   = 2
+	exitUnknown = 3
 )
 
 func main() {
-	if err := run(os.Args[1:]); err != nil {
+	code, err := run(os.Args[1:])
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "ufdiverify:", err)
-		os.Exit(1)
 	}
+	os.Exit(code)
 }
 
-func run(args []string) error {
-	if len(args) != 1 {
-		return fmt.Errorf("usage: ufdiverify scenario.json")
+func run(args []string) (int, error) {
+	fs := flag.NewFlagSet("ufdiverify", flag.ContinueOnError)
+	fs.SetOutput(os.Stderr)
+	timeout := fs.Duration("timeout", 0, "wall-clock budget for the check (0 = none)")
+	maxConflicts := fs.Int64("max-conflicts", 0, "CDCL conflict budget (0 = unlimited)")
+	maxPivots := fs.Int64("max-pivots", 0, "simplex pivot budget (0 = unlimited)")
+	if err := fs.Parse(args); err != nil {
+		return exitError, nil // flag package already printed the problem
 	}
-	spec, err := scenariofile.LoadAttack(args[0])
+	if fs.NArg() != 1 {
+		return exitError, fmt.Errorf("usage: ufdiverify [flags] scenario.json")
+	}
+	spec, err := scenariofile.LoadAttack(fs.Arg(0))
 	if err != nil {
-		return err
+		return exitError, err
 	}
 	sc, err := spec.Scenario()
 	if err != nil {
-		return err
+		return exitError, err
 	}
-	res, err := core.Verify(sc)
+	if *maxConflicts > 0 || *maxPivots > 0 {
+		opts := smt.DefaultOptions()
+		if sc.Options != nil {
+			opts = *sc.Options
+		}
+		opts.Budget.MaxConflicts = *maxConflicts
+		opts.Budget.MaxPivots = *maxPivots
+		sc.Options = &opts
+	}
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+
+	res, err := core.VerifyContext(ctx, sc)
 	if err != nil {
-		return err
+		return exitError, err
 	}
 	sys := sc.System()
 	fmt.Printf("system: %s (%d buses, %d lines, %d potential measurements)\n",
 		sys.Name, sys.Buses, sys.NumLines(), sys.NumMeasurements())
+	if res.Inconclusive {
+		fmt.Printf("result: unknown — solver stopped early (%v)\n", res.Why)
+		printSolverStats(res.Stats)
+		return exitUnknown, nil
+	}
 	if !res.Feasible {
 		fmt.Println("result: unsat — no attack vector satisfies the constraints")
-		return nil
+		printSolverStats(res.Stats)
+		return exitUnsat, nil
 	}
 	fmt.Println("result: sat — attack vector found")
 	fmt.Printf("  measurements to alter (%d): %v\n",
@@ -67,8 +123,12 @@ func run(args []string) error {
 			fmt.Printf("    bus %3d: %+.6f rad\n", bus, f)
 		}
 	}
-	fmt.Printf("solver: %d bool vars, %d clauses, %d arithmetic atoms, %d conflicts, %s\n",
-		res.Stats.BoolVars, res.Stats.Clauses, res.Stats.Atoms,
-		res.Stats.Conflicts, res.Stats.Duration.Round(1e5))
-	return nil
+	printSolverStats(res.Stats)
+	return exitSat, nil
+}
+
+func printSolverStats(st smt.Stats) {
+	fmt.Printf("solver: %d bool vars, %d clauses, %d arithmetic atoms, %d conflicts, %d pivots, %s\n",
+		st.BoolVars, st.Clauses, st.Atoms, st.Conflicts, st.Pivots,
+		st.Duration.Round(100*time.Microsecond))
 }

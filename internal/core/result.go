@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math/big"
 	"sort"
@@ -13,6 +14,15 @@ import (
 // attack vector: the assignments of cz, cb, el, il and the state changes).
 type Result struct {
 	Feasible bool
+
+	// Inconclusive reports that the solver gave up before deciding —
+	// resource budget exhausted or the check was cancelled. Feasible is
+	// then meaningless (the attack was neither found nor excluded) and Why
+	// explains the cause. Stats still describes the partial work.
+	Inconclusive bool
+
+	// Why explains an inconclusive run (see smt.Result.Why); nil otherwise.
+	Why error
 
 	// AlteredMeasurements lists the measurement IDs the attacker must
 	// inject false data into (cz), ascending.
@@ -50,9 +60,16 @@ func (r *Result) StateChangeFloat(bus int) float64 {
 }
 
 // Check solves the model in its current scope state and extracts the
-// result.
+// result. It is CheckContext with a background context.
 func (m *Model) Check() (*Result, error) {
-	res, err := m.solver.Check()
+	return m.CheckContext(context.Background())
+}
+
+// CheckContext solves the model under ctx. Cancellation and budget
+// exhaustion (see smt.Budget) are not errors: they yield a Result with
+// Inconclusive set, partial Stats, and Why carrying the cause.
+func (m *Model) CheckContext(ctx context.Context) (*Result, error) {
+	res, err := m.solver.CheckContext(ctx)
 	if err != nil {
 		return nil, fmt.Errorf("core: attack model check: %w", err)
 	}
@@ -61,7 +78,9 @@ func (m *Model) Check() (*Result, error) {
 		return out, nil
 	}
 	if res.Status != smt.Sat {
-		return nil, fmt.Errorf("core: attack model check inconclusive")
+		out.Inconclusive = true
+		out.Why = res.Why
+		return out, nil
 	}
 	out.Feasible = true
 	sys := m.sc.System()
@@ -108,9 +127,16 @@ func (m *Model) Check() (*Result, error) {
 // Verify builds the model for the scenario and checks it once. It is the
 // package's convenience entry point.
 func Verify(sc *Scenario) (*Result, error) {
+	return VerifyContext(context.Background(), sc)
+}
+
+// VerifyContext is Verify under a context: model construction is not
+// interruptible (it is pure encoding-input preparation), but the check
+// itself honors ctx and the scenario's solver budget.
+func VerifyContext(ctx context.Context, sc *Scenario) (*Result, error) {
 	m, err := NewModel(sc)
 	if err != nil {
 		return nil, err
 	}
-	return m.Check()
+	return m.CheckContext(ctx)
 }

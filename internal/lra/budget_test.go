@@ -1,0 +1,102 @@
+package lra
+
+import (
+	"errors"
+	"math/big"
+	"testing"
+)
+
+// chainTableau builds a pivot-hungry instance: a chain of slack equalities
+// x_{i+1} = x_i + 1 with the head bounded below and the tail bounded above,
+// so CheckBudget has to walk the chain pivoting basics into range.
+func chainTableau(t *testing.T, s *Simplex, n int) {
+	t.Helper()
+	xs := make([]int, n)
+	for i := range xs {
+		xs[i] = s.NewVar()
+	}
+	tag := Tag(1)
+	for i := 0; i+1 < n; i++ {
+		// slack = x_{i+1} - x_i, forced to equal 1.
+		sv := mustSlack(t, s, []Term{{Var: xs[i+1], Coeff: rat(1, 1)}, {Var: xs[i], Coeff: rat(-1, 1)}})
+		if c := s.AssertLower(sv, dl(1), tag); c != nil {
+			t.Fatalf("chain lower: conflict %v", c)
+		}
+		tag++
+		if c := s.AssertUpper(sv, dl(1), tag); c != nil {
+			t.Fatalf("chain upper: conflict %v", c)
+		}
+		tag++
+	}
+	if c := s.AssertLower(xs[0], dl(0), tag); c != nil {
+		t.Fatalf("head bound: conflict %v", c)
+	}
+	if c := s.AssertUpper(xs[n-1], dl(int64(10*n)), tag+1); c != nil {
+		t.Fatalf("tail bound: conflict %v", c)
+	}
+}
+
+// TestBudgetMaxPivots exhausts the pivot budget mid-Check and verifies the
+// tableau remains usable for a resumed, unbudgeted Check.
+func TestBudgetMaxPivots(t *testing.T) {
+	s := NewSimplex()
+	chainTableau(t, s, 40)
+	s.SetMaxPivots(3)
+	if _, err := s.CheckBudget(); !errors.Is(err, ErrPivotBudget) {
+		t.Fatalf("CheckBudget err = %v, want ErrPivotBudget", err)
+	}
+	if got := s.Statistics().Pivots; got < 3 {
+		t.Fatalf("Pivots = %d, want >= budget 3", got)
+	}
+	// The interrupted tableau must still be consistent: lifting the budget
+	// and re-checking has to succeed.
+	s.SetMaxPivots(0)
+	conflict, err := s.CheckBudget()
+	if err != nil {
+		t.Fatalf("resumed CheckBudget: %v", err)
+	}
+	if conflict != nil {
+		t.Fatalf("resumed CheckBudget conflict = %v, want feasible", conflict)
+	}
+}
+
+// TestBudgetStopHook interrupts Check via the stop callback after a fixed
+// number of polls; deterministic because the pivot order is.
+func TestBudgetStopHook(t *testing.T) {
+	s := NewSimplex()
+	chainTableau(t, s, 40)
+	boom := errors.New("stop now")
+	polls := 0
+	s.SetStop(func() error {
+		polls++
+		if polls > 2 {
+			return boom
+		}
+		return nil
+	})
+	if _, err := s.CheckBudget(); !errors.Is(err, boom) {
+		t.Fatalf("CheckBudget err = %v, want stop error", err)
+	}
+	s.SetStop(nil)
+	if conflict, err := s.CheckBudget(); err != nil || conflict != nil {
+		t.Fatalf("resumed CheckBudget = %v, %v; want feasible", conflict, err)
+	}
+}
+
+// TestBudgetCheckUnaffected ensures the plain Check path (no budget, no
+// stop) is byte-for-byte the old behavior: feasible chain, correct model.
+func TestBudgetCheckUnaffected(t *testing.T) {
+	s := NewSimplex()
+	chainTableau(t, s, 10)
+	if c := s.Check(); c != nil {
+		t.Fatalf("Check conflict = %v, want feasible", c)
+	}
+	m := s.Model()
+	// x_i = x_0 + i along the chain.
+	for i := 1; i < 10; i++ {
+		diff := new(big.Rat).Sub(m[i], m[i-1])
+		if diff.Cmp(rat(1, 1)) != 0 {
+			t.Fatalf("x_%d - x_%d = %v, want 1", i, i-1, diff)
+		}
+	}
+}

@@ -19,12 +19,20 @@ var ErrUnbounded = errors.New("lra: objective unbounded")
 // Maximize drives the current feasible assignment to one maximizing the
 // linear objective Σ coeff·var, using bounded-variable simplex with
 // Bland's rule. The assignment (and therefore Model) is left at the
-// optimum. Bounds are not modified.
+// optimum. Bounds are not modified. It honors the pivot budget and stop
+// hook (SetMaxPivots/SetStop), aborting with their error mid-optimization.
 func (s *Simplex) Maximize(obj []Term) (numeric.Delta, error) {
-	if conflict := s.Check(); conflict != nil {
+	conflict, err := s.CheckBudget()
+	if err != nil {
+		return numeric.Delta{}, err
+	}
+	if conflict != nil {
 		return numeric.Delta{}, ErrInfeasible
 	}
 	for {
+		if err := s.pollBudget(); err != nil {
+			return numeric.Delta{}, err
+		}
 		improved, err := s.improveStep(obj)
 		if err != nil {
 			return numeric.Delta{}, err

@@ -11,12 +11,17 @@
 package lra
 
 import (
+	"errors"
 	"fmt"
 	"math/big"
 	"sort"
 
 	"segrid/internal/numeric"
 )
+
+// ErrPivotBudget is returned by CheckBudget and Maximize when the pivot
+// budget set with SetMaxPivots is exhausted.
+var ErrPivotBudget = errors.New("lra: pivot budget exhausted")
 
 // Tag identifies the assertion that introduced a bound; the SMT layer maps
 // tags to SAT literals. Explanations are sets of tags.
@@ -72,7 +77,9 @@ type Simplex struct {
 	// Check scans this set instead of the whole tableau.
 	suspect map[int]bool
 
-	stats Stats
+	stats     Stats
+	maxPivots int64
+	stop      func() error
 }
 
 // NewSimplex constructs an empty solver.
@@ -252,20 +259,63 @@ func (s *Simplex) update(v int, d numeric.Delta) {
 	s.beta[v] = d
 }
 
+// SetMaxPivots bounds the total pivot steps across all subsequent
+// CheckBudget and Maximize calls; n ≤ 0 means unlimited. The budget is
+// measured against the cumulative Stats.Pivots counter.
+func (s *Simplex) SetMaxPivots(n int64) { s.maxPivots = n }
+
+// SetStop installs a cancellation hook polled once per pivot; a non-nil
+// return aborts CheckBudget/Maximize with that error. Pass nil to clear.
+func (s *Simplex) SetStop(f func() error) { s.stop = f }
+
+// pollBudget enforces the pivot budget and the stop hook between pivots.
+func (s *Simplex) pollBudget() error {
+	if s.maxPivots > 0 && s.stats.Pivots >= s.maxPivots {
+		return ErrPivotBudget
+	}
+	if s.stop != nil {
+		return s.stop()
+	}
+	return nil
+}
+
 // Check restores the simplex invariant, returning nil when the current
 // bounds are satisfiable and a conflict explanation otherwise. Bland's rule
-// (minimum variable index) guarantees termination.
+// (minimum variable index) guarantees termination. Check ignores the pivot
+// budget and stop hook; interruptible callers must use CheckBudget.
 func (s *Simplex) Check() []Tag {
+	tags, err := s.checkLoop(false)
+	if err != nil {
+		// Unreachable: budgets are disabled on this path.
+		panic("lra: Check interrupted: " + err.Error())
+	}
+	return tags
+}
+
+// CheckBudget is Check under the pivot budget and stop hook: it polls
+// between pivots and aborts with a non-nil error when either fires. The
+// tableau is left in a consistent (resumable) state; a subsequent call
+// continues the repair. A nil, nil return means feasible.
+func (s *Simplex) CheckBudget() ([]Tag, error) {
+	return s.checkLoop(true)
+}
+
+func (s *Simplex) checkLoop(budgeted bool) ([]Tag, error) {
 	s.stats.Checks++
 	for {
+		if budgeted {
+			if err := s.pollBudget(); err != nil {
+				return nil, err
+			}
+		}
 		b, below := s.pickViolatedBasic()
 		if b < 0 {
-			return nil
+			return nil, nil
 		}
 		row := s.rows[b]
 		n := s.pickPivot(row, below)
 		if n < 0 {
-			return s.explainRow(b, row, below)
+			return s.explainRow(b, row, below), nil
 		}
 		var target numeric.Delta
 		if below {

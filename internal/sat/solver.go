@@ -34,6 +34,10 @@ func (s Status) String() string {
 // ErrBudget is returned by Solve when the conflict budget is exhausted.
 var ErrBudget = errors.New("sat: conflict budget exhausted")
 
+// ErrPropBudget is returned by Solve when the propagation budget is
+// exhausted.
+var ErrPropBudget = errors.New("sat: propagation budget exhausted")
+
 // Stats collects solver counters, useful for the evaluation harness.
 type Stats struct {
 	Vars         int
@@ -58,6 +62,12 @@ type Options struct {
 	CheckAtFixpoint bool
 	// MaxConflicts bounds the search; ≤ 0 means unlimited.
 	MaxConflicts int64
+	// MaxPropagations bounds unit propagations; ≤ 0 means unlimited.
+	MaxPropagations int64
+	// Stop, if non-nil, is polled once at the start of Solve, at every
+	// conflict and every stopPollInterval propagations. A non-nil return
+	// aborts the search: Solve returns StatusUnknown and that error.
+	Stop func() error
 }
 
 // Solver is a CDCL SAT solver. The zero value is not usable; construct with
@@ -89,10 +99,11 @@ type Solver struct {
 	seen         []bool
 	analyzeStack []Lit
 
-	stats  Stats
-	unsat  bool // empty clause added at level 0
-	nVars  int
-	budget int64
+	stats    Stats
+	unsat    bool // empty clause added at level 0
+	nVars    int
+	budget   int64
+	nextPoll int64 // propagation count at which Stop is polled next
 }
 
 const (
@@ -100,6 +111,7 @@ const (
 	clauseActivityDecay = 1.0 / 0.999
 	rescaleLimit        = 1e100
 	lubyUnit            = 128 // conflicts per restart unit
+	stopPollInterval    = 4096 // propagations between Stop polls
 )
 
 // NewSolver constructs a solver with the given options.
@@ -571,11 +583,33 @@ func (s *Solver) theoryConflictClause(expl []Lit) bool {
 	return s.handleConflict(&clause{lits: lits})
 }
 
+// pollLimits enforces the propagation budget and polls the Stop hook. It
+// returns nil when the search may continue.
+func (s *Solver) pollLimits() error {
+	if s.opts.MaxPropagations > 0 && s.stats.Propagations >= s.opts.MaxPropagations {
+		return ErrPropBudget
+	}
+	if s.opts.Stop != nil && s.stats.Propagations >= s.nextPoll {
+		s.nextPoll = s.stats.Propagations + stopPollInterval
+		return s.opts.Stop()
+	}
+	return nil
+}
+
 // Solve runs the CDCL search and returns the status. On StatusSat the model
-// is available through Value.
+// is available through Value. StatusUnknown is always accompanied by a
+// non-nil error saying why the search stopped early (budget exhaustion, a
+// Stop-hook cancellation, or a theory-side abort).
 func (s *Solver) Solve() (Status, error) {
 	if s.unsat {
 		return StatusUnsat, nil
+	}
+	if s.opts.Stop != nil {
+		// Poll once up front so an already-expired deadline aborts before
+		// any search work, however large the instance.
+		if err := s.opts.Stop(); err != nil {
+			return StatusUnknown, err
+		}
 	}
 	if confl := s.propagate(); confl != nil {
 		return StatusUnsat, nil
@@ -585,8 +619,12 @@ func (s *Solver) Solve() (Status, error) {
 		return StatusUnsat, nil
 	}
 	if s.opts.Theory != nil {
-		if expl := s.opts.Theory.Check(false); expl != nil {
-			s.stats.TheoryChecks++
+		s.stats.TheoryChecks++
+		expl, err := s.opts.Theory.Check(false)
+		if err != nil {
+			return StatusUnknown, err
+		}
+		if expl != nil {
 			return StatusUnsat, nil
 		}
 	}
@@ -597,6 +635,9 @@ func (s *Solver) Solve() (Status, error) {
 	s.budget = s.opts.MaxConflicts
 
 	for {
+		if err := s.pollLimits(); err != nil {
+			return StatusUnknown, err
+		}
 		confl := s.propagate()
 		if confl == nil {
 			if expl := s.theoryFeed(); expl != nil {
@@ -607,7 +648,11 @@ func (s *Solver) Solve() (Status, error) {
 			}
 			if s.opts.Theory != nil && s.opts.CheckAtFixpoint {
 				s.stats.TheoryChecks++
-				if expl := s.opts.Theory.Check(false); expl != nil {
+				expl, err := s.opts.Theory.Check(false)
+				if err != nil {
+					return StatusUnknown, err
+				}
+				if expl != nil {
 					if !s.theoryConflictClause(expl) {
 						return StatusUnsat, nil
 					}
@@ -621,6 +666,11 @@ func (s *Solver) Solve() (Status, error) {
 			}
 			if s.budget > 0 && s.stats.Conflicts >= s.budget {
 				return StatusUnknown, ErrBudget
+			}
+			if s.opts.Stop != nil {
+				if err := s.opts.Stop(); err != nil {
+					return StatusUnknown, err
+				}
 			}
 			conflictsUntilRestart--
 			continue
@@ -643,7 +693,11 @@ func (s *Solver) Solve() (Status, error) {
 			// Full assignment: run the final theory check.
 			if s.opts.Theory != nil {
 				s.stats.TheoryChecks++
-				if expl := s.opts.Theory.Check(true); expl != nil {
+				expl, err := s.opts.Theory.Check(true)
+				if err != nil {
+					return StatusUnknown, err
+				}
+				if expl != nil {
 					if !s.theoryConflictClause(expl) {
 						return StatusUnsat, nil
 					}

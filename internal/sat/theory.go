@@ -17,8 +17,10 @@ type Theory interface {
 	// Check runs a (possibly expensive) consistency check of all literals
 	// asserted so far. final is true when the SAT core has a full
 	// assignment; a theory must be complete for final checks. It returns a
-	// conflict explanation or nil.
-	Check(final bool) []Lit
+	// conflict explanation or nil. A non-nil error aborts the search (the
+	// theory ran out of budget or was cancelled): the SAT core returns
+	// StatusUnknown with that error, leaving the theory state untouched.
+	Check(final bool) ([]Lit, error)
 
 	// Push opens a backtracking scope, aligned with a SAT decision level.
 	Push()

@@ -46,8 +46,12 @@ func (t *theoryAdapter) Assert(l sat.Lit) []sat.Lit {
 	return tagsToLits(conflict)
 }
 
-func (t *theoryAdapter) Check(final bool) []sat.Lit {
-	return tagsToLits(t.simplex.Check())
+func (t *theoryAdapter) Check(final bool) ([]sat.Lit, error) {
+	tags, err := t.simplex.CheckBudget()
+	if err != nil {
+		return nil, err
+	}
+	return tagsToLits(tags), nil
 }
 
 func (t *theoryAdapter) Push()     { t.simplex.Push() }
@@ -83,15 +87,19 @@ type encoder struct {
 	nAtoms  int
 }
 
-func newEncoder(owner *Solver) *encoder {
+func newEncoder(owner *Solver, budget Budget, ctrl *controller) *encoder {
 	simplex := lra.NewSimplex()
+	simplex.SetMaxPivots(budget.MaxPivots)
+	simplex.SetStop(ctrl.stopFunc(PointSimplex))
 	theory := &theoryAdapter{simplex: simplex, bounds: make(map[sat.Var]boundSpec)}
 	e := &encoder{
 		owner: owner,
 		sat: sat.NewSolver(sat.Options{
 			Theory:          theory,
 			CheckAtFixpoint: owner.opts.TheoryCheckAtFixpoint,
-			MaxConflicts:    owner.opts.MaxConflicts,
+			MaxConflicts:    budget.MaxConflicts,
+			MaxPropagations: budget.MaxPropagations,
+			Stop:            ctrl.stopFunc(PointCDCL),
 		}),
 		simplex:    simplex,
 		theory:     theory,
@@ -323,26 +331,33 @@ func (e *encoder) slackFor(canon *LinExpr, key string) (int, error) {
 	return sv, nil
 }
 
-// solve runs the SAT search and packages the result.
+// statsSnapshot captures the work counters accumulated so far; it is valid
+// both after a completed solve and mid-flight (partial stats on
+// interruption).
+func (e *encoder) statsSnapshot() Stats {
+	sst := e.sat.Statistics()
+	lst := e.simplex.Statistics()
+	return Stats{
+		BoolVars:     sst.Vars,
+		Clauses:      sst.Clauses,
+		RealVars:     len(e.realToSimplex),
+		Atoms:        e.nAtoms,
+		SlackVars:    lst.Rows,
+		Conflicts:    sst.Conflicts,
+		Decisions:    sst.Decisions,
+		Propagations: sst.Propagations,
+		Restarts:     sst.Restarts,
+		TheoryChecks: sst.TheoryChecks,
+		Pivots:       lst.Pivots,
+	}
+}
+
+// solve runs the SAT search and packages the result. An error return means
+// the search was interrupted (budget or cancellation); res still carries
+// the partial Stats.
 func (e *encoder) solve() (*Result, error) {
 	res := &Result{}
-	fill := func() {
-		sst := e.sat.Statistics()
-		lst := e.simplex.Statistics()
-		res.Stats = Stats{
-			BoolVars:     sst.Vars,
-			Clauses:      sst.Clauses,
-			RealVars:     len(e.realToSimplex),
-			Atoms:        e.nAtoms,
-			SlackVars:    lst.Rows,
-			Conflicts:    sst.Conflicts,
-			Decisions:    sst.Decisions,
-			Propagations: sst.Propagations,
-			Restarts:     sst.Restarts,
-			TheoryChecks: sst.TheoryChecks,
-			Pivots:       lst.Pivots,
-		}
-	}
+	fill := func() { res.Stats = e.statsSnapshot() }
 	if e.unsat {
 		res.Status = Unsat
 		fill()

@@ -1,6 +1,7 @@
 package smt
 
 import (
+	"errors"
 	"math/big"
 	"strings"
 	"testing"
@@ -206,8 +207,18 @@ func TestMaxConflictsBudget(t *testing.T) {
 		s.AssertAtMostK(fs, 1)
 	}
 	res, err := s.Check()
-	if err == nil {
+	if err != nil {
+		t.Fatalf("budget exhaustion must not be an error, got %v", err)
+	}
+	if res.Status != Unknown {
 		t.Fatalf("budget not enforced; status %v", res.Status)
+	}
+	var be *BudgetError
+	if !errors.As(res.Why, &be) || be.Resource != ResourceConflicts {
+		t.Fatalf("Why = %v, want conflicts BudgetError", res.Why)
+	}
+	if res.Stats.Conflicts < 1 || res.Stats.Clauses == 0 {
+		t.Fatalf("partial stats not populated: %+v", res.Stats)
 	}
 }
 

@@ -1,10 +1,15 @@
 package smt
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"math/big"
 	"runtime"
 	"time"
+
+	"segrid/internal/lra"
+	"segrid/internal/sat"
 )
 
 // Status is the outcome of a Check call.
@@ -38,11 +43,23 @@ type Options struct {
 	// When false it runs only on full Boolean assignments (ablation knob).
 	TheoryCheckAtFixpoint bool
 	// MaxConflicts bounds the SAT search per Check; ≤ 0 means unlimited.
+	// Exhaustion yields a Result with Status Unknown and populated Stats
+	// (never an error, never a hang).
+	//
+	// Deprecated: set Budget.MaxConflicts instead. When both are set,
+	// Budget.MaxConflicts wins.
 	MaxConflicts int64
 	// NaiveCardinality switches the at-most-k constraint encoding from the
 	// sequential counter to the quadratic pairwise encoding (only practical
 	// for very small k·n; ablation knob).
 	NaiveCardinality bool
+	// Budget bounds the resources of each Check/CheckContext call; the zero
+	// value means unlimited. See Budget for the exhaustion contract.
+	Budget Budget
+	// Interrupter, if non-nil, is a deterministic fault-injection hook
+	// polled at every solver interruption point; a non-nil return aborts
+	// the check with Status Unknown. Intended for tests.
+	Interrupter Interrupter
 }
 
 // DefaultOptions returns the configuration used throughout the paper
@@ -180,6 +197,11 @@ type Result struct {
 	Status Status
 	Stats  Stats
 
+	// Why explains an Unknown status: a *BudgetError naming the exhausted
+	// resource, context.Canceled/DeadlineExceeded for cancellation, or the
+	// error an Interrupter fired with. It is nil on Sat and Unsat.
+	Why error
+
 	boolVals []bool
 	realVals []*big.Rat
 }
@@ -192,20 +214,76 @@ func (r *Result) Bool(v BoolVar) bool { return r.boolVals[v] }
 // result. The returned rational must not be mutated.
 func (r *Result) Real(v RealVar) *big.Rat { return r.realVals[v] }
 
-// Check solves the current assertion stack.
+// SetBudget replaces the solver's resource budget. Each Check re-encodes
+// the assertion stack from scratch, so changing the budget between checks
+// is safe; retry-with-escalating-budget policies rely on this.
+func (s *Solver) SetBudget(b Budget) { s.opts.Budget = b }
+
+// SetInterrupter replaces the fault-injection hook (nil clears it).
+func (s *Solver) SetInterrupter(i Interrupter) { s.opts.Interrupter = i }
+
+// effectiveBudget folds the deprecated MaxConflicts field into Budget.
+func (s *Solver) effectiveBudget() Budget {
+	b := s.opts.Budget
+	if b.MaxConflicts == 0 && s.opts.MaxConflicts > 0 {
+		b.MaxConflicts = s.opts.MaxConflicts
+	}
+	return b
+}
+
+// Check solves the current assertion stack. It is CheckContext with a
+// background context: uninterruptible from outside, but still subject to
+// the configured Budget and Interrupter.
 func (s *Solver) Check() (*Result, error) {
+	return s.CheckContext(context.Background())
+}
+
+// CheckContext solves the current assertion stack under ctx. Cancellation
+// is polled inside the CDCL search loop, the simplex pivot loop and the
+// encoding pass, so even checks that would otherwise spin unboundedly
+// return promptly. An interrupted or budget-exhausted check is not an
+// error: it returns a Result with Status Unknown, Stats describing the
+// partial work, and Why carrying the cause. A non-nil error is reserved
+// for genuinely broken inputs (malformed formulas).
+func (s *Solver) CheckContext(ctx context.Context) (*Result, error) {
 	start := time.Now()
 	var memBefore runtime.MemStats
 	runtime.ReadMemStats(&memBefore)
 
-	enc := newEncoder(s)
+	budget := s.effectiveBudget()
+	ctrl := newController(ctx, budget, s.opts.Interrupter, memBefore.TotalAlloc)
+	enc := newEncoder(s, budget, ctrl)
+
+	finish := func(res *Result) *Result {
+		var memAfter runtime.MemStats
+		runtime.ReadMemStats(&memAfter)
+		res.Stats.AllocBytes = memAfter.TotalAlloc - memBefore.TotalAlloc
+		res.Stats.Duration = time.Since(start)
+		s.lastStats = res.Stats
+		return res
+	}
+	interrupted := func(why error) *Result {
+		return finish(&Result{Status: Unknown, Why: why, Stats: enc.statsSnapshot()})
+	}
+
+	encodePoll := ctrl.stopFunc(PointEncode)
 	for _, sc := range s.scopes {
 		for _, f := range sc.asserts {
+			if encodePoll != nil {
+				if err := encodePoll(); err != nil {
+					return interrupted(err), nil
+				}
+			}
 			if err := enc.assertTop(f); err != nil {
 				return nil, err
 			}
 		}
 		for _, cc := range sc.cards {
+			if encodePoll != nil {
+				if err := encodePoll(); err != nil {
+					return interrupted(err), nil
+				}
+			}
 			if err := enc.assertCard(cc); err != nil {
 				return nil, err
 			}
@@ -214,13 +292,28 @@ func (s *Solver) Check() (*Result, error) {
 
 	res, err := enc.solve()
 	if err != nil {
-		return nil, err
+		// Every solve-time error is an interruption: map the solver-level
+		// budget sentinels to typed BudgetErrors and surface the rest
+		// (context errors, interrupter errors, wall-clock/alloc budget
+		// errors) as they are.
+		res.Why = classifyInterrupt(err, budget)
+		res.Status = Unknown
+		return finish(res), nil
 	}
+	return finish(res), nil
+}
 
-	var memAfter runtime.MemStats
-	runtime.ReadMemStats(&memAfter)
-	res.Stats.AllocBytes = memAfter.TotalAlloc - memBefore.TotalAlloc
-	res.Stats.Duration = time.Since(start)
-	s.lastStats = res.Stats
-	return res, nil
+// classifyInterrupt converts layer-internal budget sentinels into typed
+// *BudgetError values; other causes pass through unchanged.
+func classifyInterrupt(err error, b Budget) error {
+	switch {
+	case errors.Is(err, sat.ErrBudget):
+		return &BudgetError{Resource: ResourceConflicts, Limit: b.MaxConflicts}
+	case errors.Is(err, sat.ErrPropBudget):
+		return &BudgetError{Resource: ResourcePropagations, Limit: b.MaxPropagations}
+	case errors.Is(err, lra.ErrPivotBudget):
+		return &BudgetError{Resource: ResourcePivots, Limit: b.MaxPivots}
+	default:
+		return err
+	}
 }

@@ -1,6 +1,7 @@
 package synth
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"time"
@@ -29,7 +30,12 @@ type MeasurementRequirements struct {
 	RequiredMeasurements []int
 
 	// MaxIterations bounds the synthesis loop; ≤ 0 means unlimited.
+	// Exhausting it returns a *BudgetExhaustedError (see Requirements).
 	MaxIterations int
+
+	// Limits bounds the run's wall clock and per-candidate solver budgets;
+	// the zero value means unbounded.
+	Limits Limits
 
 	// Options configures the candidate selection solver; nil means
 	// smt.DefaultOptions.
@@ -103,13 +109,13 @@ func newMeasurementSelection(req *MeasurementRequirements) (*measurementSelectio
 	return m, nil
 }
 
-func (m *measurementSelection) next() ([]int, bool, error) {
-	res, err := m.solver.Check()
+func (m *measurementSelection) next(ctx context.Context) ([]int, smt.Status, error, error) {
+	res, err := m.solver.CheckContext(ctx)
 	if err != nil {
-		return nil, false, fmt.Errorf("synth: measurement candidate selection: %w", err)
+		return nil, smt.Unknown, nil, fmt.Errorf("synth: measurement candidate selection: %w", err)
 	}
 	if res.Status != smt.Sat {
-		return nil, false, nil
+		return nil, res.Status, res.Why, nil
 	}
 	var out []int
 	for _, id := range m.ids {
@@ -118,7 +124,7 @@ func (m *measurementSelection) next() ([]int, bool, error) {
 		}
 	}
 	sort.Ints(out)
-	return out, true, nil
+	return out, smt.Sat, nil, nil
 }
 
 // blockByAttack learns the hitting-set constraint from a witness attack:
@@ -152,14 +158,27 @@ func (m *measurementSelection) blockBySubset(failed []int) {
 	m.solver.Assert(smt.Or(fs...))
 }
 
-// SynthesizeMeasurements runs Algorithm 1 at measurement granularity.
+// SynthesizeMeasurements runs Algorithm 1 at measurement granularity. It
+// is SynthesizeMeasurementsContext with a background context.
 func SynthesizeMeasurements(req *MeasurementRequirements) (*MeasurementArchitecture, error) {
+	return SynthesizeMeasurementsContext(context.Background(), req)
+}
+
+// SynthesizeMeasurementsContext runs measurement-granular synthesis under
+// ctx and the requirements' Limits, with the same graceful-degradation
+// contract as SynthesizeContext: *BudgetExhaustedError on give-up,
+// ErrNoArchitecture only on a proof of impossibility.
+func SynthesizeMeasurementsContext(ctx context.Context, req *MeasurementRequirements) (*MeasurementArchitecture, error) {
 	if req.Attack == nil {
 		return nil, fmt.Errorf("synth: requirements carry no attack scenario")
 	}
 	if req.MaxSecuredMeasurements < 1 {
 		return nil, fmt.Errorf("synth: MaxSecuredMeasurements must be positive, got %d", req.MaxSecuredMeasurements)
 	}
+	ctx, cancelRun := req.Limits.runContext(ctx)
+	defer cancelRun()
+	pol := req.Limits.policy()
+
 	attacks := make([]*core.Model, 0, 1+len(req.ExtraAttacks))
 	for _, sc := range append([]*core.Scenario{req.Attack}, req.ExtraAttacks...) {
 		m, err := core.NewModel(sc)
@@ -174,34 +193,60 @@ func SynthesizeMeasurements(req *MeasurementRequirements) (*MeasurementArchitect
 	}
 
 	arch := &MeasurementArchitecture{}
+	var best []int
+	exhausted := func(reason error) error {
+		return &BudgetExhaustedError{
+			BestCandidate: best,
+			Iterations:    arch.Iterations,
+			SelectTime:    arch.SelectTime,
+			VerifyTime:    arch.VerifyTime,
+			Reason:        reason,
+		}
+	}
 	for {
+		if err := ctx.Err(); err != nil {
+			return nil, exhausted(err)
+		}
 		if req.MaxIterations > 0 && arch.Iterations >= req.MaxIterations {
-			return nil, fmt.Errorf("synth: no measurement architecture within %d iterations", req.MaxIterations)
+			return nil, exhausted(fmt.Errorf("%d iterations reached: %w", req.MaxIterations, ErrBudgetExhausted))
 		}
 		start := time.Now()
-		candidate, ok, err := selection.next()
+		candidate, selStatus, selWhy, err := selection.next(ctx)
 		arch.SelectTime += time.Since(start)
 		if err != nil {
 			return nil, err
 		}
-		if !ok {
+		if selStatus == smt.Unknown {
+			return nil, exhausted(selWhy)
+		}
+		if selStatus != smt.Sat {
 			return nil, ErrNoArchitecture
 		}
 		arch.Iterations++
+		best = candidate
 
 		start = time.Now()
+		candCtx, cancelCand := req.Limits.candidateContext(ctx)
 		resists := true
+		var inconclusive error
 		for _, attack := range attacks {
 			attack.Solver().Push()
 			if err := attack.AssertMeasurementsSecured(candidate); err != nil {
+				cancelCand()
 				return nil, err
 			}
-			res, err := attack.Check()
+			res, err := pol.verifyCandidate(candCtx, attack)
 			if popErr := attack.Solver().Pop(); popErr != nil {
+				cancelCand()
 				return nil, popErr
 			}
 			if err != nil {
+				cancelCand()
 				return nil, fmt.Errorf("synth: measurement candidate verification: %w", err)
+			}
+			if res.Inconclusive {
+				inconclusive = res.Why
+				break
 			}
 			if res.Feasible {
 				resists = false
@@ -213,7 +258,14 @@ func SynthesizeMeasurements(req *MeasurementRequirements) (*MeasurementArchitect
 				break
 			}
 		}
+		cancelCand()
 		arch.VerifyTime += time.Since(start)
+		if inconclusive != nil {
+			if err := ctx.Err(); err != nil {
+				return nil, exhausted(err)
+			}
+			return nil, exhausted(inconclusive)
+		}
 		if resists {
 			arch.SecuredMeasurements = candidate
 			return arch, nil

@@ -7,6 +7,7 @@
 package synth
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
@@ -51,7 +52,14 @@ type Requirements struct {
 	Prune bool
 
 	// MaxIterations bounds Algorithm 1's loop; ≤ 0 means unlimited.
+	// Exhausting it returns a *BudgetExhaustedError (matched by
+	// errors.Is(err, ErrBudgetExhausted)), distinct from ErrNoArchitecture:
+	// the candidate space was not proven empty, the search merely gave up.
 	MaxIterations int
+
+	// Limits bounds the run's wall clock and per-candidate solver budgets;
+	// the zero value means unbounded.
+	Limits Limits
 
 	// Options configures the candidate selection solver; nil means
 	// smt.DefaultOptions.
@@ -143,14 +151,16 @@ func newSelectionModel(req *Requirements) (*selectionModel, error) {
 	return m, nil
 }
 
-// nextCandidate solves F_Secure; ok is false when no candidates remain.
-func (m *selectionModel) nextCandidate() (buses []int, stats smt.Stats, ok bool, err error) {
-	res, err := m.solver.Check()
+// nextCandidate solves F_Secure. The returned status distinguishes an
+// exhausted candidate space (Unsat) from a solver that gave up (Unknown,
+// with why carrying the cause).
+func (m *selectionModel) nextCandidate(ctx context.Context) (buses []int, stats smt.Stats, status smt.Status, why error, err error) {
+	res, err := m.solver.CheckContext(ctx)
 	if err != nil {
-		return nil, smt.Stats{}, false, fmt.Errorf("synth: candidate selection: %w", err)
+		return nil, smt.Stats{}, smt.Unknown, nil, fmt.Errorf("synth: candidate selection: %w", err)
 	}
 	if res.Status != smt.Sat {
-		return nil, res.Stats, false, nil
+		return nil, res.Stats, res.Status, res.Why, nil
 	}
 	for j := 1; j <= m.buses; j++ {
 		if res.Bool(m.sb[j]) {
@@ -158,7 +168,7 @@ func (m *selectionModel) nextCandidate() (buses []int, stats smt.Stats, ok bool,
 		}
 	}
 	sort.Ints(buses)
-	return buses, res.Stats, true, nil
+	return buses, res.Stats, smt.Sat, nil, nil
 }
 
 // blockBySubset removes the failed candidate and all of its subsets:
@@ -229,14 +239,29 @@ func (m *selectionModel) relaxBudget() error {
 
 // Synthesize runs Algorithm 1: iterate candidate selection and attack
 // verification until a candidate makes the attack model unsat. It returns
-// ErrNoArchitecture when the candidate space is exhausted.
+// ErrNoArchitecture when the candidate space is exhausted. It is
+// SynthesizeContext with a background context.
 func Synthesize(req *Requirements) (*Architecture, error) {
+	return SynthesizeContext(context.Background(), req)
+}
+
+// SynthesizeContext runs Algorithm 1 under ctx and the requirements'
+// Limits. Three outcomes are distinguished: a verified Architecture (nil
+// error), a proof that no architecture exists (ErrNoArchitecture), and a
+// graceful give-up (*BudgetExhaustedError, carrying the best unverified
+// candidate plus iteration stats) when a deadline, the iteration cap, or
+// the escalating per-candidate budget runs out.
+func SynthesizeContext(ctx context.Context, req *Requirements) (*Architecture, error) {
 	if req.Attack == nil {
 		return nil, fmt.Errorf("synth: requirements carry no attack scenario")
 	}
 	if req.MaxSecuredBuses < 1 {
 		return nil, fmt.Errorf("synth: MaxSecuredBuses must be positive, got %d", req.MaxSecuredBuses)
 	}
+	ctx, cancelRun := req.Limits.runContext(ctx)
+	defer cancelRun()
+	pol := req.Limits.policy()
+
 	attacks := make([]*core.Model, 0, 1+len(req.ExtraAttacks))
 	for _, sc := range append([]*core.Scenario{req.Attack}, req.ExtraAttacks...) {
 		m, err := core.NewModel(sc)
@@ -251,20 +276,37 @@ func Synthesize(req *Requirements) (*Architecture, error) {
 	}
 
 	arch := &Architecture{}
+	var best []int
+	exhausted := func(reason error) error {
+		return &BudgetExhaustedError{
+			BestCandidate: best,
+			Iterations:    arch.Iterations,
+			SelectTime:    arch.SelectTime,
+			VerifyTime:    arch.VerifyTime,
+			LastStats:     arch.VerifyStats,
+			Reason:        reason,
+		}
+	}
 	fullBudget := true
 	selection.requireFullBudget(req.MaxSecuredBuses)
 	for {
+		if err := ctx.Err(); err != nil {
+			return nil, exhausted(err)
+		}
 		if req.MaxIterations > 0 && arch.Iterations >= req.MaxIterations {
-			return nil, fmt.Errorf("synth: no architecture within %d iterations", req.MaxIterations)
+			return nil, exhausted(fmt.Errorf("%d iterations reached: %w", req.MaxIterations, ErrBudgetExhausted))
 		}
 		start := time.Now()
-		candidate, selStats, ok, err := selection.nextCandidate()
+		candidate, selStats, selStatus, selWhy, err := selection.nextCandidate(ctx)
 		arch.SelectTime += time.Since(start)
 		arch.SelectStats = selStats
 		if err != nil {
 			return nil, err
 		}
-		if !ok {
+		if selStatus == smt.Unknown {
+			return nil, exhausted(selWhy)
+		}
+		if selStatus != smt.Sat {
 			if fullBudget {
 				// Exhausted the full-budget space (possible when Eq. 30
 				// pruning caps candidate size); fall back to any size.
@@ -277,25 +319,38 @@ func Synthesize(req *Requirements) (*Architecture, error) {
 			return nil, ErrNoArchitecture
 		}
 		arch.Iterations++
+		best = candidate
 
 		// Verify the candidate: push the security constraints onto every
 		// attack model; unsat across all of them means the architecture
-		// resists the attacker in every required scenario.
+		// resists the attacker in every required scenario. Verification
+		// runs under the per-candidate deadline and the escalating budget
+		// ladder; an Unknown that survives escalation ends the run
+		// gracefully with this candidate as best-so-far.
 		start = time.Now()
+		candCtx, cancelCand := req.Limits.candidateContext(ctx)
 		resists := true
+		var inconclusive error
 		for _, attack := range attacks {
 			attack.Solver().Push()
 			if err := attack.AssertBusesSecured(candidate); err != nil {
+				cancelCand()
 				return nil, err
 			}
-			res, err := attack.Check()
+			res, err := pol.verifyCandidate(candCtx, attack)
 			if popErr := attack.Solver().Pop(); popErr != nil {
+				cancelCand()
 				return nil, popErr
 			}
 			if err != nil {
+				cancelCand()
 				return nil, fmt.Errorf("synth: candidate verification: %w", err)
 			}
 			arch.VerifyStats = res.Stats
+			if res.Inconclusive {
+				inconclusive = res.Why
+				break
+			}
 			if res.Feasible {
 				resists = false
 				if len(res.CompromisedBuses) > 0 {
@@ -306,7 +361,16 @@ func Synthesize(req *Requirements) (*Architecture, error) {
 				break
 			}
 		}
+		cancelCand()
 		arch.VerifyTime += time.Since(start)
+		if inconclusive != nil {
+			// Run-level cancellation surfaces as the run's cause, not the
+			// candidate's.
+			if err := ctx.Err(); err != nil {
+				return nil, exhausted(err)
+			}
+			return nil, exhausted(inconclusive)
+		}
 		if resists {
 			arch.SecuredBuses = candidate
 			return arch, nil
