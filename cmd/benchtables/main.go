@@ -3,12 +3,18 @@
 //
 // Usage:
 //
-//	benchtables [-exp all|casestudy|synthesis|fig4a|fig4b|fig4c|fig4d|fig5a|fig5b|fig5c|fig5d|tableiv|actransfer] [-large]
+//	benchtables [-exp all|casestudy|synthesis|fig4a|fig4b|fig4c|fig4d|fig5a|fig5b|fig5c|fig5d|tableiv|actransfer] [-large] [-parallel N]
+//	benchtables -bench-json BENCH.json
 //
 // -large includes the IEEE 300-bus runs (minutes of extra runtime).
+// -parallel runs the sweep experiments (Fig 4(b)-(d), Fig 5(b)-(d)) on N
+// workers; the scaling figures stay sequential for timing fidelity.
+// -bench-json runs the benchmark trajectory set instead of the tables and
+// writes one JSON entry per workload (ns/op, allocs/op, solver counters).
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -19,15 +25,31 @@ import (
 func main() {
 	exp := flag.String("exp", "all", "experiment to run")
 	large := flag.Bool("large", false, "include the IEEE 300-bus system")
+	parallel := flag.Int("parallel", 1, "sweep worker count (<2 = sequential)")
+	benchJSON := flag.String("bench-json", "", "run the benchmark set and write JSON to this file")
 	flag.Parse()
-	if err := run(*exp, *large); err != nil {
+	if err := run(*exp, *large, *parallel, *benchJSON); err != nil {
 		fmt.Fprintln(os.Stderr, "benchtables:", err)
 		os.Exit(1)
 	}
 }
 
-func run(exp string, large bool) error {
-	cfg := experiments.Config{Out: os.Stdout, Large: large}
+func run(exp string, large bool, parallel int, benchJSON string) error {
+	cfg := experiments.Config{Out: os.Stdout, Large: large, Parallel: parallel}
+	if benchJSON != "" {
+		entries, err := experiments.BenchSet(cfg)
+		if err != nil {
+			return err
+		}
+		// The object form leaves room for extra top-level keys in committed
+		// snapshots (e.g. a hand-recorded "baseline" block from a previous
+		// tree); trajectory tooling reads only "workloads".
+		data, err := json.MarshalIndent(map[string]any{"workloads": entries}, "", "  ")
+		if err != nil {
+			return err
+		}
+		return os.WriteFile(benchJSON, append(data, '\n'), 0o644)
+	}
 	type step struct {
 		name string
 		fn   func() error

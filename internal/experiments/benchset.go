@@ -1,0 +1,263 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math/big"
+	"runtime"
+	"time"
+
+	"segrid/internal/core"
+	"segrid/internal/grid"
+	"segrid/internal/smt"
+	"segrid/internal/synth"
+)
+
+// BenchEntry is one workload's measurement in the benchmark trajectory set.
+// The JSON shape is stable across PRs so that successive BENCH_<n>.json files
+// can be diffed: ns/op and allocs/op track the perf trajectory, the solver
+// counters explain it (a time change with unchanged conflict/pivot counts is
+// an arithmetic/allocator change; a counter change means the search moved).
+type BenchEntry struct {
+	Name         string `json:"name"`
+	Iters        int    `json:"iters"`
+	NsPerOp      int64  `json:"ns_per_op"`
+	AllocsPerOp  int64  `json:"allocs_per_op"`
+	BytesPerOp   int64  `json:"bytes_per_op"`
+	Conflicts    int64  `json:"conflicts"`
+	Decisions    int64  `json:"decisions"`
+	Propagations int64  `json:"propagations"`
+	Pivots       int64  `json:"pivots"`
+	FastOps      int64  `json:"fast_ops"`
+	BigOps       int64  `json:"big_ops"`
+}
+
+// Iteration policy for each workload: at least benchMinIters runs, then keep
+// going until benchMinTime has elapsed or benchMaxIters is reached. The
+// slowest workloads (ieee118, ieee57 synthesis) take ~100-200 ms per run, so
+// the whole set finishes in well under a minute.
+const (
+	benchMinIters = 3
+	benchMaxIters = 60
+	benchMinTime  = 400 * time.Millisecond
+)
+
+// benchSynthBudgets are known-feasible operator budgets per system (greedy
+// baseline size + 2; see synthRequirements), fixed so the synthesis workloads
+// measure a stable instance rather than re-deriving the budget each run.
+var benchSynthBudgets = map[string]int{"ieee14": 7, "ieee30": 12, "ieee57": 23}
+
+// measureWorkload times repeated runs of one workload and captures per-op
+// allocation counts via runtime.MemStats deltas around the timed loop. The
+// solver counters are taken from the final run (they are per-instance, not
+// per-loop). Allocations by the harness itself (scenario construction) are
+// included, matching what `go test -benchmem` reports for the equivalent
+// benchmarks.
+func measureWorkload(name string, out io.Writer, run func() (smt.Stats, error)) (BenchEntry, error) {
+	runtime.GC()
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+	var last smt.Stats
+	iters := 0
+	for {
+		st, err := run()
+		if err != nil {
+			return BenchEntry{}, fmt.Errorf("%s: %w", name, err)
+		}
+		last = st
+		iters++
+		if iters >= benchMaxIters || (iters >= benchMinIters && time.Since(start) >= benchMinTime) {
+			break
+		}
+	}
+	elapsed := time.Since(start)
+	runtime.ReadMemStats(&after)
+	n := int64(iters)
+	e := BenchEntry{
+		Name:         name,
+		Iters:        iters,
+		NsPerOp:      elapsed.Nanoseconds() / n,
+		AllocsPerOp:  int64(after.Mallocs-before.Mallocs) / n,
+		BytesPerOp:   int64(after.TotalAlloc-before.TotalAlloc) / n,
+		Conflicts:    last.Conflicts,
+		Decisions:    last.Decisions,
+		Propagations: last.Propagations,
+		Pivots:       last.Pivots,
+		FastOps:      last.FastOps,
+		BigOps:       last.BigOps,
+	}
+	fmt.Fprintf(out, "%-18s %6d %14d %12d %12d %10d %10d %12d %8d\n",
+		e.Name, e.Iters, e.NsPerOp, e.AllocsPerOp, e.BytesPerOp,
+		e.Conflicts, e.Pivots, e.FastOps, e.BigOps)
+	return e, nil
+}
+
+// BenchSet runs the benchmark trajectory set — the Fig. 4(a) verification
+// scaling workloads, the Fig. 5(a) synthesis workloads, the Table IV
+// unrestricted-attacker models, and the two SMT substrate microbenchmarks —
+// and returns one BenchEntry per workload. Workloads always run sequentially
+// (timing fidelity); cfg.Parallel is ignored here. cmd/benchtables writes the
+// result as BENCH_<n>.json via -bench-json.
+func BenchSet(cfg Config) ([]BenchEntry, error) {
+	fmt.Fprintln(cfg.Out, "Benchmark set: per-workload timing, allocation and solver counters")
+	fmt.Fprintf(cfg.Out, "%-18s %6s %14s %12s %12s %10s %10s %12s %8s\n",
+		"workload", "iters", "ns/op", "allocs/op", "bytes/op",
+		"conflicts", "pivots", "fastops", "bigops")
+	var entries []BenchEntry
+	add := func(name string, run func() (smt.Stats, error)) error {
+		e, err := measureWorkload(name, cfg.Out, run)
+		if err != nil {
+			return err
+		}
+		entries = append(entries, e)
+		return nil
+	}
+
+	for _, name := range []string{"ieee14", "ieee30", "ieee57", "ieee118"} {
+		sys, err := grid.Case(name)
+		if err != nil {
+			return nil, err
+		}
+		if err := add("fig4a/"+name, func() (smt.Stats, error) {
+			sc := verifyScenario(sys, 1+sys.Buses/2)
+			cfg.applyBudget(sc)
+			res, err := core.Verify(sc)
+			if err != nil {
+				return smt.Stats{}, err
+			}
+			if !res.Feasible {
+				return smt.Stats{}, fmt.Errorf("expected a feasible attack")
+			}
+			return res.Stats, nil
+		}); err != nil {
+			return nil, err
+		}
+	}
+
+	for _, name := range []string{"ieee14", "ieee30", "ieee57"} {
+		sys, err := grid.Case(name)
+		if err != nil {
+			return nil, err
+		}
+		budget := benchSynthBudgets[name]
+		if err := add("fig5a/"+name, func() (smt.Stats, error) {
+			sc := core.NewScenario(sys)
+			sc.AnyState = true
+			cfg.applyBudget(sc)
+			arch, err := synth.Synthesize(&synth.Requirements{
+				Attack: sc, MaxSecuredBuses: budget, Prune: true,
+			})
+			if err != nil {
+				return smt.Stats{}, err
+			}
+			// Report the counters of the architecture's final verification
+			// check plus its candidate selection — the dominant work of the
+			// last refinement iteration.
+			st := arch.VerifyStats
+			st.Conflicts += arch.SelectStats.Conflicts
+			st.Decisions += arch.SelectStats.Decisions
+			st.Propagations += arch.SelectStats.Propagations
+			st.Pivots += arch.SelectStats.Pivots
+			st.FastOps += arch.SelectStats.FastOps
+			st.BigOps += arch.SelectStats.BigOps
+			return st, nil
+		}); err != nil {
+			return nil, err
+		}
+	}
+
+	for _, name := range []string{"ieee14", "ieee30", "ieee57", "ieee118"} {
+		sys, err := grid.Case(name)
+		if err != nil {
+			return nil, err
+		}
+		if err := add("tableiv/"+name, func() (smt.Stats, error) {
+			sc := tableIVScenario(sys)
+			cfg.applyBudget(sc)
+			res, err := core.Verify(sc)
+			if err != nil {
+				return smt.Stats{}, err
+			}
+			if !res.Feasible {
+				return smt.Stats{}, fmt.Errorf("expected a feasible attack")
+			}
+			return res.Stats, nil
+		}); err != nil {
+			return nil, err
+		}
+	}
+
+	if err := add("smt/pigeonhole7", func() (smt.Stats, error) {
+		return benchPigeonhole()
+	}); err != nil {
+		return nil, err
+	}
+	if err := add("smt/lra-chain200", func() (smt.Stats, error) {
+		return benchLRAChain()
+	}); err != nil {
+		return nil, err
+	}
+	return entries, nil
+}
+
+// benchPigeonhole is the propositional stress workload: 8 pigeons into 7
+// holes, unsatisfiable, exercising the CDCL core with no theory content.
+// It mirrors BenchmarkSMTSolver/pigeonhole7 in bench_test.go.
+func benchPigeonhole() (smt.Stats, error) {
+	s := smt.NewSolver(smt.DefaultOptions())
+	const holes = 7
+	vars := make([][]smt.BoolVar, holes+1)
+	for p := range vars {
+		vars[p] = make([]smt.BoolVar, holes)
+		for h := range vars[p] {
+			vars[p][h] = s.BoolVar("v")
+		}
+	}
+	for p := 0; p <= holes; p++ {
+		fs := make([]smt.Formula, holes)
+		for h := 0; h < holes; h++ {
+			fs[h] = smt.B(vars[p][h])
+		}
+		s.Assert(smt.Or(fs...))
+	}
+	for h := 0; h < holes; h++ {
+		fs := make([]smt.Formula, holes+1)
+		for p := 0; p <= holes; p++ {
+			fs[p] = smt.B(vars[p][h])
+		}
+		s.AssertAtMostK(fs, 1)
+	}
+	res, err := s.Check()
+	if err != nil {
+		return smt.Stats{}, err
+	}
+	if res.Status != smt.Unsat {
+		return smt.Stats{}, fmt.Errorf("pigeonhole: got %v, want unsat", res.Status)
+	}
+	return res.Stats, nil
+}
+
+// benchLRAChain is the arithmetic stress workload: a 200-link difference
+// chain forcing x199 ≥ x0 + 199 against x199 ≤ 100, unsatisfiable through
+// simplex reasoning. It mirrors BenchmarkSMTSolver/lra-chain200.
+func benchLRAChain() (smt.Stats, error) {
+	s := smt.NewSolver(smt.DefaultOptions())
+	prev := s.RealVar("x0")
+	s.Assert(smt.GE(smt.NewLinExpr().TermInt(1, prev), big.NewRat(0, 1)))
+	for k := 1; k < 200; k++ {
+		cur := s.RealVar("x")
+		diff := smt.NewLinExpr().TermInt(1, cur).TermInt(-1, prev)
+		s.Assert(smt.GE(diff, big.NewRat(1, 1)))
+		prev = cur
+	}
+	s.Assert(smt.LE(smt.NewLinExpr().TermInt(1, prev), big.NewRat(100, 1)))
+	res, err := s.Check()
+	if err != nil {
+		return smt.Stats{}, err
+	}
+	if res.Status != smt.Unsat {
+		return smt.Stats{}, fmt.Errorf("lra-chain: got %v, want unsat", res.Status)
+	}
+	return res.Stats, nil
+}

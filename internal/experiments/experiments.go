@@ -8,6 +8,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"sync"
 	"time"
 
 	"segrid/internal/baseline"
@@ -23,6 +24,72 @@ type Config struct {
 	Out io.Writer
 	// Large includes the IEEE 300-bus runs (minutes of extra runtime).
 	Large bool
+	// Parallel runs sweep instances (Fig 4(b)–(d), Fig 5(b)–(d)) on up to
+	// Parallel workers; values below 2 keep the historical sequential
+	// execution. Output ordering is deterministic either way. Wall-clock
+	// timings measured under parallelism include scheduler and memory-bus
+	// contention, so use it for trajectory tracking and smoke runs, not for
+	// paper-grade timing. The headline scaling figures (Fig 4(a), Fig 5(a))
+	// always run sequentially.
+	Parallel int
+	// Budget, when non-zero, bounds every verification and synthesis
+	// instance launched by the sweeps, keeping runaway instances from
+	// starving a parallel run.
+	Budget smt.Budget
+}
+
+// applyBudget installs the per-instance solver budget on a scenario.
+func (c Config) applyBudget(sc *core.Scenario) {
+	if c.Budget == (smt.Budget{}) {
+		return
+	}
+	opts := smt.DefaultOptions()
+	opts.Budget = c.Budget
+	sc.Options = &opts
+}
+
+// runJobs maps fn over n indexed jobs with up to parallel workers and
+// returns the results in job order. Each job builds its own grid.System and
+// scenario, so jobs share no mutable state. Errors surface in job order: the
+// lowest failing index wins, matching the sequential sweeps' behavior.
+func runJobs[T any](parallel, n int, fn func(i int) (T, error)) ([]T, error) {
+	out := make([]T, n)
+	if parallel <= 1 {
+		for i := 0; i < n; i++ {
+			v, err := fn(i)
+			if err != nil {
+				return nil, err
+			}
+			out[i] = v
+		}
+		return out, nil
+	}
+	if parallel > n {
+		parallel = n
+	}
+	errs := make([]error, n)
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < parallel; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				out[i], errs[i] = fn(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
 }
 
 // verificationCases lists the systems used by the verification-side
@@ -67,9 +134,14 @@ func tableIVScenario(sys *grid.System) *core.Scenario {
 }
 
 // timedVerify runs one verification and returns elapsed time plus result.
+// A budget-starved (inconclusive) run is an error here: a sweep row must
+// never report "unsat" for an instance the solver merely gave up on.
 func timedVerify(sc *core.Scenario) (time.Duration, *core.Result, error) {
 	start := time.Now()
 	res, err := core.Verify(sc)
+	if err == nil && res.Inconclusive {
+		err = fmt.Errorf("inconclusive: %v", res.Why)
+	}
 	return time.Since(start), res, err
 }
 
@@ -125,24 +197,38 @@ type Fig4bRow struct {
 func Fig4b(cfg Config) ([]Fig4bRow, error) {
 	fmt.Fprintln(cfg.Out, "Fig 4(b): verification time vs taken measurements")
 	fmt.Fprintf(cfg.Out, "%-9s %10s %12s\n", "case", "taken", "time")
-	var rows []Fig4bRow
+	type job struct {
+		name string
+		frac float64
+	}
+	var jobs []job
 	for _, name := range []string{"ieee30", "ieee57"} {
-		sys, err := grid.Case(name)
-		if err != nil {
-			return nil, err
-		}
 		for _, frac := range []float64{0.6, 0.7, 0.8, 0.9, 1.0} {
-			sc := verifyScenario(sys, 1+sys.Buses/2)
-			if err := sc.Meas.KeepFraction(frac); err != nil {
-				return nil, err
-			}
-			dt, _, err := timedVerify(sc)
-			if err != nil {
-				return nil, fmt.Errorf("fig4b %s frac %v: %w", name, frac, err)
-			}
-			rows = append(rows, Fig4bRow{Case: name, Fraction: frac, Time: dt})
-			fmt.Fprintf(cfg.Out, "%-9s %9.0f%% %12s\n", name, frac*100, dt.Round(time.Microsecond))
+			jobs = append(jobs, job{name, frac})
 		}
+	}
+	rows, err := runJobs(cfg.Parallel, len(jobs), func(i int) (Fig4bRow, error) {
+		j := jobs[i]
+		sys, err := grid.Case(j.name)
+		if err != nil {
+			return Fig4bRow{}, err
+		}
+		sc := verifyScenario(sys, 1+sys.Buses/2)
+		if err := sc.Meas.KeepFraction(j.frac); err != nil {
+			return Fig4bRow{}, err
+		}
+		cfg.applyBudget(sc)
+		dt, _, err := timedVerify(sc)
+		if err != nil {
+			return Fig4bRow{}, fmt.Errorf("fig4b %s frac %v: %w", j.name, j.frac, err)
+		}
+		return Fig4bRow{Case: j.name, Fraction: j.frac, Time: dt}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, row := range rows {
+		fmt.Fprintf(cfg.Out, "%-9s %9.0f%% %12s\n", row.Case, row.Fraction*100, row.Time.Round(time.Microsecond))
 	}
 	return rows, nil
 }
@@ -160,23 +246,37 @@ type Fig4cRow struct {
 func Fig4c(cfg Config) ([]Fig4cRow, error) {
 	fmt.Fprintln(cfg.Out, "Fig 4(c): verification time vs attacker resource limit")
 	fmt.Fprintf(cfg.Out, "%-9s %6s %10s %12s\n", "case", "T_CZ", "result", "time")
-	var rows []Fig4cRow
+	type job struct {
+		name  string
+		limit int
+	}
+	var jobs []job
 	for _, name := range []string{"ieee14", "ieee30"} {
-		sys, err := grid.Case(name)
-		if err != nil {
-			return nil, err
-		}
 		for _, limit := range []int{4, 8, 12, 16, 20, 24, 28} {
-			sc := core.NewScenario(sys)
-			sc.TargetStates = []int{1 + sys.Buses/2}
-			sc.MaxAlteredMeasurements = limit
-			dt, res, err := timedVerify(sc)
-			if err != nil {
-				return nil, fmt.Errorf("fig4c %s limit %d: %w", name, limit, err)
-			}
-			rows = append(rows, Fig4cRow{Case: name, Limit: limit, Feasible: res.Feasible, Time: dt})
-			fmt.Fprintf(cfg.Out, "%-9s %6d %10v %12s\n", name, limit, verdict(res.Feasible), dt.Round(time.Microsecond))
+			jobs = append(jobs, job{name, limit})
 		}
+	}
+	rows, err := runJobs(cfg.Parallel, len(jobs), func(i int) (Fig4cRow, error) {
+		j := jobs[i]
+		sys, err := grid.Case(j.name)
+		if err != nil {
+			return Fig4cRow{}, err
+		}
+		sc := core.NewScenario(sys)
+		sc.TargetStates = []int{1 + sys.Buses/2}
+		sc.MaxAlteredMeasurements = j.limit
+		cfg.applyBudget(sc)
+		dt, res, err := timedVerify(sc)
+		if err != nil {
+			return Fig4cRow{}, fmt.Errorf("fig4c %s limit %d: %w", j.name, j.limit, err)
+		}
+		return Fig4cRow{Case: j.name, Limit: j.limit, Feasible: res.Feasible, Time: dt}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, row := range rows {
+		fmt.Fprintf(cfg.Out, "%-9s %6d %10v %12s\n", row.Case, row.Limit, verdict(row.Feasible), row.Time.Round(time.Microsecond))
 	}
 	return rows, nil
 }
@@ -200,19 +300,21 @@ type Fig4dRow struct {
 func Fig4d(cfg Config) ([]Fig4dRow, error) {
 	fmt.Fprintln(cfg.Out, "Fig 4(d): verification time, satisfiable vs unsatisfiable")
 	fmt.Fprintf(cfg.Out, "%-9s %12s %12s\n", "case", "sat", "unsat")
-	var rows []Fig4dRow
-	for _, name := range verificationCases(cfg.Large) {
+	names := verificationCases(cfg.Large)
+	rows, err := runJobs(cfg.Parallel, len(names), func(i int) (Fig4dRow, error) {
+		name := names[i]
 		sys, err := grid.Case(name)
 		if err != nil {
-			return nil, err
+			return Fig4dRow{}, err
 		}
 		sat := verifyScenario(sys, 1+sys.Buses/2)
+		cfg.applyBudget(sat)
 		dtSat, resSat, err := timedVerify(sat)
 		if err != nil {
-			return nil, err
+			return Fig4dRow{}, err
 		}
 		if !resSat.Feasible {
-			return nil, fmt.Errorf("fig4d %s: satisfiable scenario was unsat", name)
+			return Fig4dRow{}, fmt.Errorf("fig4d %s: satisfiable scenario was unsat", name)
 		}
 		// Tight resources make the attack impossible: under full metering
 		// any state change cuts at least one line, which costs two flow
@@ -220,16 +322,22 @@ func Fig4d(cfg Config) ([]Fig4dRow, error) {
 		unsat := core.NewScenario(sys)
 		unsat.AnyState = true
 		unsat.MaxAlteredMeasurements = 3
+		cfg.applyBudget(unsat)
 		dtUnsat, resUnsat, err := timedVerify(unsat)
 		if err != nil {
-			return nil, err
+			return Fig4dRow{}, err
 		}
 		if resUnsat.Feasible {
-			return nil, fmt.Errorf("fig4d %s: unsatisfiable scenario was sat", name)
+			return Fig4dRow{}, fmt.Errorf("fig4d %s: unsatisfiable scenario was sat", name)
 		}
-		rows = append(rows, Fig4dRow{Case: name, SatTime: dtSat, UnsatTime: dtUnsat})
-		fmt.Fprintf(cfg.Out, "%-9s %12s %12s\n", name,
-			dtSat.Round(time.Microsecond), dtUnsat.Round(time.Microsecond))
+		return Fig4dRow{Case: name, SatTime: dtSat, UnsatTime: dtUnsat}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, row := range rows {
+		fmt.Fprintf(cfg.Out, "%-9s %12s %12s\n", row.Case,
+			row.SatTime.Round(time.Microsecond), row.UnsatTime.Round(time.Microsecond))
 	}
 	return rows, nil
 }
@@ -315,25 +423,38 @@ type Fig5bRow struct {
 func Fig5b(cfg Config) ([]Fig5bRow, error) {
 	fmt.Fprintln(cfg.Out, "Fig 5(b): synthesis time vs taken measurements")
 	fmt.Fprintf(cfg.Out, "%-9s %10s %12s\n", "case", "taken", "time")
-	var rows []Fig5bRow
+	type job struct {
+		name string
+		frac float64
+	}
+	var jobs []job
 	for _, name := range []string{"ieee30", "ieee57"} {
-		sys, err := grid.Case(name)
-		if err != nil {
-			return nil, err
-		}
 		for _, frac := range []float64{0.7, 0.8, 0.9, 1.0} {
-			req, err := synthRequirements(sys, frac)
-			if err != nil {
-				return nil, fmt.Errorf("fig5b %s: %w", name, err)
-			}
-			start := time.Now()
-			if _, err := synth.Synthesize(req); err != nil {
-				return nil, fmt.Errorf("fig5b %s frac %v: %w", name, frac, err)
-			}
-			dt := time.Since(start)
-			rows = append(rows, Fig5bRow{Case: name, Fraction: frac, Time: dt})
-			fmt.Fprintf(cfg.Out, "%-9s %9.0f%% %12s\n", name, frac*100, dt.Round(time.Millisecond))
+			jobs = append(jobs, job{name, frac})
 		}
+	}
+	rows, err := runJobs(cfg.Parallel, len(jobs), func(i int) (Fig5bRow, error) {
+		j := jobs[i]
+		sys, err := grid.Case(j.name)
+		if err != nil {
+			return Fig5bRow{}, err
+		}
+		req, err := synthRequirements(sys, j.frac)
+		if err != nil {
+			return Fig5bRow{}, fmt.Errorf("fig5b %s: %w", j.name, err)
+		}
+		cfg.applyBudget(req.Attack)
+		start := time.Now()
+		if _, err := synth.Synthesize(req); err != nil {
+			return Fig5bRow{}, fmt.Errorf("fig5b %s frac %v: %w", j.name, j.frac, err)
+		}
+		return Fig5bRow{Case: j.name, Fraction: j.frac, Time: time.Since(start)}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, row := range rows {
+		fmt.Fprintf(cfg.Out, "%-9s %9.0f%% %12s\n", row.Case, row.Fraction*100, row.Time.Round(time.Millisecond))
 	}
 	return rows, nil
 }
@@ -350,26 +471,39 @@ type Fig5cRow struct {
 func Fig5c(cfg Config) ([]Fig5cRow, error) {
 	fmt.Fprintln(cfg.Out, "Fig 5(c): synthesis time vs attacker resource limit")
 	fmt.Fprintf(cfg.Out, "%-9s %8s %12s\n", "case", "T_CZ", "time")
-	var rows []Fig5cRow
+	type job struct {
+		name string
+		pct  int
+	}
+	var jobs []job
 	for _, name := range []string{"ieee14", "ieee30"} {
-		sys, err := grid.Case(name)
-		if err != nil {
-			return nil, err
-		}
 		for _, pct := range []int{20, 40, 60, 80, 100} {
-			req, err := synthRequirements(sys, 1.0)
-			if err != nil {
-				return nil, err
-			}
-			req.Attack.MaxAlteredMeasurements = pct * sys.NumMeasurements() / 100
-			start := time.Now()
-			if _, err := synth.Synthesize(req); err != nil {
-				return nil, fmt.Errorf("fig5c %s pct %d: %w", name, pct, err)
-			}
-			dt := time.Since(start)
-			rows = append(rows, Fig5cRow{Case: name, LimitPercent: pct, Time: dt})
-			fmt.Fprintf(cfg.Out, "%-9s %7d%% %12s\n", name, pct, dt.Round(time.Millisecond))
+			jobs = append(jobs, job{name, pct})
 		}
+	}
+	rows, err := runJobs(cfg.Parallel, len(jobs), func(i int) (Fig5cRow, error) {
+		j := jobs[i]
+		sys, err := grid.Case(j.name)
+		if err != nil {
+			return Fig5cRow{}, err
+		}
+		req, err := synthRequirements(sys, 1.0)
+		if err != nil {
+			return Fig5cRow{}, err
+		}
+		req.Attack.MaxAlteredMeasurements = j.pct * sys.NumMeasurements() / 100
+		cfg.applyBudget(req.Attack)
+		start := time.Now()
+		if _, err := synth.Synthesize(req); err != nil {
+			return Fig5cRow{}, fmt.Errorf("fig5c %s pct %d: %w", j.name, j.pct, err)
+		}
+		return Fig5cRow{Case: j.name, LimitPercent: j.pct, Time: time.Since(start)}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, row := range rows {
+		fmt.Fprintf(cfg.Out, "%-9s %7d%% %12s\n", row.Case, row.LimitPercent, row.Time.Round(time.Millisecond))
 	}
 	return rows, nil
 }
@@ -389,22 +523,26 @@ type Fig5dRow struct {
 func Fig5d(cfg Config) ([]Fig5dRow, error) {
 	fmt.Fprintln(cfg.Out, "Fig 5(d): synthesis time in unsatisfiable cases")
 	fmt.Fprintf(cfg.Out, "%-11s %8s %8s %12s\n", "scenario", "minimum", "budget", "time")
-	sys, err := grid.Case("ieee30")
-	if err != nil {
-		return nil, err
-	}
-	var rows []Fig5dRow
-	for _, scn := range []struct {
+	scenarios := []struct {
 		name string
 		frac float64
 	}{
 		{"full", 1.0},
 		{"reduced", 0.75},
-	} {
+	}
+	// The budget sweep inside one scenario depends on its minimum search, so
+	// parallelism is at scenario granularity.
+	groups, err := runJobs(cfg.Parallel, len(scenarios), func(i int) ([]Fig5dRow, error) {
+		scn := scenarios[i]
+		sys, err := grid.Case("ieee30")
+		if err != nil {
+			return nil, err
+		}
 		req, err := synthRequirements(sys, scn.frac)
 		if err != nil {
 			return nil, err
 		}
+		cfg.applyBudget(req.Attack)
 		// Find the true minimum protective size: synthesize, then shrink
 		// the budget below each solution until synthesis fails.
 		arch, err := synth.Synthesize(req)
@@ -418,6 +556,7 @@ func Fig5d(cfg Config) ([]Fig5dRow, error) {
 				return nil, err
 			}
 			req2.MaxSecuredBuses = minimum - 1
+			cfg.applyBudget(req2.Attack)
 			smaller, err := synth.Synthesize(req2)
 			if errors.Is(err, synth.ErrNoArchitecture) {
 				break
@@ -427,6 +566,7 @@ func Fig5d(cfg Config) ([]Fig5dRow, error) {
 			}
 			minimum = len(smaller.SecuredBuses)
 		}
+		var rows []Fig5dRow
 		for _, below := range []int{3, 2, 1} {
 			budget := minimum - below
 			if budget < 1 {
@@ -437,6 +577,7 @@ func Fig5d(cfg Config) ([]Fig5dRow, error) {
 				return nil, err
 			}
 			req2.MaxSecuredBuses = budget
+			cfg.applyBudget(req2.Attack)
 			start := time.Now()
 			_, err = synth.Synthesize(req2)
 			dt := time.Since(start)
@@ -445,8 +586,18 @@ func Fig5d(cfg Config) ([]Fig5dRow, error) {
 					scn.name, budget, minimum)
 			}
 			rows = append(rows, Fig5dRow{Scenario: scn.name, Minimum: minimum, Budget: budget, Time: dt})
-			fmt.Fprintf(cfg.Out, "%-11s %8d %8d %12s\n", scn.name, minimum, budget, dt.Round(time.Millisecond))
 		}
+		return rows, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var rows []Fig5dRow
+	for _, g := range groups {
+		rows = append(rows, g...)
+	}
+	for _, row := range rows {
+		fmt.Fprintf(cfg.Out, "%-11s %8d %8d %12s\n", row.Scenario, row.Minimum, row.Budget, row.Time.Round(time.Millisecond))
 	}
 	return rows, nil
 }

@@ -4,6 +4,8 @@ import (
 	"io"
 	"strings"
 	"testing"
+
+	"segrid/internal/smt"
 )
 
 // The case-study experiments assert the paper's expected outcomes
@@ -83,6 +85,45 @@ func TestFig4dShape(t *testing.T) {
 		if r.SatTime <= 0 || r.UnsatTime <= 0 {
 			t.Fatalf("row %s has non-positive timings", r.Case)
 		}
+	}
+}
+
+// TestParallelSweepMatchesSequential pins the -parallel contract: worker
+// pools change only wall-clock, never results or ordering. It also exercises
+// the sweep jobs concurrently, so `go test -race` covers the shared-state
+// claim in runJobs's contract.
+func TestParallelSweepMatchesSequential(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing experiment")
+	}
+	seq, err := Fig4c(Config{Out: io.Discard})
+	if err != nil {
+		t.Fatalf("sequential Fig4c: %v", err)
+	}
+	par, err := Fig4c(Config{Out: io.Discard, Parallel: 4})
+	if err != nil {
+		t.Fatalf("parallel Fig4c: %v", err)
+	}
+	if len(seq) != len(par) {
+		t.Fatalf("row counts differ: %d vs %d", len(seq), len(par))
+	}
+	for i := range seq {
+		if seq[i].Case != par[i].Case || seq[i].Limit != par[i].Limit || seq[i].Feasible != par[i].Feasible {
+			t.Errorf("row %d diverges: sequential %+v, parallel %+v", i, seq[i], par[i])
+		}
+	}
+}
+
+// TestSweepBudgetClassified checks that a starvation-level per-instance
+// budget surfaces as an Inconclusive-classified error instead of a hang or
+// a wrong verdict.
+func TestSweepBudgetClassified(t *testing.T) {
+	_, err := Fig4c(Config{Out: io.Discard, Parallel: 2, Budget: smt.Budget{MaxConflicts: 1}})
+	if err == nil {
+		t.Fatalf("expected budget exhaustion to surface as an error")
+	}
+	if !strings.Contains(err.Error(), "inconclusive") && !strings.Contains(err.Error(), "budget") {
+		t.Fatalf("error does not name the budget cause: %v", err)
 	}
 }
 

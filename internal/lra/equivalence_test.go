@@ -1,0 +1,189 @@
+package lra
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"segrid/internal/numeric"
+)
+
+// simplexScript is a recorded sequence of solver operations that can be
+// replayed deterministically on a fresh Simplex. It drives the hybrid-vs-big
+// equivalence property: the same script must produce identical observable
+// behavior whether the rational fast path is enabled or forced off.
+type simplexScript struct {
+	nVars  int
+	rows   [][]Term // slack definitions; Term.Var indexes vars then slacks
+	bounds []scriptBound
+	obj    []Term // objective for Maximize on feasible instances
+}
+
+type scriptBound struct {
+	v       int // index into the combined var+slack space
+	isLower bool
+	num     int64 // bound value num/den, plus strict flag
+	den     int64
+	strict  bool
+}
+
+// genScript draws a random simplex workload with rational coefficients and
+// bounds, mirroring the shape of TestRandomSystemsModelSound but with
+// non-integer data so the fast path's gcd reductions are exercised.
+func genScript(rng *rand.Rand) simplexScript {
+	var sc simplexScript
+	sc.nVars = 2 + rng.Intn(4)
+	nrows := 1 + rng.Intn(4)
+	for r := 0; r < nrows; r++ {
+		var terms []Term
+		for x := 0; x < sc.nVars; x++ {
+			n := int64(rng.Intn(9)) - 4
+			if n == 0 {
+				continue
+			}
+			terms = append(terms, Term{Var: x, Coeff: rat(n, int64(rng.Intn(4)+1))})
+		}
+		if len(terms) == 0 {
+			terms = append(terms, Term{Var: 0, Coeff: rat(1, 1)})
+		}
+		sc.rows = append(sc.rows, terms)
+	}
+	total := sc.nVars + nrows
+	nbounds := 2 + rng.Intn(10)
+	for i := 0; i < nbounds; i++ {
+		sc.bounds = append(sc.bounds, scriptBound{
+			v:       rng.Intn(total),
+			isLower: rng.Intn(2) == 0,
+			num:     int64(rng.Intn(41)) - 20,
+			den:     int64(rng.Intn(3) + 1),
+			strict:  rng.Intn(4) == 0,
+		})
+	}
+	for x := 0; x < sc.nVars; x++ {
+		if n := int64(rng.Intn(5)) - 2; n != 0 {
+			sc.obj = append(sc.obj, Term{Var: x, Coeff: rat(n, 1)})
+		}
+	}
+	return sc
+}
+
+// replay runs the script on a fresh Simplex and serializes everything a
+// caller can observe: per-step conflict tags, Check verdicts, the final
+// model, and (when feasible and an objective exists) the Maximize optimum.
+func replay(sc simplexScript) string {
+	s := NewSimplex()
+	vars := make([]int, sc.nVars)
+	for i := range vars {
+		vars[i] = s.NewVar()
+	}
+	all := append([]int(nil), vars...)
+	for _, terms := range sc.rows {
+		resolved := make([]Term, len(terms))
+		for i, t := range terms {
+			resolved[i] = Term{Var: all[t.Var], Coeff: t.Coeff}
+		}
+		sv, err := s.DefineSlack(resolved)
+		if err != nil {
+			return "defineslack error: " + err.Error()
+		}
+		all = append(all, sv)
+	}
+	var b strings.Builder
+	for i, bd := range sc.bounds {
+		val := numeric.DeltaFromRat(rat(bd.num, bd.den))
+		if bd.strict {
+			inf := int64(1)
+			if !bd.isLower {
+				inf = -1
+			}
+			val = numeric.NewDelta(rat(bd.num, bd.den), rat(inf, 1))
+		}
+		var tags []Tag
+		if bd.isLower {
+			tags = s.AssertLower(all[bd.v], val, Tag(i))
+		} else {
+			tags = s.AssertUpper(all[bd.v], val, Tag(i))
+		}
+		if tags != nil {
+			fmt.Fprintf(&b, "assert %d conflict %v\n", i, tags)
+			return b.String()
+		}
+		if c := s.Check(); c != nil {
+			fmt.Fprintf(&b, "check %d conflict %v\n", i, c)
+			return b.String()
+		}
+	}
+	b.WriteString("sat\n")
+	for i, r := range s.Model() {
+		fmt.Fprintf(&b, "x%d=%s\n", i, r.RatString())
+	}
+	if len(sc.obj) > 0 {
+		resolved := make([]Term, len(sc.obj))
+		for i, t := range sc.obj {
+			resolved[i] = Term{Var: all[t.Var], Coeff: t.Coeff}
+		}
+		opt, err := s.Maximize(resolved)
+		if err != nil {
+			fmt.Fprintf(&b, "maximize err %v\n", err)
+		} else {
+			fmt.Fprintf(&b, "maximize %s\n", opt.String())
+		}
+	}
+	return b.String()
+}
+
+// TestHybridMatchesBigRatSimplex is the acceptance property for the hybrid
+// rational fast path: replaying identical assertion scripts with the fast
+// path on and off must give identical conflicts, SAT/UNSAT verdicts, model
+// values, and optima.
+func TestHybridMatchesBigRatSimplex(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 300; trial++ {
+		sc := genScript(rng)
+		fast := replay(sc)
+		prev := numeric.SetForceBig(true)
+		slow := replay(sc)
+		numeric.SetForceBig(prev)
+		if fast != slow {
+			t.Fatalf("trial %d: hybrid and big.Rat traces diverge\nhybrid:\n%s\nbig.Rat:\n%s", trial, fast, slow)
+		}
+	}
+}
+
+// TestHybridPromotionCounters checks the promotion-rate observability: a
+// plain integer workload should stay overwhelmingly on the fast path, and
+// forcing big.Rat mode must route every counted operation to BigOps.
+func TestHybridPromotionCounters(t *testing.T) {
+	run := func() Stats {
+		s := NewSimplex()
+		x, y := s.NewVar(), s.NewVar()
+		sv, err := s.DefineSlack([]Term{{Var: x, Coeff: rat(2, 3)}, {Var: y, Coeff: rat(-1, 2)}})
+		if err != nil {
+			t.Fatalf("DefineSlack: %v", err)
+		}
+		s.AssertLower(x, dl(1), 0)
+		s.AssertUpper(sv, dl(5), 1)
+		s.AssertLower(y, dl(-3), 2)
+		if c := s.Check(); c != nil {
+			t.Fatalf("unexpected conflict: %v", c)
+		}
+		return s.Statistics()
+	}
+	st := run()
+	if st.FastOps == 0 {
+		t.Fatalf("expected fast-path operations on a small workload, got %+v", st)
+	}
+	if st.BigOps > st.FastOps/10 {
+		t.Fatalf("promotion rate unexpectedly high: %+v", st)
+	}
+	prev := numeric.SetForceBig(true)
+	defer numeric.SetForceBig(prev)
+	st = run()
+	if st.FastOps != 0 {
+		t.Fatalf("forceBig run still counted fast ops: %+v", st)
+	}
+	if st.BigOps == 0 {
+		t.Fatalf("forceBig run counted no big ops: %+v", st)
+	}
+}

@@ -2,7 +2,6 @@ package lra
 
 import (
 	"errors"
-	"math/big"
 	"sort"
 
 	"segrid/internal/numeric"
@@ -48,34 +47,36 @@ func (s *Simplex) Maximize(obj []Term) (numeric.Delta, error) {
 func (s *Simplex) objectiveValue(obj []Term) numeric.Delta {
 	val := numeric.Delta{}
 	for _, t := range obj {
-		val = val.Add(s.beta[t.Var].MulRat(t.Coeff))
+		val = val.Add(s.beta[t.Var].MulQ(numeric.QFromRat(t.Coeff)))
 	}
 	return val
 }
 
 // reducedCosts expresses the objective over nonbasic variables by
 // substituting basic variables with their defining rows.
-func (s *Simplex) reducedCosts(obj []Term) map[int]*big.Rat {
-	costs := make(map[int]*big.Rat)
-	add := func(v int, c *big.Rat) {
+func (s *Simplex) reducedCosts(obj []Term) map[int]numeric.Q {
+	costs := make(map[int]numeric.Q)
+	add := func(v int, c numeric.Q) {
 		if old, ok := costs[v]; ok {
-			sum := new(big.Rat).Add(old, c)
+			sum := old.Add(c)
+			s.noteQ(sum)
 			if sum.Sign() == 0 {
 				delete(costs, v)
 			} else {
 				costs[v] = sum
 			}
 		} else if c.Sign() != 0 {
-			costs[v] = new(big.Rat).Set(c)
+			costs[v] = c
 		}
 	}
 	for _, t := range obj {
+		tc := numeric.QFromRat(t.Coeff)
 		if row, ok := s.rows[t.Var]; ok {
 			for v, c := range row {
-				add(v, new(big.Rat).Mul(t.Coeff, c))
+				add(v, tc.Mul(c))
 			}
 		} else {
-			add(t.Var, t.Coeff)
+			add(t.Var, tc)
 		}
 	}
 	return costs
@@ -162,8 +163,7 @@ func (s *Simplex) moveAlong(j int, increase bool) (bool, error) {
 			gap = s.beta[b].Sub(s.lower[b].val)
 			target = s.lower[b].val
 		}
-		absA := new(big.Rat).Abs(a)
-		limit := gap.MulRat(new(big.Rat).Inv(absA))
+		limit := gap.MulQ(a.Abs().Inv())
 		if best == nil || limit.Cmp(best.limit) < 0 {
 			best = &blocker{basic: b, limit: limit, target: target}
 		}

@@ -8,6 +8,11 @@
 // solver's decision levels, and inconsistencies are explained as minimal
 // sets of asserted bound tags, which the SMT layer turns into learnt
 // clauses.
+//
+// Tableau coefficients and variable assignments use the hybrid rational
+// numeric.Q: arithmetic stays on an allocation-free int64 fast path and
+// promotes to big.Rat per value on overflow. The public API (Term, Model)
+// stays on *big.Rat; conversion happens at DefineSlack and Model time.
 package lra
 
 import (
@@ -57,14 +62,19 @@ type Stats struct {
 	Pivots  int64
 	Asserts int64
 	Checks  int64
+	// FastOps and BigOps count tableau/assignment arithmetic results that
+	// stayed on the int64 fast path vs required promoted big.Rat values;
+	// their ratio is the hybrid rational's observable promotion rate.
+	FastOps int64
+	BigOps  int64
 }
 
 // Simplex is an incremental LRA feasibility solver. The zero value is not
 // usable; construct with NewSimplex.
 type Simplex struct {
 	nvars  int
-	rows   map[int]map[int]*big.Rat // basic var → (nonbasic var → coeff)
-	colUse map[int]map[int]bool     // nonbasic var → basic vars using it
+	rows   map[int]map[int]numeric.Q // basic var → (nonbasic var → coeff)
+	colUse map[int]map[int]bool      // nonbasic var → basic vars using it
 	lower  []bound
 	upper  []bound
 	beta   []numeric.Delta
@@ -85,7 +95,7 @@ type Simplex struct {
 // NewSimplex constructs an empty solver.
 func NewSimplex() *Simplex {
 	return &Simplex{
-		rows:    make(map[int]map[int]*big.Rat),
+		rows:    make(map[int]map[int]numeric.Q),
 		colUse:  make(map[int]map[int]bool),
 		suspect: make(map[int]bool),
 	}
@@ -109,32 +119,52 @@ func (s *Simplex) Statistics() Stats {
 	return st
 }
 
+// noteQ records whether a freshly computed coefficient stayed on the fast
+// path, making the promotion rate observable via Stats.
+func (s *Simplex) noteQ(q numeric.Q) {
+	if q.IsBig() {
+		s.stats.BigOps++
+	} else {
+		s.stats.FastOps++
+	}
+}
+
+// noteDelta is noteQ for delta-rational assignment values.
+func (s *Simplex) noteDelta(d numeric.Delta) {
+	if d.IsBig() {
+		s.stats.BigOps++
+	} else {
+		s.stats.FastOps++
+	}
+}
+
 // DefineSlack introduces a new basic variable defined as the linear
 // combination expr of existing variables and returns it. Definitions must be
 // added before any bounds are asserted (the SMT layer rebuilds the tableau
 // per check). Variables already basic are substituted by their rows.
 func (s *Simplex) DefineSlack(expr []Term) (int, error) {
-	row := make(map[int]*big.Rat, len(expr))
+	row := make(map[int]numeric.Q, len(expr))
 	val := numeric.Delta{}
 	for _, t := range expr {
 		if t.Var < 0 || t.Var >= s.nvars {
 			return 0, fmt.Errorf("lra: slack definition references unknown variable %d", t.Var)
 		}
-		if t.Coeff.Sign() == 0 {
+		c := numeric.QFromRat(t.Coeff)
+		if c.Sign() == 0 {
 			continue
 		}
 		if sub, ok := s.rows[t.Var]; ok {
 			// Substitute the basic variable's defining row.
 			for v2, c2 := range sub {
-				addCoeff(row, v2, new(big.Rat).Mul(t.Coeff, c2))
+				s.addCoeff(row, v2, c.Mul(c2))
 			}
 		} else {
-			addCoeff(row, t.Var, t.Coeff)
+			s.addCoeff(row, t.Var, c)
 		}
 	}
 	sv := s.NewVar()
 	for v, c := range row {
-		val = val.Add(s.beta[v].MulRat(c))
+		val = val.Add(s.beta[v].MulQ(c))
 		s.useCol(v, sv)
 	}
 	s.rows[sv] = row
@@ -142,16 +172,20 @@ func (s *Simplex) DefineSlack(expr []Term) (int, error) {
 	return sv, nil
 }
 
-func addCoeff(row map[int]*big.Rat, v int, c *big.Rat) {
+// addCoeff accumulates c into row[v], dropping the entry when the sum
+// cancels to zero. Q values are immutable, so the stored coefficient can
+// alias the argument without copying.
+func (s *Simplex) addCoeff(row map[int]numeric.Q, v int, c numeric.Q) {
 	if old, ok := row[v]; ok {
-		sum := new(big.Rat).Add(old, c)
+		sum := old.Add(c)
+		s.noteQ(sum)
 		if sum.Sign() == 0 {
 			delete(row, v)
 		} else {
 			row[v] = sum
 		}
 	} else {
-		row[v] = new(big.Rat).Set(c)
+		row[v] = c
 	}
 }
 
@@ -251,7 +285,8 @@ func (s *Simplex) update(v int, d numeric.Delta) {
 	for b := range s.colUse[v] {
 		if row, ok := s.rows[b]; ok {
 			if c, ok := row[v]; ok {
-				s.beta[b] = s.beta[b].Add(diff.MulRat(c))
+				s.beta[b] = s.beta[b].Add(diff.MulQ(c))
+				s.noteDelta(s.beta[b])
 				s.suspect[b] = true
 			}
 		}
@@ -356,7 +391,7 @@ func (s *Simplex) pickViolatedBasic() (int, bool) {
 
 // pickPivot selects the smallest-index nonbasic variable in the row that can
 // compensate the violation, or −1 when none exists.
-func (s *Simplex) pickPivot(row map[int]*big.Rat, below bool) int {
+func (s *Simplex) pickPivot(row map[int]numeric.Q, below bool) int {
 	best := -1
 	for v, c := range row {
 		sign := c.Sign()
@@ -387,7 +422,7 @@ func (s *Simplex) canDecrease(v int) bool {
 // nonbasic variable in the row. Variables are visited in ascending order so
 // explanations — and therefore the learnt clauses and the whole search —
 // are deterministic despite the map-based tableau.
-func (s *Simplex) explainRow(b int, row map[int]*big.Rat, below bool) []Tag {
+func (s *Simplex) explainRow(b int, row map[int]numeric.Q, below bool) []Tag {
 	tags := make([]Tag, 0, len(row)+1)
 	add := func(t Tag) {
 		if t != NoTag {
@@ -429,7 +464,8 @@ func (s *Simplex) pivotAndUpdate(b, n int, target numeric.Delta) {
 	s.stats.Pivots++
 	row := s.rows[b]
 	a := row[n]
-	theta := target.Sub(s.beta[b]).MulRat(new(big.Rat).Inv(a))
+	theta := target.Sub(s.beta[b]).MulQ(a.Inv())
+	s.noteDelta(theta)
 	s.beta[b] = target
 	s.beta[n] = s.beta[n].Add(theta)
 	for other := range s.colUse[n] {
@@ -438,7 +474,8 @@ func (s *Simplex) pivotAndUpdate(b, n int, target numeric.Delta) {
 		}
 		if orow, ok := s.rows[other]; ok {
 			if c, ok := orow[n]; ok {
-				s.beta[other] = s.beta[other].Add(theta.MulRat(c))
+				s.beta[other] = s.beta[other].Add(theta.MulQ(c))
+				s.noteDelta(s.beta[other])
 				s.suspect[other] = true
 			}
 		}
@@ -453,16 +490,18 @@ func (s *Simplex) pivotAndUpdate(b, n int, target numeric.Delta) {
 func (s *Simplex) pivot(b, n int) {
 	row := s.rows[b]
 	a := row[n] // coefficient of n in b's row
-	inv := new(big.Rat).Inv(a)
+	inv := a.Inv()
 
 	// New row for n: n = (1/a)·b − Σ_{j≠n} (c_j/a)·x_j.
-	newRow := make(map[int]*big.Rat, len(row))
+	newRow := make(map[int]numeric.Q, len(row))
 	newRow[b] = inv
 	for v, c := range row {
 		if v == n {
 			continue
 		}
-		newRow[v] = new(big.Rat).Neg(new(big.Rat).Mul(c, inv))
+		nc := c.MulNeg(inv)
+		s.noteQ(nc)
+		newRow[v] = nc
 	}
 
 	// Remove b's row and its column uses.
@@ -485,13 +524,11 @@ func (s *Simplex) pivot(b, n int) {
 		}
 		delete(orow, n)
 		for v, c := range newRow {
-			prev, exists := orow[v]
-			var sum *big.Rat
-			if exists {
-				sum = new(big.Rat).Add(prev, new(big.Rat).Mul(k, c))
-			} else {
-				sum = new(big.Rat).Mul(k, c)
+			sum := k.Mul(c)
+			if prev, exists := orow[v]; exists {
+				sum = prev.Add(sum)
 			}
+			s.noteQ(sum)
 			if sum.Sign() == 0 {
 				delete(orow, v)
 				delete(s.colUse[v], other)
@@ -525,28 +562,26 @@ func (s *Simplex) Model() []*big.Rat {
 // delta-rationals are collapsed to plain rationals.
 func (s *Simplex) chooseEpsilon() *big.Rat {
 	eps := big.NewRat(1, 1)
-	tighten := func(gapA, gapB *big.Rat) {
+	tighten := func(gapA, gapB numeric.Q) {
 		// Constraint: gapA + gapB·δ ≥ 0 holds in delta order
 		// (gapA > 0, or gapA == 0 ∧ gapB ≥ 0). If gapB < 0 we need
 		// δ ≤ gapA / (−gapB).
 		if gapB.Sign() >= 0 {
 			return
 		}
-		limit := new(big.Rat).Quo(gapA, new(big.Rat).Neg(gapB))
+		limit := gapA.Mul(gapB.Neg().Inv()).Rat()
 		if limit.Cmp(eps) < 0 {
 			eps.Set(limit)
 		}
 	}
 	for v := 0; v < s.nvars; v++ {
 		if s.lower[v].has {
-			gapA := new(big.Rat).Sub(s.beta[v].Rat(), s.lower[v].val.Rat())
-			gapB := new(big.Rat).Sub(s.beta[v].Inf(), s.lower[v].val.Inf())
-			tighten(gapA, gapB)
+			lo := s.lower[v].val
+			tighten(s.beta[v].StdQ().Sub(lo.StdQ()), s.beta[v].InfQ().Sub(lo.InfQ()))
 		}
 		if s.upper[v].has {
-			gapA := new(big.Rat).Sub(s.upper[v].val.Rat(), s.beta[v].Rat())
-			gapB := new(big.Rat).Sub(s.upper[v].val.Inf(), s.beta[v].Inf())
-			tighten(gapA, gapB)
+			hi := s.upper[v].val
+			tighten(hi.StdQ().Sub(s.beta[v].StdQ()), hi.InfQ().Sub(s.beta[v].InfQ()))
 		}
 	}
 	if eps.Sign() <= 0 {

@@ -1,0 +1,285 @@
+package numeric
+
+import (
+	"math"
+	"math/big"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// bigOf converts a Q to big.Rat through the public accessor.
+func bigOf(q Q) *big.Rat { return new(big.Rat).Set(q.Rat()) }
+
+// randInt64 draws from a mix of small values and values engineered to
+// straddle the int64 overflow boundary.
+func randInt64(rng *rand.Rand) int64 {
+	switch rng.Intn(4) {
+	case 0:
+		return int64(rng.Intn(2001) - 1000)
+	case 1:
+		return int64(rng.Uint64()) >> uint(rng.Intn(32))
+	case 2:
+		// Near ±2⁶³.
+		v := math.MaxInt64 - int64(rng.Intn(1000))
+		if rng.Intn(2) == 0 {
+			return -v - int64(rng.Intn(2)) // may hit MinInt64 exactly
+		}
+		return v
+	default:
+		return int64(rng.Uint64())
+	}
+}
+
+func randDen(rng *rand.Rand) int64 {
+	switch rng.Intn(3) {
+	case 0:
+		return int64(rng.Intn(1000) + 1)
+	case 1:
+		return int64(rng.Uint64()>>1) | 1
+	default:
+		return math.MaxInt64 - int64(rng.Intn(1000))
+	}
+}
+
+// TestRat64OpsAgreeWithBigRat cross-checks every overflow-checked Rat64
+// operation against big.Rat on random inputs, including boundary values.
+// A reported success must be exact; a reported overflow is always allowed.
+func TestRat64OpsAgreeWithBigRat(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	check := func(name string, got Rat64, ok bool, want *big.Rat) bool {
+		if !ok {
+			return true // declining (promoting) is always sound
+		}
+		if got.den() <= 0 {
+			t.Logf("%s: non-positive denominator %d", name, got.Den)
+			return false
+		}
+		if g := gcdU64(absU64(got.Num), uint64(got.den())); g != 1 {
+			t.Logf("%s: not in lowest terms: %d/%d", name, got.Num, got.Den)
+			return false
+		}
+		if big.NewRat(got.Num, got.den()).Cmp(want) != 0 {
+			t.Logf("%s: got %d/%d want %s", name, got.Num, got.Den, want.RatString())
+			return false
+		}
+		return true
+	}
+	f := func(seed int64) bool {
+		lr := rand.New(rand.NewSource(seed))
+		a, okA := MakeRat64(randInt64(lr), randDen(lr))
+		b, okB := MakeRat64(randInt64(lr), randDen(lr))
+		if !okA || !okB {
+			return true
+		}
+		ba := big.NewRat(a.Num, a.den())
+		bb := big.NewRat(b.Num, b.den())
+		sum, ok := a.Add(b)
+		if !check("Add", sum, ok, new(big.Rat).Add(ba, bb)) {
+			return false
+		}
+		diff, ok := a.Sub(b)
+		if !check("Sub", diff, ok, new(big.Rat).Sub(ba, bb)) {
+			return false
+		}
+		prod, ok := a.Mul(b)
+		if !check("Mul", prod, ok, new(big.Rat).Mul(ba, bb)) {
+			return false
+		}
+		neg, ok := a.Neg()
+		if !check("Neg", neg, ok, new(big.Rat).Neg(ba)) {
+			return false
+		}
+		if a.Sign() != 0 {
+			inv, ok := a.Inv()
+			if !check("Inv", inv, ok, new(big.Rat).Inv(ba)) {
+				return false
+			}
+		}
+		if got, want := a.Cmp(b), ba.Cmp(bb); got != want {
+			t.Logf("Cmp: got %d want %d for %v vs %v", got, want, a, b)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000, Rand: rng}); err != nil {
+		t.Fatalf("Rat64/big.Rat agreement failed: %v", err)
+	}
+}
+
+// TestRat64SmallOpsNeverOverflow asserts that arithmetic on small operands
+// (the simplex steady state) stays on the fast path.
+func TestRat64SmallOpsNeverOverflow(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	for i := 0; i < 2000; i++ {
+		a, _ := MakeRat64(int64(rng.Intn(201)-100), int64(rng.Intn(50)+1))
+		b, _ := MakeRat64(int64(rng.Intn(201)-100), int64(rng.Intn(50)+1))
+		if _, ok := a.Add(b); !ok {
+			t.Fatalf("Add(%v, %v) overflowed", a, b)
+		}
+		if _, ok := a.Mul(b); !ok {
+			t.Fatalf("Mul(%v, %v) overflowed", a, b)
+		}
+	}
+}
+
+// randQ draws a hybrid rational: mostly fast-path values, some engineered
+// to promote.
+func randQ(rng *rand.Rand) Q {
+	if rng.Intn(4) == 0 {
+		num := new(big.Int).Rand(rng, new(big.Int).Lsh(big.NewInt(1), 96))
+		den := new(big.Int).Add(new(big.Int).Rand(rng, new(big.Int).Lsh(big.NewInt(1), 80)), big.NewInt(1))
+		return QFromRat(new(big.Rat).SetFrac(num, den))
+	}
+	return QFromFrac(randInt64(rng), randDen(rng))
+}
+
+// TestQArithmeticMatchesBigRat is the hybrid-type equivalence property:
+// every Q operation agrees exactly with big.Rat regardless of promotion
+// state, including operands straddling the overflow boundary.
+func TestQArithmeticMatchesBigRat(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	f := func(seed int64) bool {
+		lr := rand.New(rand.NewSource(seed))
+		a, b := randQ(lr), randQ(lr)
+		ba, bb := bigOf(a), bigOf(b)
+		if bigOf(a.Add(b)).Cmp(new(big.Rat).Add(ba, bb)) != 0 {
+			t.Logf("Add mismatch: %v + %v", a, b)
+			return false
+		}
+		if bigOf(a.Sub(b)).Cmp(new(big.Rat).Sub(ba, bb)) != 0 {
+			t.Logf("Sub mismatch: %v - %v", a, b)
+			return false
+		}
+		if bigOf(a.Mul(b)).Cmp(new(big.Rat).Mul(ba, bb)) != 0 {
+			t.Logf("Mul mismatch: %v * %v", a, b)
+			return false
+		}
+		if bigOf(a.MulNeg(b)).Cmp(new(big.Rat).Neg(new(big.Rat).Mul(ba, bb))) != 0 {
+			t.Logf("MulNeg mismatch: %v * %v", a, b)
+			return false
+		}
+		if bigOf(a.Neg()).Cmp(new(big.Rat).Neg(ba)) != 0 {
+			t.Logf("Neg mismatch: %v", a)
+			return false
+		}
+		if a.Sign() != 0 && bigOf(a.Inv()).Cmp(new(big.Rat).Inv(ba)) != 0 {
+			t.Logf("Inv mismatch: %v", a)
+			return false
+		}
+		if a.Cmp(b) != ba.Cmp(bb) {
+			t.Logf("Cmp mismatch: %v vs %v", a, b)
+			return false
+		}
+		if a.Sign() != ba.Sign() || a.IsZero() != (ba.Sign() == 0) {
+			t.Logf("Sign/IsZero mismatch: %v", a)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1500, Rand: rng}); err != nil {
+		t.Fatalf("Q/big.Rat agreement failed: %v", err)
+	}
+}
+
+// TestQOverflowPromotes drives operations guaranteed to overflow int64 and
+// checks the result is promoted yet exact.
+func TestQOverflowPromotes(t *testing.T) {
+	huge := QFromInt(math.MaxInt64)
+	sq := huge.Mul(huge)
+	if !sq.IsBig() {
+		t.Fatalf("MaxInt64² stayed on the fast path")
+	}
+	want := new(big.Rat).Mul(big.NewRat(math.MaxInt64, 1), big.NewRat(math.MaxInt64, 1))
+	if sq.Rat().Cmp(want) != 0 {
+		t.Fatalf("MaxInt64² = %s, want %s", sq.RatString(), want.RatString())
+	}
+	// Adding with incompatible huge denominators overflows the common
+	// denominator.
+	a := QFromFrac(1, math.MaxInt64)
+	b := QFromFrac(1, math.MaxInt64-2)
+	s := a.Add(b)
+	wantSum := new(big.Rat).Add(big.NewRat(1, math.MaxInt64), big.NewRat(1, math.MaxInt64-2))
+	if s.Rat().Cmp(wantSum) != 0 {
+		t.Fatalf("sum = %s, want %s", s.RatString(), wantSum.RatString())
+	}
+	// A transient overflow whose result fits demotes back to the fast path.
+	backDown := sq.Mul(QFromFrac(1, math.MaxInt64)).Mul(QFromFrac(1, math.MaxInt64))
+	if backDown.IsBig() {
+		t.Fatalf("result 1 did not demote to the fast path")
+	}
+	if backDown.Cmp(QFromInt(1)) != 0 {
+		t.Fatalf("backDown = %s, want 1", backDown.RatString())
+	}
+}
+
+// TestQMinInt64Boundary exercises the asymmetric −2⁶³ edge where negation
+// overflows.
+func TestQMinInt64Boundary(t *testing.T) {
+	m := QFromInt(math.MinInt64)
+	n := m.Neg()
+	want := new(big.Rat).Neg(big.NewRat(math.MinInt64, 1))
+	if n.Rat().Cmp(want) != 0 {
+		t.Fatalf("-MinInt64 = %s, want %s", n.RatString(), want.RatString())
+	}
+	inv := m.Inv()
+	wantInv := new(big.Rat).Inv(big.NewRat(math.MinInt64, 1))
+	if inv.Rat().Cmp(wantInv) != 0 {
+		t.Fatalf("1/MinInt64 = %s, want %s", inv.RatString(), wantInv.RatString())
+	}
+	if got := m.Abs().Rat().Cmp(want); got != 0 {
+		t.Fatalf("|MinInt64| wrong")
+	}
+}
+
+// TestQForceBig verifies the pure-big test mode computes identical values.
+func TestQForceBig(t *testing.T) {
+	a, b := QFromFrac(3, 7), QFromFrac(-5, 11)
+	fast := a.Add(b).Mul(a).Sub(b.Inv())
+	prev := SetForceBig(true)
+	defer SetForceBig(prev)
+	slow := QFromFrac(3, 7).Add(QFromFrac(-5, 11)).Mul(QFromFrac(3, 7)).Sub(QFromFrac(-5, 11).Inv())
+	if !slow.IsBig() {
+		t.Fatalf("forceBig did not promote")
+	}
+	if fast.Cmp(slow) != 0 {
+		t.Fatalf("fast %s != forced-big %s", fast.RatString(), slow.RatString())
+	}
+}
+
+// randQDelta draws a delta-rational over hybrid components.
+func randQDelta(rng *rand.Rand) Delta {
+	return NewDeltaQ(randQ(rng), randQ(rng))
+}
+
+// TestQDeltaOrderingLaws replays the Delta algebraic/ordering laws over
+// hybrid components, including promoted ones.
+func TestQDeltaOrderingLaws(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	f := func(seed int64) bool {
+		lr := rand.New(rand.NewSource(seed))
+		a, b, c := randQDelta(lr), randQDelta(lr), randQDelta(lr)
+		if a.Add(b).Sub(b).Cmp(a) != 0 {
+			return false
+		}
+		if a.Neg().Neg().Cmp(a) != 0 {
+			return false
+		}
+		if a.Cmp(b) != -b.Cmp(a) {
+			return false
+		}
+		// Ordering is translation-invariant: a < b → a + c < b + c.
+		if a.Cmp(b) < 0 && a.Add(c).Cmp(b.Add(c)) >= 0 {
+			return false
+		}
+		// Scaling by a positive rational preserves order.
+		s := randQ(lr).Abs()
+		if s.Sign() > 0 && a.Cmp(b) < 0 && a.MulQ(s).Cmp(b.MulQ(s)) >= 0 {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500, Rand: rng}); err != nil {
+		t.Fatalf("Delta-over-Q laws failed: %v", err)
+	}
+}

@@ -1,0 +1,243 @@
+package numeric
+
+import "math/bits"
+
+// Rat64 is a machine-word rational: an int64 numerator over a positive
+// int64 denominator, kept in lowest terms. It is the allocation-free fast
+// path under the hybrid Q type; every operation is overflow-checked and
+// reports failure instead of wrapping, at which point the caller promotes
+// to *big.Rat arithmetic.
+//
+// The zero value is the number 0 (a zero Den is read as 1).
+type Rat64 struct {
+	Num int64
+	Den int64
+}
+
+// den reads the denominator, mapping the zero value's 0 to 1.
+func (r Rat64) den() int64 {
+	if r.Den == 0 {
+		return 1
+	}
+	return r.Den
+}
+
+// Sign returns −1, 0 or +1.
+func (r Rat64) Sign() int {
+	switch {
+	case r.Num > 0:
+		return 1
+	case r.Num < 0:
+		return -1
+	default:
+		return 0
+	}
+}
+
+// IsZero reports whether r is exactly zero.
+func (r Rat64) IsZero() bool { return r.Num == 0 }
+
+// addOvf returns a+b; ok is false on overflow.
+func addOvf(a, b int64) (int64, bool) {
+	s := a + b
+	// Overflow iff the operands share a sign that the sum does not.
+	return s, (a^s)&(b^s) >= 0
+}
+
+// mulOvf returns a·b; ok is false on overflow.
+func mulOvf(a, b int64) (int64, bool) {
+	if a == 0 || b == 0 {
+		return 0, true
+	}
+	if a == minInt64 || b == minInt64 {
+		// −2⁶³·x overflows for every x except 1.
+		if a == 1 {
+			return b, true
+		}
+		if b == 1 {
+			return a, true
+		}
+		return 0, false
+	}
+	p := a * b
+	return p, p/b == a
+}
+
+// negOvf returns −a; ok is false on overflow (only for −2⁶³).
+func negOvf(a int64) (int64, bool) {
+	if a == minInt64 {
+		return 0, false
+	}
+	return -a, true
+}
+
+const minInt64 = -1 << 63
+
+// absU64 returns |a| as a uint64 (total, including −2⁶³).
+func absU64(a int64) uint64 {
+	if a < 0 {
+		return -uint64(a)
+	}
+	return uint64(a)
+}
+
+// gcdU64 returns gcd(a, b) with gcd(0, b) = b.
+func gcdU64(a, b uint64) uint64 {
+	for b != 0 {
+		a, b = b, a%b
+	}
+	if a == 0 {
+		return 1
+	}
+	return a
+}
+
+// MakeRat64 builds num/den in lowest terms. It fails when den is zero or
+// when sign normalization overflows.
+func MakeRat64(num, den int64) (Rat64, bool) {
+	if den == 0 {
+		return Rat64{}, false
+	}
+	if den < 0 {
+		var ok bool
+		if num, ok = negOvf(num); !ok {
+			return Rat64{}, false
+		}
+		if den, ok = negOvf(den); !ok {
+			return Rat64{}, false
+		}
+	}
+	g := int64(gcdU64(absU64(num), absU64(den)))
+	return Rat64{Num: num / g, Den: den / g}, true
+}
+
+// Add returns r + o in lowest terms, reporting overflow.
+func (r Rat64) Add(o Rat64) (Rat64, bool) {
+	rd, od := r.den(), o.den()
+	// Reduce by the denominator gcd first (Knuth 4.5.1) so intermediates
+	// stay small for the common case of compatible denominators.
+	g := int64(gcdU64(uint64(rd), uint64(od)))
+	odr := od / g // o.den reduced
+	rdr := rd / g // r.den reduced
+	t1, ok := mulOvf(r.Num, odr)
+	if !ok {
+		return Rat64{}, false
+	}
+	t2, ok := mulOvf(o.Num, rdr)
+	if !ok {
+		return Rat64{}, false
+	}
+	num, ok := addOvf(t1, t2)
+	if !ok {
+		return Rat64{}, false
+	}
+	den, ok := mulOvf(rd, odr)
+	if !ok {
+		return Rat64{}, false
+	}
+	// gcd(num, den) divides g; one more reduction restores lowest terms.
+	g2 := int64(gcdU64(absU64(num), uint64(g)))
+	return Rat64{Num: num / g2, Den: den / g2}, true
+}
+
+// Sub returns r − o, reporting overflow.
+func (r Rat64) Sub(o Rat64) (Rat64, bool) {
+	n, ok := negOvf(o.Num)
+	if !ok {
+		return Rat64{}, false
+	}
+	return r.Add(Rat64{Num: n, Den: o.Den})
+}
+
+// Mul returns r·o in lowest terms, reporting overflow. Cross-reduction
+// (gcd of each numerator with the opposite denominator) keeps products of
+// already-reduced operands reduced and minimizes intermediate growth.
+func (r Rat64) Mul(o Rat64) (Rat64, bool) {
+	rd, od := r.den(), o.den()
+	g1 := int64(gcdU64(absU64(r.Num), uint64(od)))
+	g2 := int64(gcdU64(absU64(o.Num), uint64(rd)))
+	num, ok := mulOvf(r.Num/g1, o.Num/g2)
+	if !ok {
+		return Rat64{}, false
+	}
+	den, ok := mulOvf(rd/g2, od/g1)
+	if !ok {
+		return Rat64{}, false
+	}
+	return Rat64{Num: num, Den: den}, true
+}
+
+// Neg returns −r, reporting overflow.
+func (r Rat64) Neg() (Rat64, bool) {
+	n, ok := negOvf(r.Num)
+	if !ok {
+		return Rat64{}, false
+	}
+	return Rat64{Num: n, Den: r.Den}, true
+}
+
+// Inv returns 1/r, reporting overflow. Inverting zero panics, matching
+// big.Rat.Inv.
+func (r Rat64) Inv() (Rat64, bool) {
+	if r.Num == 0 {
+		panic("numeric: division by zero")
+	}
+	if r.Num > 0 {
+		return Rat64{Num: r.den(), Den: r.Num}, true
+	}
+	num, ok := negOvf(r.den())
+	if !ok {
+		return Rat64{}, false
+	}
+	den, ok := negOvf(r.Num)
+	if !ok {
+		return Rat64{}, false
+	}
+	return Rat64{Num: num, Den: den}, true
+}
+
+// Abs returns |r|, reporting overflow.
+func (r Rat64) Abs() (Rat64, bool) {
+	if r.Num >= 0 {
+		return Rat64{Num: r.Num, Den: r.Den}, true
+	}
+	return r.Neg()
+}
+
+// Cmp compares r and o, returning −1, 0 or +1. It is total and
+// allocation-free: the cross products are compared in 128 bits.
+func (r Rat64) Cmp(o Rat64) int {
+	rs, os := r.Sign(), o.Sign()
+	if rs != os {
+		if rs < os {
+			return -1
+		}
+		return 1
+	}
+	if rs == 0 {
+		return 0
+	}
+	// Same nonzero sign: compare |r.Num|·o.den vs |o.Num|·r.den and flip
+	// for negatives.
+	hi1, lo1 := bits.Mul64(absU64(r.Num), uint64(o.den()))
+	hi2, lo2 := bits.Mul64(absU64(o.Num), uint64(r.den()))
+	c := 0
+	switch {
+	case hi1 != hi2:
+		if hi1 < hi2 {
+			c = -1
+		} else {
+			c = 1
+		}
+	case lo1 != lo2:
+		if lo1 < lo2 {
+			c = -1
+		} else {
+			c = 1
+		}
+	}
+	if rs < 0 {
+		return -c
+	}
+	return c
+}

@@ -1,23 +1,19 @@
 // Package numeric provides exact rational arithmetic helpers and
 // delta-rationals for the linear-arithmetic theory solver.
 //
-// A delta-rational is a value of the form a + b·δ where a and b are
-// rationals and δ is a positive infinitesimal. Delta-rationals give a sound
-// representation of strict inequalities in the simplex solver: the strict
-// bound x > c is handled as the non-strict bound x ≥ c + δ. See Dutertre &
-// de Moura, "A Fast Linear-Arithmetic Solver for DPLL(T)" (CAV 2006).
+// Rationals come in three layers: Rat64 (machine-word, overflow-checked),
+// Q (hybrid: Rat64 fast path promoting to *big.Rat on overflow), and the
+// delta-rational Delta over Q. A delta-rational is a value of the form
+// a + b·δ where a and b are rationals and δ is a positive infinitesimal.
+// Delta-rationals give a sound representation of strict inequalities in the
+// simplex solver: the strict bound x > c is handled as the non-strict bound
+// x ≥ c + δ. See Dutertre & de Moura, "A Fast Linear-Arithmetic Solver for
+// DPLL(T)" (CAV 2006).
 package numeric
 
 import (
 	"fmt"
 	"math/big"
-)
-
-// Common rational constants. These must never be mutated; use Clone before
-// passing them to any in-place big.Rat operation.
-var (
-	zeroRat = big.NewRat(0, 1)
-	oneRat  = big.NewRat(1, 1)
 )
 
 // Zero returns a fresh rational equal to 0.
@@ -39,85 +35,83 @@ func RatFromFloat(f float64) (*big.Rat, error) {
 	return r, nil
 }
 
-// Delta is an immutable delta-rational a + b·δ. The zero value is the number
-// zero. Delta values share their component rationals, so components must be
-// treated as read-only.
+// Delta is an immutable delta-rational a + b·δ over hybrid rationals. The
+// zero value is the number zero. Arithmetic on unpromoted components is
+// allocation-free.
 type Delta struct {
-	a *big.Rat // standard part
-	b *big.Rat // infinitesimal coefficient
+	a Q // standard part
+	b Q // infinitesimal coefficient
 }
 
 // DeltaFromRat returns the delta-rational r + 0·δ. The rational is not
 // copied; callers must not mutate it afterwards.
-func DeltaFromRat(r *big.Rat) Delta { return Delta{a: r} }
+func DeltaFromRat(r *big.Rat) Delta { return Delta{a: QFromRat(r)} }
 
 // DeltaFromInt returns the delta-rational n + 0·δ.
-func DeltaFromInt(n int64) Delta { return Delta{a: big.NewRat(n, 1)} }
+func DeltaFromInt(n int64) Delta { return Delta{a: QFromInt(n)} }
 
-// NewDelta returns the delta-rational a + b·δ. Neither argument is copied.
-func NewDelta(a, b *big.Rat) Delta { return Delta{a: a, b: b} }
+// DeltaFromQ returns the delta-rational q + 0·δ.
+func DeltaFromQ(q Q) Delta { return Delta{a: q} }
 
-// Rat returns the standard (non-infinitesimal) part.
-func (d Delta) Rat() *big.Rat {
-	if d.a == nil {
-		return zeroRat
-	}
-	return d.a
-}
+// NewDelta returns the delta-rational a + b·δ. Neither argument is copied;
+// callers must not mutate them afterwards.
+func NewDelta(a, b *big.Rat) Delta { return Delta{a: QFromRat(a), b: QFromRat(b)} }
 
-// Inf returns the coefficient of δ.
-func (d Delta) Inf() *big.Rat {
-	if d.b == nil {
-		return zeroRat
-	}
-	return d.b
-}
+// NewDeltaQ returns the delta-rational a + b·δ over hybrid rationals.
+func NewDeltaQ(a, b Q) Delta { return Delta{a: a, b: b} }
+
+// Rat returns the standard (non-infinitesimal) part as a *big.Rat. Treat
+// the result as read-only; for promoted components it is shared.
+func (d Delta) Rat() *big.Rat { return d.a.Rat() }
+
+// Inf returns the coefficient of δ as a *big.Rat (read-only).
+func (d Delta) Inf() *big.Rat { return d.b.Rat() }
+
+// StdQ returns the standard part as a hybrid rational.
+func (d Delta) StdQ() Q { return d.a }
+
+// InfQ returns the δ coefficient as a hybrid rational.
+func (d Delta) InfQ() Q { return d.b }
+
+// IsBig reports whether either component has been promoted to big.Rat.
+func (d Delta) IsBig() bool { return d.a.IsBig() || d.b.IsBig() }
 
 // Add returns d + e.
 func (d Delta) Add(e Delta) Delta {
-	return Delta{
-		a: new(big.Rat).Add(d.Rat(), e.Rat()),
-		b: new(big.Rat).Add(d.Inf(), e.Inf()),
-	}
+	return Delta{a: d.a.Add(e.a), b: d.b.Add(e.b)}
 }
 
 // Sub returns d − e.
 func (d Delta) Sub(e Delta) Delta {
-	return Delta{
-		a: new(big.Rat).Sub(d.Rat(), e.Rat()),
-		b: new(big.Rat).Sub(d.Inf(), e.Inf()),
-	}
+	return Delta{a: d.a.Sub(e.a), b: d.b.Sub(e.b)}
 }
 
 // Neg returns −d.
 func (d Delta) Neg() Delta {
-	return Delta{
-		a: new(big.Rat).Neg(d.Rat()),
-		b: new(big.Rat).Neg(d.Inf()),
-	}
+	return Delta{a: d.a.Neg(), b: d.b.Neg()}
+}
+
+// MulQ returns d scaled by the hybrid rational q.
+func (d Delta) MulQ(q Q) Delta {
+	return Delta{a: d.a.Mul(q), b: d.b.Mul(q)}
 }
 
 // MulRat returns d scaled by the rational r.
-func (d Delta) MulRat(r *big.Rat) Delta {
-	return Delta{
-		a: new(big.Rat).Mul(d.Rat(), r),
-		b: new(big.Rat).Mul(d.Inf(), r),
-	}
-}
+func (d Delta) MulRat(r *big.Rat) Delta { return d.MulQ(QFromRat(r)) }
 
 // Cmp compares d and e lexicographically on (standard part, δ coefficient),
 // which is the correct order for any sufficiently small positive δ. It
 // returns −1, 0 or +1.
 func (d Delta) Cmp(e Delta) int {
-	if c := d.Rat().Cmp(e.Rat()); c != 0 {
+	if c := d.a.Cmp(e.a); c != 0 {
 		return c
 	}
-	return d.Inf().Cmp(e.Inf())
+	return d.b.Cmp(e.b)
 }
 
 // IsZero reports whether d is exactly zero.
 func (d Delta) IsZero() bool {
-	return d.Rat().Sign() == 0 && d.Inf().Sign() == 0
+	return d.a.Sign() == 0 && d.b.Sign() == 0
 }
 
 // Eval substitutes a concrete positive value eps for δ and returns the
@@ -129,8 +123,8 @@ func (d Delta) Eval(eps *big.Rat) *big.Rat {
 
 // String renders the delta-rational, e.g. "3/2 + 1·δ".
 func (d Delta) String() string {
-	if d.Inf().Sign() == 0 {
-		return d.Rat().RatString()
+	if d.b.Sign() == 0 {
+		return d.a.RatString()
 	}
-	return fmt.Sprintf("%s + %s·δ", d.Rat().RatString(), d.Inf().RatString())
+	return fmt.Sprintf("%s + %s·δ", d.a.RatString(), d.b.RatString())
 }

@@ -20,3 +20,12 @@ type watcher struct {
 	c       *clause
 	blocker Lit
 }
+
+// binWatcher watches a binary clause for a literal p: the clause is
+// (¬p ∨ other), so when p becomes true, other must hold. Propagation over
+// binary clauses touches only the watcher, not the clause body; c is kept
+// for conflict analysis reasons.
+type binWatcher struct {
+	c     *clause
+	other Lit
+}

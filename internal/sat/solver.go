@@ -75,9 +75,10 @@ type Options struct {
 type Solver struct {
 	opts Options
 
-	clauses []*clause
-	learnts []*clause
-	watches [][]watcher // indexed by Lit
+	clauses    []*clause
+	learnts    []*clause
+	watches    [][]watcher    // indexed by Lit
+	binWatches [][]binWatcher // indexed by Lit; binary clauses only
 
 	assigns  []lbool // indexed by Var
 	level    []int32
@@ -104,6 +105,13 @@ type Solver struct {
 	nVars    int
 	budget   int64
 	nextPoll int64 // propagation count at which Stop is polled next
+
+	addBuf     []Lit     // scratch for AddClause normalization
+	learntBuf  []Lit     // scratch for analyze's learnt clause
+	collectBuf []Lit     // scratch for analyze's seen-flag cleanup
+	clauseMem  []clause  // arena for problem-clause headers
+	litMem     []Lit     // arena for problem-clause literal storage
+	watchMem   []watcher // arena seeding initial watch-list blocks
 }
 
 const (
@@ -130,6 +138,7 @@ func (s *Solver) NewVar() Var {
 	v := Var(s.nVars)
 	s.nVars++
 	s.watches = append(s.watches, nil, nil)
+	s.binWatches = append(s.binWatches, nil, nil)
 	s.assigns = append(s.assigns, lUndef)
 	s.level = append(s.level, 0)
 	s.reason = append(s.reason, nil)
@@ -170,10 +179,16 @@ func (s *Solver) AddClause(lits ...Lit) error {
 			return fmt.Errorf("sat: clause references unknown literal %v", l)
 		}
 	}
-	// Normalize: sort, dedupe, drop tautologies and false literals.
-	sorted := make([]Lit, len(lits))
-	copy(sorted, lits)
-	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	// Normalize: sort, dedupe, drop tautologies and false literals. The
+	// scratch buffer and insertion sort keep this allocation-free; clauses
+	// are short, so quadratic sorting beats reflection-based sort.Slice.
+	sorted := append(s.addBuf[:0], lits...)
+	s.addBuf = sorted
+	for i := 1; i < len(sorted); i++ {
+		for j := i; j > 0 && sorted[j] < sorted[j-1]; j-- {
+			sorted[j], sorted[j-1] = sorted[j-1], sorted[j]
+		}
+	}
 	out := sorted[:0]
 	var prev Lit = LitUndef
 	for _, l := range sorted {
@@ -205,16 +220,69 @@ func (s *Solver) AddClause(lits ...Lit) error {
 		}
 		return nil
 	}
-	c := &clause{lits: append([]Lit(nil), out...)}
+	c := s.allocClause(out)
 	s.clauses = append(s.clauses, c)
 	s.attach(c)
 	return nil
 }
 
+// allocClause copies lits into arena-backed clause storage, amortizing
+// allocation across the whole encoding and search. Problem clauses live for
+// the solver's lifetime; learnt clauses deleted by reduceDB leave their slots
+// pinned until the solver is dropped, an acceptable trade for the per-check
+// solvers this package serves. Chunks are never reallocated once handed out,
+// keeping earlier *clause pointers and lits slices valid.
+func (s *Solver) allocClause(lits []Lit) *clause {
+	if len(s.clauseMem) == cap(s.clauseMem) {
+		s.clauseMem = make([]clause, 0, 512)
+	}
+	s.clauseMem = s.clauseMem[:len(s.clauseMem)+1]
+	c := &s.clauseMem[len(s.clauseMem)-1]
+	if cap(s.litMem)-len(s.litMem) < len(lits) {
+		n := 1 << 13
+		if len(lits) > n {
+			n = len(lits)
+		}
+		s.litMem = make([]Lit, 0, n)
+	}
+	start := len(s.litMem)
+	s.litMem = append(s.litMem, lits...)
+	c.lits = s.litMem[start:len(s.litMem):len(s.litMem)]
+	return c
+}
+
 func (s *Solver) attach(c *clause) {
 	l0, l1 := c.lits[0], c.lits[1]
-	s.watches[l0.Not()] = append(s.watches[l0.Not()], watcher{c: c, blocker: l1})
-	s.watches[l1.Not()] = append(s.watches[l1.Not()], watcher{c: c, blocker: l0})
+	if len(c.lits) == 2 {
+		// Binary clauses get dedicated watch lists: propagation over them
+		// never inspects the clause body, and they are never deleted
+		// (reduceDB keeps all binary learnts), so the lists need no lazy
+		// cleanup.
+		s.binWatches[l0.Not()] = append(s.binWatches[l0.Not()], binWatcher{other: l1, c: c})
+		s.binWatches[l1.Not()] = append(s.binWatches[l1.Not()], binWatcher{other: l0, c: c})
+		return
+	}
+	s.watchAppend(l0.Not(), watcher{c: c, blocker: l1})
+	s.watchAppend(l1.Not(), watcher{c: c, blocker: l0})
+}
+
+// watchAppend adds a watcher, seeding fresh lists with an arena-backed block
+// with room for several entries: watch lists are numerous and short, and
+// letting append grow them 1→2→4 dominated the encoder's allocation profile.
+// A list outgrowing its block reallocates normally (the capped three-index
+// slice keeps append from spilling into neighboring blocks).
+func (s *Solver) watchAppend(l Lit, w watcher) {
+	ws := s.watches[l]
+	if ws == nil {
+		const blockCap = 8
+		if cap(s.watchMem)-len(s.watchMem) < blockCap {
+			s.watchMem = make([]watcher, 0, 512*blockCap)
+		}
+		n := len(s.watchMem)
+		s.watchMem = s.watchMem[:n+blockCap]
+		ws = s.watchMem[n:n:n+blockCap]
+	}
+	s.watches[l] = append(ws, w)
 }
 
 func (s *Solver) detach(c *clause) {
@@ -252,6 +320,19 @@ func (s *Solver) propagate() *clause {
 		p := s.trail[s.qhead] // p is true; visit clauses watching ¬p
 		s.qhead++
 		s.stats.Propagations++
+		// Binary clauses first: each visit is a single array read plus an
+		// assignment lookup, and early conflicts here spare the heavier
+		// n-ary traversal.
+		for _, bw := range s.binWatches[p] {
+			switch s.value(bw.other) {
+			case lTrue:
+			case lFalse:
+				s.qhead = len(s.trail)
+				return bw.c
+			default:
+				s.enqueue(bw.other, bw.c)
+			}
+		}
 		ws := s.watches[p]
 		kept := ws[:0]
 		for i := 0; i < len(ws); i++ {
@@ -279,8 +360,7 @@ func (s *Solver) propagate() *clause {
 			for k := 2; k < len(c.lits); k++ {
 				if s.value(c.lits[k]) != lFalse {
 					c.lits[1], c.lits[k] = c.lits[k], c.lits[1]
-					nw := c.lits[1].Not()
-					s.watches[nw] = append(s.watches[nw], watcher{c: c, blocker: first})
+					s.watchAppend(c.lits[1].Not(), watcher{c: c, blocker: first})
 					found = true
 					break
 				}
@@ -377,7 +457,8 @@ func (s *Solver) bumpClause(c *clause) {
 // analyze performs first-UIP conflict analysis. It returns the learnt clause
 // (asserting literal first) and the backtrack level.
 func (s *Solver) analyze(confl *clause) ([]Lit, int) {
-	learnt := []Lit{LitUndef} // slot 0 for the asserting literal
+	// learnt is scratch reused across conflicts; recordLearnt copies it.
+	learnt := append(s.learntBuf[:0], LitUndef) // slot 0 for the asserting literal
 	counter := 0
 	p := LitUndef
 	index := len(s.trail) - 1
@@ -418,8 +499,12 @@ func (s *Solver) analyze(confl *clause) ([]Lit, int) {
 	}
 	learnt[0] = p.Not()
 
-	collected := append([]Lit(nil), learnt...)
+	// minimize may drop literals whose seen flags must still be cleared, so
+	// snapshot the full set first (into reusable scratch).
+	collected := append(s.collectBuf[:0], learnt...)
+	s.collectBuf = collected
 	s.minimize(&learnt)
+	s.learntBuf = learnt
 
 	// Find backtrack level: the max level among learnt[1:].
 	btLevel := 0
@@ -476,7 +561,8 @@ func (s *Solver) recordLearnt(learnt []Lit) {
 		}
 		return
 	}
-	c := &clause{lits: append([]Lit(nil), learnt...), learnt: true}
+	c := s.allocClause(learnt)
+	c.learnt = true
 	s.learnts = append(s.learnts, c)
 	s.attach(c)
 	s.bumpClause(c)
@@ -488,9 +574,7 @@ func (s *Solver) recordLearnt(learnt []Lit) {
 // reduceDB removes roughly half of the learnt clauses, keeping the most
 // active and all binary clauses.
 func (s *Solver) reduceDB() {
-	sort.Slice(s.learnts, func(i, j int) bool {
-		return s.learnts[i].activity > s.learnts[j].activity
-	})
+	sort.Sort(byActivityDesc(s.learnts))
 	kept := s.learnts[:0]
 	limit := len(s.learnts) / 2
 	for i, c := range s.learnts {
@@ -502,6 +586,14 @@ func (s *Solver) reduceDB() {
 	}
 	s.learnts = kept
 }
+
+// byActivityDesc sorts learnt clauses by descending activity without the
+// reflection overhead of sort.Slice.
+type byActivityDesc []*clause
+
+func (a byActivityDesc) Len() int           { return len(a) }
+func (a byActivityDesc) Less(i, j int) bool { return a[i].activity > a[j].activity }
+func (a byActivityDesc) Swap(i, j int)      { a[i], a[j] = a[j], a[i] }
 
 func (s *Solver) isReason(c *clause) bool {
 	v := c.lits[0].Var()

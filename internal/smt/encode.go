@@ -238,7 +238,7 @@ func (e *encoder) encode(f Formula) (sat.Lit, error) {
 // encodeAtom maps an arithmetic atom to a (possibly negated) theory literal
 // over a canonical upper-bound atom on a shared slack variable.
 func (e *encoder) encodeAtom(a *atomF) (sat.Lit, error) {
-	canon, factor, key := a.expr.normalize()
+	vars, ratios, factor, key := a.expr.normTerms()
 	rhs := new(big.Rat).Quo(a.rhs, factor)
 	op := a.op
 	if factor.Sign() < 0 {
@@ -254,7 +254,7 @@ func (e *encoder) encodeAtom(a *atomF) (sat.Lit, error) {
 		}
 	}
 
-	slackVar, err := e.slackFor(canon, key)
+	slackVar, err := e.slackFor(vars, ratios, key)
 	if err != nil {
 		return 0, err
 	}
@@ -298,13 +298,13 @@ func (e *encoder) encodeAtom(a *atomF) (sat.Lit, error) {
 }
 
 // slackFor returns the simplex variable representing the canonical
-// expression, introducing a slack row on first use. Single-variable
-// canonical expressions map directly to the variable.
-func (e *encoder) slackFor(canon *LinExpr, key string) (int, error) {
+// expression given as parallel (vars, ratios) slices, introducing a slack
+// row on first use. Single-variable canonical expressions map directly to
+// the variable.
+func (e *encoder) slackFor(vars []RealVar, ratios []*big.Rat, key string) (int, error) {
 	if sv, ok := e.slackByKey[key]; ok {
 		return sv, nil
 	}
-	vars := canon.Vars()
 	if len(vars) == 1 {
 		v := vars[0]
 		if int(v) >= len(e.realToSimplex) {
@@ -317,11 +317,11 @@ func (e *encoder) slackFor(canon *LinExpr, key string) (int, error) {
 		return sv, nil
 	}
 	terms := make([]lra.Term, 0, len(vars))
-	for _, v := range vars {
+	for i, v := range vars {
 		if int(v) >= len(e.realToSimplex) {
 			return 0, fmt.Errorf("smt: atom references unknown real variable x%d", v)
 		}
-		terms = append(terms, lra.Term{Var: e.realToSimplex[v], Coeff: canon.Coeff(v)})
+		terms = append(terms, lra.Term{Var: e.realToSimplex[v], Coeff: ratios[i]})
 	}
 	sv, err := e.simplex.DefineSlack(terms)
 	if err != nil {
@@ -349,6 +349,8 @@ func (e *encoder) statsSnapshot() Stats {
 		Restarts:     sst.Restarts,
 		TheoryChecks: sst.TheoryChecks,
 		Pivots:       lst.Pivots,
+		FastOps:      lst.FastOps,
+		BigOps:       lst.BigOps,
 	}
 }
 

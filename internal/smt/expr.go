@@ -9,7 +9,7 @@ package smt
 import (
 	"fmt"
 	"math/big"
-	"sort"
+	"strconv"
 	"strings"
 )
 
@@ -79,7 +79,13 @@ func (e *LinExpr) Vars() []RealVar {
 	for v := range e.coeffs {
 		out = append(out, v)
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	// Insertion sort: expressions are short and this avoids the reflection
+	// cost of sort.Slice in the encoder's hot path.
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j] < out[j-1]; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
 	return out
 }
 
@@ -130,25 +136,35 @@ func (e *LinExpr) String() string {
 	return b.String()
 }
 
-// normalize returns the canonical form of the expression — scaled so the
-// smallest-indexed variable has coefficient 1 — together with the applied
-// scale factor f such that e = f·canonical. The canonical key is a
-// deterministic string used to share simplex slack variables between atoms
-// over the same hyperplane. The receiver is not modified.
-func (e *LinExpr) normalize() (canon *LinExpr, factor *big.Rat, key string) {
-	vars := e.Vars()
+// ratOne is the shared canonical leading coefficient. Read-only.
+var ratOne = big.NewRat(1, 1)
+
+// normTerms returns the canonical form of the expression — scaled so the
+// smallest-indexed variable has coefficient 1 — as parallel (vars, ratios)
+// slices together with the scale factor f such that e = f·canonical. The key
+// is a deterministic string used to share simplex slack variables between
+// atoms over the same hyperplane. The receiver is not modified; factor
+// aliases a receiver coefficient and ratios[0] a shared constant, so callers
+// must treat both as read-only.
+func (e *LinExpr) normTerms() (vars []RealVar, ratios []*big.Rat, factor *big.Rat, key string) {
+	vars = e.Vars()
 	if len(vars) == 0 {
-		return NewLinExpr(), big.NewRat(1, 1), ""
+		return nil, nil, ratOne, ""
 	}
 	lead := e.coeffs[vars[0]]
-	factor = new(big.Rat).Set(lead)
 	inv := new(big.Rat).Inv(lead)
-	canon = NewLinExpr()
-	var b strings.Builder
-	for _, v := range vars {
-		c := new(big.Rat).Mul(e.coeffs[v], inv)
-		canon.coeffs[v] = c
-		fmt.Fprintf(&b, "%d:%s;", v, c.RatString())
+	ratios = make([]*big.Rat, len(vars))
+	buf := make([]byte, 0, 16*len(vars))
+	for i, v := range vars {
+		c := ratOne
+		if i > 0 {
+			c = new(big.Rat).Mul(e.coeffs[v], inv)
+		}
+		ratios[i] = c
+		buf = strconv.AppendInt(buf, int64(v), 10)
+		buf = append(buf, ':')
+		buf = append(buf, c.RatString()...)
+		buf = append(buf, ';')
 	}
-	return canon, factor, b.String()
+	return vars, ratios, lead, string(buf)
 }

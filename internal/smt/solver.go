@@ -83,6 +83,11 @@ type Stats struct {
 	Restarts     int64
 	TheoryChecks int64
 	Pivots       int64
+	// FastOps and BigOps count simplex rational operations on the
+	// machine-word fast path versus promoted big.Rat arithmetic; their ratio
+	// is the hybrid rational's observable promotion rate.
+	FastOps int64
+	BigOps  int64
 	// AllocBytes is the total heap allocated while encoding and solving,
 	// the reproduction's analogue of the paper's solver memory usage.
 	AllocBytes uint64
