@@ -13,6 +13,8 @@
 //	-max-conflicts n  initial per-verification CDCL conflict budget, escalated
 //	                  on Unknown results (0 = unlimited)
 //	-max-pivots n     initial per-verification simplex pivot budget (0 = unlimited)
+//	-fresh-encode     re-encode from scratch on every Check instead of reusing
+//	                  the incremental solver instances (ablation/debug knob)
 //
 // Exit codes classify the outcome for scripted sweeps:
 //
@@ -60,6 +62,7 @@ func run(args []string) (int, error) {
 	timeout := fs.Duration("timeout", 0, "wall-clock budget for the whole run (0 = none)")
 	maxConflicts := fs.Int64("max-conflicts", 0, "initial per-verification CDCL conflict budget (0 = unlimited)")
 	maxPivots := fs.Int64("max-pivots", 0, "initial per-verification simplex pivot budget (0 = unlimited)")
+	freshEncode := fs.Bool("fresh-encode", false, "re-encode on every Check instead of solving incrementally (ablation)")
 	if err := fs.Parse(args); err != nil {
 		return exitError, nil // flag package already printed the problem
 	}
@@ -78,13 +81,18 @@ func run(args []string) (int, error) {
 		return exitError, err
 	}
 	if spec.MeasurementGranular() {
-		return runMeasurementGranular(spec, limits)
+		return runMeasurementGranular(spec, limits, *freshEncode)
 	}
 	req, err := spec.Requirements()
 	if err != nil {
 		return exitError, err
 	}
 	req.Limits = limits
+	if *freshEncode {
+		opts := freshOptions(req.Options)
+		req.Options = opts
+		req.Attack.Options = opts
+	}
 	sys := req.Attack.System()
 	fmt.Printf("system: %s (%d buses, %d lines), operator budget %d buses\n",
 		sys.Name, sys.Buses, sys.NumLines(), req.MaxSecuredBuses)
@@ -104,12 +112,28 @@ func run(args []string) (int, error) {
 	return exitFound, nil
 }
 
-func runMeasurementGranular(spec *scenariofile.SynthesisSpec, limits synth.Limits) (int, error) {
+// freshOptions copies base (or the defaults) with FreshPerCheck set, for the
+// -fresh-encode ablation.
+func freshOptions(base *smt.Options) *smt.Options {
+	opts := smt.DefaultOptions()
+	if base != nil {
+		opts = *base
+	}
+	opts.FreshPerCheck = true
+	return &opts
+}
+
+func runMeasurementGranular(spec *scenariofile.SynthesisSpec, limits synth.Limits, freshEncode bool) (int, error) {
 	req, err := spec.MeasurementRequirements()
 	if err != nil {
 		return exitError, err
 	}
 	req.Limits = limits
+	if freshEncode {
+		opts := freshOptions(req.Options)
+		req.Options = opts
+		req.Attack.Options = opts
+	}
 	sys := req.Attack.System()
 	fmt.Printf("system: %s (%d buses, %d lines), operator budget %d measurements\n",
 		sys.Name, sys.Buses, sys.NumLines(), req.MaxSecuredMeasurements)

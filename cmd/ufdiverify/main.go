@@ -12,6 +12,8 @@
 //	-timeout d        wall-clock budget for the check (e.g. 30s; 0 = none)
 //	-max-conflicts n  CDCL conflict budget (0 = unlimited)
 //	-max-pivots n     simplex pivot budget (0 = unlimited)
+//	-fresh-encode     re-encode from scratch on every Check instead of reusing
+//	                  the incremental solver instance (ablation/debug knob)
 //
 // Exit codes classify the outcome for scripted sweeps:
 //
@@ -58,6 +60,7 @@ func run(args []string) (int, error) {
 	timeout := fs.Duration("timeout", 0, "wall-clock budget for the check (0 = none)")
 	maxConflicts := fs.Int64("max-conflicts", 0, "CDCL conflict budget (0 = unlimited)")
 	maxPivots := fs.Int64("max-pivots", 0, "simplex pivot budget (0 = unlimited)")
+	freshEncode := fs.Bool("fresh-encode", false, "re-encode on every Check instead of solving incrementally (ablation)")
 	if err := fs.Parse(args); err != nil {
 		return exitError, nil // flag package already printed the problem
 	}
@@ -72,13 +75,20 @@ func run(args []string) (int, error) {
 	if err != nil {
 		return exitError, err
 	}
-	if *maxConflicts > 0 || *maxPivots > 0 {
+	if *maxConflicts > 0 || *maxPivots > 0 || *freshEncode {
 		opts := smt.DefaultOptions()
 		if sc.Options != nil {
 			opts = *sc.Options
 		}
-		opts.Budget.MaxConflicts = *maxConflicts
-		opts.Budget.MaxPivots = *maxPivots
+		if *maxConflicts > 0 {
+			opts.Budget.MaxConflicts = *maxConflicts
+		}
+		if *maxPivots > 0 {
+			opts.Budget.MaxPivots = *maxPivots
+		}
+		if *freshEncode {
+			opts.FreshPerCheck = true
+		}
 		sc.Options = &opts
 	}
 	ctx := context.Background()

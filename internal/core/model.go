@@ -20,7 +20,11 @@ func ratFromAdmittance(y float64) *big.Rat {
 // Model is the UFDI attack verification model built over the SMT solver.
 // It exposes the solver's Push/Pop so the countermeasure synthesis loop
 // (Section IV, Algorithm 1) can layer candidate security architectures on
-// top of a fixed attack model.
+// top of a fixed attack model. The solver is incremental: the attack
+// constraint system (Eqs. 5–26) is lowered into one persistent SAT+simplex
+// instance at the first Check, and later Checks — including the per-candidate
+// push/assert/pop cycles of the synthesis loop — reuse that instance and the
+// clauses it has learnt, re-encoding nothing.
 type Model struct {
 	sc     *Scenario
 	solver *smt.Solver

@@ -30,12 +30,19 @@ type BenchEntry struct {
 	Pivots       int64  `json:"pivots"`
 	FastOps      int64  `json:"fast_ops"`
 	BigOps       int64  `json:"big_ops"`
+	// FreshNsPerOp/FreshAllocsPerOp are the incremental-vs-fresh ablation
+	// columns: the same workload rerun with smt.Options.FreshPerCheck set, so
+	// each Check rebuilds the encoding from scratch instead of reusing the
+	// persistent solver instance. Only the synthesis workloads carry them —
+	// single-Check workloads are identical under both modes.
+	FreshNsPerOp     int64 `json:"fresh_ns_per_op,omitempty"`
+	FreshAllocsPerOp int64 `json:"fresh_allocs_per_op,omitempty"`
 }
 
 // Iteration policy for each workload: at least benchMinIters runs, then keep
 // going until benchMinTime has elapsed or benchMaxIters is reached. The
-// slowest workloads (ieee118, ieee57 synthesis) take ~100-200 ms per run, so
-// the whole set finishes in well under a minute.
+// slowest workload (ieee118 synthesis under the fresh-per-Check ablation)
+// takes a few seconds per run, so the whole set finishes in about a minute.
 const (
 	benchMinIters = 3
 	benchMaxIters = 60
@@ -45,7 +52,9 @@ const (
 // benchSynthBudgets are known-feasible operator budgets per system (greedy
 // baseline size + 2; see synthRequirements), fixed so the synthesis workloads
 // measure a stable instance rather than re-deriving the budget each run.
-var benchSynthBudgets = map[string]int{"ieee14": 7, "ieee30": 12, "ieee57": 23}
+var benchSynthBudgets = map[string]int{
+	"ieee14": 7, "ieee30": 12, "ieee57": 23, "ieee118": 43,
+}
 
 // measureWorkload times repeated runs of one workload and captures per-op
 // allocation counts via runtime.MemStats deltas around the timed loop. The
@@ -135,19 +144,26 @@ func BenchSet(cfg Config) ([]BenchEntry, error) {
 		}
 	}
 
-	for _, name := range []string{"ieee14", "ieee30", "ieee57"} {
+	for _, name := range []string{"ieee14", "ieee30", "ieee57", "ieee118"} {
 		sys, err := grid.Case(name)
 		if err != nil {
 			return nil, err
 		}
 		budget := benchSynthBudgets[name]
-		if err := add("fig5a/"+name, func() (smt.Stats, error) {
+		runSynth := func(fresh bool) (smt.Stats, error) {
 			sc := core.NewScenario(sys)
 			sc.AnyState = true
 			cfg.applyBudget(sc)
-			arch, err := synth.Synthesize(&synth.Requirements{
+			req := &synth.Requirements{
 				Attack: sc, MaxSecuredBuses: budget, Prune: true,
-			})
+			}
+			if fresh {
+				opts := smt.DefaultOptions()
+				opts.FreshPerCheck = true
+				sc.Options = &opts
+				req.Options = &opts
+			}
+			arch, err := synth.Synthesize(req)
 			if err != nil {
 				return smt.Stats{}, err
 			}
@@ -162,9 +178,23 @@ func BenchSet(cfg Config) ([]BenchEntry, error) {
 			st.FastOps += arch.SelectStats.FastOps
 			st.BigOps += arch.SelectStats.BigOps
 			return st, nil
-		}); err != nil {
+		}
+		// Measure the default (incremental) mode as the workload's headline
+		// numbers, then the fresh-per-Check ablation; the ablation lands in
+		// the same entry's fresh_* columns rather than as a separate row.
+		e, err := measureWorkload("fig5a/"+name, cfg.Out,
+			func() (smt.Stats, error) { return runSynth(false) })
+		if err != nil {
 			return nil, err
 		}
+		fe, err := measureWorkload("fig5a/"+name+"/fresh", cfg.Out,
+			func() (smt.Stats, error) { return runSynth(true) })
+		if err != nil {
+			return nil, err
+		}
+		e.FreshNsPerOp = fe.NsPerOp
+		e.FreshAllocsPerOp = fe.AllocsPerOp
+		entries = append(entries, e)
 	}
 
 	for _, name := range []string{"ieee14", "ieee30", "ieee57", "ieee118"} {

@@ -106,6 +106,16 @@ type Solver struct {
 	budget   int64
 	nextPoll int64 // propagation count at which Stop is polled next
 
+	// Per-call budget baselines: Statistics() stays cumulative across Solve
+	// calls, so budgets are measured against the counters captured at Solve
+	// entry. Without them a second Solve on the same instance would compare
+	// its fresh budget against the previous calls' accumulated work and
+	// spuriously return ErrBudget/ErrPropBudget immediately.
+	baseConflicts int64
+	baseProps     int64
+
+	conflict []Lit // final conflict of the last SolveAssuming (over assumptions)
+
 	addBuf     []Lit     // scratch for AddClause normalization
 	learntBuf  []Lit     // scratch for analyze's learnt clause
 	collectBuf []Lit     // scratch for analyze's seen-flag cleanup
@@ -158,7 +168,22 @@ func (s *Solver) NumVars() int { return s.nVars }
 // to the theory via Theory.Assert.
 func (s *Solver) WatchTheoryVar(v Var) { s.theory[v] = true }
 
-// Statistics returns a snapshot of the solver counters.
+// SetBudgets replaces the per-call conflict and propagation budgets (≤ 0
+// means unlimited). It takes effect at the next Solve/SolveAssuming call;
+// budgets are measured per call, not against the cumulative Statistics()
+// counters, so an incremental caller can re-budget every call independently.
+func (s *Solver) SetBudgets(maxConflicts, maxPropagations int64) {
+	s.opts.MaxConflicts = maxConflicts
+	s.opts.MaxPropagations = maxPropagations
+}
+
+// SetStop replaces the cancellation hook polled during search (nil clears
+// it). It takes effect at the next Solve/SolveAssuming call.
+func (s *Solver) SetStop(f func() error) { s.opts.Stop = f }
+
+// Statistics returns a snapshot of the solver counters. Counters are
+// cumulative across Solve calls; per-call budgets are baselined internally
+// at each Solve entry.
 func (s *Solver) Statistics() Stats {
 	st := s.stats
 	st.Vars = s.nVars
@@ -167,9 +192,11 @@ func (s *Solver) Statistics() Stats {
 	return st
 }
 
-// AddClause adds a clause over existing variables. It must be called before
-// Solve (at decision level 0). Duplicate literals are merged, tautologies
-// are dropped, and false literals (at level 0) are removed.
+// AddClause adds a clause over existing variables. It must be called at
+// decision level 0 — before the first Solve, or between incremental
+// Solve/SolveAssuming calls once Backtrack has retracted the model.
+// Duplicate literals are merged, tautologies are dropped, and false literals
+// (at level 0) are removed.
 func (s *Solver) AddClause(lits ...Lit) error {
 	if len(s.trailLim) != 0 {
 		return errors.New("sat: AddClause called above decision level 0")
@@ -634,6 +661,9 @@ func luby(x int64) int64 {
 func (s *Solver) handleConflict(confl *clause) bool {
 	s.stats.Conflicts++
 	if s.decisionLevel() == 0 {
+		// A level-0 conflict is permanent: clauses are never retracted, so
+		// the instance stays unsat for every future incremental call.
+		s.unsat = true
 		return false
 	}
 	learnt, btLevel := s.analyze(confl)
@@ -667,6 +697,8 @@ func (s *Solver) theoryConflictClause(expl []Lit) bool {
 		}
 	}
 	if maxLevel == 0 {
+		// All explaining bounds were asserted at level 0 and are permanent.
+		s.unsat = true
 		return false
 	}
 	// The conflict may live entirely below the current decision level;
@@ -678,7 +710,7 @@ func (s *Solver) theoryConflictClause(expl []Lit) bool {
 // pollLimits enforces the propagation budget and polls the Stop hook. It
 // returns nil when the search may continue.
 func (s *Solver) pollLimits() error {
-	if s.opts.MaxPropagations > 0 && s.stats.Propagations >= s.opts.MaxPropagations {
+	if s.opts.MaxPropagations > 0 && s.stats.Propagations-s.baseProps >= s.opts.MaxPropagations {
 		return ErrPropBudget
 	}
 	if s.opts.Stop != nil && s.stats.Propagations >= s.nextPoll {
@@ -688,14 +720,110 @@ func (s *Solver) pollLimits() error {
 	return nil
 }
 
+// newDecisionLevel opens a fresh decision level, keeping the theory solver's
+// scope stack aligned with the SAT trail.
+func (s *Solver) newDecisionLevel() {
+	s.trailLim = append(s.trailLim, int32(len(s.trail)))
+	if s.opts.Theory != nil {
+		s.opts.Theory.Push()
+	}
+}
+
+// Backtrack undoes every decision and assumption, returning the solver (and
+// the theory solver mirroring its scopes) to decision level 0. After a
+// StatusSat answer the satisfying assignment — and any theory-side model —
+// stays in place until Backtrack is called, so incremental callers extract
+// the model first, then Backtrack, then add clauses for the next
+// SolveAssuming.
+func (s *Solver) Backtrack() { s.cancelUntil(0) }
+
+// ResetPhases restores every variable's saved phase to the default polarity
+// (false). Model-enumeration loops (blocking-clause candidate search) call
+// this between Solves on a persistent instance: phase saving otherwise
+// steers each re-solve to a near neighbor of the just-blocked model, which
+// can multiply the number of enumeration rounds. Learnt clauses and
+// activities are untouched.
+func (s *Solver) ResetPhases() {
+	for i := range s.polarity {
+		s.polarity[i] = true
+	}
+}
+
+// FinalConflict returns the subset of the assumptions passed to the last
+// SolveAssuming call found jointly unsatisfiable with the clause set, the
+// directly falsified assumption first. It returns nil when the last answer
+// was not an assumption-driven StatusUnsat — in particular when the clause
+// set is unsatisfiable regardless of assumptions. The slice is overwritten
+// by the next SolveAssuming call.
+func (s *Solver) FinalConflict() []Lit {
+	if len(s.conflict) == 0 {
+		return nil
+	}
+	return s.conflict
+}
+
+// analyzeFinal computes the final conflict for assumption p that was found
+// false at its decision point: p plus every earlier assumption whose
+// decision participates in deriving ¬p (MiniSat's analyzeFinal). The result
+// lands in s.conflict.
+func (s *Solver) analyzeFinal(p Lit) {
+	s.conflict = append(s.conflict[:0], p)
+	if s.decisionLevel() == 0 {
+		return
+	}
+	s.seen[p.Var()] = true
+	bound := int(s.trailLim[0])
+	for i := len(s.trail) - 1; i >= bound; i-- {
+		v := s.trail[i].Var()
+		if !s.seen[v] {
+			continue
+		}
+		if r := s.reason[v]; r == nil {
+			// A decision above level 0 can only be an assumption (dummy
+			// levels for already-true assumptions enqueue nothing).
+			s.conflict = append(s.conflict, s.trail[i])
+		} else {
+			for _, q := range r.lits {
+				if q.Var() != v && s.level[q.Var()] > 0 {
+					s.seen[q.Var()] = true
+				}
+			}
+		}
+		s.seen[v] = false
+	}
+	s.seen[p.Var()] = false
+}
+
 // Solve runs the CDCL search and returns the status. On StatusSat the model
 // is available through Value. StatusUnknown is always accompanied by a
 // non-nil error saying why the search stopped early (budget exhaustion, a
-// Stop-hook cancellation, or a theory-side abort).
-func (s *Solver) Solve() (Status, error) {
+// Stop-hook cancellation, or a theory-side abort). It is SolveAssuming with
+// no assumptions.
+func (s *Solver) Solve() (Status, error) { return s.SolveAssuming() }
+
+// SolveAssuming runs the CDCL search under the given assumption literals,
+// which are decided (in order) before any free decision. StatusUnsat means
+// the clauses are unsatisfiable together with the assumptions;
+// FinalConflict then names the responsible assumption subset (nil when the
+// clauses alone are unsat). Clauses and learnt clauses persist across calls,
+// which is what makes repeated calls incremental: add clauses between calls
+// (after Backtrack) and flip assumptions per call.
+func (s *Solver) SolveAssuming(assumps ...Lit) (Status, error) {
+	s.cancelUntil(0)
+	s.conflict = s.conflict[:0]
 	if s.unsat {
 		return StatusUnsat, nil
 	}
+	for _, l := range assumps {
+		if l == LitUndef || int(l.Var()) >= s.nVars {
+			return StatusUnknown, fmt.Errorf("sat: assumption references unknown literal %v", l)
+		}
+	}
+	// Baseline the per-call budgets and the Stop-poll cursor against the
+	// cumulative counters (see the field comments).
+	s.baseConflicts = s.stats.Conflicts
+	s.baseProps = s.stats.Propagations
+	s.nextPoll = s.stats.Propagations
 	if s.opts.Stop != nil {
 		// Poll once up front so an already-expired deadline aborts before
 		// any search work, however large the instance.
@@ -704,10 +832,12 @@ func (s *Solver) Solve() (Status, error) {
 		}
 	}
 	if confl := s.propagate(); confl != nil {
+		s.unsat = true
 		return StatusUnsat, nil
 	}
 	if expl := s.theoryFeed(); expl != nil {
-		// Top-level theory conflict.
+		// Top-level theory conflict over permanent level-0 bounds.
+		s.unsat = true
 		return StatusUnsat, nil
 	}
 	if s.opts.Theory != nil {
@@ -717,7 +847,9 @@ func (s *Solver) Solve() (Status, error) {
 			return StatusUnknown, err
 		}
 		if expl != nil {
-			return StatusUnsat, nil
+			if !s.theoryConflictClause(expl) {
+				return StatusUnsat, nil
+			}
 		}
 	}
 
@@ -756,7 +888,7 @@ func (s *Solver) Solve() (Status, error) {
 			if !s.handleConflict(confl) {
 				return StatusUnsat, nil
 			}
-			if s.budget > 0 && s.stats.Conflicts >= s.budget {
+			if s.budget > 0 && s.stats.Conflicts-s.baseConflicts >= s.budget {
 				return StatusUnknown, ErrBudget
 			}
 			if s.opts.Stop != nil {
@@ -780,29 +912,45 @@ func (s *Solver) Solve() (Status, error) {
 			s.maxLearnts *= 1.2
 		}
 
-		next := s.pickBranchLit()
-		if next == LitUndef {
-			// Full assignment: run the final theory check.
-			if s.opts.Theory != nil {
-				s.stats.TheoryChecks++
-				expl, err := s.opts.Theory.Check(true)
-				if err != nil {
-					return StatusUnknown, err
-				}
-				if expl != nil {
-					if !s.theoryConflictClause(expl) {
-						return StatusUnsat, nil
-					}
-					continue
-				}
+		// Decide the next pending assumption; dummy levels keep decision
+		// levels aligned with assumption indices when an assumption is
+		// already implied.
+		next := LitUndef
+		for next == LitUndef && s.decisionLevel() < len(assumps) {
+			p := assumps[s.decisionLevel()]
+			switch s.value(p) {
+			case lTrue:
+				s.newDecisionLevel()
+			case lFalse:
+				s.analyzeFinal(p)
+				s.cancelUntil(0)
+				return StatusUnsat, nil
+			default:
+				next = p
 			}
-			return StatusSat, nil
+		}
+		if next == LitUndef {
+			next = s.pickBranchLit()
+			if next == LitUndef {
+				// Full assignment: run the final theory check.
+				if s.opts.Theory != nil {
+					s.stats.TheoryChecks++
+					expl, err := s.opts.Theory.Check(true)
+					if err != nil {
+						return StatusUnknown, err
+					}
+					if expl != nil {
+						if !s.theoryConflictClause(expl) {
+							return StatusUnsat, nil
+						}
+						continue
+					}
+				}
+				return StatusSat, nil
+			}
 		}
 		s.stats.Decisions++
-		s.trailLim = append(s.trailLim, int32(len(s.trail)))
-		if s.opts.Theory != nil {
-			s.opts.Theory.Push()
-		}
+		s.newDecisionLevel()
 		if !s.enqueue(next, nil) {
 			panic("sat: internal error: decision literal already assigned")
 		}

@@ -34,19 +34,22 @@ func (e *encoder) assertCard(cc cardConstraint) error {
 	return nil
 }
 
-// atMostK encodes Σ lits ≤ k.
+// atMostK encodes Σ lits ≤ k. Every circuit clause goes through the guarded
+// add: unlike the Tseitin definitions, the counting clauses are
+// one-directional constraints over the input literals, so they must stop
+// binding once their scope is popped.
 func (e *encoder) atMostK(lits []sat.Lit, k int) {
 	n := len(lits)
 	if k >= n {
 		return
 	}
 	if k < 0 {
-		e.unsat = true
+		e.add() // unsatisfiable in this scope
 		return
 	}
 	if k == 0 {
 		for _, l := range lits {
-			e.mustAdd(l.Not())
+			e.add(l.Not())
 		}
 		return
 	}
@@ -71,20 +74,20 @@ func (e *encoder) atMostKSeqCounter(lits []sat.Lit, k int) {
 		}
 	}
 	// Base: x0 → s[0][0]; s[0][j] false for j ≥ 1.
-	e.mustAdd(lits[0].Not(), reg[0][0])
+	e.add(lits[0].Not(), reg[0][0])
 	for j := 1; j < k; j++ {
-		e.mustAdd(reg[0][j].Not())
+		e.add(reg[0][j].Not())
 	}
 	for i := 1; i < n-1; i++ {
-		e.mustAdd(lits[i].Not(), reg[i][0])
-		e.mustAdd(reg[i-1][0].Not(), reg[i][0])
+		e.add(lits[i].Not(), reg[i][0])
+		e.add(reg[i-1][0].Not(), reg[i][0])
 		for j := 1; j < k; j++ {
-			e.mustAdd(lits[i].Not(), reg[i-1][j-1].Not(), reg[i][j])
-			e.mustAdd(reg[i-1][j].Not(), reg[i][j])
+			e.add(lits[i].Not(), reg[i-1][j-1].Not(), reg[i][j])
+			e.add(reg[i-1][j].Not(), reg[i][j])
 		}
-		e.mustAdd(lits[i].Not(), reg[i-1][k-1].Not())
+		e.add(lits[i].Not(), reg[i-1][k-1].Not())
 	}
-	e.mustAdd(lits[n-1].Not(), reg[n-2][k-1].Not())
+	e.add(lits[n-1].Not(), reg[n-2][k-1].Not())
 }
 
 // atMostKPairwise is the naive binomial encoding: for every (k+1)-subset at
@@ -99,7 +102,7 @@ func (e *encoder) atMostKPairwise(lits []sat.Lit, k int) {
 			for i, l := range subset {
 				clause[i] = l.Not()
 			}
-			e.mustAdd(clause...)
+			e.add(clause...)
 			return
 		}
 		for i := start; i < len(lits); i++ {

@@ -9,11 +9,25 @@ import (
 	"segrid/internal/sat"
 )
 
-// atomKey identifies a canonical upper-bound atom: slack ≤ rhs + k·δ.
+// atomKey identifies a canonical upper-bound atom: slack ≤ rhs + k·δ. The
+// rhs is keyed numerically when it fits machine words (the overwhelmingly
+// common case) so the hot encode path does not allocate a string per atom;
+// bigRHS carries the RatString fallback for out-of-range rationals.
 type atomKey struct {
-	slack int
-	rhs   string
-	k     int8
+	slack    int
+	num, den int64
+	bigRHS   string
+	k        int8
+}
+
+func makeAtomKey(slack int, rhs *big.Rat, k int8) atomKey {
+	ak := atomKey{slack: slack, k: k}
+	if num, den := rhs.Num(), rhs.Denom(); num.IsInt64() && den.IsInt64() {
+		ak.num, ak.den = num.Int64(), den.Int64()
+	} else {
+		ak.bigRHS = rhs.RatString()
+	}
+	return ak
 }
 
 // boundSpec is the theory meaning of an atom's SAT variable. The positive
@@ -68,8 +82,11 @@ func tagsToLits(tags []lra.Tag) []sat.Lit {
 	return lits
 }
 
-// encoder lowers the assertion stack into a fresh SAT instance plus simplex
-// tableau for a single Check call.
+// encoder lowers the assertion stack into one SAT instance plus simplex
+// tableau that persist across Check calls. Scoped assertions are guarded by
+// their scope's selector literal (see Solver); Tseitin definitions, atom
+// bindings and slack rows are pure equivalences, so they are emitted
+// unguarded and shared by every later check.
 type encoder struct {
 	owner   *Solver
 	sat     *sat.Solver
@@ -83,45 +100,71 @@ type encoder struct {
 	memo          map[Formula]sat.Lit
 
 	trueLit sat.Lit
-	unsat   bool
 	nAtoms  int
+
+	// curSel is the selector literal of the scope currently being encoded;
+	// LitUndef while encoding the base scope (clauses added unguarded).
+	curSel sat.Lit
+
+	// Per-check stat baselines: the SAT and simplex counters are cumulative
+	// across the instance's lifetime, so per-check Stats are reported as
+	// deltas from the values captured by beginCheck.
+	baseSat sat.Stats
+	baseLra lra.Stats
 }
 
-func newEncoder(owner *Solver, budget Budget, ctrl *controller) *encoder {
+func newEncoder(owner *Solver) *encoder {
 	simplex := lra.NewSimplex()
-	simplex.SetMaxPivots(budget.MaxPivots)
-	simplex.SetStop(ctrl.stopFunc(PointSimplex))
 	theory := &theoryAdapter{simplex: simplex, bounds: make(map[sat.Var]boundSpec)}
 	e := &encoder{
 		owner: owner,
 		sat: sat.NewSolver(sat.Options{
 			Theory:          theory,
 			CheckAtFixpoint: owner.opts.TheoryCheckAtFixpoint,
-			MaxConflicts:    budget.MaxConflicts,
-			MaxPropagations: budget.MaxPropagations,
-			Stop:            ctrl.stopFunc(PointCDCL),
 		}),
 		simplex:    simplex,
 		theory:     theory,
 		slackByKey: make(map[string]int),
 		atomVars:   make(map[atomKey]sat.Var),
 		memo:       make(map[Formula]sat.Lit),
+		curSel:     sat.LitUndef,
 	}
 	// A dedicated always-true literal anchors constant formulas.
 	tv := e.sat.NewVar()
 	e.trueLit = sat.PosLit(tv)
 	e.mustAdd(e.trueLit)
-	// Register every real variable with the simplex up front so models are
-	// total.
-	e.realToSimplex = make([]int, len(owner.realNames))
-	for i := range owner.realNames {
-		e.realToSimplex[i] = simplex.NewVar()
-	}
-	e.boolToSat = make([]sat.Var, len(owner.boolNames))
-	for i := range owner.boolNames {
-		e.boolToSat[i] = e.sat.NewVar()
-	}
+	e.syncVars()
 	return e
+}
+
+// syncVars registers solver-level variables created since the last check
+// with the SAT core and the simplex, keeping models total.
+func (e *encoder) syncVars() {
+	for i := len(e.realToSimplex); i < len(e.owner.realNames); i++ {
+		e.realToSimplex = append(e.realToSimplex, e.simplex.NewVar())
+	}
+	for i := len(e.boolToSat); i < len(e.owner.boolNames); i++ {
+		e.boolToSat = append(e.boolToSat, e.sat.NewVar())
+	}
+}
+
+// beginCheck prepares the persistent instance for one Check call: late-bound
+// variables are registered, the per-call budgets and stop hooks installed,
+// and the stat baselines captured.
+func (e *encoder) beginCheck(b Budget, ctrl *controller) {
+	e.syncVars()
+	e.sat.SetBudgets(b.MaxConflicts, b.MaxPropagations)
+	e.sat.SetStop(ctrl.stopFunc(PointCDCL))
+	e.simplex.SetStop(ctrl.stopFunc(PointSimplex))
+	if b.MaxPivots > 0 {
+		// The simplex pivot budget is cumulative by contract; offset it by
+		// the pivots already spent so the bound covers this check only.
+		e.simplex.SetMaxPivots(e.simplex.Statistics().Pivots + b.MaxPivots)
+	} else {
+		e.simplex.SetMaxPivots(0)
+	}
+	e.baseSat = e.sat.Statistics()
+	e.baseLra = e.simplex.Statistics()
 }
 
 func (e *encoder) mustAdd(lits ...sat.Lit) {
@@ -132,13 +175,25 @@ func (e *encoder) mustAdd(lits ...sat.Lit) {
 	}
 }
 
+// add emits an assertion clause guarded by the current scope's selector:
+// scoped clauses become C ∨ ¬sel, so they bind only while sel is assumed and
+// are permanently disabled by the unit ¬sel that Pop adds. Base-scope
+// clauses (curSel undefined) are unconditional; an empty base-scope clause
+// marks the instance unsatisfiable for good.
+func (e *encoder) add(lits ...sat.Lit) {
+	if e.curSel != sat.LitUndef {
+		lits = append(lits, e.curSel.Not())
+	}
+	e.mustAdd(lits...)
+}
+
 // assertTop asserts a formula at the top level, flattening conjunctions and
 // emitting disjunctions of literals as plain clauses.
 func (e *encoder) assertTop(f Formula) error {
 	switch g := f.(type) {
 	case *constF:
 		if !g.val {
-			e.unsat = true
+			e.add() // empty clause: false in this scope
 		}
 		return nil
 	case *andF:
@@ -149,7 +204,7 @@ func (e *encoder) assertTop(f Formula) error {
 		}
 		return nil
 	case *orF:
-		lits := make([]sat.Lit, 0, len(g.fs))
+		lits := make([]sat.Lit, 0, len(g.fs)+1)
 		for _, c := range g.fs {
 			l, err := e.encode(c)
 			if err != nil {
@@ -157,20 +212,22 @@ func (e *encoder) assertTop(f Formula) error {
 			}
 			lits = append(lits, l)
 		}
-		e.mustAdd(lits...)
+		e.add(lits...)
 		return nil
 	default:
 		l, err := e.encode(f)
 		if err != nil {
 			return err
 		}
-		e.mustAdd(l)
+		e.add(l)
 		return nil
 	}
 }
 
 // encode lowers a formula to a SAT literal (Tseitin transformation with
-// structural sharing by node identity).
+// structural sharing by node identity). Definitional clauses are pure
+// equivalences between the fresh variable and its formula, so they are
+// emitted unguarded and stay valid in every scope and every later check.
 func (e *encoder) encode(f Formula) (sat.Lit, error) {
 	if l, ok := e.memo[f]; ok {
 		return l, nil
@@ -274,7 +331,7 @@ func (e *encoder) encodeAtom(a *atomF) (sat.Lit, error) {
 		k, negated = 0, true
 	}
 
-	ak := atomKey{slack: slackVar, rhs: rhs.RatString(), k: k}
+	ak := makeAtomKey(slackVar, rhs, k)
 	v, ok := e.atomVars[ak]
 	if !ok {
 		v = e.sat.NewVar()
@@ -331,7 +388,8 @@ func (e *encoder) slackFor(vars []RealVar, ratios []*big.Rat, key string) (int, 
 	return sv, nil
 }
 
-// statsSnapshot captures the work counters accumulated so far; it is valid
+// statsSnapshot captures one check's work: sizes are the instance's current
+// totals, counters are deltas from the beginCheck baselines. It is valid
 // both after a completed solve and mid-flight (partial stats on
 // interruption).
 func (e *encoder) statsSnapshot() Stats {
@@ -343,37 +401,37 @@ func (e *encoder) statsSnapshot() Stats {
 		RealVars:     len(e.realToSimplex),
 		Atoms:        e.nAtoms,
 		SlackVars:    lst.Rows,
-		Conflicts:    sst.Conflicts,
-		Decisions:    sst.Decisions,
-		Propagations: sst.Propagations,
-		Restarts:     sst.Restarts,
-		TheoryChecks: sst.TheoryChecks,
-		Pivots:       lst.Pivots,
-		FastOps:      lst.FastOps,
-		BigOps:       lst.BigOps,
+		Conflicts:    sst.Conflicts - e.baseSat.Conflicts,
+		Decisions:    sst.Decisions - e.baseSat.Decisions,
+		Propagations: sst.Propagations - e.baseSat.Propagations,
+		Restarts:     sst.Restarts - e.baseSat.Restarts,
+		TheoryChecks: sst.TheoryChecks - e.baseSat.TheoryChecks,
+		Pivots:       lst.Pivots - e.baseLra.Pivots,
+		FastOps:      lst.FastOps - e.baseLra.FastOps,
+		BigOps:       lst.BigOps - e.baseLra.BigOps,
 	}
 }
 
-// solve runs the SAT search and packages the result. An error return means
-// the search was interrupted (budget or cancellation); res still carries
-// the partial Stats.
-func (e *encoder) solve() (*Result, error) {
+// solve runs the SAT search under the live scopes' selector assumptions and
+// packages the result. An error return means the search was interrupted
+// (budget or cancellation); res still carries the partial Stats. The solver
+// is always backtracked to level 0 afterwards so clauses can be added before
+// the next check.
+func (e *encoder) solve(assumps []sat.Lit) (*Result, error) {
 	res := &Result{}
-	fill := func() { res.Stats = e.statsSnapshot() }
-	if e.unsat {
-		res.Status = Unsat
-		fill()
-		return res, nil
-	}
-	status, err := e.sat.Solve()
-	fill()
+	status, err := e.sat.SolveAssuming(assumps...)
+	res.Stats = e.statsSnapshot()
 	if err != nil {
+		e.sat.Backtrack()
 		res.Status = Unknown
 		return res, err
 	}
 	switch status {
 	case sat.StatusSat:
 		res.Status = Sat
+		// Extract the model before Backtrack: the trail assignment and the
+		// simplex's active bounds (which fix the δ perturbation used to
+		// rationalize strict bounds) survive only until the backtrack.
 		res.boolVals = make([]bool, len(e.boolToSat))
 		for i, v := range e.boolToSat {
 			res.boolVals[i] = e.sat.Value(v)
@@ -388,5 +446,6 @@ func (e *encoder) solve() (*Result, error) {
 	default:
 		res.Status = Unknown
 	}
+	e.sat.Backtrack()
 	return res, nil
 }

@@ -1,0 +1,386 @@
+package smt
+
+import (
+	"errors"
+	"math/big"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// scriptState mirrors the assertion stack of the solvers under test so
+// models can be validated against exactly what is currently asserted.
+type scriptState struct {
+	asserts [][]Formula
+	cards   [][]cardConstraint
+}
+
+func newScriptState() *scriptState {
+	return &scriptState{asserts: [][]Formula{nil}, cards: [][]cardConstraint{nil}}
+}
+
+func (st *scriptState) push() {
+	st.asserts = append(st.asserts, nil)
+	st.cards = append(st.cards, nil)
+}
+
+func (st *scriptState) pop() {
+	st.asserts = st.asserts[:len(st.asserts)-1]
+	st.cards = st.cards[:len(st.cards)-1]
+}
+
+func (st *scriptState) assert(f Formula) {
+	st.asserts[len(st.asserts)-1] = append(st.asserts[len(st.asserts)-1], f)
+}
+
+func (st *scriptState) card(cc cardConstraint) {
+	st.cards[len(st.cards)-1] = append(st.cards[len(st.cards)-1], cc)
+}
+
+// checkModel verifies a Sat result against the mirrored assertion stack.
+func (st *scriptState) checkModel(t *testing.T, tag string, res *Result, nBool, nReal int) {
+	t.Helper()
+	bools := make(map[BoolVar]bool, nBool)
+	for i := 0; i < nBool; i++ {
+		bools[BoolVar(i)] = res.Bool(BoolVar(i))
+	}
+	reals := make(map[RealVar]*big.Rat, nReal)
+	for i := 0; i < nReal; i++ {
+		reals[RealVar(i)] = res.Real(RealVar(i))
+	}
+	for _, fs := range st.asserts {
+		for _, f := range fs {
+			if !evalFormula(f, bools, reals) {
+				t.Fatalf("%s: model violates asserted %v", tag, f)
+			}
+		}
+	}
+	for _, ccs := range st.cards {
+		for _, cc := range ccs {
+			n := 0
+			for _, f := range cc.fs {
+				if evalFormula(f, bools, reals) {
+					n++
+				}
+			}
+			if cc.kind == cardAtMost && n > cc.k {
+				t.Fatalf("%s: model has %d true of at-most-%d", tag, n, cc.k)
+			}
+			if cc.kind == cardAtLeast && n < cc.k {
+				t.Fatalf("%s: model has %d true of at-least-%d", tag, n, cc.k)
+			}
+		}
+	}
+}
+
+// TestDifferentialIncrementalVsFresh replays random assert/push/pop/check
+// scripts on two solvers — one incremental (the default), one with
+// FreshPerCheck — and requires identical statuses at every check, with both
+// models validated against the live assertion stack on Sat. This is the
+// suite pinning the persistent-encoder architecture to the rebuild-per-check
+// semantics.
+func TestDifferentialIncrementalVsFresh(t *testing.T) {
+	const nBool, nReal, scripts, opsPerScript = 6, 4, 25, 40
+	rng := rand.New(rand.NewSource(1847))
+	for script := 0; script < scripts; script++ {
+		inc := NewSolver(DefaultOptions())
+		fresh := NewSolver(func() Options { o := DefaultOptions(); o.FreshPerCheck = true; return o }())
+		boolVars := make([]BoolVar, nBool)
+		for i := range boolVars {
+			boolVars[i] = inc.BoolVar("b")
+			fresh.BoolVar("b")
+		}
+		realVars := make([]RealVar, nReal)
+		for i := range realVars {
+			realVars[i] = inc.RealVar("x")
+			fresh.RealVar("x")
+		}
+		st := newScriptState()
+		checks := 0
+		for op := 0; op < opsPerScript; op++ {
+			switch r := rng.Intn(10); {
+			case r < 4: // assert
+				f := randFormula(rng, inc, boolVars, realVars, 2)
+				inc.Assert(f)
+				fresh.Assert(f)
+				st.assert(f)
+			case r < 5: // cardinality
+				n := 2 + rng.Intn(3)
+				fs := make([]Formula, n)
+				for i := range fs {
+					fs[i] = randFormula(rng, inc, boolVars, realVars, 1)
+				}
+				k := rng.Intn(n)
+				if rng.Intn(2) == 0 {
+					inc.AssertAtMostK(fs, k)
+					fresh.AssertAtMostK(fs, k)
+					st.card(cardConstraint{fs: fs, k: k, kind: cardAtMost})
+				} else {
+					inc.AssertAtLeastK(fs, k)
+					fresh.AssertAtLeastK(fs, k)
+					st.card(cardConstraint{fs: fs, k: k, kind: cardAtLeast})
+				}
+			case r < 7: // push
+				inc.Push()
+				fresh.Push()
+				st.push()
+			case r < 8: // pop
+				if inc.NumScopes() > 1 {
+					if err := inc.Pop(); err != nil {
+						t.Fatal(err)
+					}
+					if err := fresh.Pop(); err != nil {
+						t.Fatal(err)
+					}
+					st.pop()
+				}
+			default: // check
+				checks++
+				ri, err := inc.Check()
+				if err != nil {
+					t.Fatalf("script %d: incremental Check: %v", script, err)
+				}
+				rf, err := fresh.Check()
+				if err != nil {
+					t.Fatalf("script %d: fresh Check: %v", script, err)
+				}
+				if ri.Status != rf.Status {
+					t.Fatalf("script %d op %d: incremental %v vs fresh %v", script, op, ri.Status, rf.Status)
+				}
+				if ri.Status == Sat {
+					st.checkModel(t, "incremental", ri, nBool, nReal)
+					st.checkModel(t, "fresh", rf, nBool, nReal)
+				}
+			}
+		}
+		// Every script ends with a final differential check.
+		ri, err := inc.Check()
+		if err != nil {
+			t.Fatal(err)
+		}
+		rf, err := fresh.Check()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ri.Status != rf.Status {
+			t.Fatalf("script %d final: incremental %v vs fresh %v", script, ri.Status, rf.Status)
+		}
+		if ri.Status == Sat {
+			st.checkModel(t, "incremental-final", ri, nBool, nReal)
+			st.checkModel(t, "fresh-final", rf, nBool, nReal)
+		}
+	}
+}
+
+// TestBudgetPerCheckOnPersistentSolver is the SMT-level regression for the
+// cumulative budget bug: with one SAT instance now persisting across Checks,
+// a per-check budget must be measured against each check's own work, not the
+// instance's lifetime counters.
+func TestBudgetPerCheckOnPersistentSolver(t *testing.T) {
+	s := NewSolver(DefaultOptions())
+	x := s.RealVar("x")
+	y := s.RealVar("y")
+	bs := make([]Formula, 8)
+	for i := range bs {
+		bs[i] = B(s.BoolVar("b"))
+	}
+	s.Assert(Or(bs...))
+	s.AssertAtMostK(bs, 2)
+	s.Assert(LE(NewLinExpr().TermInt(1, x).TermInt(2, y), big.NewRat(10, 1)))
+	s.Assert(GE(NewLinExpr().TermInt(3, x).TermInt(-1, y), big.NewRat(-4, 1)))
+	s.SetBudget(Budget{MaxPropagations: 100000, MaxConflicts: 10000, MaxPivots: 100000})
+	for i := 0; i < 6; i++ {
+		res, err := s.Check()
+		if err != nil {
+			t.Fatalf("Check #%d: %v", i+1, err)
+		}
+		if res.Status != Sat {
+			t.Fatalf("Check #%d = %v (why: %v); a per-check budget must not accumulate across checks",
+				i+1, res.Status, res.Why)
+		}
+	}
+}
+
+// TestEncodeErrorRefreshesLastStats is the regression for the stale-stats
+// bug: a Check failing with an encode error must not leave LastStats
+// reporting the previous successful check's counters.
+func TestEncodeErrorRefreshesLastStats(t *testing.T) {
+	s := NewSolver(DefaultOptions())
+	b := s.BoolVar("b")
+	c := s.BoolVar("c")
+	s.Assert(Or(B(b), B(c)))
+	res, err := s.Check()
+	if err != nil || res.Status != Sat {
+		t.Fatalf("setup Check = %v, %v", res, err)
+	}
+	if s.LastStats().Propagations == 0 {
+		t.Fatalf("setup check did no propagations; pick a different setup")
+	}
+	s.Push()
+	s.Assert(B(BoolVar(99))) // unknown variable: encode error
+	if _, err := s.Check(); err == nil {
+		t.Fatalf("Check on unknown variable did not error")
+	}
+	if got := s.LastStats().Propagations; got != 0 {
+		t.Fatalf("LastStats().Propagations = %d after encode error; want 0 (stats of the failed check, not the previous one)", got)
+	}
+	if s.LastStats().Duration == 0 {
+		t.Fatalf("LastStats().Duration not set on the encode-error path")
+	}
+}
+
+// TestModelAccessOnNonSatPanics pins the diagnosable panic for misuse of
+// Result.Bool/Real.
+func TestModelAccessOnNonSatPanics(t *testing.T) {
+	s := NewSolver(DefaultOptions())
+	b := s.BoolVar("b")
+	s.Assert(B(b))
+	s.Assert(Not(B(b)))
+	res, err := s.Check()
+	if err != nil || res.Status != Unsat {
+		t.Fatalf("Check = %v, %v; want unsat", res, err)
+	}
+	expectPanic := func(name string, f func()) {
+		defer func() {
+			r := recover()
+			if r == nil {
+				t.Fatalf("%s on non-sat result did not panic", name)
+			}
+			msg, ok := r.(string)
+			if !ok || !strings.Contains(msg, "model access on non-sat result") {
+				t.Fatalf("%s panic = %v; want the explicit model-access message", name, r)
+			}
+		}()
+		f()
+	}
+	expectPanic("Bool", func() { res.Bool(b) })
+	expectPanic("Real", func() { _ = res.Real(RealVar(0)) })
+}
+
+// TestAtomKeyInterning pins the allocation fix in encodeAtom: machine-word
+// rationals key numerically (no per-atom string), only overflowing rationals
+// fall back to RatString, and equal rationals collide onto one key either
+// way.
+func TestAtomKeyInterning(t *testing.T) {
+	small := makeAtomKey(3, big.NewRat(7, 2), 0)
+	if small.bigRHS != "" {
+		t.Fatalf("small rational keyed via string %q; want numeric fast path", small.bigRHS)
+	}
+	if small.num != 7 || small.den != 2 {
+		t.Fatalf("fast-path key = %d/%d; want 7/2", small.num, small.den)
+	}
+	if again := makeAtomKey(3, big.NewRat(7, 2), 0); again != small {
+		t.Fatalf("equal rationals produced distinct keys: %v vs %v", small, again)
+	}
+	huge := new(big.Rat).SetFrac(new(big.Int).Lsh(big.NewInt(1), 80), big.NewInt(3))
+	bigKey := makeAtomKey(3, huge, 0)
+	if bigKey.bigRHS == "" {
+		t.Fatalf("overflowing rational did not take the string fallback")
+	}
+	if again := makeAtomKey(3, new(big.Rat).Set(huge), 0); again != bigKey {
+		t.Fatalf("equal big rationals produced distinct keys")
+	}
+	if makeAtomKey(3, big.NewRat(7, 2), -1) == small {
+		t.Fatalf("δ offset not part of the key")
+	}
+
+	// Behavioral half: re-asserting the same atom across scopes and checks
+	// must reuse the interned atom variable, not mint a new one.
+	s := NewSolver(DefaultOptions())
+	x := s.RealVar("x")
+	atom := func() Formula { return LE(NewLinExpr().TermInt(1, x), big.NewRat(5, 1)) }
+	s.Assert(atom())
+	if res, err := s.Check(); err != nil || res.Status != Sat {
+		t.Fatalf("Check = %v, %v", res, err)
+	}
+	if got := s.LastStats().Atoms; got != 1 {
+		t.Fatalf("Atoms = %d after first check; want 1", got)
+	}
+	s.Push()
+	s.Assert(atom())
+	if res, err := s.Check(); err != nil || res.Status != Sat {
+		t.Fatalf("scoped Check = %v, %v", res, err)
+	}
+	if got := s.LastStats().Atoms; got != 1 {
+		t.Fatalf("Atoms = %d after re-asserting the same atom; want 1 (interned)", got)
+	}
+}
+
+// TestPopRetractsScopedCardinality exercises the guarded sequential-counter
+// circuit: a scoped at-most-k must stop binding after Pop.
+func TestPopRetractsScopedCardinality(t *testing.T) {
+	s := NewSolver(DefaultOptions())
+	fs := make([]Formula, 4)
+	for i := range fs {
+		fs[i] = B(s.BoolVar("b"))
+	}
+	for _, f := range fs {
+		s.Assert(f) // all true
+	}
+	s.Push()
+	s.AssertAtMostK(fs, 1)
+	res, err := s.Check()
+	if err != nil || res.Status != Unsat {
+		t.Fatalf("with scoped at-most-1: %v, %v; want unsat", res, err)
+	}
+	if err := s.Pop(); err != nil {
+		t.Fatal(err)
+	}
+	res, err = s.Check()
+	if err != nil || res.Status != Sat {
+		t.Fatalf("after Pop: %v, %v; want sat", res, err)
+	}
+	for i := range fs {
+		if !res.Bool(BoolVar(i)) {
+			t.Fatalf("model must set all bs true after the cardinality is retracted")
+		}
+	}
+	// A scoped at-most-(-1) (impossible cardinality) must also be scoped.
+	s.Push()
+	s.AssertAtMostK(fs[:2], -1)
+	res, err = s.Check()
+	if err != nil || res.Status != Unsat {
+		t.Fatalf("with impossible cardinality: %v, %v; want unsat", res, err)
+	}
+	if err := s.Pop(); err != nil {
+		t.Fatal(err)
+	}
+	res, err = s.Check()
+	if err != nil || res.Status != Sat {
+		t.Fatalf("after popping impossible cardinality: %v, %v; want sat", res, err)
+	}
+}
+
+// TestInterruptedCheckResumesEncoding pins the resume contract: an
+// interrupter firing during the encode phase leaves the already-encoded
+// prefix in place, and the next check picks up where it stopped and decides
+// the instance.
+func TestInterruptedCheckResumesEncoding(t *testing.T) {
+	s := NewSolver(DefaultOptions())
+	x := s.RealVar("x")
+	for i := 0; i < 8; i++ {
+		s.Assert(LE(NewLinExpr().TermInt(1, x), big.NewRat(int64(10-i), 1)))
+	}
+	s.Assert(GE(NewLinExpr().TermInt(1, x), big.NewRat(2, 1)))
+	intr := NewCountdownInterrupter(3)
+	intr.Point = PointEncode
+	s.SetInterrupter(intr)
+	res, err := s.Check()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != Unknown || !errors.Is(res.Why, ErrInterrupted) {
+		t.Fatalf("interrupted Check = %v (why %v); want unknown/interrupted", res.Status, res.Why)
+	}
+	s.SetInterrupter(nil)
+	res, err = s.Check()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != Sat {
+		t.Fatalf("resumed Check = %v (why %v); want sat", res.Status, res.Why)
+	}
+	if got := res.Real(x); got.Cmp(big.NewRat(2, 1)) < 0 || got.Cmp(big.NewRat(3, 1)) > 0 {
+		t.Fatalf("model x = %v outside [2, 3]", got)
+	}
+}

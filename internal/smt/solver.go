@@ -60,6 +60,13 @@ type Options struct {
 	// polled at every solver interruption point; a non-nil return aborts
 	// the check with Status Unknown. Intended for tests.
 	Interrupter Interrupter
+	// FreshPerCheck disables incremental solving: every Check lowers the
+	// whole assertion stack into a brand-new SAT instance and simplex
+	// tableau, discarding learnt clauses and theory state. By default one
+	// persistent instance stays alive across Checks, with scopes realized
+	// as selector literals passed to the SAT core as assumptions. Ablation
+	// and differential-testing knob.
+	FreshPerCheck bool
 }
 
 // DefaultOptions returns the configuration used throughout the paper
@@ -111,17 +118,30 @@ type cardConstraint struct {
 type scope struct {
 	asserts []Formula
 	cards   []cardConstraint
+
+	// Incremental-encoding progress: the prefix of asserts/cards already
+	// lowered into the persistent encoder, and the scope's selector literal,
+	// allocated the first time the scope contributes a guarded clause. The
+	// base scope never has a selector (its clauses are unconditional).
+	doneAsserts int
+	doneCards   int
+	sel         sat.Lit
+	hasSel      bool
 }
 
-// Solver is an SMT solver with push/pop scopes. Each Check re-encodes the
-// asserted stack into a fresh SAT+simplex instance (the CDCL search itself
-// is incremental within a Check). The zero value is not usable; construct
-// with NewSolver.
+// Solver is an SMT solver with push/pop scopes. Checks are incremental: one
+// SAT instance and simplex tableau persist across Check calls, keeping the
+// atom/slack maps and all learnt clauses alive. Assertions are encoded once,
+// when first seen by a Check; a non-base scope's clauses carry a selector
+// literal that is assumed while the scope is live and permanently negated by
+// Pop. Options.FreshPerCheck restores the old rebuild-per-Check behavior.
+// The zero value is not usable; construct with NewSolver.
 type Solver struct {
 	opts      Options
 	boolNames []string
 	realNames []string
 	scopes    []*scope
+	enc       *encoder
 	lastStats Stats
 }
 
@@ -183,12 +203,45 @@ func cloneFormulas(fs []Formula) []Formula {
 func (s *Solver) Push() { s.scopes = append(s.scopes, &scope{}) }
 
 // Pop discards the most recent scope. Popping the base scope is an error.
+// With a live persistent encoder, Pop retracts the scope's assertion and
+// cardinality clauses by unit-asserting the negated selector; Tseitin
+// definitions, atom bindings and slack rows introduced while encoding the
+// scope stay (they are pure equivalences), as do learnt clauses (any learnt
+// derived from a guarded clause carries the scope's negated selector and is
+// satisfied the moment the unit lands).
 func (s *Solver) Pop() error {
 	if len(s.scopes) <= 1 {
 		return fmt.Errorf("smt: Pop on base scope")
 	}
+	top := s.scopes[len(s.scopes)-1]
+	if s.enc != nil && top.hasSel {
+		s.enc.mustAdd(top.sel.Not())
+	}
 	s.scopes = s.scopes[:len(s.scopes)-1]
 	return nil
+}
+
+// resetEncoding drops the persistent SAT+simplex instance; the next Check
+// rebuilds it from the assertion stack. FreshPerCheck routes every Check
+// through this, which keeps the ablation on the exact same encode path.
+func (s *Solver) resetEncoding() {
+	s.enc = nil
+	for _, sc := range s.scopes {
+		sc.doneAsserts, sc.doneCards = 0, 0
+		sc.sel, sc.hasSel = sat.LitUndef, false
+	}
+}
+
+// ResetPhases clears the persistent SAT core's saved phases back to the
+// default polarity. Model-enumeration loops (assert blocking clause, Check
+// again) call this between Checks: on a persistent instance, phase saving
+// otherwise re-proposes a near neighbor of the just-blocked model, which can
+// multiply the number of enumeration rounds. No-op before the first Check or
+// under FreshPerCheck, where every Check already starts from default phases.
+func (s *Solver) ResetPhases() {
+	if s.enc != nil {
+		s.enc.sat.ResetPhases()
+	}
 }
 
 // NumScopes returns the current scope depth (≥ 1).
@@ -213,15 +266,27 @@ type Result struct {
 
 // Bool returns v's value in the model. It must only be called on a Sat
 // result.
-func (r *Result) Bool(v BoolVar) bool { return r.boolVals[v] }
+func (r *Result) Bool(v BoolVar) bool {
+	if r.Status != Sat {
+		panic("smt: model access on non-sat result")
+	}
+	return r.boolVals[v]
+}
 
 // Real returns v's value in the model. It must only be called on a Sat
 // result. The returned rational must not be mutated.
-func (r *Result) Real(v RealVar) *big.Rat { return r.realVals[v] }
+func (r *Result) Real(v RealVar) *big.Rat {
+	if r.Status != Sat {
+		panic("smt: model access on non-sat result")
+	}
+	return r.realVals[v]
+}
 
-// SetBudget replaces the solver's resource budget. Each Check re-encodes
-// the assertion stack from scratch, so changing the budget between checks
-// is safe; retry-with-escalating-budget policies rely on this.
+// SetBudget replaces the solver's resource budget. Budgets are applied per
+// Check: the SAT core baselines its conflict/propagation counters at every
+// call and the simplex pivot bound is offset by the pivots already spent, so
+// changing the budget between checks is safe even though the underlying
+// instance persists; retry-with-escalating-budget policies rely on this.
 func (s *Solver) SetBudget(b Budget) { s.opts.Budget = b }
 
 // SetInterrupter replaces the fault-injection hook (nil clears it).
@@ -257,7 +322,14 @@ func (s *Solver) CheckContext(ctx context.Context) (*Result, error) {
 
 	budget := s.effectiveBudget()
 	ctrl := newController(ctx, budget, s.opts.Interrupter, memBefore.TotalAlloc)
-	enc := newEncoder(s, budget, ctrl)
+	if s.opts.FreshPerCheck {
+		s.resetEncoding()
+	}
+	if s.enc == nil {
+		s.enc = newEncoder(s)
+	}
+	enc := s.enc
+	enc.beginCheck(budget, ctrl)
 
 	finish := func(res *Result) *Result {
 		var memAfter runtime.MemStats
@@ -271,31 +343,61 @@ func (s *Solver) CheckContext(ctx context.Context) (*Result, error) {
 		return finish(&Result{Status: Unknown, Why: why, Stats: enc.statsSnapshot()})
 	}
 
+	// Encode only what previous checks have not: each scope remembers its
+	// encoded prefix, and the done counters advance after a successful
+	// lowering, so an interrupted encode resumes exactly where it stopped.
+	// An encode error (malformed input) still snapshots stats so LastStats
+	// reflects this check's partial work, not the previous check's.
 	encodePoll := ctrl.stopFunc(PointEncode)
-	for _, sc := range s.scopes {
-		for _, f := range sc.asserts {
-			if encodePoll != nil {
-				if err := encodePoll(); err != nil {
-					return interrupted(err), nil
-				}
+	for i, sc := range s.scopes {
+		enc.curSel = sat.LitUndef
+		if i > 0 {
+			if !sc.hasSel && (sc.doneAsserts < len(sc.asserts) || sc.doneCards < len(sc.cards)) {
+				sc.sel = sat.PosLit(enc.sat.NewVar())
+				sc.hasSel = true
 			}
-			if err := enc.assertTop(f); err != nil {
-				return nil, err
+			if sc.hasSel {
+				enc.curSel = sc.sel
 			}
 		}
-		for _, cc := range sc.cards {
+		for sc.doneAsserts < len(sc.asserts) {
 			if encodePoll != nil {
 				if err := encodePoll(); err != nil {
+					enc.curSel = sat.LitUndef
 					return interrupted(err), nil
 				}
 			}
-			if err := enc.assertCard(cc); err != nil {
+			if err := enc.assertTop(sc.asserts[sc.doneAsserts]); err != nil {
+				enc.curSel = sat.LitUndef
+				finish(&Result{Status: Unknown, Why: err, Stats: enc.statsSnapshot()})
 				return nil, err
 			}
+			sc.doneAsserts++
+		}
+		for sc.doneCards < len(sc.cards) {
+			if encodePoll != nil {
+				if err := encodePoll(); err != nil {
+					enc.curSel = sat.LitUndef
+					return interrupted(err), nil
+				}
+			}
+			if err := enc.assertCard(sc.cards[sc.doneCards]); err != nil {
+				enc.curSel = sat.LitUndef
+				finish(&Result{Status: Unknown, Why: err, Stats: enc.statsSnapshot()})
+				return nil, err
+			}
+			sc.doneCards++
 		}
 	}
+	enc.curSel = sat.LitUndef
 
-	res, err := enc.solve()
+	assumps := make([]sat.Lit, 0, len(s.scopes)-1)
+	for _, sc := range s.scopes[1:] {
+		if sc.hasSel {
+			assumps = append(assumps, sc.sel)
+		}
+	}
+	res, err := enc.solve(assumps)
 	if err != nil {
 		// Every solve-time error is an interruption: map the solver-level
 		// budget sentinels to typed BudgetErrors and surface the rest

@@ -90,7 +90,10 @@ type Architecture struct {
 // Duration is the total synthesis time.
 func (a *Architecture) Duration() time.Duration { return a.SelectTime + a.VerifyTime }
 
-// selectionModel is F_Secure of Algorithm 1.
+// selectionModel is F_Secure of Algorithm 1. Its solver lives for the whole
+// synthesis run: blocking clauses accumulate as incremental assertions on
+// one persistent instance, so each nextCandidate call pays only for the new
+// clauses plus the (learnt-clause-assisted) re-search.
 type selectionModel struct {
 	solver  *smt.Solver
 	sb      []smt.BoolVar // 1-based per bus
@@ -155,6 +158,10 @@ func newSelectionModel(req *Requirements) (*selectionModel, error) {
 // exhausted candidate space (Unsat) from a solver that gave up (Unknown,
 // with why carrying the cause).
 func (m *selectionModel) nextCandidate(ctx context.Context) (buses []int, stats smt.Stats, status smt.Status, why error, err error) {
+	// Enumeration diversity: without this, the persistent solver's saved
+	// phases walk each re-solve to a near neighbor of the just-blocked
+	// candidate, inflating Algorithm 1's iteration count.
+	m.solver.ResetPhases()
 	res, err := m.solver.CheckContext(ctx)
 	if err != nil {
 		return nil, smt.Stats{}, smt.Unknown, nil, fmt.Errorf("synth: candidate selection: %w", err)
@@ -323,10 +330,14 @@ func SynthesizeContext(ctx context.Context, req *Requirements) (*Architecture, e
 
 		// Verify the candidate: push the security constraints onto every
 		// attack model; unsat across all of them means the architecture
-		// resists the attacker in every required scenario. Verification
-		// runs under the per-candidate deadline and the escalating budget
-		// ladder; an Unknown that survives escalation ends the run
-		// gracefully with this candidate as best-so-far.
+		// resists the attacker in every required scenario. Each attack
+		// model keeps one long-lived solver across the whole candidate
+		// loop — Push/Pop are selector-literal scopes on a persistent
+		// SAT+simplex instance, so the UFDI encoding is lowered once and
+		// clauses learnt refuting one candidate carry over to the next.
+		// Verification runs under the per-candidate deadline and the
+		// escalating budget ladder; an Unknown that survives escalation
+		// ends the run gracefully with this candidate as best-so-far.
 		start = time.Now()
 		candCtx, cancelCand := req.Limits.candidateContext(ctx)
 		resists := true
