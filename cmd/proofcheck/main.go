@@ -1,0 +1,64 @@
+// Command proofcheck independently validates UNSAT certificate streams
+// emitted by the solver stack (ufdiverify -proof, synthsec -proof, or the
+// smt package's Options.Proof). It replays every derivation: learnt clauses
+// must pass reverse unit propagation (RUP, with a RAT fallback), theory
+// lemmas must carry valid Farkas coefficients over the recorded atom and
+// slack definitions, and every recorded Unsat verdict must close under unit
+// propagation. The checker shares no search code with the solver — only the
+// exact-arithmetic kernel — so a bug in the CDCL or simplex engines cannot
+// vouch for itself.
+//
+// Usage:
+//
+//	proofcheck file.proof [more.proof ...]
+//
+// Flags:
+//
+//	-q  quiet: suppress per-file reports, print only failures
+//
+// Exit codes:
+//
+//	0  every certificate is valid
+//	1  at least one certificate is invalid or unreadable
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"segrid/internal/proof"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:]))
+}
+
+func run(args []string) int {
+	fs := flag.NewFlagSet("proofcheck", flag.ContinueOnError)
+	fs.SetOutput(os.Stderr)
+	quiet := fs.Bool("q", false, "suppress per-file reports, print only failures")
+	if err := fs.Parse(args); err != nil {
+		return 1 // flag package already printed the problem
+	}
+	if fs.NArg() < 1 {
+		fmt.Fprintln(os.Stderr, "usage: proofcheck file.proof [more.proof ...]")
+		return 1
+	}
+	bad := 0
+	for _, path := range fs.Args() {
+		rep, err := proof.CheckFile(path)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "proofcheck: %s: INVALID: %v\n", path, err)
+			bad++
+			continue
+		}
+		if !*quiet {
+			fmt.Printf("%s: valid — %s\n", path, rep)
+		}
+	}
+	if bad > 0 {
+		return 1
+	}
+	return 0
+}

@@ -15,11 +15,19 @@
 //	-max-pivots n     initial per-verification simplex pivot budget (0 = unlimited)
 //	-fresh-encode     re-encode from scratch on every Check instead of reusing
 //	                  the incremental solver instances (ablation/debug knob)
+//	-proof dir        stream per-attack-model UNSAT certificates to
+//	                  dir/attack-<i>.proof (internal/proof format); every
+//	                  candidate an architecture must resist is then
+//	                  independently re-checkable with cmd/proofcheck
+//	-check-proof      emit the certificates (to -proof, or a temp directory
+//	                  when -proof is unset) and verify each with the
+//	                  independent checker; an invalid certificate exits 1
 //
 // Exit codes classify the outcome for scripted sweeps:
 //
 //	0  architecture found (printed)
-//	1  error — bad usage, unreadable requirements, malformed model
+//	1  error — bad usage, unreadable requirements, malformed model, invalid
+//	   proof
 //	2  no architecture — proven impossible under the requirements
 //	3  budget exhausted — timeout/iteration/solver budget hit before a
 //	   verdict; the best unverified candidate so far is printed
@@ -33,8 +41,11 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
+	"sort"
 	"time"
 
+	"segrid/internal/proof"
 	"segrid/internal/scenariofile"
 	"segrid/internal/smt"
 	"segrid/internal/synth"
@@ -63,6 +74,8 @@ func run(args []string) (int, error) {
 	maxConflicts := fs.Int64("max-conflicts", 0, "initial per-verification CDCL conflict budget (0 = unlimited)")
 	maxPivots := fs.Int64("max-pivots", 0, "initial per-verification simplex pivot budget (0 = unlimited)")
 	freshEncode := fs.Bool("fresh-encode", false, "re-encode on every Check instead of solving incrementally (ablation)")
+	proofDir := fs.String("proof", "", "directory for per-attack-model UNSAT certificate streams")
+	checkProof := fs.Bool("check-proof", false, "emit the certificates and verify each with the independent checker (temp directory when -proof is unset)")
 	if err := fs.Parse(args); err != nil {
 		return exitError, nil // flag package already printed the problem
 	}
@@ -76,18 +89,28 @@ func run(args []string) (int, error) {
 			MaxPivots:    *maxPivots,
 		}
 	}
+	pc := proofConfig{dir: *proofDir, check: *checkProof}
+	if pc.check && pc.dir == "" {
+		tmp, err := os.MkdirTemp("", "synthsec-proof-")
+		if err != nil {
+			return exitError, err
+		}
+		pc.dir = tmp
+		defer os.RemoveAll(tmp)
+	}
 	spec, err := scenariofile.LoadSynthesis(fs.Arg(0))
 	if err != nil {
 		return exitError, err
 	}
 	if spec.MeasurementGranular() {
-		return runMeasurementGranular(spec, limits, *freshEncode)
+		return runMeasurementGranular(spec, limits, *freshEncode, pc)
 	}
 	req, err := spec.Requirements()
 	if err != nil {
 		return exitError, err
 	}
 	req.Limits = limits
+	req.ProofDir = pc.dir
 	if *freshEncode {
 		opts := freshOptions(req.Options)
 		req.Options = opts
@@ -97,6 +120,11 @@ func run(args []string) (int, error) {
 	fmt.Printf("system: %s (%d buses, %d lines), operator budget %d buses\n",
 		sys.Name, sys.Buses, sys.NumLines(), req.MaxSecuredBuses)
 	arch, err := synth.Synthesize(req)
+	if err == nil || errors.Is(err, synth.ErrNoArchitecture) || errors.Is(err, synth.ErrBudgetExhausted) {
+		if perr := reportProofs(pc); perr != nil {
+			return exitError, perr
+		}
+	}
 	switch {
 	case errors.Is(err, synth.ErrNoArchitecture):
 		fmt.Println("result: no security architecture satisfies the requirements")
@@ -112,6 +140,39 @@ func run(args []string) (int, error) {
 	return exitFound, nil
 }
 
+// proofConfig carries the -proof/-check-proof settings through both
+// synthesis granularities.
+type proofConfig struct {
+	dir   string
+	check bool
+}
+
+// reportProofs lists the certificate files the run streamed and, with
+// -check-proof, verifies each with the independent checker. An invalid
+// certificate is an error: the run's unsat verdicts are then untrusted.
+func reportProofs(pc proofConfig) error {
+	if pc.dir == "" {
+		return nil
+	}
+	files, err := filepath.Glob(filepath.Join(pc.dir, "attack-*.proof"))
+	if err != nil {
+		return err
+	}
+	sort.Strings(files)
+	for _, f := range files {
+		if !pc.check {
+			fmt.Printf("proof: certificate streamed to %s\n", f)
+			continue
+		}
+		rep, err := proof.CheckFile(f)
+		if err != nil {
+			return fmt.Errorf("certificate %s INVALID: %w", f, err)
+		}
+		fmt.Printf("proof: %s verified — %s\n", f, rep)
+	}
+	return nil
+}
+
 // freshOptions copies base (or the defaults) with FreshPerCheck set, for the
 // -fresh-encode ablation.
 func freshOptions(base *smt.Options) *smt.Options {
@@ -123,12 +184,13 @@ func freshOptions(base *smt.Options) *smt.Options {
 	return &opts
 }
 
-func runMeasurementGranular(spec *scenariofile.SynthesisSpec, limits synth.Limits, freshEncode bool) (int, error) {
+func runMeasurementGranular(spec *scenariofile.SynthesisSpec, limits synth.Limits, freshEncode bool, pc proofConfig) (int, error) {
 	req, err := spec.MeasurementRequirements()
 	if err != nil {
 		return exitError, err
 	}
 	req.Limits = limits
+	req.ProofDir = pc.dir
 	if freshEncode {
 		opts := freshOptions(req.Options)
 		req.Options = opts
@@ -138,6 +200,11 @@ func runMeasurementGranular(spec *scenariofile.SynthesisSpec, limits synth.Limit
 	fmt.Printf("system: %s (%d buses, %d lines), operator budget %d measurements\n",
 		sys.Name, sys.Buses, sys.NumLines(), req.MaxSecuredMeasurements)
 	arch, err := synth.SynthesizeMeasurements(req)
+	if err == nil || errors.Is(err, synth.ErrNoArchitecture) || errors.Is(err, synth.ErrBudgetExhausted) {
+		if perr := reportProofs(pc); perr != nil {
+			return exitError, perr
+		}
+	}
 	switch {
 	case errors.Is(err, synth.ErrNoArchitecture):
 		fmt.Println("result: no security architecture satisfies the requirements")

@@ -14,11 +14,17 @@
 //	-max-pivots n     simplex pivot budget (0 = unlimited)
 //	-fresh-encode     re-encode from scratch on every Check instead of reusing
 //	                  the incremental solver instance (ablation/debug knob)
+//	-proof path       stream an UNSAT certificate to path (internal/proof
+//	                  format); on unsat the verdict is then independently
+//	                  re-checkable with cmd/proofcheck
+//	-check-proof      emit the certificate (to -proof, or a temp file when
+//	                  -proof is unset) and verify it with the independent
+//	                  checker before exiting; an invalid certificate exits 1
 //
 // Exit codes classify the outcome for scripted sweeps:
 //
 //	0  sat — an attack vector exists (printed)
-//	1  error — bad usage, unreadable scenario, malformed model
+//	1  error — bad usage, unreadable scenario, malformed model, invalid proof
 //	2  unsat — no attack vector satisfies the constraints
 //	3  unknown — a budget or the timeout was exhausted before a verdict
 //
@@ -34,6 +40,7 @@ import (
 	"time"
 
 	"segrid/internal/core"
+	"segrid/internal/proof"
 	"segrid/internal/scenariofile"
 	"segrid/internal/smt"
 )
@@ -61,6 +68,8 @@ func run(args []string) (int, error) {
 	maxConflicts := fs.Int64("max-conflicts", 0, "CDCL conflict budget (0 = unlimited)")
 	maxPivots := fs.Int64("max-pivots", 0, "simplex pivot budget (0 = unlimited)")
 	freshEncode := fs.Bool("fresh-encode", false, "re-encode on every Check instead of solving incrementally (ablation)")
+	proofPath := fs.String("proof", "", "stream an UNSAT certificate to this file")
+	checkProof := fs.Bool("check-proof", false, "emit the certificate and verify it with the independent checker (temp file when -proof is unset)")
 	if err := fs.Parse(args); err != nil {
 		return exitError, nil // flag package already printed the problem
 	}
@@ -75,7 +84,23 @@ func run(args []string) (int, error) {
 	if err != nil {
 		return exitError, err
 	}
-	if *maxConflicts > 0 || *maxPivots > 0 || *freshEncode {
+	if *checkProof && *proofPath == "" {
+		tmp, err := os.CreateTemp("", "ufdiverify-*.proof")
+		if err != nil {
+			return exitError, err
+		}
+		tmp.Close()
+		*proofPath = tmp.Name()
+		defer os.Remove(tmp.Name())
+	}
+	var pw *proof.Writer
+	if *proofPath != "" {
+		pw, err = proof.Create(*proofPath)
+		if err != nil {
+			return exitError, err
+		}
+	}
+	if *maxConflicts > 0 || *maxPivots > 0 || *freshEncode || pw != nil {
 		opts := smt.DefaultOptions()
 		if sc.Options != nil {
 			opts = *sc.Options
@@ -88,6 +113,9 @@ func run(args []string) (int, error) {
 		}
 		if *freshEncode {
 			opts.FreshPerCheck = true
+		}
+		if pw != nil {
+			opts.Proof = pw
 		}
 		sc.Options = &opts
 	}
@@ -105,6 +133,19 @@ func run(args []string) (int, error) {
 	sys := sc.System()
 	fmt.Printf("system: %s (%d buses, %d lines, %d potential measurements)\n",
 		sys.Name, sys.Buses, sys.NumLines(), sys.NumMeasurements())
+	if pw != nil {
+		if cerr := pw.Close(); cerr != nil {
+			return exitError, fmt.Errorf("writing proof: %w", cerr)
+		}
+		fmt.Printf("proof: certificate streamed to %s\n", pw.Path())
+		if *checkProof {
+			rep, err := proof.CheckFile(pw.Path())
+			if err != nil {
+				return exitError, fmt.Errorf("certificate INVALID: %w", err)
+			}
+			fmt.Printf("proof: certificate verified — %s\n", rep)
+		}
+	}
 	if res.Inconclusive {
 		fmt.Printf("result: unknown — solver stopped early (%v)\n", res.Why)
 		printSolverStats(res.Stats)

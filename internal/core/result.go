@@ -6,6 +6,7 @@ import (
 	"math/big"
 	"sort"
 
+	"segrid/internal/proof"
 	"segrid/internal/smt"
 )
 
@@ -46,6 +47,11 @@ type Result struct {
 	// values; base-case dependent in reality, free in the model).
 	TopoFlowDeltas map[int]*big.Rat
 
+	// Proof identifies the UNSAT certificate covering this verdict when the
+	// scenario's solver options carry a proof writer and the attack is
+	// infeasible (Feasible and Inconclusive both false). Nil otherwise.
+	Proof *proof.Handle
+
 	// Stats reports solver work and model size.
 	Stats smt.Stats
 }
@@ -75,6 +81,7 @@ func (m *Model) CheckContext(ctx context.Context) (*Result, error) {
 	}
 	out := &Result{Stats: res.Stats}
 	if res.Status == smt.Unsat {
+		out.Proof = res.Proof
 		return out, nil
 	}
 	if res.Status != smt.Sat {

@@ -9,6 +9,7 @@ import (
 
 	"segrid/internal/core"
 	"segrid/internal/grid"
+	"segrid/internal/proof"
 	"segrid/internal/smt"
 	"segrid/internal/synth"
 )
@@ -37,6 +38,11 @@ type BenchEntry struct {
 	// single-Check workloads are identical under both modes.
 	FreshNsPerOp     int64 `json:"fresh_ns_per_op,omitempty"`
 	FreshAllocsPerOp int64 `json:"fresh_allocs_per_op,omitempty"`
+	// ProofNsPerOp is the proof-logging overhead column: the same workload
+	// rerun with an UNSAT certificate stream attached, written to io.Discard
+	// so the cost measured is record serialization, not disk. Only the
+	// Fig. 4(a) verification rows carry it.
+	ProofNsPerOp int64 `json:"proof_ns_per_op,omitempty"`
 }
 
 // Iteration policy for each workload: at least benchMinIters runs, then keep
@@ -128,9 +134,17 @@ func BenchSet(cfg Config) ([]BenchEntry, error) {
 		if err != nil {
 			return nil, err
 		}
-		if err := add("fig4a/"+name, func() (smt.Stats, error) {
+		runVerify := func(logProof bool) (smt.Stats, error) {
 			sc := verifyScenario(sys, 1+sys.Buses/2)
 			cfg.applyBudget(sc)
+			if logProof {
+				opts := smt.DefaultOptions()
+				if sc.Options != nil {
+					opts = *sc.Options
+				}
+				opts.Proof = proof.NewWriter(io.Discard)
+				sc.Options = &opts
+			}
 			res, err := core.Verify(sc)
 			if err != nil {
 				return smt.Stats{}, err
@@ -139,9 +153,23 @@ func BenchSet(cfg Config) ([]BenchEntry, error) {
 				return smt.Stats{}, fmt.Errorf("expected a feasible attack")
 			}
 			return res.Stats, nil
-		}); err != nil {
+		}
+		// Headline numbers come from the default (logging off) run; the same
+		// workload with a certificate stream attached lands in the entry's
+		// proof_ns_per_op column, making the logging overhead diffable across
+		// trajectory snapshots.
+		e, err := measureWorkload("fig4a/"+name, cfg.Out,
+			func() (smt.Stats, error) { return runVerify(false) })
+		if err != nil {
 			return nil, err
 		}
+		pe, err := measureWorkload("fig4a/"+name+"/proof", cfg.Out,
+			func() (smt.Stats, error) { return runVerify(true) })
+		if err != nil {
+			return nil, err
+		}
+		e.ProofNsPerOp = pe.NsPerOp
+		entries = append(entries, e)
 	}
 
 	for _, name := range []string{"ieee14", "ieee30", "ieee57", "ieee118"} {

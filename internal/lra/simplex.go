@@ -90,6 +90,13 @@ type Simplex struct {
 	stats     Stats
 	maxPivots int64
 	stop      func() error
+
+	// lastFarkas holds the Farkas coefficients of the most recent conflict
+	// explanation, parallel to the returned tags: the explanation's bounds,
+	// each scaled by its (positive) coefficient, sum to a contradictory
+	// constraint. nil when a participating bound was static (NoTag) and the
+	// combination is therefore not reconstructible from tags alone.
+	lastFarkas []numeric.Q
 }
 
 // NewSimplex constructs an empty solver.
@@ -237,7 +244,7 @@ func (s *Simplex) AssertLower(v int, d numeric.Delta, tag Tag) []Tag {
 		return nil // not tighter
 	}
 	if s.upper[v].has && d.Cmp(s.upper[v].val) > 0 {
-		return explain(tag, s.upper[v].tag)
+		return s.explainPair(tag, s.upper[v].tag)
 	}
 	s.trail = append(s.trail, trailEntry{v: v, isLower: true, old: s.lower[v]})
 	s.lower[v] = bound{val: d, tag: tag, has: true}
@@ -256,7 +263,7 @@ func (s *Simplex) AssertUpper(v int, d numeric.Delta, tag Tag) []Tag {
 		return nil
 	}
 	if s.lower[v].has && d.Cmp(s.lower[v].val) < 0 {
-		return explain(tag, s.lower[v].tag)
+		return s.explainPair(tag, s.lower[v].tag)
 	}
 	s.trail = append(s.trail, trailEntry{v: v, isLower: false, old: s.upper[v]})
 	s.upper[v] = bound{val: d, tag: tag, has: true}
@@ -268,15 +275,30 @@ func (s *Simplex) AssertUpper(v int, d numeric.Delta, tag Tag) []Tag {
 	return nil
 }
 
-func explain(tags ...Tag) []Tag {
-	out := make([]Tag, 0, len(tags))
-	for _, t := range tags {
-		if t != NoTag {
-			out = append(out, t)
+// explainPair explains a direct bound-vs-bound conflict: the two bounds,
+// each with Farkas coefficient 1, form an empty interval (lower > upper).
+func (s *Simplex) explainPair(a, b Tag) []Tag {
+	out := make([]Tag, 0, 2)
+	s.lastFarkas = s.lastFarkas[:0]
+	complete := true
+	for _, t := range [2]Tag{a, b} {
+		if t == NoTag {
+			complete = false
+			continue
 		}
+		out = append(out, t)
+		s.lastFarkas = append(s.lastFarkas, numeric.QFromInt(1))
+	}
+	if !complete {
+		s.lastFarkas = nil
 	}
 	return out
 }
+
+// LastFarkas returns the Farkas coefficients of the most recent conflict
+// explanation, parallel to its tags. The slice is overwritten by the next
+// conflict; it is nil when the combination involved a static (NoTag) bound.
+func (s *Simplex) LastFarkas() []numeric.Q { return s.lastFarkas }
 
 // update moves nonbasic variable v to value d and adjusts all dependent
 // basic variables.
@@ -424,15 +446,24 @@ func (s *Simplex) canDecrease(v int) bool {
 // are deterministic despite the map-based tableau.
 func (s *Simplex) explainRow(b int, row map[int]numeric.Q, below bool) []Tag {
 	tags := make([]Tag, 0, len(row)+1)
-	add := func(t Tag) {
-		if t != NoTag {
-			tags = append(tags, t)
+	s.lastFarkas = s.lastFarkas[:0]
+	complete := true
+	add := func(t Tag, coeff numeric.Q) {
+		if t == NoTag {
+			complete = false
+			return
 		}
+		tags = append(tags, t)
+		s.lastFarkas = append(s.lastFarkas, coeff)
 	}
+	// Farkas view of the conflict: with the row invariant x_b = Σ aⱼ·xⱼ, the
+	// violated bound (coefficient 1) plus each binding bound scaled by |aⱼ|
+	// sums to a constraint whose variables cancel and whose right-hand side
+	// is negative — 0 ≤ rhs < 0.
 	if below {
-		add(s.lower[b].tag)
+		add(s.lower[b].tag, numeric.QFromInt(1))
 	} else {
-		add(s.upper[b].tag)
+		add(s.upper[b].tag, numeric.QFromInt(1))
 	}
 	vars := make([]int, 0, len(row))
 	for v := range row {
@@ -440,20 +471,23 @@ func (s *Simplex) explainRow(b int, row map[int]numeric.Q, below bool) []Tag {
 	}
 	sort.Ints(vars)
 	for _, v := range vars {
-		sign := row[v].Sign()
+		c := row[v]
 		if below {
-			if sign > 0 {
-				add(s.upper[v].tag)
+			if c.Sign() > 0 {
+				add(s.upper[v].tag, c)
 			} else {
-				add(s.lower[v].tag)
+				add(s.lower[v].tag, c.Neg())
 			}
 		} else {
-			if sign > 0 {
-				add(s.lower[v].tag)
+			if c.Sign() > 0 {
+				add(s.lower[v].tag, c)
 			} else {
-				add(s.upper[v].tag)
+				add(s.upper[v].tag, c.Neg())
 			}
 		}
+	}
+	if !complete {
+		s.lastFarkas = nil
 	}
 	return tags
 }

@@ -1,0 +1,518 @@
+package proof
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"os"
+
+	"segrid/internal/numeric"
+	"segrid/internal/sat"
+)
+
+// Report summarizes a successfully checked proof stream.
+type Report struct {
+	Records      int
+	Restarts     int
+	Inputs       int
+	Derived      int
+	TheoryLemmas int
+	Deletes      int
+	UnsatChecks  int
+}
+
+// String renders the report for CLI output.
+func (r *Report) String() string {
+	return fmt.Sprintf("%d records: %d inputs, %d derived, %d theory lemmas, %d deletions, %d unsat checks, %d restarts",
+		r.Records, r.Inputs, r.Derived, r.TheoryLemmas, r.Deletes, r.UnsatChecks, r.Restarts)
+}
+
+// Check verifies a proof stream: every derived clause must pass reverse unit
+// propagation (with a RAT fallback on its first literal), every theory lemma
+// must carry valid Farkas coefficients over the recorded atom and slack
+// definitions, and every Unsat record must close under unit propagation from
+// its assumptions. The checker trusts only the input clauses and the
+// definitions; it shares no search code with the solver and does arithmetic
+// exclusively through internal/numeric.
+func Check(r io.Reader) (*Report, error) {
+	pr, err := NewReader(r)
+	if err != nil {
+		return nil, err
+	}
+	c := newChecker()
+	rep := &Report{}
+	for {
+		rec, err := pr.Next()
+		if err == io.EOF {
+			return rep, nil
+		}
+		if err != nil {
+			return nil, err
+		}
+		rep.Records++
+		if err := c.apply(rec, rep); err != nil {
+			return nil, fmt.Errorf("proof: record %d (%v): %w", rep.Records, rec.Kind, err)
+		}
+	}
+}
+
+// CheckFile verifies the proof stream stored at path.
+func CheckFile(path string) (*Report, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("proof: %w", err)
+	}
+	defer f.Close()
+	return Check(f)
+}
+
+// vval is the checker's lifted boolean.
+type vval int8
+
+const (
+	vUndef vval = 0
+	vTrue  vval = 1
+	vFalse vval = -1
+)
+
+// ckClause is a clause in the checker's database. lits is deduplicated and,
+// for active clauses, purged of root-false literals at install time (root
+// assignments are permanent, so the purge stays valid). Inactive clauses
+// (tautologies, clauses satisfied at the root) take no part in propagation.
+type ckClause struct {
+	lits     []sat.Lit
+	deleted  bool
+	inactive bool
+}
+
+// atomBound is the recorded theory meaning of a SAT variable.
+type atomBound struct {
+	slack    int
+	pos, neg numeric.Delta
+}
+
+// checker replays a proof stream. Propagation uses its own two-watched-
+// literal scheme over its own clause store — independent from package sat by
+// construction, so solver and checker can only agree by both being right.
+type checker struct {
+	clauses map[uint64]*ckClause
+	watches [][]*ckClause // indexed by int(Lit)
+	assigns []vval        // indexed by int(Var)
+	trail   []sat.Lit
+	qhead   int
+
+	rootConflict bool
+
+	slackDefs map[int][]Term
+	atoms     map[int]atomBound
+
+	unsatSeen uint64
+}
+
+func newChecker() *checker {
+	c := &checker{}
+	c.reset()
+	return c
+}
+
+// reset clears all per-segment state (everything except the running Unsat
+// counter, which numbers checks across the whole stream).
+func (c *checker) reset() {
+	c.clauses = make(map[uint64]*ckClause)
+	c.watches = nil
+	c.assigns = nil
+	c.trail = nil
+	c.qhead = 0
+	c.rootConflict = false
+	c.slackDefs = make(map[int][]Term)
+	c.atoms = make(map[int]atomBound)
+}
+
+func (c *checker) ensureVar(v sat.Var) {
+	for int(v) >= len(c.assigns) {
+		c.assigns = append(c.assigns, vUndef)
+		c.watches = append(c.watches, nil, nil)
+	}
+}
+
+func (c *checker) value(l sat.Lit) vval {
+	if int(l.Var()) >= len(c.assigns) {
+		return vUndef
+	}
+	a := c.assigns[l.Var()]
+	if a == vUndef {
+		return vUndef
+	}
+	if l.IsNeg() {
+		return -a
+	}
+	return a
+}
+
+// assign makes l true and pushes it on the trail. The caller guarantees l is
+// currently unassigned.
+func (c *checker) assign(l sat.Lit) {
+	c.ensureVar(l.Var())
+	if l.IsNeg() {
+		c.assigns[l.Var()] = vFalse
+	} else {
+		c.assigns[l.Var()] = vTrue
+	}
+	c.trail = append(c.trail, l)
+}
+
+// propagate runs unit propagation to fixpoint, reporting whether a conflict
+// was found.
+func (c *checker) propagate() bool {
+	for c.qhead < len(c.trail) {
+		p := c.trail[c.qhead] // p is true; visit clauses watching ¬p
+		c.qhead++
+		ws := c.watches[p]
+		kept := ws[:0]
+		for i := 0; i < len(ws); i++ {
+			cl := ws[i]
+			if cl.deleted {
+				continue
+			}
+			if cl.lits[0] == p.Not() {
+				cl.lits[0], cl.lits[1] = cl.lits[1], cl.lits[0]
+			}
+			first := cl.lits[0]
+			if c.value(first) == vTrue {
+				kept = append(kept, cl)
+				continue
+			}
+			found := false
+			for k := 2; k < len(cl.lits); k++ {
+				if c.value(cl.lits[k]) != vFalse {
+					cl.lits[1], cl.lits[k] = cl.lits[k], cl.lits[1]
+					w := cl.lits[1].Not()
+					c.watches[w] = append(c.watches[w], cl)
+					found = true
+					break
+				}
+			}
+			if found {
+				continue
+			}
+			kept = append(kept, cl)
+			if c.value(first) == vFalse {
+				kept = append(kept, ws[i+1:]...)
+				c.watches[p] = kept
+				c.qhead = len(c.trail)
+				return true
+			}
+			c.assign(first)
+		}
+		c.watches[p] = kept
+	}
+	return false
+}
+
+// undo retracts every assignment above the trail mark.
+func (c *checker) undo(mark int) {
+	for i := len(c.trail) - 1; i >= mark; i-- {
+		c.assigns[c.trail[i].Var()] = vUndef
+	}
+	c.trail = c.trail[:mark]
+	c.qhead = mark
+}
+
+// rup checks the clause by reverse unit propagation: assuming the negation
+// of every literal must propagate to a conflict. Temporary assignments are
+// retracted before returning.
+func (c *checker) rup(lits []sat.Lit) bool {
+	mark := len(c.trail)
+	conflict := false
+	for _, l := range lits {
+		c.ensureVar(l.Var())
+		switch c.value(l) {
+		case vTrue:
+			// l already holds at the root, so assuming ¬l is an immediate
+			// contradiction: the clause is implied.
+			conflict = true
+		case vUndef:
+			c.assign(l.Not())
+		}
+	}
+	if !conflict {
+		conflict = c.propagate()
+	}
+	c.undo(mark)
+	return conflict
+}
+
+// rat checks the clause by resolution asymmetric tautology on its first
+// literal: every resolvent with a clause containing its negation must be RUP
+// (or a tautology). This is the DRAT fallback for clauses that are not
+// themselves RUP; the solver's learnt clauses are RUP by construction, so
+// this path exists for format generality.
+func (c *checker) rat(lits []sat.Lit) bool {
+	if len(lits) == 0 {
+		return false
+	}
+	pivot := lits[0]
+	neg := pivot.Not()
+	for _, cl := range c.clauses {
+		if cl.deleted {
+			continue
+		}
+		hasNeg := false
+		for _, l := range cl.lits {
+			if l == neg {
+				hasNeg = true
+				break
+			}
+		}
+		if !hasNeg {
+			continue
+		}
+		resolvent, taut := resolve(lits, cl.lits, pivot)
+		if taut {
+			continue
+		}
+		if !c.rup(resolvent) {
+			return false
+		}
+	}
+	return true
+}
+
+// resolve builds the resolvent of a and b on pivot (pivot ∈ a, ¬pivot ∈ b),
+// reporting whether it is a tautology.
+func resolve(a, b []sat.Lit, pivot sat.Lit) ([]sat.Lit, bool) {
+	seen := make(map[sat.Lit]bool, len(a)+len(b))
+	out := make([]sat.Lit, 0, len(a)+len(b)-2)
+	add := func(l sat.Lit) bool {
+		if seen[l] {
+			return false
+		}
+		if seen[l.Not()] {
+			return true
+		}
+		seen[l] = true
+		out = append(out, l)
+		return false
+	}
+	for _, l := range a {
+		if l == pivot {
+			continue
+		}
+		if add(l) {
+			return nil, true
+		}
+	}
+	for _, l := range b {
+		if l == pivot.Not() {
+			continue
+		}
+		if add(l) {
+			return nil, true
+		}
+	}
+	return out, false
+}
+
+// install adds a verified clause to the database under the given id. The
+// stored literal set is deduplicated; tautologies and root-satisfied clauses
+// are kept only for id bookkeeping. Root units are propagated immediately,
+// so the root assignment is always at fixpoint between records.
+func (c *checker) install(id uint64, lits []sat.Lit) error {
+	if _, dup := c.clauses[id]; dup {
+		return fmt.Errorf("duplicate clause id %d", id)
+	}
+	cl := &ckClause{}
+	c.clauses[id] = cl
+
+	seen := make(map[sat.Lit]bool, len(lits))
+	out := make([]sat.Lit, 0, len(lits))
+	satisfied := false
+	taut := false
+	for _, l := range lits {
+		c.ensureVar(l.Var())
+		if seen[l] {
+			continue
+		}
+		if seen[l.Not()] {
+			taut = true
+		}
+		seen[l] = true
+		switch c.value(l) {
+		case vTrue:
+			satisfied = true
+		case vFalse:
+			continue // permanently false at the root
+		}
+		out = append(out, l)
+	}
+	cl.lits = out
+	if taut || satisfied || c.rootConflict {
+		cl.inactive = true
+		return nil
+	}
+	switch len(out) {
+	case 0:
+		c.rootConflict = true
+		cl.inactive = true
+	case 1:
+		cl.inactive = true // the unit lives in the root assignment instead
+		c.assign(out[0])
+		if c.propagate() {
+			c.rootConflict = true
+		}
+	default:
+		c.watches[out[0].Not()] = append(c.watches[out[0].Not()], cl)
+		c.watches[out[1].Not()] = append(c.watches[out[1].Not()], cl)
+	}
+	return nil
+}
+
+// checkFarkas verifies a theory lemma: the Farkas combination of the bounds
+// asserted by the negations of the clause literals must cancel every
+// variable (after substituting slack definitions) and leave a negative
+// right-hand side in the delta-rational order — an unsatisfiable constraint
+// 0 ≤ rhs < 0.
+func (c *checker) checkFarkas(rec *Record) error {
+	if len(rec.Lits) == 0 {
+		return errors.New("empty theory lemma")
+	}
+	if len(rec.Coeffs) != len(rec.Lits) {
+		return errors.New("farkas coefficient count mismatch")
+	}
+	linear := make(map[int]numeric.Q, len(rec.Lits))
+	addTerm := func(v int, q numeric.Q) {
+		sum, ok := linear[v]
+		if ok {
+			sum = sum.Add(q)
+		} else {
+			sum = q
+		}
+		if sum.Sign() == 0 {
+			delete(linear, v)
+		} else {
+			linear[v] = sum
+		}
+	}
+	rhs := numeric.DeltaFromInt(0)
+	for i, l := range rec.Lits {
+		lam := rec.Coeffs[i]
+		if lam.Sign() <= 0 {
+			return fmt.Errorf("farkas coefficient %d is not positive", i)
+		}
+		bl := l.Not() // the asserted bound literal
+		ab, ok := c.atoms[int(bl.Var())]
+		if !ok {
+			return fmt.Errorf("literal %v has no atom definition", bl)
+		}
+		if bl.IsNeg() {
+			// slack ≥ neg, i.e. −slack ≤ −neg.
+			addTerm(ab.slack, lam.Neg())
+			rhs = rhs.Sub(ab.neg.MulQ(lam))
+		} else {
+			// slack ≤ pos.
+			addTerm(ab.slack, lam)
+			rhs = rhs.Add(ab.pos.MulQ(lam))
+		}
+	}
+	// Eliminate defined slack variables, highest index first. Definitions
+	// only reference lower-numbered variables (enforced at KindSlackDef), so
+	// this terminates and needs no cycle detection.
+	for {
+		v := -1
+		for x := range linear {
+			if _, ok := c.slackDefs[x]; ok && x > v {
+				v = x
+			}
+		}
+		if v < 0 {
+			break
+		}
+		coeff := linear[v]
+		delete(linear, v)
+		for _, t := range c.slackDefs[v] {
+			addTerm(t.Var, coeff.Mul(t.Coeff))
+		}
+	}
+	if len(linear) != 0 {
+		return errors.New("farkas combination does not cancel the variables")
+	}
+	if rhs.Cmp(numeric.DeltaFromInt(0)) >= 0 {
+		return errors.New("farkas combination is not contradictory")
+	}
+	return nil
+}
+
+// apply processes one record. Derivation checks are skipped once the root
+// assignment is contradictory: the formula is proven unsatisfiable, so every
+// later derived clause and Unsat answer is entailed.
+func (c *checker) apply(rec *Record, rep *Report) error {
+	switch rec.Kind {
+	case KindRestart:
+		rep.Restarts++
+		c.reset()
+	case KindSlackDef:
+		if _, dup := c.slackDefs[rec.Var]; dup {
+			return fmt.Errorf("slack variable %d redefined", rec.Var)
+		}
+		for _, t := range rec.Terms {
+			if t.Var >= rec.Var {
+				return fmt.Errorf("slack %d definition references variable %d (not earlier)", rec.Var, t.Var)
+			}
+			if t.Var < 0 {
+				return fmt.Errorf("slack %d definition references negative variable", rec.Var)
+			}
+		}
+		c.slackDefs[rec.Var] = rec.Terms
+	case KindAtomDef:
+		if _, dup := c.atoms[rec.Var]; dup {
+			return fmt.Errorf("atom variable %d redefined", rec.Var)
+		}
+		c.atoms[rec.Var] = atomBound{slack: rec.Slack, pos: rec.Pos, neg: rec.Neg}
+	case KindInput:
+		rep.Inputs++
+		return c.install(rec.ID, rec.Lits)
+	case KindDerived:
+		rep.Derived++
+		if !c.rootConflict && !c.rup(rec.Lits) && !c.rat(rec.Lits) {
+			return fmt.Errorf("clause %d is neither RUP nor RAT", rec.ID)
+		}
+		return c.install(rec.ID, rec.Lits)
+	case KindTheoryLemma:
+		rep.TheoryLemmas++
+		if !c.rootConflict {
+			if err := c.checkFarkas(rec); err != nil {
+				return fmt.Errorf("lemma %d: %w", rec.ID, err)
+			}
+		}
+		return c.install(rec.ID, rec.Lits)
+	case KindDelete:
+		rep.Deletes++
+		cl, ok := c.clauses[rec.ID]
+		if !ok {
+			return fmt.Errorf("deleting unknown clause id %d", rec.ID)
+		}
+		cl.deleted = true
+		delete(c.clauses, rec.ID)
+	case KindUnsat:
+		rep.UnsatChecks++
+		c.unsatSeen++
+		if rec.Check != c.unsatSeen {
+			return fmt.Errorf("unsat check numbered %d, expected %d", rec.Check, c.unsatSeen)
+		}
+		if c.rootConflict {
+			return nil
+		}
+		// Assuming every selector true must propagate to a conflict — which
+		// is exactly a RUP check of the clause of negated assumptions.
+		negated := make([]sat.Lit, len(rec.Lits))
+		for i, l := range rec.Lits {
+			negated[i] = l.Not()
+		}
+		if !c.rup(negated) {
+			return errors.New("assumptions do not propagate to a conflict")
+		}
+	default:
+		return fmt.Errorf("unknown record kind %d", rec.Kind)
+	}
+	return nil
+}

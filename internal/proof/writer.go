@@ -1,0 +1,183 @@
+package proof
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+
+	"segrid/internal/numeric"
+	"segrid/internal/sat"
+)
+
+// Writer streams proof records as the solver runs. It implements the
+// sat.ProofLogger hook for the clausal records and exposes the theory-side
+// definitions to the SMT encoder. One Writer captures the lifetime of one
+// solver: under FreshPerCheck every rebuilt encoder contributes its own
+// Restart-delimited segment to the same stream.
+//
+// Write errors are sticky: the first one is remembered, later calls become
+// no-ops, and the error surfaces from Flush/Close/Err. Solving is never
+// aborted by a failing proof sink.
+type Writer struct {
+	w    *bufio.Writer
+	f    *os.File
+	path string
+	err  error
+
+	nextID uint64
+	checks uint64
+
+	// staged Farkas coefficients for the next theory lemma: the SMT theory
+	// adapter stages them when the simplex reports a conflict, immediately
+	// before the SAT core logs the lemma clause built from that conflict.
+	staged []numeric.Q
+
+	enc encoder
+}
+
+var _ sat.ProofLogger = (*Writer)(nil)
+
+// NewWriter starts a proof stream on w.
+func NewWriter(w io.Writer) *Writer {
+	pw := &Writer{w: bufio.NewWriterSize(w, 1<<16)}
+	_, pw.err = pw.w.WriteString(magic)
+	return pw
+}
+
+// Create starts a proof stream in a new file at path (truncating any
+// previous content).
+func Create(path string) (*Writer, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, fmt.Errorf("proof: %w", err)
+	}
+	pw := NewWriter(f)
+	pw.f = f
+	pw.path = path
+	return pw, nil
+}
+
+// Path returns the file path backing the stream, or "" for an in-memory
+// writer.
+func (w *Writer) Path() string { return w.path }
+
+// Err returns the first write error, if any.
+func (w *Writer) Err() error { return w.err }
+
+func (w *Writer) emit(rec *Record) {
+	if w.err != nil {
+		return
+	}
+	w.enc.buf = w.enc.buf[:0]
+	w.enc.record(rec)
+	_, w.err = w.w.Write(w.enc.buf)
+}
+
+// Restart marks the start of a fresh solver instance.
+func (w *Writer) Restart() {
+	w.emit(&Record{Kind: KindRestart})
+}
+
+// DefineSlack records simplex variable v as the linear combination terms of
+// earlier simplex variables.
+func (w *Writer) DefineSlack(v int, terms []Term) {
+	w.emit(&Record{Kind: KindSlackDef, Var: v, Terms: terms})
+}
+
+// DefineAtom records the theory meaning of SAT variable v: the positive
+// literal asserts slack ≤ pos, the negative literal slack ≥ neg.
+func (w *Writer) DefineAtom(v int, slack int, pos, neg numeric.Delta) {
+	w.emit(&Record{Kind: KindAtomDef, Var: v, Slack: slack, Pos: pos, Neg: neg})
+}
+
+// StageFarkas supplies the Farkas coefficients justifying the next theory
+// lemma; the slice is copied.
+func (w *Writer) StageFarkas(coeffs []numeric.Q) {
+	w.staged = append(w.staged[:0], coeffs...)
+}
+
+// LogInput records a problem clause exactly as handed to AddClause.
+func (w *Writer) LogInput(lits []sat.Lit) {
+	w.nextID++
+	w.emit(&Record{Kind: KindInput, ID: w.nextID, Lits: lits})
+}
+
+// LogLearnt records a learnt clause and returns its id for later deletion.
+func (w *Writer) LogLearnt(lits []sat.Lit) uint64 {
+	w.nextID++
+	w.emit(&Record{Kind: KindDerived, ID: w.nextID, Lits: lits})
+	return w.nextID
+}
+
+// LogTheoryLemma records a theory-conflict clause together with the staged
+// Farkas coefficients and returns its id. When no coefficients were staged
+// (or the count mismatches), the lemma is written without a certificate and
+// the checker will reject the proof — a missing justification must never
+// pass silently.
+func (w *Writer) LogTheoryLemma(lits []sat.Lit) uint64 {
+	w.nextID++
+	rec := &Record{Kind: KindTheoryLemma, ID: w.nextID, Lits: lits}
+	if len(w.staged) == len(lits) {
+		rec.Coeffs = append([]numeric.Q(nil), w.staged...)
+	} else {
+		rec.Coeffs = make([]numeric.Q, len(lits)) // zero coefficients: invalid
+	}
+	w.staged = w.staged[:0]
+	w.emit(rec)
+	return w.nextID
+}
+
+// LogDelete records the removal of a clause from the active set.
+func (w *Writer) LogDelete(id uint64) {
+	w.emit(&Record{Kind: KindDelete, ID: id})
+}
+
+// EndUnsat closes one UNSAT answer: the active clauses plus the given
+// assumption literals (the live scope selectors; empty for an absolute
+// UNSAT) are contradictory by unit propagation. It returns the 1-based
+// index of this check within the stream.
+func (w *Writer) EndUnsat(assumps []sat.Lit) uint64 {
+	w.checks++
+	w.emit(&Record{Kind: KindUnsat, Check: w.checks, Lits: append([]sat.Lit(nil), assumps...)})
+	if w.err == nil {
+		w.err = w.w.Flush()
+	}
+	return w.checks
+}
+
+// Checks returns how many UNSAT answers have been certified so far.
+func (w *Writer) Checks() uint64 { return w.checks }
+
+// Flush forces buffered records to the underlying writer.
+func (w *Writer) Flush() error {
+	if w.err == nil {
+		w.err = w.w.Flush()
+	}
+	return w.err
+}
+
+// Close flushes the stream and closes the backing file, if any. It returns
+// the first error seen over the writer's lifetime.
+func (w *Writer) Close() error {
+	if err := w.w.Flush(); err != nil && w.err == nil {
+		w.err = err
+	}
+	if w.f != nil {
+		if err := w.f.Close(); err != nil && w.err == nil {
+			w.err = err
+		}
+		w.f = nil
+	}
+	return w.err
+}
+
+// Handle points a Result at its certificate: the proof stream (by path when
+// file-backed) and the 1-based Unsat check index within it.
+type Handle struct {
+	// Path is the proof file, or "" when the stream is not file-backed.
+	Path string
+	// Check is the 1-based index of the Unsat record certifying this
+	// answer.
+	Check uint64
+}

@@ -5,7 +5,11 @@ package sat
 type clause struct {
 	lits     []Lit
 	activity float64
-	learnt   bool
+	// id names the clause in the proof stream; 0 when proof logging is off
+	// (ids start at 1), so deletion records are only emitted for clauses the
+	// stream knows about.
+	id     uint64
+	learnt bool
 	// deleted marks clauses lazily removed by learnt-clause reduction;
 	// watcher lists drop them on the next traversal.
 	deleted bool

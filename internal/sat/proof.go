@@ -1,0 +1,24 @@
+package sat
+
+// ProofLogger receives the solver's clausal derivations as they happen,
+// enabling DRAT-style proof logging (package proof provides the standard
+// implementation). All hooks are called at the moment the corresponding
+// clause becomes (or stops being) available to the search:
+//
+//   - LogInput for every clause handed to AddClause, pre-normalization —
+//     input clauses are the trusted side of the certificate;
+//   - LogLearnt for every clause produced by conflict analysis (checkable
+//     by reverse unit propagation against the clauses logged so far);
+//   - LogTheoryLemma for every theory-conflict clause, immediately after
+//     the theory reported the conflict — a theory-side channel may stage a
+//     certificate (e.g. Farkas coefficients) for it;
+//   - LogDelete when reduceDB retires a learnt clause.
+//
+// The returned ids let the solver name clauses in deletion records. A nil
+// ProofLogger (the default) costs one pointer comparison per site.
+type ProofLogger interface {
+	LogInput(lits []Lit)
+	LogLearnt(lits []Lit) uint64
+	LogTheoryLemma(lits []Lit) uint64
+	LogDelete(id uint64)
+}

@@ -68,6 +68,10 @@ type Options struct {
 	// conflict and every stopPollInterval propagations. A non-nil return
 	// aborts the search: Solve returns StatusUnknown and that error.
 	Stop func() error
+	// Proof, if non-nil, receives every input clause, learnt clause, theory
+	// lemma and deletion for DRAT-style certificate logging. The nil default
+	// costs one pointer check per logging site.
+	Proof ProofLogger
 }
 
 // Solver is a CDCL SAT solver. The zero value is not usable; construct with
@@ -119,6 +123,7 @@ type Solver struct {
 	addBuf     []Lit     // scratch for AddClause normalization
 	learntBuf  []Lit     // scratch for analyze's learnt clause
 	collectBuf []Lit     // scratch for analyze's seen-flag cleanup
+	proofBuf   []Lit     // scratch for handing clauses to the proof logger
 	clauseMem  []clause  // arena for problem-clause headers
 	litMem     []Lit     // arena for problem-clause literal storage
 	watchMem   []watcher // arena seeding initial watch-list blocks
@@ -205,6 +210,17 @@ func (s *Solver) AddClause(lits ...Lit) error {
 		if l == LitUndef || int(l.Var()) >= s.nVars {
 			return fmt.Errorf("sat: clause references unknown literal %v", l)
 		}
+	}
+	if s.opts.Proof != nil {
+		// Log the clause as given: the certificate's input side must match
+		// what the caller asserted, and the normalization below only drops
+		// literals that are false by the units already logged. Handing the
+		// logger a solver-owned copy keeps the variadic argument slice from
+		// escaping — without it every AddClause call heap-allocates its
+		// arguments even with logging off, and AddClause is the encoding
+		// hot path.
+		s.proofBuf = append(s.proofBuf[:0], lits...)
+		s.opts.Proof.LogInput(s.proofBuf)
 	}
 	// Normalize: sort, dedupe, drop tautologies and false literals. The
 	// scratch buffer and insertion sort keep this allocation-free; clauses
@@ -582,6 +598,10 @@ func (s *Solver) minimize(learnt *[]Lit) {
 
 // recordLearnt attaches a learnt clause and enqueues its asserting literal.
 func (s *Solver) recordLearnt(learnt []Lit) {
+	var proofID uint64
+	if s.opts.Proof != nil {
+		proofID = s.opts.Proof.LogLearnt(learnt)
+	}
 	if len(learnt) == 1 {
 		if !s.enqueue(learnt[0], nil) {
 			s.unsat = true
@@ -589,6 +609,7 @@ func (s *Solver) recordLearnt(learnt []Lit) {
 		return
 	}
 	c := s.allocClause(learnt)
+	c.id = proofID
 	c.learnt = true
 	s.learnts = append(s.learnts, c)
 	s.attach(c)
@@ -608,6 +629,9 @@ func (s *Solver) reduceDB() {
 		if c.len() == 2 || i < limit || s.isReason(c) {
 			kept = append(kept, c)
 			continue
+		}
+		if s.opts.Proof != nil && c.id != 0 {
+			s.opts.Proof.LogDelete(c.id)
 		}
 		s.detach(c)
 	}
@@ -695,6 +719,12 @@ func (s *Solver) theoryConflictClause(expl []Lit) bool {
 		if lv := int(s.level[l.Var()]); lv > maxLevel {
 			maxLevel = lv
 		}
+	}
+	if s.opts.Proof != nil {
+		// Logged before dispatch so conflict analysis can resolve with the
+		// lemma: any clause learnt from this conflict is RUP only against a
+		// database that already contains it.
+		s.opts.Proof.LogTheoryLemma(lits)
 	}
 	if maxLevel == 0 {
 		// All explaining bounds were asserted at level 0 and are permanent.
@@ -836,7 +866,16 @@ func (s *Solver) SolveAssuming(assumps ...Lit) (Status, error) {
 		return StatusUnsat, nil
 	}
 	if expl := s.theoryFeed(); expl != nil {
-		// Top-level theory conflict over permanent level-0 bounds.
+		// Top-level theory conflict over permanent level-0 bounds. The lemma
+		// still goes into the proof: its literals are all false at level 0,
+		// so the checker derives the contradiction by propagation.
+		if s.opts.Proof != nil {
+			lits := make([]Lit, len(expl))
+			for i, l := range expl {
+				lits[i] = l.Not()
+			}
+			s.opts.Proof.LogTheoryLemma(lits)
+		}
 		s.unsat = true
 		return StatusUnsat, nil
 	}

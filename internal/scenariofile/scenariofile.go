@@ -198,17 +198,35 @@ func (s *SynthesisSpec) Requirements() (*synth.Requirements, error) {
 	}, nil
 }
 
+// ParseAttack decodes an AttackSpec from JSON bytes.
+func ParseAttack(data []byte) (*AttackSpec, error) {
+	var spec AttackSpec
+	if err := unmarshalStrict(data, &spec); err != nil {
+		return nil, fmt.Errorf("scenariofile: parse: %w", err)
+	}
+	return &spec, nil
+}
+
+// ParseSynthesis decodes a SynthesisSpec from JSON bytes.
+func ParseSynthesis(data []byte) (*SynthesisSpec, error) {
+	var spec SynthesisSpec
+	if err := unmarshalStrict(data, &spec); err != nil {
+		return nil, fmt.Errorf("scenariofile: parse: %w", err)
+	}
+	return &spec, nil
+}
+
 // LoadAttack reads an AttackSpec JSON file.
 func LoadAttack(path string) (*AttackSpec, error) {
 	data, err := os.ReadFile(path)
 	if err != nil {
 		return nil, fmt.Errorf("scenariofile: %w", err)
 	}
-	var spec AttackSpec
-	if err := unmarshalStrict(data, &spec); err != nil {
-		return nil, fmt.Errorf("scenariofile: parse %s: %w", path, err)
+	spec, err := ParseAttack(data)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
 	}
-	return &spec, nil
+	return spec, nil
 }
 
 // LoadSynthesis reads a SynthesisSpec JSON file.
@@ -217,11 +235,11 @@ func LoadSynthesis(path string) (*SynthesisSpec, error) {
 	if err != nil {
 		return nil, fmt.Errorf("scenariofile: %w", err)
 	}
-	var spec SynthesisSpec
-	if err := unmarshalStrict(data, &spec); err != nil {
-		return nil, fmt.Errorf("scenariofile: parse %s: %w", path, err)
+	spec, err := ParseSynthesis(data)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
 	}
-	return &spec, nil
+	return spec, nil
 }
 
 // unmarshalStrict rejects unknown fields so typos in scenario files surface

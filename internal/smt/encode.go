@@ -6,6 +6,7 @@ import (
 
 	"segrid/internal/lra"
 	"segrid/internal/numeric"
+	"segrid/internal/proof"
 	"segrid/internal/sat"
 )
 
@@ -42,6 +43,10 @@ type boundSpec struct {
 type theoryAdapter struct {
 	simplex *lra.Simplex
 	bounds  map[sat.Var]boundSpec
+	// proof, when logging is on, receives the Farkas coefficients of each
+	// simplex conflict just before the SAT core logs the lemma clause built
+	// from it — the two calls are paired by that ordering.
+	proof *proof.Writer
 }
 
 var _ sat.Theory = (*theoryAdapter)(nil)
@@ -57,6 +62,7 @@ func (t *theoryAdapter) Assert(l sat.Lit) []sat.Lit {
 	} else {
 		conflict = t.simplex.AssertUpper(spec.slack, spec.pos, lra.Tag(l))
 	}
+	t.stageCertificate(conflict)
 	return tagsToLits(conflict)
 }
 
@@ -65,7 +71,15 @@ func (t *theoryAdapter) Check(final bool) ([]sat.Lit, error) {
 	if err != nil {
 		return nil, err
 	}
+	t.stageCertificate(tags)
 	return tagsToLits(tags), nil
+}
+
+func (t *theoryAdapter) stageCertificate(conflict []lra.Tag) {
+	if t.proof == nil || conflict == nil {
+		return
+	}
+	t.proof.StageFarkas(t.simplex.LastFarkas())
 }
 
 func (t *theoryAdapter) Push()     { t.simplex.Push() }
@@ -116,11 +130,22 @@ type encoder struct {
 func newEncoder(owner *Solver) *encoder {
 	simplex := lra.NewSimplex()
 	theory := &theoryAdapter{simplex: simplex, bounds: make(map[sat.Var]boundSpec)}
+	// The proof writer outlives the encoder (FreshPerCheck rebuilds one per
+	// Check); a Restart record tells the checker to start a new segment. The
+	// logger is only installed when non-nil — a typed-nil interface would
+	// defeat the solver's nil checks.
+	var plog sat.ProofLogger
+	if w := owner.opts.Proof; w != nil {
+		w.Restart()
+		theory.proof = w
+		plog = w
+	}
 	e := &encoder{
 		owner: owner,
 		sat: sat.NewSolver(sat.Options{
 			Theory:          theory,
 			CheckAtFixpoint: owner.opts.TheoryCheckAtFixpoint,
+			Proof:           plog,
 		}),
 		simplex:    simplex,
 		theory:     theory,
@@ -340,11 +365,15 @@ func (e *encoder) encodeAtom(a *atomF) (sat.Lit, error) {
 		e.nAtoms++
 		kr := big.NewRat(int64(k), 1)
 		negKr := big.NewRat(int64(k)+1, 1)
-		e.theory.bounds[v] = boundSpec{
+		spec := boundSpec{
 			slack: slackVar,
 			pos:   numeric.NewDelta(rhs, kr),
 			// ¬(s ≤ c + k·δ) ⇔ s ≥ c + (k+1)·δ
 			neg: numeric.NewDelta(rhs, negKr),
+		}
+		e.theory.bounds[v] = spec
+		if w := e.owner.opts.Proof; w != nil {
+			w.DefineAtom(int(v), spec.slack, spec.pos, spec.neg)
 		}
 	}
 	l := sat.PosLit(v)
@@ -383,6 +412,15 @@ func (e *encoder) slackFor(vars []RealVar, ratios []*big.Rat, key string) (int, 
 	sv, err := e.simplex.DefineSlack(terms)
 	if err != nil {
 		return 0, fmt.Errorf("smt: define slack: %w", err)
+	}
+	if w := e.owner.opts.Proof; w != nil {
+		// The terms reference original simplex variables only (never other
+		// slacks), so the checker eliminates slacks in one substitution pass.
+		pterms := make([]proof.Term, len(terms))
+		for i, t := range terms {
+			pterms[i] = proof.Term{Var: t.Var, Coeff: numeric.QFromRat(t.Coeff)}
+		}
+		w.DefineSlack(sv, pterms)
 	}
 	e.slackByKey[key] = sv
 	return sv, nil
@@ -443,6 +481,13 @@ func (e *encoder) solve(assumps []sat.Lit) (*Result, error) {
 		}
 	case sat.StatusUnsat:
 		res.Status = Unsat
+		if w := e.owner.opts.Proof; w != nil {
+			// FinalConflict names the responsible scope selectors (nil for an
+			// absolute UNSAT); the certificate records them so the answer is
+			// checkable relative to exactly the scopes that were live.
+			check := w.EndUnsat(e.sat.FinalConflict())
+			res.Proof = &proof.Handle{Path: w.Path(), Check: check}
+		}
 	default:
 		res.Status = Unknown
 	}

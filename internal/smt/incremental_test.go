@@ -1,11 +1,15 @@
 package smt
 
 import (
+	"bytes"
 	"errors"
 	"math/big"
 	"math/rand"
 	"strings"
 	"testing"
+
+	"segrid/internal/numeric"
+	"segrid/internal/proof"
 )
 
 // scriptState mirrors the assertion stack of the solvers under test so
@@ -169,6 +173,169 @@ func TestDifferentialIncrementalVsFresh(t *testing.T) {
 			st.checkModel(t, "incremental-final", ri, nBool, nReal)
 			st.checkModel(t, "fresh-final", rf, nBool, nReal)
 		}
+	}
+}
+
+// TestProofCertificatesOnRandomScripts replays random assert/push/pop/check
+// scripts with proof logging enabled on both the persistent and the
+// FreshPerCheck twin. Every Unsat must come back with a certificate handle
+// whose check index counts that writer's Unsat verdicts, and at the end of
+// each script both streams must verify clean under the independent checker,
+// covering exactly as many Unsat checks as the script observed.
+func TestProofCertificatesOnRandomScripts(t *testing.T) {
+	const nBool, nReal, scripts, opsPerScript = 5, 3, 15, 35
+	rng := rand.New(rand.NewSource(90210))
+	sawUnsat := false
+	for script := 0; script < scripts; script++ {
+		var incBuf, freshBuf bytes.Buffer
+		incOpts := DefaultOptions()
+		incOpts.Proof = proof.NewWriter(&incBuf)
+		freshOpts := DefaultOptions()
+		freshOpts.FreshPerCheck = true
+		freshOpts.Proof = proof.NewWriter(&freshBuf)
+		inc := NewSolver(incOpts)
+		fresh := NewSolver(freshOpts)
+		boolVars := make([]BoolVar, nBool)
+		for i := range boolVars {
+			boolVars[i] = inc.BoolVar("b")
+			fresh.BoolVar("b")
+		}
+		realVars := make([]RealVar, nReal)
+		for i := range realVars {
+			realVars[i] = inc.RealVar("x")
+			fresh.RealVar("x")
+		}
+		unsats := uint64(0)
+		check := func(op int) {
+			ri, err := inc.Check()
+			if err != nil {
+				t.Fatalf("script %d op %d: incremental Check: %v", script, op, err)
+			}
+			rf, err := fresh.Check()
+			if err != nil {
+				t.Fatalf("script %d op %d: fresh Check: %v", script, op, err)
+			}
+			if ri.Status != rf.Status {
+				t.Fatalf("script %d op %d: incremental %v vs fresh %v", script, op, ri.Status, rf.Status)
+			}
+			if ri.Status != Unsat {
+				if ri.Proof != nil || rf.Proof != nil {
+					t.Fatalf("script %d op %d: non-unsat result carries a proof handle", script, op)
+				}
+				return
+			}
+			unsats++
+			sawUnsat = true
+			for name, res := range map[string]*Result{"incremental": ri, "fresh": rf} {
+				if res.Proof == nil {
+					t.Fatalf("script %d op %d: %s Unsat without certificate handle", script, op, name)
+				}
+				if res.Proof.Check != unsats {
+					t.Fatalf("script %d op %d: %s handle check %d, want %d", script, op, name, res.Proof.Check, unsats)
+				}
+			}
+		}
+		for op := 0; op < opsPerScript; op++ {
+			switch r := rng.Intn(10); {
+			case r < 5: // assert
+				f := randFormula(rng, inc, boolVars, realVars, 2)
+				inc.Assert(f)
+				fresh.Assert(f)
+			case r < 6: // cardinality, biased low to force unsat often
+				n := 2 + rng.Intn(3)
+				fs := make([]Formula, n)
+				for i := range fs {
+					fs[i] = randFormula(rng, inc, boolVars, realVars, 1)
+				}
+				inc.AssertAtMostK(fs, rng.Intn(2))
+				fresh.AssertAtMostK(fs, rng.Intn(2))
+			case r < 7: // push
+				inc.Push()
+				fresh.Push()
+			case r < 8: // pop
+				if inc.NumScopes() > 1 {
+					if err := inc.Pop(); err != nil {
+						t.Fatal(err)
+					}
+					if err := fresh.Pop(); err != nil {
+						t.Fatal(err)
+					}
+				}
+			default:
+				check(op)
+			}
+		}
+		check(opsPerScript)
+		for name, pair := range map[string]struct {
+			w   *proof.Writer
+			buf *bytes.Buffer
+		}{"incremental": {incOpts.Proof, &incBuf}, "fresh": {freshOpts.Proof, &freshBuf}} {
+			if err := pair.w.Flush(); err != nil {
+				t.Fatalf("script %d: %s writer: %v", script, name, err)
+			}
+			rep, err := proof.Check(bytes.NewReader(pair.buf.Bytes()))
+			if err != nil {
+				t.Fatalf("script %d: %s certificate rejected: %v", script, name, err)
+			}
+			if rep.UnsatChecks != int(unsats) {
+				t.Fatalf("script %d: %s certificate covers %d unsat checks, script saw %d",
+					script, name, rep.UnsatChecks, unsats)
+			}
+		}
+	}
+	if !sawUnsat {
+		t.Fatalf("no script ever went unsat; the suite exercised nothing — reseed")
+	}
+}
+
+// TestProofMutationRejected pins the checker's end of the trust story: a
+// certificate the solver just emitted verifies clean, and the same
+// certificate with one theory-lemma Farkas coefficient corrupted is
+// rejected. A checker that cannot tell those apart certifies nothing.
+func TestProofMutationRejected(t *testing.T) {
+	var buf bytes.Buffer
+	opts := DefaultOptions()
+	opts.Proof = proof.NewWriter(&buf)
+	s := NewSolver(opts)
+	x := s.RealVar("x")
+	y := s.RealVar("y")
+	s.Assert(LE(NewLinExpr().TermInt(1, x).TermInt(1, y), big.NewRat(1, 1)))
+	s.Assert(GE(NewLinExpr().TermInt(1, x), big.NewRat(1, 1)))
+	s.Assert(GE(NewLinExpr().TermInt(1, y), big.NewRat(1, 1)))
+	res, err := s.Check()
+	if err != nil || res.Status != Unsat {
+		t.Fatalf("Check = %v, %v; want unsat", res, err)
+	}
+	if res.Proof == nil {
+		t.Fatalf("Unsat result carries no certificate handle")
+	}
+	if err := opts.Proof.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := proof.Check(bytes.NewReader(buf.Bytes())); err != nil {
+		t.Fatalf("pristine certificate rejected: %v", err)
+	}
+	recs, err := proof.ReadAll(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	mutated := -1
+	for i, rec := range recs {
+		if rec.Kind == proof.KindTheoryLemma && len(rec.Coeffs) > 0 {
+			rec.Coeffs[0] = rec.Coeffs[0].Add(numeric.QFromInt(1))
+			mutated = i
+			break
+		}
+	}
+	if mutated < 0 {
+		t.Fatalf("no theory lemma with Farkas coefficients in the stream; the instance must conflict in the simplex")
+	}
+	var corrupted bytes.Buffer
+	if err := proof.WriteAll(&corrupted, recs); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := proof.Check(bytes.NewReader(corrupted.Bytes())); err == nil {
+		t.Fatalf("checker accepted a certificate with a corrupted Farkas coefficient (record %d)", mutated)
 	}
 }
 

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"segrid/internal/lra"
+	"segrid/internal/proof"
 	"segrid/internal/sat"
 )
 
@@ -67,6 +68,14 @@ type Options struct {
 	// as selector literals passed to the SAT core as assumptions. Ablation
 	// and differential-testing knob.
 	FreshPerCheck bool
+	// Proof, if non-nil, streams a machine-checkable certificate of every
+	// Unsat answer: DRAT-style clausal records from the SAT core plus
+	// Farkas-certified theory lemmas and the atom/slack definitions needed
+	// to check them (see package proof). One writer captures the solver's
+	// whole lifetime; each Unsat Check appends an assumption-annotated check
+	// record and is reported through Result.Proof. Leave nil (the default)
+	// to skip all logging work.
+	Proof *proof.Writer
 }
 
 // DefaultOptions returns the configuration used throughout the paper
@@ -259,6 +268,12 @@ type Result struct {
 	// resource, context.Canceled/DeadlineExceeded for cancellation, or the
 	// error an Interrupter fired with. It is nil on Sat and Unsat.
 	Why error
+
+	// Proof locates this answer's certificate when the solver was
+	// configured with Options.Proof: the proof stream and the 1-based index
+	// of the Unsat check record within it. It is nil on Sat/Unknown results
+	// and when proof logging is off.
+	Proof *proof.Handle
 
 	boolVals []bool
 	realVals []*big.Rat

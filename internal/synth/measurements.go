@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"segrid/internal/core"
+	"segrid/internal/proof"
 	"segrid/internal/smt"
 )
 
@@ -40,6 +41,11 @@ type MeasurementRequirements struct {
 	// Options configures the candidate selection solver; nil means
 	// smt.DefaultOptions.
 	Options *smt.Options
+
+	// ProofDir enables UNSAT certificate logging for the verification
+	// solvers, exactly as Requirements.ProofDir does for bus-granular
+	// synthesis.
+	ProofDir string
 }
 
 // MeasurementArchitecture is a synthesized measurement-protection set.
@@ -53,6 +59,10 @@ type MeasurementArchitecture struct {
 	// SelectTime and VerifyTime split the synthesis wall time.
 	SelectTime time.Duration
 	VerifyTime time.Duration
+
+	// ProofFiles lists the UNSAT certificate files written during
+	// verification when ProofDir was set, in attack-model order.
+	ProofFiles []string
 }
 
 // Duration is the total synthesis time.
@@ -168,7 +178,7 @@ func SynthesizeMeasurements(req *MeasurementRequirements) (*MeasurementArchitect
 // ctx and the requirements' Limits, with the same graceful-degradation
 // contract as SynthesizeContext: *BudgetExhaustedError on give-up,
 // ErrNoArchitecture only on a proof of impossibility.
-func SynthesizeMeasurementsContext(ctx context.Context, req *MeasurementRequirements) (*MeasurementArchitecture, error) {
+func SynthesizeMeasurementsContext(ctx context.Context, req *MeasurementRequirements) (res *MeasurementArchitecture, err error) {
 	if req.Attack == nil {
 		return nil, fmt.Errorf("synth: requirements carry no attack scenario")
 	}
@@ -179,8 +189,18 @@ func SynthesizeMeasurementsContext(ctx context.Context, req *MeasurementRequirem
 	defer cancelRun()
 	pol := req.Limits.policy()
 
-	attacks := make([]*core.Model, 0, 1+len(req.ExtraAttacks))
-	for _, sc := range append([]*core.Scenario{req.Attack}, req.ExtraAttacks...) {
+	scenarios := append([]*core.Scenario{req.Attack}, req.ExtraAttacks...)
+	var proofFiles []string
+	if req.ProofDir != "" {
+		var writers []*proof.Writer
+		scenarios, writers, proofFiles, err = withProofWriters(req.ProofDir, scenarios)
+		if err != nil {
+			return nil, err
+		}
+		defer closeProofWriters(writers, &err)
+	}
+	attacks := make([]*core.Model, 0, len(scenarios))
+	for _, sc := range scenarios {
 		m, err := core.NewModel(sc)
 		if err != nil {
 			return nil, fmt.Errorf("synth: attack model: %w", err)
@@ -192,7 +212,7 @@ func SynthesizeMeasurementsContext(ctx context.Context, req *MeasurementRequirem
 		return nil, err
 	}
 
-	arch := &MeasurementArchitecture{}
+	arch := &MeasurementArchitecture{ProofFiles: proofFiles}
 	var best []int
 	exhausted := func(reason error) error {
 		return &BudgetExhaustedError{

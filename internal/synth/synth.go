@@ -10,10 +10,12 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"path/filepath"
 	"sort"
 	"time"
 
 	"segrid/internal/core"
+	"segrid/internal/proof"
 	"segrid/internal/smt"
 )
 
@@ -64,6 +66,15 @@ type Requirements struct {
 	// Options configures the candidate selection solver; nil means
 	// smt.DefaultOptions.
 	Options *smt.Options
+
+	// ProofDir, when non-empty, turns on UNSAT certificate logging for the
+	// attack-verification solvers: attack model i (the primary attack is 0,
+	// ExtraAttacks follow in order) streams its certificates to
+	// <ProofDir>/attack-<i>.proof, one file covering every candidate check
+	// against that model. The files are listed on the returned Architecture
+	// and can be validated independently with cmd/proofcheck. The directory
+	// must already exist.
+	ProofDir string
 }
 
 // Architecture is a synthesized security architecture.
@@ -85,6 +96,11 @@ type Architecture struct {
 	// paper's Table IV).
 	SelectStats smt.Stats
 	VerifyStats smt.Stats
+
+	// ProofFiles lists the UNSAT certificate files written during
+	// verification when Requirements.ProofDir was set, in attack-model
+	// order. Empty otherwise.
+	ProofFiles []string
 }
 
 // Duration is the total synthesis time.
@@ -244,6 +260,48 @@ func (m *selectionModel) relaxBudget() error {
 	return nil
 }
 
+// withProofWriters rewires attack scenarios so each verification solver logs
+// UNSAT certificates to <dir>/attack-<i>.proof. Scenarios are shallow-copied
+// with cloned solver options, so callers' scenarios stay untouched. The
+// caller owns the returned writers (closeProofWriters).
+func withProofWriters(dir string, scs []*core.Scenario) ([]*core.Scenario, []*proof.Writer, []string, error) {
+	out := make([]*core.Scenario, len(scs))
+	writers := make([]*proof.Writer, 0, len(scs))
+	paths := make([]string, 0, len(scs))
+	for i, sc := range scs {
+		path := filepath.Join(dir, fmt.Sprintf("attack-%d.proof", i))
+		w, err := proof.Create(path)
+		if err != nil {
+			for _, prev := range writers {
+				prev.Close()
+			}
+			return nil, nil, nil, fmt.Errorf("synth: proof log: %w", err)
+		}
+		opts := smt.DefaultOptions()
+		if sc.Options != nil {
+			opts = *sc.Options
+		}
+		opts.Proof = w
+		scc := *sc
+		scc.Options = &opts
+		out[i] = &scc
+		writers = append(writers, w)
+		paths = append(paths, path)
+	}
+	return out, writers, paths, nil
+}
+
+// closeProofWriters flushes and closes certificate writers. A write error
+// invalidates the certificates, so it surfaces through errp — but never
+// masks an error the run itself already produced.
+func closeProofWriters(writers []*proof.Writer, errp *error) {
+	for _, w := range writers {
+		if cerr := w.Close(); cerr != nil && *errp == nil {
+			*errp = fmt.Errorf("synth: proof log: %w", cerr)
+		}
+	}
+}
+
 // Synthesize runs Algorithm 1: iterate candidate selection and attack
 // verification until a candidate makes the attack model unsat. It returns
 // ErrNoArchitecture when the candidate space is exhausted. It is
@@ -258,7 +316,7 @@ func Synthesize(req *Requirements) (*Architecture, error) {
 // graceful give-up (*BudgetExhaustedError, carrying the best unverified
 // candidate plus iteration stats) when a deadline, the iteration cap, or
 // the escalating per-candidate budget runs out.
-func SynthesizeContext(ctx context.Context, req *Requirements) (*Architecture, error) {
+func SynthesizeContext(ctx context.Context, req *Requirements) (res *Architecture, err error) {
 	if req.Attack == nil {
 		return nil, fmt.Errorf("synth: requirements carry no attack scenario")
 	}
@@ -269,8 +327,18 @@ func SynthesizeContext(ctx context.Context, req *Requirements) (*Architecture, e
 	defer cancelRun()
 	pol := req.Limits.policy()
 
-	attacks := make([]*core.Model, 0, 1+len(req.ExtraAttacks))
-	for _, sc := range append([]*core.Scenario{req.Attack}, req.ExtraAttacks...) {
+	scenarios := append([]*core.Scenario{req.Attack}, req.ExtraAttacks...)
+	var proofFiles []string
+	if req.ProofDir != "" {
+		var writers []*proof.Writer
+		scenarios, writers, proofFiles, err = withProofWriters(req.ProofDir, scenarios)
+		if err != nil {
+			return nil, err
+		}
+		defer closeProofWriters(writers, &err)
+	}
+	attacks := make([]*core.Model, 0, len(scenarios))
+	for _, sc := range scenarios {
 		m, err := core.NewModel(sc)
 		if err != nil {
 			return nil, fmt.Errorf("synth: attack model: %w", err)
@@ -282,7 +350,7 @@ func SynthesizeContext(ctx context.Context, req *Requirements) (*Architecture, e
 		return nil, err
 	}
 
-	arch := &Architecture{}
+	arch := &Architecture{ProofFiles: proofFiles}
 	var best []int
 	exhausted := func(reason error) error {
 		return &BudgetExhaustedError{
