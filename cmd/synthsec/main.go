@@ -22,6 +22,10 @@
 //	-check-proof      emit the certificates (to -proof, or a temp directory
 //	                  when -proof is unset) and verify each with the
 //	                  independent checker; an invalid certificate exits 1
+//	-trim-proof       rewrite each closed certificate in place, keeping only
+//	                  the records its Unsat answers depend on (each trimmed
+//	                  stream is re-verified before it replaces the original);
+//	                  -check-proof then checks the trimmed files
 //
 // Exit codes classify the outcome for scripted sweeps:
 //
@@ -76,6 +80,7 @@ func run(args []string) (int, error) {
 	freshEncode := fs.Bool("fresh-encode", false, "re-encode on every Check instead of solving incrementally (ablation)")
 	proofDir := fs.String("proof", "", "directory for per-attack-model UNSAT certificate streams")
 	checkProof := fs.Bool("check-proof", false, "emit the certificates and verify each with the independent checker (temp directory when -proof is unset)")
+	trimProof := fs.Bool("trim-proof", false, "trim each closed certificate in place before any -check-proof verification")
 	if err := fs.Parse(args); err != nil {
 		return exitError, nil // flag package already printed the problem
 	}
@@ -89,7 +94,10 @@ func run(args []string) (int, error) {
 			MaxPivots:    *maxPivots,
 		}
 	}
-	pc := proofConfig{dir: *proofDir, check: *checkProof}
+	pc := proofConfig{dir: *proofDir, check: *checkProof, trim: *trimProof}
+	if pc.trim && pc.dir == "" && !pc.check {
+		return exitError, fmt.Errorf("-trim-proof needs certificates to act on: set -proof (or -check-proof)")
+	}
 	if pc.check && pc.dir == "" {
 		tmp, err := os.MkdirTemp("", "synthsec-proof-")
 		if err != nil {
@@ -140,16 +148,19 @@ func run(args []string) (int, error) {
 	return exitFound, nil
 }
 
-// proofConfig carries the -proof/-check-proof settings through both
-// synthesis granularities.
+// proofConfig carries the -proof/-check-proof/-trim-proof settings through
+// both synthesis granularities.
 type proofConfig struct {
 	dir   string
 	check bool
+	trim  bool
 }
 
-// reportProofs lists the certificate files the run streamed and, with
-// -check-proof, verifies each with the independent checker. An invalid
-// certificate is an error: the run's unsat verdicts are then untrusted.
+// reportProofs lists the certificate files the run streamed, with -trim-proof
+// rewrites each in place keeping only the records its Unsat answers depend
+// on, and with -check-proof verifies each with the independent checker. An
+// invalid certificate is an error: the run's unsat verdicts are then
+// untrusted.
 func reportProofs(pc proofConfig) error {
 	if pc.dir == "" {
 		return nil
@@ -160,8 +171,18 @@ func reportProofs(pc proofConfig) error {
 	}
 	sort.Strings(files)
 	for _, f := range files {
+		if pc.trim {
+			st, err := proof.TrimFile(f)
+			if err != nil {
+				return fmt.Errorf("trimming %s: %w", f, err)
+			}
+			fmt.Printf("proof: %s trimmed %d → %d records, %d → %d bytes (%.1f×)\n",
+				f, st.RecordsBefore, st.RecordsAfter, st.BytesBefore, st.BytesAfter, st.Ratio())
+		}
 		if !pc.check {
-			fmt.Printf("proof: certificate streamed to %s\n", f)
+			if !pc.trim {
+				fmt.Printf("proof: certificate streamed to %s\n", f)
+			}
 			continue
 		}
 		rep, err := proof.CheckFile(f)

@@ -20,6 +20,10 @@
 //	-check-proof      emit the certificate (to -proof, or a temp file when
 //	                  -proof is unset) and verify it with the independent
 //	                  checker before exiting; an invalid certificate exits 1
+//	-trim-proof       after the certificate is closed, rewrite it in place
+//	                  keeping only the records its Unsat answers depend on
+//	                  (the trimmed stream is re-verified before it replaces
+//	                  the original); -check-proof then checks the trimmed file
 //
 // Exit codes classify the outcome for scripted sweeps:
 //
@@ -70,6 +74,7 @@ func run(args []string) (int, error) {
 	freshEncode := fs.Bool("fresh-encode", false, "re-encode on every Check instead of solving incrementally (ablation)")
 	proofPath := fs.String("proof", "", "stream an UNSAT certificate to this file")
 	checkProof := fs.Bool("check-proof", false, "emit the certificate and verify it with the independent checker (temp file when -proof is unset)")
+	trimProof := fs.Bool("trim-proof", false, "trim the closed certificate in place before any -check-proof verification")
 	if err := fs.Parse(args); err != nil {
 		return exitError, nil // flag package already printed the problem
 	}
@@ -83,6 +88,9 @@ func run(args []string) (int, error) {
 	sc, err := spec.Scenario()
 	if err != nil {
 		return exitError, err
+	}
+	if *trimProof && *proofPath == "" && !*checkProof {
+		return exitError, fmt.Errorf("-trim-proof needs a certificate to act on: set -proof (or -check-proof)")
 	}
 	if *checkProof && *proofPath == "" {
 		tmp, err := os.CreateTemp("", "ufdiverify-*.proof")
@@ -138,6 +146,14 @@ func run(args []string) (int, error) {
 			return exitError, fmt.Errorf("writing proof: %w", cerr)
 		}
 		fmt.Printf("proof: certificate streamed to %s\n", pw.Path())
+		if *trimProof {
+			st, err := proof.TrimFile(pw.Path())
+			if err != nil {
+				return exitError, fmt.Errorf("trimming proof: %w", err)
+			}
+			fmt.Printf("proof: trimmed %d → %d records, %d → %d bytes (%.1f×)\n",
+				st.RecordsBefore, st.RecordsAfter, st.BytesBefore, st.BytesAfter, st.Ratio())
+		}
 		if *checkProof {
 			rep, err := proof.CheckFile(pw.Path())
 			if err != nil {

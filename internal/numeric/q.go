@@ -74,6 +74,17 @@ func qDemote(r *big.Rat) Q {
 // int64 fast path.
 func (q Q) IsBig() bool { return q.b != nil }
 
+// Small returns q's machine-word representation (in lowest terms, with a
+// positive denominator) and true when q is carried by the fast path, or a
+// zero Rat64 and false when q is promoted. Serializers use it to emit small
+// rationals as two integers instead of text.
+func (q Q) Small() (Rat64, bool) {
+	if q.b != nil {
+		return Rat64{}, false
+	}
+	return Rat64{Num: q.s.Num, Den: q.s.den()}, true
+}
+
 // Rat returns q as a *big.Rat. For promoted values this is the shared
 // internal rational: treat it as read-only. For fast-path values a fresh
 // rational is allocated.

@@ -6,6 +6,7 @@ import (
 	"io"
 	"os"
 
+	"segrid/internal/cnf"
 	"segrid/internal/numeric"
 	"segrid/internal/sat"
 )
@@ -19,21 +20,30 @@ type Report struct {
 	TheoryLemmas int
 	Deletes      int
 	UnsatChecks  int
+	GateDefs     int
+	CardDefs     int
+	// DefClauses counts definitional clauses the checker re-derived through
+	// the cnf kernel from gate/cardinality provenance records (they are not
+	// serialized in the stream).
+	DefClauses int
 }
 
 // String renders the report for CLI output.
 func (r *Report) String() string {
-	return fmt.Sprintf("%d records: %d inputs, %d derived, %d theory lemmas, %d deletions, %d unsat checks, %d restarts",
-		r.Records, r.Inputs, r.Derived, r.TheoryLemmas, r.Deletes, r.UnsatChecks, r.Restarts)
+	return fmt.Sprintf("%d records: %d inputs, %d derived, %d theory lemmas, %d deletions, %d unsat checks, %d restarts, %d gate defs + %d card defs (%d clauses re-derived)",
+		r.Records, r.Inputs, r.Derived, r.TheoryLemmas, r.Deletes, r.UnsatChecks, r.Restarts, r.GateDefs, r.CardDefs, r.DefClauses)
 }
 
 // Check verifies a proof stream: every derived clause must pass reverse unit
 // propagation (with a RAT fallback on its first literal), every theory lemma
 // must carry valid Farkas coefficients over the recorded atom and slack
-// definitions, and every Unsat record must close under unit propagation from
-// its assumptions. The checker trusts only the input clauses and the
-// definitions; it shares no search code with the solver and does arithmetic
-// exclusively through internal/numeric.
+// definitions, every gate/cardinality definitional clause is re-derived
+// through the shared cnf kernel from its provenance record (with the output
+// and register variables required fresh, so a definitional extension cannot
+// constrain existing variables), and every Unsat record must close under
+// unit propagation from its assumptions. The checker trusts only the
+// genuinely asserted input clauses; it shares no search code with the solver
+// and does arithmetic exclusively through internal/numeric.
 func Check(r io.Reader) (*Report, error) {
 	pr, err := NewReader(r)
 	if err != nil {
@@ -80,6 +90,7 @@ const (
 // assignments are permanent, so the purge stays valid). Inactive clauses
 // (tautologies, clauses satisfied at the root) take no part in propagation.
 type ckClause struct {
+	id       uint64
 	lits     []sat.Lit
 	deleted  bool
 	inactive bool
@@ -98,15 +109,31 @@ type checker struct {
 	clauses map[uint64]*ckClause
 	watches [][]*ckClause // indexed by int(Lit)
 	assigns []vval        // indexed by int(Var)
+	reasons []*ckClause   // indexed by int(Var): the clause that propagated it
 	trail   []sat.Lit
 	qhead   int
 
+	// seen marks SAT variables referenced by any earlier record of the
+	// current segment; gate outputs and cardinality registers must be
+	// unseen, or a "definitional" record could constrain existing variables
+	// and certify a wrong UNSAT.
+	seen []bool
+
 	rootConflict bool
+
+	// arena backs the kernel re-derivation of definitional clauses; install
+	// copies the literals it keeps, so views can be recycled per record.
+	arena cnf.Arena
 
 	slackDefs map[int][]Term
 	atoms     map[int]atomBound
 
 	unsatSeen uint64
+
+	// tr, when non-nil, records the dependency structure of the replay for
+	// the backward trimming pass; recIdx is the record being applied.
+	tr     *trimTracer
+	recIdx int
 }
 
 func newChecker() *checker {
@@ -121,18 +148,35 @@ func (c *checker) reset() {
 	c.clauses = make(map[uint64]*ckClause)
 	c.watches = nil
 	c.assigns = nil
+	c.reasons = nil
 	c.trail = nil
 	c.qhead = 0
+	c.seen = nil
 	c.rootConflict = false
 	c.slackDefs = make(map[int][]Term)
 	c.atoms = make(map[int]atomBound)
+	if c.tr != nil {
+		c.tr.resetSegment()
+	}
 }
 
 func (c *checker) ensureVar(v sat.Var) {
 	for int(v) >= len(c.assigns) {
 		c.assigns = append(c.assigns, vUndef)
+		c.reasons = append(c.reasons, nil)
+		c.seen = append(c.seen, false)
 		c.watches = append(c.watches, nil, nil)
 	}
+}
+
+// markSeen records that v is referenced by the current record.
+func (c *checker) markSeen(v sat.Var) {
+	c.ensureVar(v)
+	c.seen[v] = true
+}
+
+func (c *checker) isSeen(v sat.Var) bool {
+	return int(v) < len(c.seen) && c.seen[v]
 }
 
 func (c *checker) value(l sat.Lit) vval {
@@ -149,21 +193,23 @@ func (c *checker) value(l sat.Lit) vval {
 	return a
 }
 
-// assign makes l true and pushes it on the trail. The caller guarantees l is
+// assign makes l true and pushes it on the trail, remembering the clause
+// that forced it (nil for assumed literals). The caller guarantees l is
 // currently unassigned.
-func (c *checker) assign(l sat.Lit) {
+func (c *checker) assign(l sat.Lit, reason *ckClause) {
 	c.ensureVar(l.Var())
 	if l.IsNeg() {
 		c.assigns[l.Var()] = vFalse
 	} else {
 		c.assigns[l.Var()] = vTrue
 	}
+	c.reasons[l.Var()] = reason
 	c.trail = append(c.trail, l)
 }
 
-// propagate runs unit propagation to fixpoint, reporting whether a conflict
-// was found.
-func (c *checker) propagate() bool {
+// propagate runs unit propagation to fixpoint, returning the conflicting
+// clause, or nil when none was found.
+func (c *checker) propagate() *ckClause {
 	for c.qhead < len(c.trail) {
 		p := c.trail[c.qhead] // p is true; visit clauses watching ¬p
 		c.qhead++
@@ -200,19 +246,20 @@ func (c *checker) propagate() bool {
 				kept = append(kept, ws[i+1:]...)
 				c.watches[p] = kept
 				c.qhead = len(c.trail)
-				return true
+				return cl
 			}
-			c.assign(first)
+			c.assign(first, cl)
 		}
 		c.watches[p] = kept
 	}
-	return false
+	return nil
 }
 
 // undo retracts every assignment above the trail mark.
 func (c *checker) undo(mark int) {
 	for i := len(c.trail) - 1; i >= mark; i-- {
 		c.assigns[c.trail[i].Var()] = vUndef
+		c.reasons[c.trail[i].Var()] = nil
 	}
 	c.trail = c.trail[:mark]
 	c.qhead = mark
@@ -230,16 +277,31 @@ func (c *checker) rup(lits []sat.Lit) bool {
 		case vTrue:
 			// l already holds at the root, so assuming ¬l is an immediate
 			// contradiction: the clause is implied.
-			conflict = true
+			if !conflict {
+				conflict = true
+				c.noteConflict(nil, l)
+			}
 		case vUndef:
-			c.assign(l.Not())
+			c.assign(l.Not(), nil)
 		}
 	}
 	if !conflict {
-		conflict = c.propagate()
+		if cl := c.propagate(); cl != nil {
+			conflict = true
+			c.noteConflict(cl, sat.LitUndef)
+		}
 	}
 	c.undo(mark)
 	return conflict
+}
+
+// noteConflict hands the trimming tracer the clauses a just-found conflict
+// rests on: the conflicting clause (or a root-true literal) plus the reason
+// chain behind every falsified literal. A plain Check pays one nil test.
+func (c *checker) noteConflict(conflict *ckClause, rootLit sat.Lit) {
+	if c.tr != nil {
+		c.tr.addConflictDeps(c, conflict, rootLit)
+	}
 }
 
 // rat checks the clause by resolution asymmetric tautology on its first
@@ -250,6 +312,11 @@ func (c *checker) rup(lits []sat.Lit) bool {
 func (c *checker) rat(lits []sat.Lit) bool {
 	if len(lits) == 0 {
 		return false
+	}
+	if c.tr != nil {
+		// RAT justifications depend on the *absence* of resolution partners,
+		// which trimming could invalidate; the trimmer bails out instead.
+		c.tr.usedRAT = true
 	}
 	pivot := lits[0]
 	neg := pivot.Not()
@@ -321,27 +388,33 @@ func (c *checker) install(id uint64, lits []sat.Lit) error {
 	if _, dup := c.clauses[id]; dup {
 		return fmt.Errorf("duplicate clause id %d", id)
 	}
-	cl := &ckClause{}
+	cl := &ckClause{id: id}
 	c.clauses[id] = cl
+	if c.tr != nil {
+		c.tr.noteInstall(c, id)
+	}
 
-	seen := make(map[sat.Lit]bool, len(lits))
+	dedup := make(map[sat.Lit]bool, len(lits))
 	out := make([]sat.Lit, 0, len(lits))
 	satisfied := false
 	taut := false
 	for _, l := range lits {
-		c.ensureVar(l.Var())
-		if seen[l] {
+		c.markSeen(l.Var())
+		if dedup[l] {
 			continue
 		}
-		if seen[l.Not()] {
+		if dedup[l.Not()] {
 			taut = true
 		}
-		seen[l] = true
+		dedup[l] = true
 		switch c.value(l) {
 		case vTrue:
 			satisfied = true
 		case vFalse:
-			continue // permanently false at the root
+			// Permanently false at the root: dropping l is justified by the
+			// records that made it false, which the trimmer must keep.
+			c.noteConflict(nil, l.Not())
+			continue
 		}
 		out = append(out, l)
 	}
@@ -354,17 +427,28 @@ func (c *checker) install(id uint64, lits []sat.Lit) error {
 	case 0:
 		c.rootConflict = true
 		cl.inactive = true
+		c.noteRootConflict(cl, sat.LitUndef)
 	case 1:
 		cl.inactive = true // the unit lives in the root assignment instead
-		c.assign(out[0])
-		if c.propagate() {
+		c.assign(out[0], cl)
+		if conf := c.propagate(); conf != nil {
 			c.rootConflict = true
+			c.noteRootConflict(conf, sat.LitUndef)
 		}
 	default:
 		c.watches[out[0].Not()] = append(c.watches[out[0].Not()], cl)
 		c.watches[out[1].Not()] = append(c.watches[out[1].Not()], cl)
 	}
 	return nil
+}
+
+// noteRootConflict records the dependency set of the segment's permanent
+// root conflict: every later record is entailed by it, so the trimmer
+// charges them to this set.
+func (c *checker) noteRootConflict(conflict *ckClause, rootLit sat.Lit) {
+	if c.tr != nil {
+		c.tr.noteRootConflict(c, conflict, rootLit)
+	}
 }
 
 // checkFarkas verifies a theory lemma: the Farkas combination of the bounds
@@ -404,6 +488,9 @@ func (c *checker) checkFarkas(rec *Record) error {
 		if !ok {
 			return fmt.Errorf("literal %v has no atom definition", bl)
 		}
+		if c.tr != nil {
+			c.tr.noteAtom(c, int(bl.Var()))
+		}
 		if bl.IsNeg() {
 			// slack ≥ neg, i.e. −slack ≤ −neg.
 			addTerm(ab.slack, lam.Neg())
@@ -429,6 +516,9 @@ func (c *checker) checkFarkas(rec *Record) error {
 		}
 		coeff := linear[v]
 		delete(linear, v)
+		if c.tr != nil {
+			c.tr.noteSlack(c, v)
+		}
 		for _, t := range c.slackDefs[v] {
 			addTerm(t.Var, coeff.Mul(t.Coeff))
 		}
@@ -439,6 +529,90 @@ func (c *checker) checkFarkas(rec *Record) error {
 	if rhs.Cmp(numeric.DeltaFromInt(0)) >= 0 {
 		return errors.New("farkas combination is not contradictory")
 	}
+	return nil
+}
+
+// noteEntailedByRoot charges a record whose check was skipped (the root
+// assignment is already contradictory) to the records that established the
+// root conflict, so trimming keeps its justification.
+func (c *checker) noteEntailedByRoot() {
+	if c.tr != nil {
+		c.tr.noteEntailedByRoot(c)
+	}
+}
+
+// applyGateDef re-derives a Tseitin definition through the cnf kernel and
+// installs the derived clauses under the record's claimed id range. The
+// output variable must be fresh — unseen by every earlier record of the
+// segment — because the gate clauses constrain it as a pure definitional
+// extension; a "definition" of an already-constrained variable could turn a
+// satisfiable clause set contradictory and certify a wrong UNSAT.
+func (c *checker) applyGateDef(rec *Record, rep *Report) error {
+	if !rec.Gate.Valid() {
+		return fmt.Errorf("unknown gate shape %d", rec.Gate)
+	}
+	if rec.Var < 0 || rec.Var > maxProofVar {
+		return fmt.Errorf("gate output variable %d out of range", rec.Var)
+	}
+	// Inputs are referenced (hence seen) before the output freshness check,
+	// so a self-referential gate is rejected too.
+	for _, l := range rec.Lits {
+		c.markSeen(l.Var())
+	}
+	out := sat.Var(rec.Var)
+	if c.isSeen(out) {
+		return fmt.Errorf("gate output variable %d is not fresh", rec.Var)
+	}
+	clauses := c.arena.GateClauses(rec.Gate, sat.PosLit(out), rec.Lits)
+	for i, cl := range clauses {
+		if err := c.install(rec.ID+uint64(i), cl); err != nil {
+			return err
+		}
+	}
+	rep.DefClauses += len(clauses)
+	return nil
+}
+
+// applyCardDef re-derives a cardinality circuit through the cnf kernel and
+// installs the derived clauses under the record's claimed id range. Every
+// register variable must be fresh, for the same soundness reason as gate
+// outputs; the counted literals and the guard are ordinary references.
+func (c *checker) applyCardDef(rec *Record, rep *Report) error {
+	if !rec.Enc.Valid() {
+		return fmt.Errorf("unknown cardinality encoding %d", rec.Enc)
+	}
+	if rec.Var < 0 || rec.Var > maxProofVar {
+		return fmt.Errorf("cardinality register variable %d out of range", rec.Var)
+	}
+	count, ok := cnf.CardClauseCount(len(rec.Lits), rec.K, rec.Enc, maxProofLen)
+	if !ok {
+		return fmt.Errorf("cardinality circuit over %d literals with bound %d derives too many clauses", len(rec.Lits), rec.K)
+	}
+	if count == 0 {
+		return fmt.Errorf("cardinality circuit over %d literals with bound %d derives no clauses", len(rec.Lits), rec.K)
+	}
+	for _, l := range rec.Lits {
+		c.markSeen(l.Var())
+	}
+	if rec.Guard != sat.LitUndef {
+		c.markSeen(rec.Guard.Var())
+	}
+	nFresh := cnf.CardFreshVars(len(rec.Lits), rec.K, rec.Enc)
+	if rec.Var+nFresh-1 > maxProofVar {
+		return fmt.Errorf("cardinality circuit registers %d..%d out of range", rec.Var, rec.Var+nFresh-1)
+	}
+	for i := 0; i < nFresh; i++ {
+		if c.isSeen(sat.Var(rec.Var + i)) {
+			return fmt.Errorf("cardinality register variable %d is not fresh", rec.Var+i)
+		}
+	}
+	clauses := c.arena.AtMostK(rec.Lits, rec.K, rec.Enc, sat.Var(rec.Var), rec.Guard)
+	for i, cl := range clauses {
+		if err := c.install(rec.ID+uint64(i), cl); err != nil {
+			return err
+		}
+	}
+	rep.DefClauses += len(clauses)
 	return nil
 }
 
@@ -463,28 +637,45 @@ func (c *checker) apply(rec *Record, rep *Report) error {
 			}
 		}
 		c.slackDefs[rec.Var] = rec.Terms
+		if c.tr != nil {
+			c.tr.slackRec[rec.Var] = c.recIdx
+		}
 	case KindAtomDef:
 		if _, dup := c.atoms[rec.Var]; dup {
 			return fmt.Errorf("atom variable %d redefined", rec.Var)
 		}
+		if rec.Var >= 0 {
+			c.markSeen(sat.Var(rec.Var))
+		}
 		c.atoms[rec.Var] = atomBound{slack: rec.Slack, pos: rec.Pos, neg: rec.Neg}
+		if c.tr != nil {
+			c.tr.atomRec[rec.Var] = c.recIdx
+		}
 	case KindInput:
 		rep.Inputs++
 		return c.install(rec.ID, rec.Lits)
 	case KindDerived:
 		rep.Derived++
-		if !c.rootConflict && !c.rup(rec.Lits) && !c.rat(rec.Lits) {
+		if c.rootConflict {
+			c.noteEntailedByRoot()
+		} else if !c.rup(rec.Lits) && !c.rat(rec.Lits) {
 			return fmt.Errorf("clause %d is neither RUP nor RAT", rec.ID)
 		}
 		return c.install(rec.ID, rec.Lits)
 	case KindTheoryLemma:
 		rep.TheoryLemmas++
-		if !c.rootConflict {
-			if err := c.checkFarkas(rec); err != nil {
-				return fmt.Errorf("lemma %d: %w", rec.ID, err)
-			}
+		if c.rootConflict {
+			c.noteEntailedByRoot()
+		} else if err := c.checkFarkas(rec); err != nil {
+			return fmt.Errorf("lemma %d: %w", rec.ID, err)
 		}
 		return c.install(rec.ID, rec.Lits)
+	case KindGateDef:
+		rep.GateDefs++
+		return c.applyGateDef(rec, rep)
+	case KindCardDef:
+		rep.CardDefs++
+		return c.applyCardDef(rec, rep)
 	case KindDelete:
 		rep.Deletes++
 		cl, ok := c.clauses[rec.ID]
@@ -499,7 +690,11 @@ func (c *checker) apply(rec *Record, rep *Report) error {
 		if rec.Check != c.unsatSeen {
 			return fmt.Errorf("unsat check numbered %d, expected %d", rec.Check, c.unsatSeen)
 		}
+		for _, l := range rec.Lits {
+			c.markSeen(l.Var())
+		}
 		if c.rootConflict {
+			c.noteEntailedByRoot()
 			return nil
 		}
 		// Assuming every selector true must propagate to a conflict — which

@@ -13,6 +13,14 @@
 // arithmetic from internal/numeric — it deliberately shares no search code
 // with the solver, so a bug in the solver's propagation, learning or simplex
 // cannot also hide in the verification path.
+//
+// Format version 2 closes the encoding trust gap: Tseitin gates and
+// cardinality circuits travel as provenance records (KindGateDef,
+// KindCardDef) instead of opaque input clauses, and the checker re-derives
+// every definitional clause through the shared internal/cnf kernel. A
+// certificate can no longer smuggle in a wrong "definitional" clause — the
+// trusted base shrinks to the kernel, internal/numeric, and the genuinely
+// asserted problem clauses.
 package proof
 
 import (
@@ -21,14 +29,25 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math"
 	"math/big"
 
+	"segrid/internal/cnf"
 	"segrid/internal/numeric"
 	"segrid/internal/sat"
 )
 
-// magic identifies a segrid proof stream (format version 1).
-const magic = "SGPF1\n"
+// magic identifies a segrid proof stream (format version 2).
+const magic = "SGPF2\n"
+
+// magicPrefix is shared by every format version; a stream that starts with
+// it but not with magic is a version mismatch, not corruption.
+const magicPrefix = "SGPF"
+
+// ErrVersion reports a well-formed segrid proof stream written in a format
+// version this reader does not speak. Tools distinguish it from corruption
+// (errors.Is) so version skew fails loudly with its own exit code.
+var ErrVersion = errors.New("certificate version mismatch")
 
 // Kind discriminates proof records.
 type Kind uint8
@@ -64,6 +83,21 @@ const (
 	// assumption literals (the live scope selectors, empty for an absolute
 	// UNSAT) are contradictory by unit propagation alone.
 	KindUnsat
+	// KindGateDef records the provenance of a Tseitin definition: Var is the
+	// fresh output variable, Gate the shape, Lits the input literals. The
+	// record claims clause ids ID … ID+n−1 for the definitional clauses the
+	// cnf kernel derives from it; the clauses themselves are not serialized —
+	// the checker re-derives and installs them, refusing the record unless
+	// the output variable is fresh (a definitional extension must not
+	// constrain existing variables).
+	KindGateDef
+	// KindCardDef records the provenance of a cardinality circuit asserting
+	// Σ Lits ≤ K under encoding Enc, with Var the first of the circuit's
+	// consecutive fresh register variables and Guard the scope guard literal
+	// (LitUndef when unguarded). Like KindGateDef it claims ID … ID+n−1 and
+	// serializes no clauses; the checker re-derives them and requires every
+	// register variable to be fresh.
+	KindCardDef
 )
 
 func (k Kind) String() string {
@@ -84,6 +118,10 @@ func (k Kind) String() string {
 		return "delete"
 	case KindUnsat:
 		return "unsat"
+	case KindGateDef:
+		return "gatedef"
+	case KindCardDef:
+		return "carddef"
 	default:
 		return fmt.Sprintf("kind(%d)", uint8(k))
 	}
@@ -102,21 +140,38 @@ type Record struct {
 	Kind Kind
 
 	// ID numbers input, derived and theory-lemma clauses; Delete references
-	// it. IDs are unique across the whole stream (they are not reset by a
-	// restart).
+	// it. A GateDef/CardDef record claims the contiguous id range starting
+	// at ID for its derived clauses. IDs are unique across the whole stream
+	// (they are not reset by a restart).
 	ID uint64
 
-	// Lits is the clause body (Input/Derived/TheoryLemma) or the assumption
-	// set (Unsat).
+	// Lits is the clause body (Input/Derived/TheoryLemma), the assumption
+	// set (Unsat), the gate inputs (GateDef) or the counted literals
+	// (CardDef).
 	Lits []sat.Lit
 
 	// Coeffs are the Farkas coefficients of a theory lemma, parallel to
 	// Lits.
 	Coeffs []numeric.Q
 
-	// Var is the defined simplex variable (SlackDef) or the SAT variable
-	// (AtomDef).
+	// Var is the defined simplex variable (SlackDef), the SAT variable
+	// (AtomDef), the gate output variable (GateDef) or the first fresh
+	// register variable (CardDef).
 	Var int
+
+	// Gate is the Tseitin gate shape (GateDef).
+	Gate cnf.Gate
+
+	// Enc is the cardinality encoding (CardDef).
+	Enc cnf.CardEncoding
+
+	// K is the cardinality bound (CardDef); it may be negative, in which
+	// case the circuit is the single (guarded) empty clause.
+	K int
+
+	// Guard is the scope guard literal of a cardinality circuit (CardDef),
+	// or sat.LitUndef when the circuit is unguarded.
+	Guard sat.Lit
 
 	// Slack is the simplex variable an atom bounds (AtomDef).
 	Slack int
@@ -131,19 +186,37 @@ type Record struct {
 	Check uint64
 }
 
-// encoder serializes records into a byte buffer. Rationals travel as their
-// canonical RatString ("n" or "n/d"), which covers the big-rational fallback
-// of numeric.Q uniformly; proofs are only written when logging is enabled,
-// so compactness matters less than having a single untricky code path.
+// Rational wire tags: a machine-word rational travels as two varints, a
+// promoted big.Rat falls back to its canonical RatString text.
+const (
+	ratSmall byte = 0
+	ratBig   byte = 1
+)
+
+// encoder serializes records into a byte buffer. Rationals on the numeric.Q
+// fast path travel as a signed-varint numerator plus uvarint denominator —
+// two ints instead of formatting text, which dominated the proof-logging
+// overhead on verification workloads (BENCH_4) — with RatString text as the
+// fallback for promoted big.Rats.
 type encoder struct {
 	buf []byte
 }
 
-func (e *encoder) uvarint(v uint64)  { e.buf = binary.AppendUvarint(e.buf, v) }
-func (e *encoder) byte(b byte)       { e.buf = append(e.buf, b) }
-func (e *encoder) bytes(b []byte)    { e.uvarint(uint64(len(b))); e.buf = append(e.buf, b...) }
-func (e *encoder) lit(l sat.Lit)     { e.uvarint(uint64(uint32(l))) }
-func (e *encoder) rat(q numeric.Q)   { e.bytes([]byte(q.RatString())) }
+func (e *encoder) uvarint(v uint64) { e.buf = binary.AppendUvarint(e.buf, v) }
+func (e *encoder) varint(v int64)   { e.buf = binary.AppendVarint(e.buf, v) }
+func (e *encoder) byte(b byte)      { e.buf = append(e.buf, b) }
+func (e *encoder) bytes(b []byte)   { e.uvarint(uint64(len(b))); e.buf = append(e.buf, b...) }
+func (e *encoder) lit(l sat.Lit)    { e.uvarint(uint64(uint32(l))) }
+func (e *encoder) rat(q numeric.Q) {
+	if s, ok := q.Small(); ok {
+		e.byte(ratSmall)
+		e.varint(s.Num)
+		e.uvarint(uint64(s.Den))
+		return
+	}
+	e.byte(ratBig)
+	e.bytes([]byte(q.RatString()))
+}
 func (e *encoder) delta(d numeric.Delta) {
 	e.rat(d.StdQ())
 	e.rat(d.InfQ())
@@ -188,6 +261,24 @@ func (e *encoder) record(r *Record) {
 		for _, l := range r.Lits {
 			e.lit(l)
 		}
+	case KindGateDef:
+		e.uvarint(r.ID)
+		e.byte(byte(r.Gate))
+		e.uvarint(uint64(r.Var))
+		e.uvarint(uint64(len(r.Lits)))
+		for _, l := range r.Lits {
+			e.lit(l)
+		}
+	case KindCardDef:
+		e.uvarint(r.ID)
+		e.byte(byte(r.Enc))
+		e.varint(int64(r.K))
+		e.uvarint(uint64(r.Var))
+		e.lit(r.Guard)
+		e.uvarint(uint64(len(r.Lits)))
+		for _, l := range r.Lits {
+			e.lit(l)
+		}
 	default:
 		panic(fmt.Sprintf("proof: encoding unknown record kind %d", r.Kind))
 	}
@@ -198,7 +289,8 @@ type Reader struct {
 	br *bufio.Reader
 }
 
-// NewReader wraps r, checking the stream header.
+// NewReader wraps r, checking the stream header. A stream written in a
+// different format version yields an error wrapping ErrVersion.
 func NewReader(r io.Reader) (*Reader, error) {
 	br := bufio.NewReader(r)
 	head := make([]byte, len(magic))
@@ -206,6 +298,10 @@ func NewReader(r io.Reader) (*Reader, error) {
 		return nil, fmt.Errorf("proof: reading header: %w", err)
 	}
 	if string(head) != magic {
+		if string(head[:len(magicPrefix)]) == magicPrefix {
+			return nil, fmt.Errorf("proof: stream has format header %q, this checker reads %q: %w",
+				head[:len(magic)-1], magic[:len(magic)-1], ErrVersion)
+		}
 		return nil, errors.New("proof: not a segrid proof stream (bad magic)")
 	}
 	return &Reader{br: br}, nil
@@ -296,6 +392,53 @@ func (r *Reader) Next() (*Record, error) {
 		if rec.Lits, err = r.lits(); err != nil {
 			return nil, err
 		}
+	case KindGateDef:
+		if rec.ID, err = r.uvarint(); err != nil {
+			return nil, err
+		}
+		g, err := r.br.ReadByte()
+		if err != nil {
+			return nil, fmt.Errorf("proof: truncated record: %w", io.ErrUnexpectedEOF)
+		}
+		rec.Gate = cnf.Gate(g)
+		if !rec.Gate.Valid() {
+			return nil, fmt.Errorf("proof: unknown gate shape %d", g)
+		}
+		if rec.Var, err = r.varIndex(); err != nil {
+			return nil, err
+		}
+		if rec.Lits, err = r.lits(); err != nil {
+			return nil, err
+		}
+	case KindCardDef:
+		if rec.ID, err = r.uvarint(); err != nil {
+			return nil, err
+		}
+		en, err := r.br.ReadByte()
+		if err != nil {
+			return nil, fmt.Errorf("proof: truncated record: %w", io.ErrUnexpectedEOF)
+		}
+		rec.Enc = cnf.CardEncoding(en)
+		if !rec.Enc.Valid() {
+			return nil, fmt.Errorf("proof: unknown cardinality encoding %d", en)
+		}
+		k, err := binary.ReadVarint(r.br)
+		if err != nil {
+			return nil, fmt.Errorf("proof: truncated record: %w", io.ErrUnexpectedEOF)
+		}
+		if k > maxProofLen || k < -maxProofLen {
+			return nil, fmt.Errorf("proof: cardinality bound %d out of range", k)
+		}
+		rec.K = int(k)
+		if rec.Var, err = r.varIndex(); err != nil {
+			return nil, err
+		}
+		if rec.Guard, err = r.guardLit(); err != nil {
+			return nil, err
+		}
+		if rec.Lits, err = r.lits(); err != nil {
+			return nil, err
+		}
 	default:
 		return nil, fmt.Errorf("proof: unknown record kind %d", tag)
 	}
@@ -305,6 +448,13 @@ func (r *Reader) Next() (*Record, error) {
 // maxProofLen caps per-record element counts so a corrupted length prefix
 // cannot drive a multi-gigabyte allocation before the payload read fails.
 const maxProofLen = 1 << 24
+
+// maxProofVar caps SAT variable indices in a stream: the checker's
+// assignment and watch arrays are indexed by variable, so an adversarial
+// record naming variable 2³¹ must fail in the reader, not allocate
+// gigabytes. Real certificates stay far below this (the largest tracked
+// workloads use well under a million variables).
+const maxProofVar = 1 << 22
 
 func (r *Reader) uvarint() (uint64, error) {
 	v, err := binary.ReadUvarint(r.br)
@@ -329,7 +479,7 @@ func (r *Reader) lits() ([]sat.Lit, error) {
 			return nil, err
 		}
 		l := sat.Lit(uint32(v))
-		if l < 0 {
+		if l < 0 || int(l.Var()) > maxProofVar {
 			return nil, fmt.Errorf("proof: literal %d out of range", v)
 		}
 		out[i] = l
@@ -337,23 +487,73 @@ func (r *Reader) lits() ([]sat.Lit, error) {
 	return out, nil
 }
 
-func (r *Reader) rat() (numeric.Q, error) {
-	n, err := r.uvarint()
+// varIndex reads a SAT variable index, bounded like clause literals.
+func (r *Reader) varIndex() (int, error) {
+	v, err := r.uvarint()
 	if err != nil {
-		return numeric.Q{}, err
+		return 0, err
 	}
-	if n > maxProofLen {
-		return numeric.Q{}, fmt.Errorf("proof: rational literal of %d bytes exceeds limit", n)
+	if v > maxProofVar {
+		return 0, fmt.Errorf("proof: variable index %d out of range", v)
 	}
-	buf := make([]byte, n)
-	if _, err := io.ReadFull(r.br, buf); err != nil {
-		return numeric.Q{}, fmt.Errorf("proof: truncated rational: %w", err)
+	return int(v), nil
+}
+
+// guardLit reads a guard literal: a bounded literal or sat.LitUndef.
+func (r *Reader) guardLit() (sat.Lit, error) {
+	v, err := r.uvarint()
+	if err != nil {
+		return 0, err
 	}
-	rat, ok := new(big.Rat).SetString(string(buf))
-	if !ok {
-		return numeric.Q{}, fmt.Errorf("proof: malformed rational %q", buf)
+	l := sat.Lit(uint32(v))
+	if l == sat.LitUndef {
+		return l, nil
 	}
-	return numeric.QFromRat(rat), nil
+	if l < 0 || int(l.Var()) > maxProofVar {
+		return 0, fmt.Errorf("proof: guard literal %d out of range", v)
+	}
+	return l, nil
+}
+
+func (r *Reader) rat() (numeric.Q, error) {
+	tag, err := r.br.ReadByte()
+	if err != nil {
+		return numeric.Q{}, fmt.Errorf("proof: truncated rational: %w", io.ErrUnexpectedEOF)
+	}
+	switch tag {
+	case ratSmall:
+		num, err := binary.ReadVarint(r.br)
+		if err != nil {
+			return numeric.Q{}, fmt.Errorf("proof: truncated rational: %w", io.ErrUnexpectedEOF)
+		}
+		den, err := binary.ReadUvarint(r.br)
+		if err != nil {
+			return numeric.Q{}, fmt.Errorf("proof: truncated rational: %w", io.ErrUnexpectedEOF)
+		}
+		if den == 0 || den > math.MaxInt64 {
+			return numeric.Q{}, fmt.Errorf("proof: rational denominator %d out of range", den)
+		}
+		return numeric.QFromFrac(num, int64(den)), nil
+	case ratBig:
+		n, err := r.uvarint()
+		if err != nil {
+			return numeric.Q{}, err
+		}
+		if n > maxProofLen {
+			return numeric.Q{}, fmt.Errorf("proof: rational literal of %d bytes exceeds limit", n)
+		}
+		buf := make([]byte, n)
+		if _, err := io.ReadFull(r.br, buf); err != nil {
+			return numeric.Q{}, fmt.Errorf("proof: truncated rational: %w", err)
+		}
+		rat, ok := new(big.Rat).SetString(string(buf))
+		if !ok {
+			return numeric.Q{}, fmt.Errorf("proof: malformed rational %q", buf)
+		}
+		return numeric.QFromRat(rat), nil
+	default:
+		return numeric.Q{}, fmt.Errorf("proof: unknown rational tag %d", tag)
+	}
 }
 
 func (r *Reader) delta() (numeric.Delta, error) {

@@ -133,7 +133,7 @@ const (
 	varActivityDecay    = 1.0 / 0.95
 	clauseActivityDecay = 1.0 / 0.999
 	rescaleLimit        = 1e100
-	lubyUnit            = 128 // conflicts per restart unit
+	lubyUnit            = 128  // conflicts per restart unit
 	stopPollInterval    = 4096 // propagations between Stop polls
 )
 
@@ -323,7 +323,7 @@ func (s *Solver) watchAppend(l Lit, w watcher) {
 		}
 		n := len(s.watchMem)
 		s.watchMem = s.watchMem[:n+blockCap]
-		ws = s.watchMem[n:n:n+blockCap]
+		ws = s.watchMem[n : n : n+blockCap]
 	}
 	s.watches[l] = append(ws, w)
 }

@@ -3,6 +3,7 @@ package smt
 import (
 	"fmt"
 
+	"segrid/internal/cnf"
 	"segrid/internal/sat"
 )
 
@@ -34,82 +35,36 @@ func (e *encoder) assertCard(cc cardConstraint) error {
 	return nil
 }
 
-// atMostK encodes Σ lits ≤ k. Every circuit clause goes through the guarded
-// add: unlike the Tseitin definitions, the counting clauses are
-// one-directional constraints over the input literals, so they must stop
-// binding once their scope is popped.
+// atMostK encodes Σ lits ≤ k through the shared cnf kernel (sequential
+// counter by default, pairwise under the NaiveCardinality ablation). Unlike
+// Tseitin definitions, the counting clauses are one-directional constraints
+// over the input literals, so every clause carries the current scope's
+// negated selector as a guard and stops binding once the scope is popped.
+// The circuit's provenance (inputs, bound, encoding, first register
+// variable, guard) is logged; the proof writer swallows the clauses after
+// matching them against the same kernel derivation.
 func (e *encoder) atMostK(lits []sat.Lit, k int) {
-	n := len(lits)
-	if k >= n {
-		return
-	}
-	if k < 0 {
-		e.add() // unsatisfiable in this scope
-		return
-	}
-	if k == 0 {
-		for _, l := range lits {
-			e.add(l.Not())
-		}
-		return
-	}
+	enc := cnf.CardSeqCounter
 	if e.owner.opts.NaiveCardinality {
-		e.atMostKPairwise(lits, k)
-		return
+		enc = cnf.CardPairwise
 	}
-	e.atMostKSeqCounter(lits, k)
-}
-
-// atMostKSeqCounter is the sequential-counter encoding LT_{n,k} of Sinz
-// (CP 2005): registers s[i][j] mean "at least j+1 of the first i+1 inputs
-// are true". O(n·k) clauses and auxiliary variables, arc-consistent under
-// unit propagation.
-func (e *encoder) atMostKSeqCounter(lits []sat.Lit, k int) {
-	n := len(lits)
-	reg := make([][]sat.Lit, n-1)
-	for i := range reg {
-		reg[i] = make([]sat.Lit, k)
-		for j := range reg[i] {
-			reg[i][j] = sat.PosLit(e.sat.NewVar())
+	// Registers are allocated upfront and contiguously; the certificate
+	// names only the first.
+	firstFresh := sat.Var(0)
+	if n := cnf.CardFreshVars(len(lits), k, enc); n > 0 {
+		firstFresh = e.sat.NewVar()
+		for i := 1; i < n; i++ {
+			e.sat.NewVar()
 		}
 	}
-	// Base: x0 → s[0][0]; s[0][j] false for j ≥ 1.
-	e.add(lits[0].Not(), reg[0][0])
-	for j := 1; j < k; j++ {
-		e.add(reg[0][j].Not())
+	guard := sat.LitUndef
+	if e.curSel != sat.LitUndef {
+		guard = e.curSel.Not()
 	}
-	for i := 1; i < n-1; i++ {
-		e.add(lits[i].Not(), reg[i][0])
-		e.add(reg[i-1][0].Not(), reg[i][0])
-		for j := 1; j < k; j++ {
-			e.add(lits[i].Not(), reg[i-1][j-1].Not(), reg[i][j])
-			e.add(reg[i-1][j].Not(), reg[i][j])
-		}
-		e.add(lits[i].Not(), reg[i-1][k-1].Not())
+	if w := e.owner.opts.Proof; w != nil {
+		w.DefineCard(enc, lits, k, firstFresh, guard)
 	}
-	e.add(lits[n-1].Not(), reg[n-2][k-1].Not())
-}
-
-// atMostKPairwise is the naive binomial encoding: for every (k+1)-subset at
-// least one literal is false. Exponential in k; retained as an ablation
-// baseline.
-func (e *encoder) atMostKPairwise(lits []sat.Lit, k int) {
-	subset := make([]sat.Lit, 0, k+1)
-	var rec func(start int)
-	rec = func(start int) {
-		if len(subset) == k+1 {
-			clause := make([]sat.Lit, len(subset))
-			for i, l := range subset {
-				clause[i] = l.Not()
-			}
-			e.add(clause...)
-			return
-		}
-		for i := start; i < len(lits); i++ {
-			subset = append(subset, lits[i])
-			rec(i + 1)
-			subset = subset[:len(subset)-1]
-		}
+	for _, cl := range e.defArena.AtMostK(lits, k, enc, firstFresh, guard) {
+		e.mustAdd(cl...)
 	}
-	rec(0)
 }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math/big"
 
+	"segrid/internal/cnf"
 	"segrid/internal/lra"
 	"segrid/internal/numeric"
 	"segrid/internal/proof"
@@ -116,6 +117,11 @@ type encoder struct {
 	trueLit sat.Lit
 	nAtoms  int
 
+	// defArena backs kernel derivation of definitional clauses (gates and
+	// cardinality circuits); its views are handed straight to AddClause,
+	// which copies, so reuse across derivations is safe.
+	defArena cnf.Arena
+
 	// curSel is the selector literal of the scope currently being encoded;
 	// LitUndef while encoding the base scope (clauses added unguarded).
 	curSel sat.Lit
@@ -154,12 +160,28 @@ func newEncoder(owner *Solver) *encoder {
 		memo:       make(map[Formula]sat.Lit),
 		curSel:     sat.LitUndef,
 	}
-	// A dedicated always-true literal anchors constant formulas.
-	tv := e.sat.NewVar()
-	e.trueLit = sat.PosLit(tv)
-	e.mustAdd(e.trueLit)
+	// A dedicated always-true literal anchors constant formulas; it is a
+	// zero-input Tseitin gate so its unit clause carries provenance too.
+	e.trueLit = e.defineGate(cnf.GateTrue, nil)
 	e.syncVars()
 	return e
+}
+
+// defineGate allocates a fresh output variable for a Tseitin gate over the
+// given input literals, logs its provenance, and adds the definitional
+// clauses exactly as the cnf kernel derives them. The gate record and its
+// clauses form one contiguous run in the certificate — the proof writer
+// swallows each clause after matching it against the same kernel derivation,
+// and the checker re-derives them from the record alone.
+func (e *encoder) defineGate(g cnf.Gate, inputs []sat.Lit) sat.Lit {
+	zv := e.sat.NewVar()
+	if w := e.owner.opts.Proof; w != nil {
+		w.DefineGate(g, zv, inputs)
+	}
+	for _, cl := range e.defArena.GateClauses(g, sat.PosLit(zv), inputs) {
+		e.mustAdd(cl...)
+	}
+	return sat.PosLit(zv)
 }
 
 // syncVars registers solver-level variables created since the last check
@@ -277,33 +299,28 @@ func (e *encoder) encode(f Formula) (sat.Lit, error) {
 		}
 		lit = inner.Not()
 	case *andF:
-		z := sat.PosLit(e.sat.NewVar())
-		all := make([]sat.Lit, 0, len(g.fs)+1)
-		all = append(all, z)
+		// Children are encoded before the gate's output variable is
+		// allocated, so the provenance record can precede a contiguous run
+		// of definitional clauses over already-defined inputs.
+		ins := make([]sat.Lit, 0, len(g.fs))
 		for _, c := range g.fs {
 			cl, err := e.encode(c)
 			if err != nil {
 				return 0, err
 			}
-			e.mustAdd(z.Not(), cl) // z → c
-			all = append(all, cl.Not())
+			ins = append(ins, cl)
 		}
-		e.mustAdd(all...) // ∧c → z
-		lit = z
+		lit = e.defineGate(cnf.GateAnd, ins)
 	case *orF:
-		z := sat.PosLit(e.sat.NewVar())
-		all := make([]sat.Lit, 0, len(g.fs)+1)
-		all = append(all, z.Not())
+		ins := make([]sat.Lit, 0, len(g.fs))
 		for _, c := range g.fs {
 			cl, err := e.encode(c)
 			if err != nil {
 				return 0, err
 			}
-			e.mustAdd(z, cl.Not()) // c → z
-			all = append(all, cl)
+			ins = append(ins, cl)
 		}
-		e.mustAdd(all...) // z → ∨c
-		lit = z
+		lit = e.defineGate(cnf.GateOr, ins)
 	case *atomF:
 		l, err := e.encodeAtom(g)
 		if err != nil {

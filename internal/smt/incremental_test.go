@@ -281,6 +281,18 @@ func TestProofCertificatesOnRandomScripts(t *testing.T) {
 				t.Fatalf("script %d: %s certificate covers %d unsat checks, script saw %d",
 					script, name, rep.UnsatChecks, unsats)
 			}
+			// The differential at the heart of the v2 trust story: every
+			// definitional clause the encoder added matched the kernel
+			// derivation byte for byte (the writer swallowed it), and the
+			// checker re-derived exactly that many from the provenance
+			// records alone.
+			if m := pair.w.DefMismatches(); m != 0 {
+				t.Fatalf("script %d: %s encoder diverged from the cnf kernel on %d definitional clauses", script, name, m)
+			}
+			if rep.DefClauses != int(pair.w.DefClauses()) {
+				t.Fatalf("script %d: %s checker re-derived %d definitional clauses, encoder emitted %d",
+					script, name, rep.DefClauses, pair.w.DefClauses())
+			}
 		}
 	}
 	if !sawUnsat {
@@ -549,5 +561,65 @@ func TestInterruptedCheckResumesEncoding(t *testing.T) {
 	}
 	if got := res.Real(x); got.Cmp(big.NewRat(2, 1)) < 0 || got.Cmp(big.NewRat(3, 1)) > 0 {
 		t.Fatalf("model x = %v outside [2, 3]", got)
+	}
+}
+
+// TestDefinitionalDifferentialAblations runs a fixed unsat script under every
+// encoder configuration that changes the definitional clause stream —
+// sequential-counter vs pairwise cardinality, persistent vs FreshPerCheck —
+// and requires byte-identical agreement between the encoder's clauses and the
+// cnf kernel (zero writer mismatches) and between the provenance records and
+// the checker's re-derivation (report count equals swallowed count).
+func TestDefinitionalDifferentialAblations(t *testing.T) {
+	for _, tc := range []struct {
+		name  string
+		tweak func(*Options)
+	}{
+		{"default", func(*Options) {}},
+		{"pairwise", func(o *Options) { o.NaiveCardinality = true }},
+		{"fresh", func(o *Options) { o.FreshPerCheck = true }},
+		{"fresh-pairwise", func(o *Options) { o.FreshPerCheck = true; o.NaiveCardinality = true }},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			var buf bytes.Buffer
+			opts := DefaultOptions()
+			tc.tweak(&opts)
+			opts.Proof = proof.NewWriter(&buf)
+			s := NewSolver(opts)
+			fs := make([]Formula, 4)
+			for i := range fs {
+				fs[i] = B(s.BoolVar("b"))
+			}
+			// Gates feed the cardinality circuit; the conjunction below makes
+			// all three operands true, contradicting the bound.
+			s.AssertAtMostK([]Formula{Or(fs[0], fs[1]), And(fs[1], fs[2]), fs[3]}, 1)
+			s.Assert(And(fs[0], fs[1], fs[2], fs[3]))
+			res, err := s.Check()
+			if err != nil || res.Status != Unsat {
+				t.Fatalf("Check = %v, %v; want unsat", res, err)
+			}
+			w := opts.Proof
+			if err := w.Flush(); err != nil {
+				t.Fatal(err)
+			}
+			if m := w.DefMismatches(); m != 0 {
+				t.Fatalf("encoder diverged from the cnf kernel on %d definitional clauses", m)
+			}
+			if w.DefClauses() == 0 {
+				t.Fatal("script produced no definitional clauses; it exercises nothing")
+			}
+			rep, err := proof.Check(bytes.NewReader(buf.Bytes()))
+			if err != nil {
+				t.Fatalf("certificate rejected: %v", err)
+			}
+			if rep.DefClauses != int(w.DefClauses()) {
+				t.Fatalf("checker re-derived %d definitional clauses, encoder emitted %d",
+					rep.DefClauses, w.DefClauses())
+			}
+			if rep.GateDefs == 0 || rep.CardDefs == 0 {
+				t.Fatalf("expected both gate and card provenance records, got %d gate / %d card",
+					rep.GateDefs, rep.CardDefs)
+			}
+		})
 	}
 }
