@@ -1,0 +1,121 @@
+// Command segridd is the long-running attack-analytics service: attack
+// verification, countermeasure synthesis and certificate re-checking as
+// HTTP endpoints over the paper's analysis stack, built for sustained
+// operation — warm encoder pooling, bounded admission with load shedding,
+// per-request deadlines and crash-safe certificate publication (see
+// internal/service).
+//
+// Usage:
+//
+//	segridd [flags]
+//
+// Flags:
+//
+//	-addr host:port   listen address (default 127.0.0.1:8547)
+//	-concurrency n    simultaneous solves (default 4)
+//	-queue n          admission queue depth; excess sheds 429 (default 16)
+//	-queue-wait d     max wait for a solve slot; past it sheds 503 (default 2s)
+//	-timeout d        default per-request deadline (default 30s)
+//	-max-timeout d    hard cap on client-requested deadlines (default 2m)
+//	-max-conflicts n  per-check CDCL conflict budget (0 = unlimited)
+//	-max-pivots n     per-check simplex pivot budget (0 = unlimited)
+//	-proof-dir dir    enable UNSAT certificates: verify/synthesize requests
+//	                  may ask for per-request certificate files under dir,
+//	                  and POST /v1/proofcheck re-checks them independently
+//	-pool-live n      warm-encoder pool size cap (default 64)
+//	-pool-idle n      warm encoders kept per (topology, shape) key (default 2)
+//
+// Endpoints:
+//
+//	POST /v1/verify      {"attack": <scenariofile attack spec>, ...}
+//	POST /v1/synthesize  {"synthesis": <scenariofile synthesis spec>, ...}
+//	POST /v1/proofcheck  {"path": "<certificate relative to -proof-dir>"}
+//	GET  /healthz        liveness
+//	GET  /metrics        request/pool counters as JSON
+//
+// Answer contract: every verify answer is "feasible", "infeasible" or
+// "inconclusive" (with a machine-readable reason); overload is refused with
+// 429/503 plus Retry-After. The server never converts a failure into a
+// verdict.
+//
+// SIGINT/SIGTERM trigger a graceful shutdown: in-flight requests finish (up
+// to their deadlines), then the warm pool is drained.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"segrid/internal/service"
+	"segrid/internal/smt"
+)
+
+func main() {
+	fs := flag.NewFlagSet("segridd", flag.ExitOnError)
+	addr := fs.String("addr", "127.0.0.1:8547", "listen address")
+	concurrency := fs.Int("concurrency", 4, "simultaneous solves")
+	queue := fs.Int("queue", 16, "admission queue depth")
+	queueWait := fs.Duration("queue-wait", 2*time.Second, "max wait for a solve slot")
+	timeout := fs.Duration("timeout", 30*time.Second, "default per-request deadline")
+	maxTimeout := fs.Duration("max-timeout", 2*time.Minute, "cap on client-requested deadlines")
+	maxConflicts := fs.Int64("max-conflicts", 0, "per-check CDCL conflict budget (0 = unlimited)")
+	maxPivots := fs.Int64("max-pivots", 0, "per-check simplex pivot budget (0 = unlimited)")
+	proofDir := fs.String("proof-dir", "", "enable per-request UNSAT certificates under this directory")
+	poolLive := fs.Int("pool-live", 0, "warm-encoder pool size cap (0 = default)")
+	poolIdle := fs.Int("pool-idle", 0, "warm encoders kept per key (0 = default)")
+	_ = fs.Parse(os.Args[1:])
+
+	if *proofDir != "" {
+		if st, err := os.Stat(*proofDir); err != nil || !st.IsDir() {
+			log.Fatalf("segridd: -proof-dir %s is not a directory", *proofDir)
+		}
+	}
+	svc, err := service.New(service.Config{
+		MaxConcurrent:     *concurrency,
+		MaxQueue:          *queue,
+		QueueWait:         *queueWait,
+		DefaultTimeout:    *timeout,
+		MaxTimeout:        *maxTimeout,
+		Budget:            smt.Budget{MaxConflicts: *maxConflicts, MaxPivots: *maxPivots},
+		ProofDir:          *proofDir,
+		PoolMaxLive:       *poolLive,
+		PoolMaxIdlePerKey: *poolIdle,
+	})
+	if err != nil {
+		log.Fatalf("segridd: %v", err)
+	}
+
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           svc.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	log.Printf("segridd: listening on %s", *addr)
+
+	select {
+	case err := <-errc:
+		log.Fatalf("segridd: serve: %v", err)
+	case <-ctx.Done():
+	}
+	log.Printf("segridd: shutting down")
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), *maxTimeout)
+	defer cancel()
+	if err := srv.Shutdown(shutdownCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		fmt.Fprintf(os.Stderr, "segridd: shutdown: %v\n", err)
+	}
+	svc.Close()
+	log.Printf("segridd: stopped")
+}

@@ -1,0 +1,276 @@
+// Package faultinject is the deterministic fault-injection harness for the
+// long-running analytics service: it manufactures, from a seed, the failure
+// modes a persistent verification process meets in production — mid-check
+// cancellation, encoder poisoning, slow-solver stalls and proof-stream write
+// errors — so robustness tests replay the exact same failure sequence on
+// every run.
+//
+// It extends the smt.Interrupter hook from the interruptible-solving stack:
+// a Schedule deterministically draws one Decision per check, and an Injector
+// applies that decision through the solver's poll points. Proof-sink faults
+// are applied by wrapping the certificate stream in a FlakyWriter. The
+// underlying solver is deterministic, so a given (seed, workload) pair fails
+// byte-for-byte identically across runs.
+package faultinject
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+	"time"
+
+	"segrid/internal/smt"
+)
+
+// Kind enumerates the injectable fault classes.
+type Kind int8
+
+const (
+	// None injects nothing; the check runs clean.
+	None Kind = iota
+	// Cancel aborts the check mid-solve exactly as an expired or cancelled
+	// request context would: the injector fires context.Canceled from a poll
+	// point.
+	Cancel
+	// Poison aborts the check with ErrPoisoned, modeling an encoder whose
+	// internal state can no longer be trusted (a panic swallowed by a
+	// recover, a torn incremental update). The encoder's owner must
+	// quarantine it.
+	Poison
+	// Stall simulates a pathologically slow solver: once triggered, every
+	// poll point sleeps, so only a wall-clock budget or deadline ends the
+	// check. Exercises tail-latency enforcement.
+	Stall
+	// ProofWriteErr makes the request's certificate sink fail after a byte
+	// budget (see Decision.Wrap); the check itself runs clean, but the
+	// proof stream is poisoned and must not publish.
+	ProofWriteErr
+)
+
+// String names the kind for logs and test output.
+func (k Kind) String() string {
+	switch k {
+	case None:
+		return "none"
+	case Cancel:
+		return "cancel"
+	case Poison:
+		return "poison"
+	case Stall:
+		return "stall"
+	case ProofWriteErr:
+		return "proof-write-error"
+	default:
+		return fmt.Sprintf("Kind(%d)", int8(k))
+	}
+}
+
+// ErrPoisoned marks a check aborted because the encoder state is no longer
+// trustworthy. It wraps smt.ErrInterrupted, so smt classifies the Unknown as
+// ReasonInterrupted (retryable on a fresh encoder).
+var ErrPoisoned = fmt.Errorf("faultinject: encoder state poisoned: %w", smt.ErrInterrupted)
+
+// ErrProofSink is the write error a scheduled ProofWriteErr fault injects
+// into the certificate stream.
+var ErrProofSink = errors.New("faultinject: injected proof-sink write failure")
+
+// Decision is one check's fault plan, drawn deterministically from a
+// Schedule.
+type Decision struct {
+	// Kind selects the fault (None for a clean check).
+	Kind Kind
+	// AfterPolls is the interrupter poll count at which the fault triggers;
+	// solver polling is deterministic, so the trigger lands at the same
+	// point of the search on every run.
+	AfterPolls int64
+	// StallFor is the per-poll sleep once a Stall has triggered.
+	StallFor time.Duration
+	// AfterBytes is the proof-sink byte budget for ProofWriteErr.
+	AfterBytes int64
+}
+
+// Config shapes the fault mix a Schedule draws from. Probabilities are per
+// check and must sum to at most 1; the remainder is the clean-check
+// probability.
+type Config struct {
+	PCancel   float64
+	PPoison   float64
+	PStall    float64
+	PProofErr float64
+	// MaxAfterPolls bounds the uniformly drawn trigger point (default 512).
+	MaxAfterPolls int64
+	// StallFor is the per-poll stall duration (default 200µs).
+	StallFor time.Duration
+	// MaxAfterBytes bounds the uniformly drawn proof-sink byte budget
+	// (default 8192).
+	MaxAfterBytes int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxAfterPolls <= 0 {
+		c.MaxAfterPolls = 512
+	}
+	if c.StallFor <= 0 {
+		c.StallFor = 200 * time.Microsecond
+	}
+	if c.MaxAfterBytes <= 0 {
+		c.MaxAfterBytes = 8192
+	}
+	return c
+}
+
+// Schedule is a seeded, deterministic source of fault Decisions. The decision
+// sequence is a pure function of (seed, config): the i-th call to Next always
+// returns the same Decision. It is safe for concurrent use; under concurrency
+// the sequence itself stays fixed while the assignment of decisions to
+// requests follows arrival order.
+type Schedule struct {
+	mu    sync.Mutex
+	rng   splitmix
+	cfg   Config
+	draws uint64
+}
+
+// New returns a schedule drawing from cfg with the given seed.
+func New(seed uint64, cfg Config) *Schedule {
+	return &Schedule{rng: splitmix{state: seed}, cfg: cfg.withDefaults()}
+}
+
+// Draws returns how many decisions have been handed out.
+func (s *Schedule) Draws() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.draws
+}
+
+// Next draws the next Decision in the deterministic sequence.
+func (s *Schedule) Next() Decision {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.draws++
+	// Three fixed draws per decision keep the sequence aligned regardless of
+	// which kind is selected.
+	u := float64(s.rng.next()>>11) / (1 << 53)
+	polls := int64(s.rng.next() % uint64(s.cfg.MaxAfterPolls))
+	bytes := int64(s.rng.next() % uint64(s.cfg.MaxAfterBytes))
+	d := Decision{AfterPolls: polls, StallFor: s.cfg.StallFor, AfterBytes: bytes}
+	switch {
+	case u < s.cfg.PCancel:
+		d.Kind = Cancel
+	case u < s.cfg.PCancel+s.cfg.PPoison:
+		d.Kind = Poison
+	case u < s.cfg.PCancel+s.cfg.PPoison+s.cfg.PStall:
+		d.Kind = Stall
+	case u < s.cfg.PCancel+s.cfg.PPoison+s.cfg.PStall+s.cfg.PProofErr:
+		d.Kind = ProofWriteErr
+	default:
+		d.Kind = None
+	}
+	return d
+}
+
+// Injector returns an Injector for the next scheduled decision, ready to be
+// installed as a check's smt.Interrupter.
+func (s *Schedule) Injector() *Injector {
+	return NewInjector(s.Next())
+}
+
+// Injector applies one Decision to one check through the solver's
+// interruption points. Like all Interrupters it is polled from a single
+// goroutine and needs no locking. A zero or None injector is a no-op.
+type Injector struct {
+	d     Decision
+	polls int64
+	fired bool
+	// sleep is a test seam; nil means time.Sleep.
+	sleep func(time.Duration)
+}
+
+var _ smt.Interrupter = (*Injector)(nil)
+
+// NewInjector returns an injector applying d.
+func NewInjector(d Decision) *Injector { return &Injector{d: d} }
+
+// Decision returns the plan this injector applies.
+func (i *Injector) Decision() Decision { return i.d }
+
+// Fired reports whether the fault has triggered.
+func (i *Injector) Fired() bool { return i.fired }
+
+// Interrupt implements smt.Interrupter.
+func (i *Injector) Interrupt(point string) error {
+	i.polls++
+	if i.polls <= i.d.AfterPolls {
+		return nil
+	}
+	switch i.d.Kind {
+	case Cancel:
+		i.fired = true
+		return context.Canceled
+	case Poison:
+		i.fired = true
+		return ErrPoisoned
+	case Stall:
+		i.fired = true
+		if i.sleep != nil {
+			i.sleep(i.d.StallFor)
+		} else {
+			time.Sleep(i.d.StallFor)
+		}
+	}
+	return nil
+}
+
+// FlakyWriter wraps a proof sink and injects ErrProofSink once FailAfter
+// bytes have been accepted, modeling a torn certificate stream (full disk,
+// broken pipe). proof.Writer errors are sticky, so one injected failure
+// poisons the whole stream — exactly the production failure.
+type FlakyWriter struct {
+	W         io.Writer
+	FailAfter int64
+
+	written int64
+	failed  bool
+}
+
+// Written returns the bytes accepted before failure.
+func (f *FlakyWriter) Written() int64 { return f.written }
+
+// Failed reports whether the injected failure has triggered.
+func (f *FlakyWriter) Failed() bool { return f.failed }
+
+// Write implements io.Writer.
+func (f *FlakyWriter) Write(p []byte) (int, error) {
+	if f.failed || f.written+int64(len(p)) > f.FailAfter {
+		f.failed = true
+		return 0, ErrProofSink
+	}
+	n, err := f.W.Write(p)
+	f.written += int64(n)
+	return n, err
+}
+
+// Wrap applies d to a proof sink: ProofWriteErr decisions wrap w in a
+// FlakyWriter with the scheduled byte budget; every other kind returns w
+// unchanged.
+func (d Decision) Wrap(w io.Writer) io.Writer {
+	if d.Kind != ProofWriteErr {
+		return w
+	}
+	return &FlakyWriter{W: w, FailAfter: d.AfterBytes}
+}
+
+// splitmix is splitmix64, chosen over math/rand for bit-stable output across
+// Go releases: reproducibility of a seeded failure schedule is part of the
+// harness contract.
+type splitmix struct{ state uint64 }
+
+func (s *splitmix) next() uint64 {
+	s.state += 0x9e3779b97f4a7c15
+	z := s.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}

@@ -1,0 +1,267 @@
+// Package pool manages warm solver encoders for the long-running analytics
+// service. A persistent SMT encoder is only worth keeping if reuse is safe
+// after every way a check can end; this pool makes the lifecycle explicit:
+//
+//   - Checkout hands out an exclusive lease on a warm encoder for a
+//     compatibility Key (grid topology × attack-model shape), building a
+//     cold one on miss. Encoders are single-goroutine objects; the lease is
+//     what guarantees exclusivity.
+//   - Return puts a healthy encoder back on the warm list after the
+//     configured Reset validation — a lease whose Reset fails is discarded,
+//     not pooled.
+//   - Discard quarantines a poisoned encoder: one whose check ended in
+//     Unknown, a panic, budget exhaustion or mid-solve cancellation, and
+//     whose internal SAT/simplex state therefore cannot be trusted. A
+//     discarded item never re-enters the pool, under any path.
+//
+// The pool bounds total live encoders (checked-out plus idle); exhaustion
+// fails fast with ErrExhausted so admission control above the pool decides
+// between queueing and shedding. All methods are safe for concurrent use.
+package pool
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// Key identifies a warm-encoder compatibility class. Two checks may share an
+// encoder only when both components match: Topology fingerprints the grid
+// (buses, lines, admittances), Shape the attack-model structure lowered into
+// the encoder (measurement configuration, knowledge, goals, resource
+// bounds). Callers build the strings with whatever canonical fingerprint
+// they like; the pool only compares them.
+type Key struct {
+	Topology string
+	Shape    string
+}
+
+// ErrExhausted is returned by Checkout when the live-encoder bound is
+// reached. The caller sheds or queues; the pool never blocks.
+var ErrExhausted = errors.New("pool: live-encoder limit reached")
+
+// Config parameterizes a Pool.
+type Config[T any] struct {
+	// New builds a cold item for key. Called outside the pool lock (model
+	// encoding is expensive); the context is the requesting check's.
+	New func(ctx context.Context, key Key) (T, error)
+
+	// Reset validates and readies an item as it returns to the warm list; a
+	// non-nil error discards the item instead of pooling it. Typical
+	// implementation: verify the solver's scope stack unwound to base.
+	// Optional; nil skips validation.
+	Reset func(item T) error
+
+	// MaxIdlePerKey bounds the warm list per key; a Return past it discards
+	// the returning item (counted in Stats.Trimmed). Default 2.
+	MaxIdlePerKey int
+
+	// MaxLive bounds live items — checked out plus idle — across all keys.
+	// Default 64.
+	MaxLive int
+}
+
+// Stats counts pool traffic. Snapshot via Pool.Stats.
+type Stats struct {
+	// Hits and Misses split Checkout calls by warm-list outcome.
+	Hits, Misses uint64
+	// Returns counts healthy returns that re-entered the warm list.
+	Returns uint64
+	// Discards counts quarantined items: explicit Discard calls plus
+	// failed Resets.
+	Discards uint64
+	// ResetFailures counts returns rejected by the Reset hook (a subset of
+	// Discards).
+	ResetFailures uint64
+	// Trimmed counts healthy returns dropped because the key's warm list
+	// was full.
+	Trimmed uint64
+	// Live and Idle are current gauges: items outstanding or warm.
+	Live, Idle int
+}
+
+// Pool is the warm-encoder pool. The zero value is not usable; construct
+// with New.
+type Pool[T any] struct {
+	cfg Config[T]
+
+	mu    sync.Mutex
+	idle  map[Key][]T
+	live  int
+	stats Stats
+}
+
+// New constructs a pool.
+func New[T any](cfg Config[T]) (*Pool[T], error) {
+	if cfg.New == nil {
+		return nil, fmt.Errorf("pool: Config.New is required")
+	}
+	if cfg.MaxIdlePerKey <= 0 {
+		cfg.MaxIdlePerKey = 2
+	}
+	if cfg.MaxLive <= 0 {
+		cfg.MaxLive = 64
+	}
+	return &Pool[T]{cfg: cfg, idle: make(map[Key][]T)}, nil
+}
+
+// leaseState tracks the one-way lease lifecycle.
+type leaseState int32
+
+const (
+	leased leaseState = iota
+	returned
+	discarded
+)
+
+// Lease is an exclusive claim on one pooled item. Exactly one of Return or
+// Discard must be called, once; the item must not be touched afterwards.
+type Lease[T any] struct {
+	// Item is the leased encoder.
+	Item T
+
+	key   Key
+	warm  bool
+	pool  *Pool[T]
+	state leaseState
+}
+
+// Key returns the compatibility key the lease was checked out under.
+func (l *Lease[T]) Key() Key { return l.key }
+
+// Warm reports whether the lease was served from the warm list (false: the
+// item was built cold for this lease).
+func (l *Lease[T]) Warm() bool { return l.warm }
+
+// Checkout leases an item for key: the most recently returned warm one when
+// available, otherwise a cold build. It fails fast with ErrExhausted at the
+// live bound and propagates Config.New errors (releasing the reserved slot).
+func (p *Pool[T]) Checkout(ctx context.Context, key Key) (*Lease[T], error) {
+	return p.checkout(ctx, key, true)
+}
+
+// CheckoutFresh leases a cold-built item for key, bypassing the warm list —
+// the retry ladder's fallback when a warm encoder produced a result its
+// caller does not trust. Warm items for the key are left for future
+// checkouts; the live bound still applies.
+func (p *Pool[T]) CheckoutFresh(ctx context.Context, key Key) (*Lease[T], error) {
+	return p.checkout(ctx, key, false)
+}
+
+func (p *Pool[T]) checkout(ctx context.Context, key Key, allowWarm bool) (*Lease[T], error) {
+	p.mu.Lock()
+	if allowWarm {
+		if list := p.idle[key]; len(list) > 0 {
+			item := list[len(list)-1]
+			var zero T
+			list[len(list)-1] = zero // do not pin the item in the backing array
+			p.idle[key] = list[:len(list)-1]
+			p.stats.Hits++
+			p.mu.Unlock()
+			return &Lease[T]{Item: item, key: key, warm: true, pool: p}, nil
+		}
+	}
+	if p.live >= p.cfg.MaxLive {
+		p.mu.Unlock()
+		return nil, ErrExhausted
+	}
+	p.live++ // reserve the slot before the slow build
+	p.stats.Misses++
+	p.mu.Unlock()
+
+	item, err := p.cfg.New(ctx, key)
+	if err != nil {
+		p.mu.Lock()
+		p.live--
+		p.stats.Misses-- // the checkout never happened
+		p.mu.Unlock()
+		return nil, err
+	}
+	return &Lease[T]{Item: item, key: key, pool: p}, nil
+}
+
+// Return puts the leased item back on its key's warm list after the Reset
+// validation. A failed Reset (or a full warm list) quarantines/drops the
+// item instead — Return never pools an item the Reset hook rejected. It
+// errors if the lease was already settled.
+func (l *Lease[T]) Return() error {
+	if err := l.settle(returned); err != nil {
+		return err
+	}
+	p := l.pool
+	if p.cfg.Reset != nil {
+		if err := p.cfg.Reset(l.Item); err != nil {
+			p.mu.Lock()
+			p.live--
+			p.stats.Discards++
+			p.stats.ResetFailures++
+			p.mu.Unlock()
+			return nil // the item is quarantined; the return itself succeeded
+		}
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if len(p.idle[l.key]) >= p.cfg.MaxIdlePerKey {
+		p.live--
+		p.stats.Trimmed++
+		return nil
+	}
+	p.idle[l.key] = append(p.idle[l.key], l.Item)
+	p.stats.Returns++
+	return nil
+}
+
+// Discard quarantines the leased item: it is dropped from the pool's
+// accounting and will never be handed out again. Use it whenever a check
+// ended in a way that could have torn encoder state — Unknown results,
+// panics, budget exhaustion, mid-solve cancellation. It errors if the lease
+// was already settled.
+func (l *Lease[T]) Discard() error {
+	if err := l.settle(discarded); err != nil {
+		return err
+	}
+	p := l.pool
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.live--
+	p.stats.Discards++
+	return nil
+}
+
+// settle transitions the lease out of the leased state exactly once.
+func (l *Lease[T]) settle(to leaseState) error {
+	if l.state != leased {
+		return fmt.Errorf("pool: lease already settled (%d)", l.state)
+	}
+	l.state = to
+	return nil
+}
+
+// Stats snapshots the pool counters and gauges.
+func (p *Pool[T]) Stats() Stats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	s := p.stats
+	s.Live = p.live
+	s.Idle = 0
+	for _, list := range p.idle {
+		s.Idle += len(list)
+	}
+	return s
+}
+
+// Drain empties every warm list, returning the drained items so the owner
+// can release their resources. Outstanding leases are unaffected: their
+// items settle through Return/Discard as usual. Used at shutdown.
+func (p *Pool[T]) Drain() []T {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	var out []T
+	for k, list := range p.idle {
+		out = append(out, list...)
+		delete(p.idle, k)
+	}
+	p.live -= len(out)
+	return out
+}

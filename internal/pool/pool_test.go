@@ -1,0 +1,477 @@
+package pool
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"segrid/internal/faultinject"
+	"segrid/internal/smt"
+)
+
+// testItem is a pool item instrumented to detect lease-exclusivity and
+// quarantine violations.
+type testItem struct {
+	id    int
+	key   Key
+	inUse atomic.Bool
+	dirty bool // set by tests to make Reset fail
+}
+
+type testPool = Pool[*testItem]
+
+func newTestPool(t *testing.T, cfg Config[*testItem]) (*testPool, *atomic.Int64) {
+	t.Helper()
+	var built atomic.Int64
+	if cfg.New == nil {
+		cfg.New = func(_ context.Context, key Key) (*testItem, error) {
+			return &testItem{id: int(built.Add(1)), key: key}, nil
+		}
+	}
+	if cfg.Reset == nil {
+		cfg.Reset = func(it *testItem) error {
+			if it.dirty {
+				return errors.New("dirty")
+			}
+			return nil
+		}
+	}
+	p, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p, &built
+}
+
+var keyA = Key{Topology: "ieee14", Shape: "anystate"}
+
+// TestPoolWarmReuse checks the hit path hands back the exact instance the
+// previous lease returned, and the counters see it.
+func TestPoolWarmReuse(t *testing.T) {
+	p, built := newTestPool(t, Config[*testItem]{})
+	ctx := context.Background()
+
+	l1, err := p.Checkout(ctx, keyA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l1.Warm() {
+		t.Fatalf("first checkout reported warm")
+	}
+	first := l1.Item
+	if err := l1.Return(); err != nil {
+		t.Fatal(err)
+	}
+	l2, err := p.Checkout(ctx, keyA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !l2.Warm() || l2.Item != first {
+		t.Fatalf("second checkout got item %v (warm=%v), want warm reuse of %v", l2.Item, l2.Warm(), first)
+	}
+	if l2.Key() != keyA {
+		t.Fatalf("lease key = %+v, want %+v", l2.Key(), keyA)
+	}
+	// A different key must not see the warm item.
+	l3, err := p.Checkout(ctx, Key{Topology: "ieee30", Shape: "anystate"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l3.Warm() || l3.Item == first {
+		t.Fatalf("cross-key checkout leaked a warm encoder")
+	}
+	st := p.Stats()
+	if st.Hits != 1 || st.Misses != 2 || built.Load() != 2 {
+		t.Fatalf("stats = %+v, built = %d; want 1 hit, 2 misses, 2 builds", st, built.Load())
+	}
+}
+
+// TestPoolQuarantine checks a discarded item never resurfaces.
+func TestPoolQuarantine(t *testing.T) {
+	p, _ := newTestPool(t, Config[*testItem]{})
+	ctx := context.Background()
+	l1, err := p.Checkout(ctx, keyA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	poisoned := l1.Item
+	if err := l1.Discard(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		l, err := p.Checkout(ctx, keyA)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if l.Item == poisoned {
+			t.Fatalf("poisoned item resurfaced on checkout %d", i)
+		}
+		if err := l.Return(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := p.Stats()
+	if st.Discards != 1 {
+		t.Fatalf("Discards = %d, want 1", st.Discards)
+	}
+}
+
+// TestPoolResetFailureQuarantines checks Return routes a failing Reset to
+// quarantine instead of the warm list.
+func TestPoolResetFailureQuarantines(t *testing.T) {
+	p, _ := newTestPool(t, Config[*testItem]{})
+	ctx := context.Background()
+	l, err := p.Checkout(ctx, keyA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := l.Item
+	bad.dirty = true
+	if err := l.Return(); err != nil {
+		t.Fatalf("Return after failed reset should succeed (item quarantined), got %v", err)
+	}
+	l2, err := p.Checkout(ctx, keyA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l2.Warm() || l2.Item == bad {
+		t.Fatalf("reset-rejected item was pooled")
+	}
+	st := p.Stats()
+	if st.ResetFailures != 1 || st.Discards != 1 || st.Returns != 0 {
+		t.Fatalf("stats = %+v, want 1 reset failure counted as discard", st)
+	}
+}
+
+// TestPoolExhaustionFailsFast checks the live bound returns ErrExhausted
+// immediately instead of blocking.
+func TestPoolExhaustionFailsFast(t *testing.T) {
+	p, _ := newTestPool(t, Config[*testItem]{MaxLive: 2})
+	ctx := context.Background()
+	l1, err := p.Checkout(ctx, keyA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Checkout(ctx, keyA); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Checkout(ctx, keyA); !errors.Is(err, ErrExhausted) {
+		t.Fatalf("third checkout = %v, want ErrExhausted", err)
+	}
+	// Settling a lease frees the slot.
+	if err := l1.Discard(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Checkout(ctx, keyA); err != nil {
+		t.Fatalf("checkout after discard = %v, want success", err)
+	}
+}
+
+// TestPoolBuildErrorReleasesSlot checks a failing Config.New does not leak
+// its reserved live slot.
+func TestPoolBuildErrorReleasesSlot(t *testing.T) {
+	boom := errors.New("boom")
+	fail := true
+	cfg := Config[*testItem]{
+		MaxLive: 1,
+		New: func(_ context.Context, key Key) (*testItem, error) {
+			if fail {
+				return nil, boom
+			}
+			return &testItem{key: key}, nil
+		},
+	}
+	p, _ := newTestPool(t, cfg)
+	if _, err := p.Checkout(context.Background(), keyA); !errors.Is(err, boom) {
+		t.Fatalf("checkout = %v, want build error", err)
+	}
+	fail = false
+	if _, err := p.Checkout(context.Background(), keyA); err != nil {
+		t.Fatalf("checkout after build failure = %v, want success (slot released)", err)
+	}
+	if st := p.Stats(); st.Misses != 1 {
+		t.Fatalf("Misses = %d, want 1 (failed build uncounted)", st.Misses)
+	}
+}
+
+// TestPoolTrimAndFresh checks the idle bound trims returns and
+// CheckoutFresh bypasses a populated warm list.
+func TestPoolTrimAndFresh(t *testing.T) {
+	p, _ := newTestPool(t, Config[*testItem]{MaxIdlePerKey: 1})
+	ctx := context.Background()
+	l1, _ := p.Checkout(ctx, keyA)
+	l2, _ := p.Checkout(ctx, keyA)
+	warm := l1.Item
+	if err := l1.Return(); err != nil {
+		t.Fatal(err)
+	}
+	if err := l2.Return(); err != nil {
+		t.Fatal(err)
+	}
+	st := p.Stats()
+	if st.Idle != 1 || st.Trimmed != 1 {
+		t.Fatalf("stats = %+v, want 1 idle + 1 trimmed", st)
+	}
+	lf, err := p.CheckoutFresh(ctx, keyA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lf.Warm() || lf.Item == warm {
+		t.Fatalf("CheckoutFresh served the warm item")
+	}
+	// The warm item is still there for a regular checkout.
+	lw, err := p.Checkout(ctx, keyA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !lw.Warm() || lw.Item != warm {
+		t.Fatalf("warm item lost after CheckoutFresh")
+	}
+}
+
+// TestPoolDoubleSettle checks the lease lifecycle is one-way and single-use.
+func TestPoolDoubleSettle(t *testing.T) {
+	p, _ := newTestPool(t, Config[*testItem]{})
+	l, err := p.Checkout(context.Background(), keyA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Return(); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Return(); err == nil {
+		t.Fatalf("double Return succeeded")
+	}
+	if err := l.Discard(); err == nil {
+		t.Fatalf("Discard after Return succeeded")
+	}
+	if st := p.Stats(); st.Live != 1 || st.Idle != 1 {
+		t.Fatalf("stats after double settle = %+v, want live=idle=1", st)
+	}
+}
+
+// TestPoolDrain checks shutdown drains warm lists without touching
+// outstanding leases.
+func TestPoolDrain(t *testing.T) {
+	p, _ := newTestPool(t, Config[*testItem]{MaxIdlePerKey: 4})
+	ctx := context.Background()
+	var leases []*Lease[*testItem]
+	for i := 0; i < 4; i++ {
+		l, err := p.Checkout(ctx, keyA)
+		if err != nil {
+			t.Fatal(err)
+		}
+		leases = append(leases, l)
+	}
+	for _, l := range leases[:2] {
+		if err := l.Return(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	drained := p.Drain()
+	if len(drained) != 2 {
+		t.Fatalf("Drain returned %d items, want 2", len(drained))
+	}
+	st := p.Stats()
+	if st.Idle != 0 || st.Live != 2 {
+		t.Fatalf("stats after drain = %+v, want idle 0, live 2 (outstanding)", st)
+	}
+	for _, l := range leases[2:] {
+		if err := l.Discard(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if st := p.Stats(); st.Live != 0 {
+		t.Fatalf("live = %d after settling all leases, want 0", st.Live)
+	}
+}
+
+// TestPoolConcurrentLoad hammers checkout/reset/return from many goroutines
+// under -race, asserting lease exclusivity (no item leased twice at once),
+// conservation (live returns to zero) and counter consistency.
+func TestPoolConcurrentLoad(t *testing.T) {
+	p, _ := newTestPool(t, Config[*testItem]{MaxLive: 8, MaxIdlePerKey: 4})
+	keys := []Key{
+		{Topology: "ieee14", Shape: "a"},
+		{Topology: "ieee14", Shape: "b"},
+		{Topology: "ieee57", Shape: "a"},
+	}
+	const (
+		workers = 16
+		iters   = 300
+	)
+	var (
+		wg        sync.WaitGroup
+		checkouts atomic.Uint64
+		sheds     atomic.Uint64
+		failures  atomic.Uint64
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				key := keys[(w+i)%len(keys)]
+				l, err := p.Checkout(context.Background(), key)
+				if errors.Is(err, ErrExhausted) {
+					sheds.Add(1)
+					continue
+				}
+				if err != nil {
+					failures.Add(1)
+					return
+				}
+				checkouts.Add(1)
+				if !l.Item.inUse.CompareAndSwap(false, true) {
+					failures.Add(1)
+					return
+				}
+				if l.Item.key != key {
+					failures.Add(1)
+					return
+				}
+				l.Item.inUse.Store(false)
+				if i%7 == 3 {
+					err = l.Discard()
+				} else {
+					err = l.Return()
+				}
+				if err != nil {
+					failures.Add(1)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if failures.Load() != 0 {
+		t.Fatalf("%d lease invariant violations under load", failures.Load())
+	}
+	st := p.Stats()
+	if st.Live != st.Idle {
+		t.Fatalf("outstanding leases after drain-down: %+v", st)
+	}
+	if st.Hits+st.Misses != checkouts.Load() {
+		t.Fatalf("hits+misses = %d, want %d checkouts", st.Hits+st.Misses, checkouts.Load())
+	}
+	if got := st.Returns + st.Discards + st.Trimmed; got != checkouts.Load() {
+		t.Fatalf("settlements %d ≠ checkouts %d (stats %+v)", got, checkouts.Load(), st)
+	}
+	t.Logf("pool load: %d checkouts, %d sheds, stats %+v", checkouts.Load(), sheds.Load(), st)
+}
+
+// TestPoolPoisonedEncoderViaInjectedFault is the end-to-end quarantine path:
+// a pooled warm SMT solver is poisoned by an injected fault mid-check, the
+// service-side rule discards it, and the replacement encoder — never the
+// poisoned instance — decides the query correctly.
+func TestPoolPoisonedEncoderViaInjectedFault(t *testing.T) {
+	// One "request" against a warm encoder: a scoped conflict-rich unsat
+	// query, mimicking the service's push/assert/check/pop cycle.
+	assertPigeonhole := func(s *smt.Solver) {
+		const n = 6
+		vs := make([][]smt.BoolVar, n+1)
+		for p := range vs {
+			vs[p] = make([]smt.BoolVar, n)
+			for h := range vs[p] {
+				vs[p][h] = s.BoolVar(fmt.Sprintf("p%d_h%d", p, h))
+			}
+		}
+		for p := 0; p <= n; p++ {
+			fs := make([]smt.Formula, n)
+			for h := 0; h < n; h++ {
+				fs[h] = smt.B(vs[p][h])
+			}
+			s.Assert(smt.Or(fs...))
+		}
+		for h := 0; h < n; h++ {
+			for p1 := 0; p1 <= n; p1++ {
+				for p2 := p1 + 1; p2 <= n; p2++ {
+					s.Assert(smt.Or(smt.Not(smt.B(vs[p1][h])), smt.Not(smt.B(vs[p2][h]))))
+				}
+			}
+		}
+	}
+	request := func(s *smt.Solver, inj *faultinject.Injector) (*smt.Result, error) {
+		s.Push()
+		defer s.Pop()
+		assertPigeonhole(s)
+		s.SetInterrupter(inj)
+		defer s.SetInterrupter(nil)
+		return s.Check()
+	}
+	p, err := New(Config[*smt.Solver]{
+		New: func(_ context.Context, _ Key) (*smt.Solver, error) {
+			return smt.NewSolver(smt.DefaultOptions()), nil
+		},
+		Reset: func(s *smt.Solver) error {
+			if s.NumScopes() != 1 {
+				return fmt.Errorf("scope stack not unwound: %d", s.NumScopes())
+			}
+			return nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := Key{Topology: "tiny", Shape: "pigeonhole"}
+
+	// Warm the pool with a healthy solve.
+	l, err := p.Checkout(context.Background(), key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := request(l.Item, faultinject.NewInjector(faultinject.Decision{}))
+	if err != nil || res.Status != smt.Unsat {
+		t.Fatalf("warmup check = %v/%v, want unsat", res, err)
+	}
+	if err := l.Return(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Poison the warm encoder mid-check via the injected fault.
+	l, err = p.Checkout(context.Background(), key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !l.Warm() {
+		t.Fatalf("expected the warm encoder")
+	}
+	poisoned := l.Item
+	inj := faultinject.NewInjector(faultinject.Decision{Kind: faultinject.Poison, AfterPolls: 3})
+	res, err = request(poisoned, inj)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != smt.Unknown || !errors.Is(res.Why, faultinject.ErrPoisoned) {
+		t.Fatalf("poisoned check = %v (why %v), want Unknown/ErrPoisoned", res.Status, res.Why)
+	}
+	if !inj.Fired() {
+		t.Fatalf("injector never fired")
+	}
+	// Service rule: Unknown ⇒ quarantine, never Return.
+	if err := l.Discard(); err != nil {
+		t.Fatal(err)
+	}
+
+	// The replacement must be a different instance and decide correctly.
+	l, err = p.Checkout(context.Background(), key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.Warm() || l.Item == poisoned {
+		t.Fatalf("poisoned encoder reused after quarantine")
+	}
+	res, err = request(l.Item, faultinject.NewInjector(faultinject.Decision{}))
+	if err != nil || res.Status != smt.Unsat {
+		t.Fatalf("replacement check = %v/%v, want unsat", res, err)
+	}
+	if err := l.Return(); err != nil {
+		t.Fatal(err)
+	}
+	if st := p.Stats(); st.Discards != 1 {
+		t.Fatalf("Discards = %d, want 1", st.Discards)
+	}
+}

@@ -1,0 +1,63 @@
+package proof
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync/atomic"
+)
+
+// CreateAtomic starts a proof stream that becomes visible at path only on a
+// successful Close: records are written to a hidden temporary file in the
+// same directory and renamed into place after the final flush. A crashed or
+// killed writer leaves at most a ".tmp"-suffixed orphan, never a half-written
+// certificate at path — so a concurrent or later proofcheck can trust that
+// every file it finds at a published name is complete. A sticky write error
+// removes the temporary and surfaces from Close; nothing appears at path.
+//
+// Path reports the publication path throughout the writer's lifetime, even
+// though the file only exists there after Close.
+func CreateAtomic(path string) (*Writer, error) {
+	dir, base := filepath.Split(path)
+	if dir == "" {
+		dir = "."
+	}
+	f, err := os.CreateTemp(dir, "."+base+".tmp-*")
+	if err != nil {
+		return nil, fmt.Errorf("proof: %w", err)
+	}
+	pw := NewWriter(f)
+	pw.f = f
+	pw.path = path
+	pw.tmp = f.Name()
+	return pw, nil
+}
+
+// finalize publishes or discards an atomic writer's temporary file after the
+// backing file has been flushed and closed; called from Close.
+func (w *Writer) finalize() {
+	if w.tmp == "" {
+		return
+	}
+	tmp := w.tmp
+	w.tmp = ""
+	if w.err != nil {
+		os.Remove(tmp)
+		return
+	}
+	if err := os.Rename(tmp, w.path); err != nil {
+		w.err = fmt.Errorf("proof: publish certificate: %w", err)
+		os.Remove(tmp)
+	}
+}
+
+// uniqueSeq backs UniqueName's process-wide counter.
+var uniqueSeq atomic.Uint64
+
+// UniqueName returns prefix-<pid>-<seq>suffix, a certificate file name that
+// is collision-safe across the goroutines of this process (the atomic
+// sequence) and across processes sharing a directory (the pid). Services use
+// it to give every request or session its own certificate path.
+func UniqueName(prefix, suffix string) string {
+	return fmt.Sprintf("%s%d-%d%s", prefix, os.Getpid(), uniqueSeq.Add(1), suffix)
+}

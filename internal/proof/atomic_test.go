@@ -1,0 +1,95 @@
+package proof
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"segrid/internal/sat"
+)
+
+// TestAtomicPublishOnClose checks the write-temp-then-rename contract: while
+// the stream is open nothing exists at the publication path (only a hidden
+// temp), and after Close the complete certificate is there and checks clean.
+func TestAtomicPublishOnClose(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "req-1.proof")
+	w, err := CreateAtomic(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.Path() != path {
+		t.Fatalf("Path() = %q, want %q", w.Path(), path)
+	}
+	// A unit clause and its negation: derived empty clause is RUP, giving a
+	// minimal valid certificate.
+	w.LogInput([]sat.Lit{sat.PosLit(0)})
+	w.LogInput([]sat.Lit{sat.NegLit(0)})
+	w.EndUnsat(nil)
+	if _, err := os.Stat(path); !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("certificate visible at %s before Close (err=%v)", path, err)
+	}
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ents) != 1 || !strings.HasPrefix(ents[0].Name(), ".req-1.proof.tmp-") {
+		t.Fatalf("staging dir contents = %v, want one hidden temp", ents)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := CheckFile(path)
+	if err != nil {
+		t.Fatalf("published certificate invalid: %v", err)
+	}
+	if rep.UnsatChecks != 1 {
+		t.Fatalf("UnsatChecks = %d, want 1", rep.UnsatChecks)
+	}
+	ents, _ = os.ReadDir(dir)
+	if len(ents) != 1 || ents[0].Name() != "req-1.proof" {
+		t.Fatalf("dir after Close = %v, want only the published certificate", ents)
+	}
+}
+
+// TestAtomicWriteErrorPublishesNothing checks a poisoned stream neither
+// publishes nor leaks its temp: the failure surfaces from Close and the
+// directory is left clean.
+func TestAtomicWriteErrorPublishesNothing(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "req-2.proof")
+	w, err := CreateAtomic(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.LogInput([]sat.Lit{sat.PosLit(0)})
+	injected := errors.New("injected proof-sink failure")
+	w.err = injected
+	if err := w.Close(); !errors.Is(err, injected) {
+		t.Fatalf("Close error = %v, want the injected failure", err)
+	}
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ents) != 0 {
+		t.Fatalf("dir after failed Close = %v, want empty", ents)
+	}
+}
+
+// TestUniqueNameCollisionFree checks process-local uniqueness and shape.
+func TestUniqueNameCollisionFree(t *testing.T) {
+	seen := make(map[string]bool)
+	for i := 0; i < 100; i++ {
+		n := UniqueName("verify-", ".proof")
+		if !strings.HasPrefix(n, "verify-") || !strings.HasSuffix(n, ".proof") {
+			t.Fatalf("UniqueName shape wrong: %q", n)
+		}
+		if seen[n] {
+			t.Fatalf("UniqueName repeated %q", n)
+		}
+		seen[n] = true
+	}
+}

@@ -25,6 +25,7 @@ type Writer struct {
 	w    *bufio.Writer
 	f    *os.File
 	path string
+	tmp  string // non-empty for CreateAtomic writers: the staging file
 	err  error
 
 	nextID uint64
@@ -321,6 +322,7 @@ func (w *Writer) Close() error {
 		}
 		w.f = nil
 	}
+	w.finalize()
 	return w.err
 }
 

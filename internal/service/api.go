@@ -1,0 +1,202 @@
+package service
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/big"
+
+	"segrid/internal/pool"
+	"segrid/internal/scenariofile"
+	"segrid/internal/smt"
+)
+
+// VerifyRequest is the body of POST /v1/verify: an attack scenario in the
+// scenariofile format plus per-request service controls.
+type VerifyRequest struct {
+	// Attack is the scenario to verify, exactly as ufdiverify reads it.
+	Attack scenariofile.AttackSpec `json:"attack"`
+
+	// SecuredBuses and SecuredMeasurements overlay extra protections on the
+	// scenario for this request only. They are asserted in a solver scope on
+	// top of the warm encoder, so requests differing only in overlay share
+	// one pooled encoder — the synthesis-style what-if query the warm pool
+	// exists for.
+	SecuredBuses        []int `json:"securedBuses,omitempty"`
+	SecuredMeasurements []int `json:"securedMeasurements,omitempty"`
+
+	// TimeoutMs bounds the request wall clock (0: the server default). The
+	// deadline propagates into the solver; an expired request reports
+	// inconclusive, never a guessed verdict.
+	TimeoutMs int `json:"timeoutMs,omitempty"`
+
+	// FreshEncode skips the warm pool and builds a throwaway encoder with
+	// FreshPerCheck semantics — the differential-testing escape hatch.
+	FreshEncode bool `json:"freshEncode,omitempty"`
+
+	// Proof requests an UNSAT certificate when the attack is infeasible.
+	// Proof-producing checks always run on a fresh encoder (a certificate
+	// stream captures a solver's whole lifetime, which is incompatible with
+	// warm reuse); the certificate is published atomically under the
+	// server's proof directory only when complete and the verdict is
+	// infeasible.
+	Proof bool `json:"proof,omitempty"`
+}
+
+// VerifyResponse is the body of a completed verification.
+type VerifyResponse struct {
+	// Status is "feasible", "infeasible" or "inconclusive".
+	Status string `json:"status"`
+
+	// Why and UnknownReason explain an inconclusive verdict: Why is the
+	// human-readable cause, UnknownReason the machine-readable class
+	// (smt.UnknownReason tokens, e.g. "budget-conflicts", "deadline").
+	Why           string `json:"why,omitempty"`
+	UnknownReason string `json:"unknownReason,omitempty"`
+
+	// Warm reports whether the answering encoder came from the warm pool;
+	// Retries counts fallback attempts before this answer (0: first try).
+	Warm    bool `json:"warm"`
+	Retries int  `json:"retries"`
+
+	// Attack vector, present when Status is "feasible".
+	AlteredMeasurements []int             `json:"alteredMeasurements,omitempty"`
+	CompromisedBuses    []int             `json:"compromisedBuses,omitempty"`
+	ExcludedLines       []int             `json:"excludedLines,omitempty"`
+	IncludedLines       []int             `json:"includedLines,omitempty"`
+	StateChanges        map[string]string `json:"stateChanges,omitempty"`
+
+	// ProofFile is the published certificate path (infeasible + proof
+	// requested + stream completed). ProofError reports a certificate
+	// stream that failed; the verdict itself is unaffected.
+	ProofFile  string `json:"proofFile,omitempty"`
+	ProofError string `json:"proofError,omitempty"`
+
+	ElapsedMs int64 `json:"elapsedMs"`
+}
+
+// SynthesizeRequest is the body of POST /v1/synthesize: a synthesis spec in
+// the scenariofile format plus service controls.
+type SynthesizeRequest struct {
+	Synthesis scenariofile.SynthesisSpec `json:"synthesis"`
+	TimeoutMs int                        `json:"timeoutMs,omitempty"`
+	// Proof streams per-attack-model UNSAT certificates to the server's
+	// proof directory, tagged with the request id.
+	Proof bool `json:"proof,omitempty"`
+}
+
+// SynthesizeResponse is the body of a completed synthesis run.
+type SynthesizeResponse struct {
+	// Status is "found", "impossible" (proof that no architecture exists)
+	// or "inconclusive" (search gave up: iteration/time budget, deadline).
+	Status string `json:"status"`
+	Why    string `json:"why,omitempty"`
+
+	SecuredBuses        []int `json:"securedBuses,omitempty"`
+	SecuredMeasurements []int `json:"securedMeasurements,omitempty"`
+	Iterations          int   `json:"iterations,omitempty"`
+
+	ProofFiles []string `json:"proofFiles,omitempty"`
+	ElapsedMs  int64    `json:"elapsedMs"`
+}
+
+// ProofCheckRequest is the body of POST /v1/proofcheck. Path is resolved
+// inside the server's proof directory; absolute paths and traversal outside
+// it are rejected.
+type ProofCheckRequest struct {
+	Path string `json:"path"`
+}
+
+// ProofCheckResponse reports an independent certificate re-check.
+type ProofCheckResponse struct {
+	Valid        bool   `json:"valid"`
+	Error        string `json:"error,omitempty"`
+	Records      int    `json:"records,omitempty"`
+	UnsatChecks  int    `json:"unsatChecks,omitempty"`
+	TheoryLemmas int    `json:"theoryLemmas,omitempty"`
+}
+
+// errorResponse is the body of every non-2xx answer.
+type errorResponse struct {
+	Error string `json:"error"`
+	// RetryAfterSeconds accompanies 429/503 shed responses (also sent as a
+	// Retry-After header): the request was not processed and may be retried.
+	RetryAfterSeconds int `json:"retryAfterSeconds,omitempty"`
+}
+
+// decodeStrict decodes JSON rejecting unknown fields, mirroring the
+// scenariofile contract: a typo must fail loudly, not silently weaken the
+// attack model being analyzed.
+func decodeStrict(r io.Reader, v any) error {
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return err
+	}
+	// Trailing garbage after the JSON value is a malformed request too.
+	if err := dec.Decode(new(json.RawMessage)); err != io.EOF {
+		return fmt.Errorf("trailing data after JSON body")
+	}
+	return nil
+}
+
+// poolKey fingerprints the attack spec into the warm-encoder compatibility
+// key: Topology identifies the network, Shape the full attack-model
+// structure lowered into the encoder. Per-request overlays (secured buses /
+// measurements) are applied in a solver scope and deliberately not part of
+// the key. Hashing the canonical re-marshaled spec means two requests share
+// an encoder exactly when their specs are field-for-field identical.
+func poolKey(spec *scenariofile.AttackSpec) (pool.Key, error) {
+	var key pool.Key
+	switch {
+	case spec.Case != "":
+		key.Topology = spec.Case
+	default:
+		lines, err := json.Marshal(spec.Lines)
+		if err != nil {
+			return key, err
+		}
+		sum := sha256.Sum256(lines)
+		key.Topology = fmt.Sprintf("custom-%d-%s", spec.Buses, hex.EncodeToString(sum[:8]))
+	}
+	canon, err := json.Marshal(spec)
+	if err != nil {
+		return key, err
+	}
+	sum := sha256.Sum256(canon)
+	key.Shape = hex.EncodeToString(sum[:16])
+	return key, nil
+}
+
+// ratMap renders exact model rationals for the wire.
+func ratMap(in map[int]*big.Rat) map[string]string {
+	if len(in) == 0 {
+		return nil
+	}
+	out := make(map[string]string, len(in))
+	for k, v := range in {
+		out[fmt.Sprintf("%d", k)] = v.RatString()
+	}
+	return out
+}
+
+// unknownToken maps an smt reason to its wire token, "other" for
+// unclassified causes.
+func unknownToken(r smt.UnknownReason) string {
+	if s := r.String(); s != "" {
+		return s
+	}
+	return smt.ReasonOther.String()
+}
+
+// specEqual reports whether two specs re-marshal identically — the sanity
+// check behind the key registry (hash collisions must not silently reuse an
+// encoder built for a different model).
+func specEqual(a, b *scenariofile.AttackSpec) bool {
+	ja, errA := json.Marshal(a)
+	jb, errB := json.Marshal(b)
+	return errA == nil && errB == nil && bytes.Equal(ja, jb)
+}

@@ -1,0 +1,78 @@
+package service
+
+import (
+	"sync/atomic"
+
+	"segrid/internal/pool"
+)
+
+// metrics are the service's monotonic counters. All fields are updated with
+// atomics; snapshot renders them for GET /metrics.
+type metrics struct {
+	requests    atomic.Uint64 // every request that reached a handler
+	badRequests atomic.Uint64 // rejected before/without a solve
+	shed429     atomic.Uint64 // admission queue full
+	shed503     atomic.Uint64 // no solve slot within the queue wait
+
+	feasible     atomic.Uint64
+	infeasible   atomic.Uint64
+	inconclusive atomic.Uint64
+
+	retries     atomic.Uint64 // warm→fresh fallbacks taken
+	poisoned    atomic.Uint64 // encoders quarantined after a check
+	panics      atomic.Uint64 // solver panics contained
+	proofErrors atomic.Uint64 // certificate streams that failed
+}
+
+// Metrics is the GET /metrics body.
+type Metrics struct {
+	Requests     uint64 `json:"requests"`
+	BadRequests  uint64 `json:"badRequests"`
+	Shed429      uint64 `json:"shed429"`
+	Shed503      uint64 `json:"shed503"`
+	Feasible     uint64 `json:"feasible"`
+	Infeasible   uint64 `json:"infeasible"`
+	Inconclusive uint64 `json:"inconclusive"`
+	Retries      uint64 `json:"retries"`
+	Poisoned     uint64 `json:"poisoned"`
+	Panics       uint64 `json:"panics"`
+	ProofErrors  uint64 `json:"proofErrors"`
+	Queued       int    `json:"queued"`
+
+	Pool struct {
+		Hits          uint64 `json:"hits"`
+		Misses        uint64 `json:"misses"`
+		Returns       uint64 `json:"returns"`
+		Discards      uint64 `json:"discards"`
+		ResetFailures uint64 `json:"resetFailures"`
+		Trimmed       uint64 `json:"trimmed"`
+		Live          int    `json:"live"`
+		Idle          int    `json:"idle"`
+	} `json:"pool"`
+}
+
+func (m *metrics) snapshot(ps pool.Stats, queued int) *Metrics {
+	out := &Metrics{
+		Requests:     m.requests.Load(),
+		BadRequests:  m.badRequests.Load(),
+		Shed429:      m.shed429.Load(),
+		Shed503:      m.shed503.Load(),
+		Feasible:     m.feasible.Load(),
+		Infeasible:   m.infeasible.Load(),
+		Inconclusive: m.inconclusive.Load(),
+		Retries:      m.retries.Load(),
+		Poisoned:     m.poisoned.Load(),
+		Panics:       m.panics.Load(),
+		ProofErrors:  m.proofErrors.Load(),
+		Queued:       queued,
+	}
+	out.Pool.Hits = ps.Hits
+	out.Pool.Misses = ps.Misses
+	out.Pool.Returns = ps.Returns
+	out.Pool.Discards = ps.Discards
+	out.Pool.ResetFailures = ps.ResetFailures
+	out.Pool.Trimmed = ps.Trimmed
+	out.Pool.Live = ps.Live
+	out.Pool.Idle = ps.Idle
+	return out
+}

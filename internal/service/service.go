@@ -1,0 +1,440 @@
+// Package service is the fault-tolerant attack-analytics server behind
+// cmd/segridd: verification, countermeasure synthesis and certificate
+// re-checking as long-running HTTP endpoints over the paper's analysis
+// stack.
+//
+// The robustness substrate, in one place:
+//
+//   - Warm encoders live in a pool (package pool) keyed by grid topology ×
+//     attack-model shape. A healthy check returns its encoder; any check
+//     that ends Unknown, panics, or trips a scope mismatch quarantines it —
+//     a poisoned encoder is never reused.
+//   - Admission control bounds concurrent solves and the waiting queue.
+//     Excess load is shed with 429/503 plus Retry-After — an overloaded
+//     server refuses work, it never guesses an answer.
+//   - Every request carries a deadline that propagates into the solver; an
+//     expired check reports inconclusive with a machine-readable reason.
+//   - A retry ladder falls back from the warm incremental encoder to a
+//     fresh per-check encoding before reporting inconclusive, so transient
+//     encoder trouble costs latency, not soundness.
+//   - Certificate streams are per-request files staged in hidden
+//     temporaries and renamed into place only when complete; a crash or a
+//     failing sink never publishes a torn certificate.
+//
+// A faultinject.Schedule can be installed to drive all of the above
+// deterministically in tests.
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"segrid/internal/core"
+	"segrid/internal/faultinject"
+	"segrid/internal/pool"
+	"segrid/internal/proof"
+	"segrid/internal/scenariofile"
+	"segrid/internal/smt"
+	"segrid/internal/synth"
+)
+
+// Config parameterizes a Service. The zero value is usable: defaults are
+// applied by New.
+type Config struct {
+	// MaxConcurrent bounds simultaneously running solves (default 4). The
+	// solver is CPU-bound; admitting more checks than cores buys latency,
+	// not throughput.
+	MaxConcurrent int
+	// MaxQueue bounds requests waiting for a solve slot (default 16). A
+	// request arriving past it is shed immediately with 429.
+	MaxQueue int
+	// QueueWait bounds how long an admitted request waits for a slot
+	// (default 2s); past it the request is shed with 503.
+	QueueWait time.Duration
+	// DefaultTimeout and MaxTimeout bound per-request wall clock (defaults
+	// 30s and 2m). A request's timeoutMs is clamped to MaxTimeout.
+	DefaultTimeout time.Duration
+	MaxTimeout     time.Duration
+	// Budget bounds each solver check (zero: wall clock only). Exhaustion
+	// is an inconclusive answer with the budget kind, never a guess.
+	Budget smt.Budget
+	// ProofDir enables certificate production and checking; empty disables
+	// the proof features. The directory must exist.
+	ProofDir string
+	// PoolMaxLive / PoolMaxIdlePerKey size the warm-encoder pool (see
+	// pool.Config). Zero: pool defaults.
+	PoolMaxLive       int
+	PoolMaxIdlePerKey int
+	// Faults, when non-nil, installs the deterministic fault-injection
+	// schedule: every check draws a Decision applied through the solver's
+	// interruption points and the certificate sink. Test harness only.
+	Faults *faultinject.Schedule
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxConcurrent <= 0 {
+		c.MaxConcurrent = 4
+	}
+	if c.MaxQueue <= 0 {
+		c.MaxQueue = 16
+	}
+	if c.QueueWait <= 0 {
+		c.QueueWait = 2 * time.Second
+	}
+	if c.DefaultTimeout <= 0 {
+		c.DefaultTimeout = 30 * time.Second
+	}
+	if c.MaxTimeout <= 0 {
+		c.MaxTimeout = 2 * time.Minute
+	}
+	return c
+}
+
+// warmModel is the pooled item: one encoded attack model plus the spec it
+// was built from, kept to detect key-hash collisions on reuse.
+type warmModel struct {
+	model *core.Model
+	spec  *scenariofile.AttackSpec
+}
+
+// Service is the analytics server. Construct with New; register its Handler
+// on an http.Server.
+type Service struct {
+	cfg   Config
+	pool  *pool.Pool[*warmModel]
+	sem   chan struct{}
+	wait  atomic.Int64 // requests queued for a solve slot
+	specs sync.Map     // pool.Key → *scenariofile.AttackSpec
+	m     metrics
+	start time.Time
+}
+
+// New constructs a Service.
+func New(cfg Config) (*Service, error) {
+	cfg = cfg.withDefaults()
+	s := &Service{
+		cfg:   cfg,
+		sem:   make(chan struct{}, cfg.MaxConcurrent),
+		start: time.Now(),
+	}
+	p, err := pool.New(pool.Config[*warmModel]{
+		MaxLive:       cfg.PoolMaxLive,
+		MaxIdlePerKey: cfg.PoolMaxIdlePerKey,
+		New:           s.buildModel,
+		Reset:         resetModel,
+	})
+	if err != nil {
+		return nil, err
+	}
+	s.pool = p
+	return s, nil
+}
+
+// buildModel is the pool's cold-build hook: it looks the key's spec up in
+// the registry and encodes the attack model.
+func (s *Service) buildModel(_ context.Context, key pool.Key) (*warmModel, error) {
+	v, ok := s.specs.Load(key)
+	if !ok {
+		return nil, fmt.Errorf("service: no spec registered for pool key %+v", key)
+	}
+	spec := v.(*scenariofile.AttackSpec)
+	sc, err := spec.Scenario()
+	if err != nil {
+		return nil, err
+	}
+	m, err := core.NewModel(sc)
+	if err != nil {
+		return nil, err
+	}
+	return &warmModel{model: m, spec: spec}, nil
+}
+
+// resetModel validates a returning encoder: the overlay scope must have
+// unwound to base. A leftover scope means the request path tore — the
+// encoder is quarantined by the pool.
+func resetModel(wm *warmModel) error {
+	if n := wm.model.Solver().NumScopes(); n != 1 {
+		return fmt.Errorf("service: encoder scope stack not at base (%d scopes)", n)
+	}
+	return nil
+}
+
+// Handler returns the service's HTTP routes.
+func (s *Service) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/verify", s.handleVerify)
+	mux.HandleFunc("POST /v1/synthesize", s.handleSynthesize)
+	mux.HandleFunc("POST /v1/proofcheck", s.handleProofCheck)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	return mux
+}
+
+// Close drains the warm pool. Outstanding requests finish on their leased
+// encoders; call after the HTTP server has shut down.
+func (s *Service) Close() {
+	s.pool.Drain()
+}
+
+// PoolStats exposes the warm-pool counters (tests and /metrics).
+func (s *Service) PoolStats() pool.Stats { return s.pool.Stats() }
+
+// admit implements the bounded admission queue. It returns a release
+// function on success, or writes the shed response and returns false.
+func (s *Service) admit(w http.ResponseWriter, r *http.Request) (func(), bool) {
+	if s.wait.Add(1) > int64(s.cfg.MaxQueue) {
+		s.wait.Add(-1)
+		s.m.shed429.Add(1)
+		writeShed(w, http.StatusTooManyRequests, "admission queue full", 1)
+		return nil, false
+	}
+	t := time.NewTimer(s.cfg.QueueWait)
+	defer t.Stop()
+	select {
+	case s.sem <- struct{}{}:
+		s.wait.Add(-1)
+		return func() { <-s.sem }, true
+	case <-t.C:
+		s.wait.Add(-1)
+		s.m.shed503.Add(1)
+		writeShed(w, http.StatusServiceUnavailable, "no solve slot within queue wait", int(s.cfg.QueueWait/time.Second)+1)
+		return nil, false
+	case <-r.Context().Done():
+		s.wait.Add(-1)
+		writeError(w, 499, "client went away while queued")
+		return nil, false
+	}
+}
+
+// requestContext applies the clamped per-request deadline.
+func (s *Service) requestContext(r *http.Request, timeoutMs int) (context.Context, context.CancelFunc) {
+	d := s.cfg.DefaultTimeout
+	if timeoutMs > 0 {
+		d = time.Duration(timeoutMs) * time.Millisecond
+	}
+	if d > s.cfg.MaxTimeout {
+		d = s.cfg.MaxTimeout
+	}
+	return context.WithTimeout(r.Context(), d)
+}
+
+func (s *Service) handleVerify(w http.ResponseWriter, r *http.Request) {
+	s.m.requests.Add(1)
+	var req VerifyRequest
+	if err := decodeStrict(r.Body, &req); err != nil {
+		s.m.badRequests.Add(1)
+		writeError(w, http.StatusBadRequest, fmt.Sprintf("bad verify request: %v", err))
+		return
+	}
+	if req.Proof && s.cfg.ProofDir == "" {
+		s.m.badRequests.Add(1)
+		writeError(w, http.StatusBadRequest, "proof requested but the server has no proof directory")
+		return
+	}
+	release, ok := s.admit(w, r)
+	if !ok {
+		return
+	}
+	defer release()
+	ctx, cancel := s.requestContext(r, req.TimeoutMs)
+	defer cancel()
+
+	start := time.Now()
+	resp, herr := s.verify(ctx, &req)
+	if herr != nil {
+		switch herr.status {
+		case http.StatusServiceUnavailable:
+			s.m.shed503.Add(1)
+			writeShed(w, herr.status, herr.msg, 1)
+		case http.StatusBadRequest:
+			s.m.badRequests.Add(1)
+			writeError(w, herr.status, herr.msg)
+		default:
+			writeError(w, herr.status, herr.msg)
+		}
+		return
+	}
+	resp.ElapsedMs = time.Since(start).Milliseconds()
+	switch resp.Status {
+	case "feasible":
+		s.m.feasible.Add(1)
+	case "infeasible":
+		s.m.infeasible.Add(1)
+	default:
+		s.m.inconclusive.Add(1)
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Service) handleSynthesize(w http.ResponseWriter, r *http.Request) {
+	s.m.requests.Add(1)
+	var req SynthesizeRequest
+	if err := decodeStrict(r.Body, &req); err != nil {
+		s.m.badRequests.Add(1)
+		writeError(w, http.StatusBadRequest, fmt.Sprintf("bad synthesize request: %v", err))
+		return
+	}
+	if req.Proof && s.cfg.ProofDir == "" {
+		s.m.badRequests.Add(1)
+		writeError(w, http.StatusBadRequest, "proof requested but the server has no proof directory")
+		return
+	}
+	release, ok := s.admit(w, r)
+	if !ok {
+		return
+	}
+	defer release()
+	ctx, cancel := s.requestContext(r, req.TimeoutMs)
+	defer cancel()
+
+	start := time.Now()
+	resp, herr := s.synthesize(ctx, &req)
+	if herr != nil {
+		s.m.badRequests.Add(1)
+		writeError(w, herr.status, herr.msg)
+		return
+	}
+	resp.ElapsedMs = time.Since(start).Milliseconds()
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// synthesize runs one synthesis request. Synthesis manages its own solver
+// lifecycle (a persistent selection model plus per-run verification
+// models), so it does not use the warm pool; admission control and the
+// deadline still apply.
+func (s *Service) synthesize(ctx context.Context, req *SynthesizeRequest) (*SynthesizeResponse, *handlerError) {
+	spec := req.Synthesis
+	tag := proof.UniqueName("req", "")
+	if spec.MeasurementGranular() {
+		mreq, err := spec.MeasurementRequirements()
+		if err != nil {
+			return nil, &handlerError{http.StatusBadRequest, err.Error()}
+		}
+		if req.Proof {
+			mreq.ProofDir = s.cfg.ProofDir
+			mreq.ProofTag = tag
+		}
+		arch, err := synth.SynthesizeMeasurementsContext(ctx, mreq)
+		if err != nil {
+			return synthFailure(err)
+		}
+		return &SynthesizeResponse{
+			Status:              "found",
+			SecuredMeasurements: arch.SecuredMeasurements,
+			Iterations:          arch.Iterations,
+			ProofFiles:          arch.ProofFiles,
+		}, nil
+	}
+	sreq, err := spec.Requirements()
+	if err != nil {
+		return nil, &handlerError{http.StatusBadRequest, err.Error()}
+	}
+	if req.Proof {
+		sreq.ProofDir = s.cfg.ProofDir
+		sreq.ProofTag = tag
+	}
+	arch, err := synth.SynthesizeContext(ctx, sreq)
+	if err != nil {
+		return synthFailure(err)
+	}
+	return &SynthesizeResponse{
+		Status:       "found",
+		SecuredBuses: arch.SecuredBuses,
+		Iterations:   arch.Iterations,
+		ProofFiles:   arch.ProofFiles,
+	}, nil
+}
+
+// synthFailure maps synthesis outcomes that are answers, not errors:
+// impossibility is a proof, exhaustion is inconclusive.
+func synthFailure(err error) (*SynthesizeResponse, *handlerError) {
+	switch {
+	case errors.Is(err, synth.ErrNoArchitecture):
+		return &SynthesizeResponse{Status: "impossible", Why: err.Error()}, nil
+	case errors.Is(err, synth.ErrBudgetExhausted),
+		errors.Is(err, context.DeadlineExceeded),
+		errors.Is(err, context.Canceled):
+		return &SynthesizeResponse{Status: "inconclusive", Why: err.Error()}, nil
+	default:
+		return nil, &handlerError{http.StatusBadRequest, err.Error()}
+	}
+}
+
+func (s *Service) handleProofCheck(w http.ResponseWriter, r *http.Request) {
+	s.m.requests.Add(1)
+	if s.cfg.ProofDir == "" {
+		writeError(w, http.StatusBadRequest, "the server has no proof directory")
+		return
+	}
+	var req ProofCheckRequest
+	if err := decodeStrict(r.Body, &req); err != nil {
+		s.m.badRequests.Add(1)
+		writeError(w, http.StatusBadRequest, fmt.Sprintf("bad proofcheck request: %v", err))
+		return
+	}
+	// Resolve strictly inside the proof directory: certificate names only,
+	// no traversal, no absolute paths.
+	if req.Path == "" || filepath.IsAbs(req.Path) {
+		writeError(w, http.StatusBadRequest, "path must be relative to the proof directory")
+		return
+	}
+	clean := filepath.Clean(req.Path)
+	if clean == ".." || strings.HasPrefix(clean, ".."+string(filepath.Separator)) {
+		writeError(w, http.StatusBadRequest, "path escapes the proof directory")
+		return
+	}
+	rep, err := proof.CheckFile(filepath.Join(s.cfg.ProofDir, clean))
+	if err != nil {
+		writeJSON(w, http.StatusOK, &ProofCheckResponse{Valid: false, Error: err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusOK, &ProofCheckResponse{
+		Valid:        true,
+		Records:      rep.Records,
+		UnsatChecks:  rep.UnsatChecks,
+		TheoryLemmas: rep.TheoryLemmas,
+	})
+}
+
+func (s *Service) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":        "ok",
+		"uptimeSeconds": int64(time.Since(s.start) / time.Second),
+	})
+}
+
+func (s *Service) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, s.m.snapshot(s.pool.Stats(), int(s.wait.Load())))
+}
+
+// handlerError carries an HTTP status through the request pipeline.
+type handlerError struct {
+	status int
+	msg    string
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, msg string) {
+	writeJSON(w, status, &errorResponse{Error: msg})
+}
+
+// writeShed answers a load-shed: the request was refused, not mis-answered.
+func writeShed(w http.ResponseWriter, status int, msg string, retryAfter int) {
+	w.Header().Set("Retry-After", strconv.Itoa(retryAfter))
+	writeJSON(w, status, &errorResponse{Error: msg, RetryAfterSeconds: retryAfter})
+}

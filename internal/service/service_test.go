@@ -1,0 +1,399 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"segrid/internal/faultinject"
+	"segrid/internal/scenariofile"
+)
+
+// obj2Spec is the paper's objective-2 case study (ieee14, target state 12):
+// feasible as-is, infeasible once measurement 46 is secured. The test
+// suite's ground truth.
+func obj2Spec() scenariofile.AttackSpec {
+	return scenariofile.AttackSpec{
+		Case:        "ieee14",
+		Untaken:     []int{5, 10, 14, 19, 22, 27, 30, 35, 43, 52},
+		Targets:     []int{12},
+		OnlyTargets: true,
+	}
+}
+
+func newTestServer(t *testing.T, cfg Config) (*Service, *httptest.Server) {
+	t.Helper()
+	svc, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(svc.Handler())
+	t.Cleanup(func() {
+		srv.Close()
+		svc.Close()
+	})
+	return svc, srv
+}
+
+func post(t *testing.T, srv *httptest.Server, path string, body any) (*http.Response, []byte) {
+	t.Helper()
+	buf, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := srv.Client().Post(srv.URL+path, "application/json", bytes.NewReader(buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, raw
+}
+
+func verifyOn(t *testing.T, srv *httptest.Server, req VerifyRequest) *VerifyResponse {
+	t.Helper()
+	resp, raw := post(t, srv, "/v1/verify", req)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("verify status %d: %s", resp.StatusCode, raw)
+	}
+	var out VerifyResponse
+	if err := json.Unmarshal(raw, &out); err != nil {
+		t.Fatalf("decode: %v (%s)", err, raw)
+	}
+	return &out
+}
+
+// TestVerifyWarmReuseAndScopedOverlay checks the core service contract in
+// one flow: verdicts are correct, requests sharing a spec reuse the warm
+// encoder, and a per-request overlay neither leaks into later requests nor
+// poisons the encoder.
+func TestVerifyWarmReuseAndScopedOverlay(t *testing.T) {
+	_, srv := newTestServer(t, Config{})
+
+	r1 := verifyOn(t, srv, VerifyRequest{Attack: obj2Spec()})
+	if r1.Status != "feasible" || r1.Warm {
+		t.Fatalf("first request = %+v, want cold feasible", r1)
+	}
+	// Same spec, secured measurement 46 overlaid: infeasible, on the warm
+	// encoder from request 1.
+	r2 := verifyOn(t, srv, VerifyRequest{Attack: obj2Spec(), SecuredMeasurements: []int{46}})
+	if r2.Status != "infeasible" || !r2.Warm {
+		t.Fatalf("overlay request = %+v, want warm infeasible", r2)
+	}
+	// The overlay must be gone: the bare spec is feasible again, still warm.
+	r3 := verifyOn(t, srv, VerifyRequest{Attack: obj2Spec()})
+	if r3.Status != "feasible" || !r3.Warm {
+		t.Fatalf("post-overlay request = %+v, want warm feasible", r3)
+	}
+	if len(r3.AlteredMeasurements) == 0 {
+		t.Fatalf("feasible verdict carries no attack vector")
+	}
+}
+
+// TestVerifyFreshEncodeMatchesWarm is the service-level differential check:
+// the fresh-per-check path must agree with the warm incremental path.
+func TestVerifyFreshEncodeMatchesWarm(t *testing.T) {
+	_, srv := newTestServer(t, Config{})
+	warm := verifyOn(t, srv, VerifyRequest{Attack: obj2Spec(), SecuredMeasurements: []int{46}})
+	fresh := verifyOn(t, srv, VerifyRequest{Attack: obj2Spec(), SecuredMeasurements: []int{46}, FreshEncode: true})
+	if warm.Status != fresh.Status {
+		t.Fatalf("warm says %s, fresh says %s", warm.Status, fresh.Status)
+	}
+	if fresh.Warm {
+		t.Fatalf("freshEncode answered from the warm pool")
+	}
+}
+
+// TestVerifyDeadlineInconclusive checks an expired per-request deadline
+// yields a machine-readable inconclusive answer, never a guess.
+func TestVerifyDeadlineInconclusive(t *testing.T) {
+	_, srv := newTestServer(t, Config{})
+	r := verifyOn(t, srv, VerifyRequest{
+		Attack:    scenariofile.AttackSpec{Case: "ieee118", AnyState: true},
+		TimeoutMs: 1,
+	})
+	if r.Status != "inconclusive" {
+		t.Fatalf("status = %s, want inconclusive under a 1ms deadline", r.Status)
+	}
+	if r.UnknownReason != "deadline" && r.UnknownReason != "cancelled" {
+		t.Fatalf("unknownReason = %q, want a deadline classification", r.UnknownReason)
+	}
+}
+
+// TestVerifyRetryLadderRecovers drives the warm→fresh fallback: the first
+// scheduled fault poisons the warm encoder mid-check, the retry runs clean
+// on a fresh encoder, and the client sees the correct verdict with the
+// retry made visible.
+func TestVerifyRetryLadderRecovers(t *testing.T) {
+	fcfg := faultinject.Config{PPoison: 0.5, MaxAfterPolls: 1}
+	// Find a seed whose schedule poisons the first check and leaves the
+	// next three clean: request 1 exercises warm-poison → fresh-retry, and
+	// request 2 (warm attempt + possible retry) must run undisturbed.
+	seed := uint64(0)
+	for s := uint64(1); s < 65536; s++ {
+		sched := faultinject.New(s, fcfg)
+		if sched.Next().Kind != faultinject.Poison {
+			continue
+		}
+		if sched.Next().Kind == faultinject.None &&
+			sched.Next().Kind == faultinject.None &&
+			sched.Next().Kind == faultinject.None {
+			seed = s
+			break
+		}
+	}
+	if seed == 0 {
+		t.Fatal("no seed with a poison-then-clean prefix")
+	}
+	svc, srv := newTestServer(t, Config{Faults: faultinject.New(seed, fcfg)})
+
+	r := verifyOn(t, srv, VerifyRequest{Attack: obj2Spec()})
+	if r.Status != "feasible" {
+		t.Fatalf("status = %s (%s), want feasible after the retry", r.Status, r.Why)
+	}
+	if r.Retries != 1 || r.Warm {
+		t.Fatalf("retries = %d, warm = %v; want one fallback onto a fresh encoder", r.Retries, r.Warm)
+	}
+	if ps := svc.PoolStats(); ps.Discards != 1 {
+		t.Fatalf("pool discards = %d, want the poisoned encoder quarantined", ps.Discards)
+	}
+	// The quarantined encoder is gone: the next identical request must not
+	// be served warm.
+	r2 := verifyOn(t, srv, VerifyRequest{Attack: obj2Spec()})
+	if r2.Status != "feasible" || r2.Warm {
+		t.Fatalf("post-quarantine request = %+v, want a cold rebuild", r2)
+	}
+}
+
+// TestAdmissionControlSheds saturates a 1-slot server with stalled solves
+// and checks overload is refused (429/503 with Retry-After) rather than
+// mis-answered.
+func TestAdmissionControlSheds(t *testing.T) {
+	_, srv := newTestServer(t, Config{
+		MaxConcurrent:  1,
+		MaxQueue:       1,
+		QueueWait:      50 * time.Millisecond,
+		DefaultTimeout: 300 * time.Millisecond,
+		Faults:         faultinject.New(11, faultinject.Config{PStall: 1, MaxAfterPolls: 1, StallFor: time.Millisecond}),
+	})
+	const n = 4
+	var (
+		wg    sync.WaitGroup
+		mu    sync.Mutex
+		codes = map[int]int{}
+	)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			resp, raw := post(t, srv, "/v1/verify", VerifyRequest{Attack: obj2Spec()})
+			mu.Lock()
+			defer mu.Unlock()
+			codes[resp.StatusCode]++
+			switch resp.StatusCode {
+			case http.StatusOK:
+				var out VerifyResponse
+				if err := json.Unmarshal(raw, &out); err != nil {
+					t.Errorf("decode: %v", err)
+					return
+				}
+				// Every check stalls to its deadline; a verdict of
+				// "infeasible" here would be a silent wrong answer.
+				if out.Status == "infeasible" {
+					t.Errorf("stalled solve produced an unsound infeasible verdict")
+				}
+			case http.StatusTooManyRequests, http.StatusServiceUnavailable:
+				if resp.Header.Get("Retry-After") == "" {
+					t.Errorf("shed %d without Retry-After", resp.StatusCode)
+				}
+			default:
+				t.Errorf("unexpected status %d: %s", resp.StatusCode, raw)
+			}
+		}()
+	}
+	wg.Wait()
+	if codes[http.StatusTooManyRequests]+codes[http.StatusServiceUnavailable] == 0 {
+		t.Fatalf("no request was shed under saturation: %v", codes)
+	}
+}
+
+// TestProofRoundTrip requests a certificate for an infeasible check and
+// re-validates it through the proofcheck endpoint; the proof directory must
+// hold exactly the published file, no staging temps.
+func TestProofRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	_, srv := newTestServer(t, Config{ProofDir: dir})
+	r := verifyOn(t, srv, VerifyRequest{
+		Attack:              obj2Spec(),
+		SecuredMeasurements: []int{46},
+		Proof:               true,
+	})
+	if r.Status != "infeasible" {
+		t.Fatalf("status = %s, want infeasible", r.Status)
+	}
+	if r.ProofFile == "" || r.ProofError != "" {
+		t.Fatalf("proof = %q / %q, want a published certificate", r.ProofFile, r.ProofError)
+	}
+	resp, raw := post(t, srv, "/v1/proofcheck", ProofCheckRequest{Path: r.ProofFile})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("proofcheck status %d: %s", resp.StatusCode, raw)
+	}
+	var chk ProofCheckResponse
+	if err := json.Unmarshal(raw, &chk); err != nil {
+		t.Fatal(err)
+	}
+	if !chk.Valid || chk.UnsatChecks == 0 {
+		t.Fatalf("proofcheck = %+v, want a valid certificate with unsat checks", chk)
+	}
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ents) != 1 || ents[0].Name() != r.ProofFile {
+		t.Fatalf("proof dir = %v, want exactly the published %s", ents, r.ProofFile)
+	}
+}
+
+// TestProofStreamFaultNeverPublishes injects a certificate-sink failure:
+// the verdict must stand, the failure must be reported, and nothing may be
+// published.
+func TestProofStreamFaultNeverPublishes(t *testing.T) {
+	dir := t.TempDir()
+	_, srv := newTestServer(t, Config{
+		ProofDir: dir,
+		Faults:   faultinject.New(3, faultinject.Config{PProofErr: 1, MaxAfterBytes: 1}),
+	})
+	r := verifyOn(t, srv, VerifyRequest{
+		Attack:              obj2Spec(),
+		SecuredMeasurements: []int{46},
+		Proof:               true,
+	})
+	if r.Status != "infeasible" {
+		t.Fatalf("status = %s; a failing proof sink must not change the verdict", r.Status)
+	}
+	if r.ProofFile != "" || r.ProofError == "" {
+		t.Fatalf("proof = %q / %q, want an unpublished stream with a reported error", r.ProofFile, r.ProofError)
+	}
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ents) != 0 {
+		t.Fatalf("proof dir not empty after failed stream: %v", ents)
+	}
+}
+
+// TestSynthesizeEndpoint runs the paper's synthesis scenario 2 through the
+// service.
+func TestSynthesizeEndpoint(t *testing.T) {
+	_, srv := newTestServer(t, Config{})
+	resp, raw := post(t, srv, "/v1/synthesize", SynthesizeRequest{
+		Synthesis: scenariofile.SynthesisSpec{
+			Attack: scenariofile.AttackSpec{
+				Case:     "ieee14",
+				Untaken:  []int{5, 10, 14, 19, 22, 27, 30, 35, 43, 52},
+				AnyState: true,
+			},
+			MaxSecuredBuses: 5,
+			RequiredBuses:   []int{1},
+			Prune:           true,
+		},
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("synthesize status %d: %s", resp.StatusCode, raw)
+	}
+	var out SynthesizeResponse
+	if err := json.Unmarshal(raw, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Status != "found" || len(out.SecuredBuses) == 0 || len(out.SecuredBuses) > 5 {
+		t.Fatalf("synthesize = %+v, want an architecture of at most 5 buses", out)
+	}
+	if out.SecuredBuses[0] != 1 {
+		t.Fatalf("architecture %v misses required bus 1", out.SecuredBuses)
+	}
+}
+
+// TestRequestValidation pins the strict-input contract: unknown fields,
+// traversal paths and proof requests without a proof dir are all refused.
+func TestRequestValidation(t *testing.T) {
+	_, srv := newTestServer(t, Config{ProofDir: t.TempDir()})
+
+	resp, err := srv.Client().Post(srv.URL+"/v1/verify", "application/json",
+		strings.NewReader(`{"attack": {"case": "ieee14"}, "bogus": 1}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("unknown field accepted: %d", resp.StatusCode)
+	}
+
+	for _, path := range []string{"../outside.proof", "/etc/passwd", ""} {
+		resp, raw := post(t, srv, "/v1/proofcheck", ProofCheckRequest{Path: path})
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("path %q accepted: %d %s", path, resp.StatusCode, raw)
+		}
+	}
+
+	resp2, raw := post(t, srv, "/v1/verify", VerifyRequest{
+		Attack:       obj2Spec(),
+		SecuredBuses: []int{99},
+	})
+	if resp2.StatusCode != http.StatusBadRequest {
+		t.Fatalf("out-of-range overlay bus accepted: %d %s", resp2.StatusCode, raw)
+	}
+}
+
+// TestHealthAndMetrics smoke-checks the observability endpoints.
+func TestHealthAndMetrics(t *testing.T) {
+	_, srv := newTestServer(t, Config{})
+	verifyOn(t, srv, VerifyRequest{Attack: obj2Spec()})
+
+	hr, err := srv.Client().Get(srv.URL + "/healthz")
+	if err != nil || hr.StatusCode != http.StatusOK {
+		t.Fatalf("healthz = %v %v", hr, err)
+	}
+	hr.Body.Close()
+
+	mr, err := srv.Client().Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mr.Body.Close()
+	var m Metrics
+	if err := json.NewDecoder(mr.Body).Decode(&m); err != nil {
+		t.Fatal(err)
+	}
+	if m.Requests == 0 || m.Feasible == 0 || m.Pool.Misses == 0 {
+		t.Fatalf("metrics = %+v, want the verify request counted", m)
+	}
+}
+
+// TestOverlayErrorKeepsEncoderHealthy checks a bad overlay neither answers
+// nor quarantines: the warm encoder survives the caller's mistake.
+func TestOverlayErrorKeepsEncoderHealthy(t *testing.T) {
+	svc, srv := newTestServer(t, Config{})
+	verifyOn(t, srv, VerifyRequest{Attack: obj2Spec()}) // warm the pool
+	resp, _ := post(t, srv, "/v1/verify", VerifyRequest{Attack: obj2Spec(), SecuredMeasurements: []int{0}})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("invalid overlay measurement accepted: %d", resp.StatusCode)
+	}
+	r := verifyOn(t, srv, VerifyRequest{Attack: obj2Spec()})
+	if !r.Warm || r.Status != "feasible" {
+		t.Fatalf("encoder lost after overlay error: %+v", r)
+	}
+	if ps := svc.PoolStats(); ps.Discards != 0 {
+		t.Fatalf("overlay error quarantined the encoder: %+v", ps)
+	}
+}

@@ -1,0 +1,252 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"os"
+	"path/filepath"
+
+	"segrid/internal/core"
+	"segrid/internal/faultinject"
+	"segrid/internal/pool"
+	"segrid/internal/proof"
+	"segrid/internal/scenariofile"
+	"segrid/internal/smt"
+)
+
+// verify answers one verification request through the retry ladder:
+//
+//  1. a warm pooled encoder, with the per-request overlay asserted in a
+//     solver scope — the cheap path;
+//  2. on a retryable failure (budget kind, injected interruption, panic,
+//     scope mismatch), a fresh per-check encoder — the trustworthy path;
+//  3. only then an inconclusive answer carrying the machine-readable
+//     reason.
+//
+// A non-retryable failure (the request's own deadline or cancellation)
+// short-circuits to inconclusive: retrying against an expired deadline
+// cannot succeed. At no point does a failure turn into a guessed verdict.
+func (s *Service) verify(ctx context.Context, req *VerifyRequest) (*VerifyResponse, *handlerError) {
+	if req.Proof || req.FreshEncode {
+		// Certificate streams capture a solver lifetime; differential
+		// requests want no shared state. Both bypass the pool.
+		return s.verifyFresh(ctx, req, 0)
+	}
+	key, err := poolKey(&req.Attack)
+	if err != nil {
+		return nil, &handlerError{http.StatusBadRequest, err.Error()}
+	}
+	if prev, loaded := s.specs.LoadOrStore(key, &req.Attack); loaded {
+		if !specEqual(prev.(*scenariofile.AttackSpec), &req.Attack) {
+			// A key-hash collision between distinct specs: never share an
+			// encoder across models. Fall back to a fresh encoding.
+			return s.verifyFresh(ctx, req, 0)
+		}
+	}
+	lease, err := s.pool.Checkout(ctx, key)
+	if errors.Is(err, pool.ErrExhausted) {
+		return nil, &handlerError{http.StatusServiceUnavailable, "encoder pool exhausted"}
+	}
+	if err != nil {
+		return nil, &handlerError{http.StatusBadRequest, err.Error()}
+	}
+	res, herr, poisoned := s.checkWarm(ctx, lease.Item.model, req)
+	if poisoned {
+		s.m.poisoned.Add(1)
+		_ = lease.Discard()
+	} else {
+		_ = lease.Return()
+	}
+	if herr != nil {
+		return nil, herr
+	}
+	if res != nil && !res.Inconclusive {
+		return s.buildResponse(res, lease.Warm(), 0), nil
+	}
+	// Decide whether the failure is worth a fresh-encoder retry.
+	retryable := res == nil // a panic is encoder trouble, not request trouble
+	if res != nil {
+		retryable = res.Stats.Unknown.Retryable()
+	}
+	if !retryable || ctx.Err() != nil {
+		return s.buildResponse(res, lease.Warm(), 0), nil
+	}
+	s.m.retries.Add(1)
+	return s.verifyFresh(ctx, req, 1)
+}
+
+// checkWarm runs one check on a leased warm encoder. The overlay is
+// asserted inside a Push/Pop scope; the boolean result reports whether the
+// encoder must be quarantined (Unknown result, panic, failed Pop — any
+// ending after which its internal state cannot be trusted).
+func (s *Service) checkWarm(ctx context.Context, m *core.Model, req *VerifyRequest) (res *core.Result, herr *handlerError, poisoned bool) {
+	sv := m.Solver()
+	sv.SetBudget(s.cfg.Budget)
+	if s.cfg.Faults != nil {
+		sv.SetInterrupter(s.cfg.Faults.Injector())
+		defer sv.SetInterrupter(nil)
+	}
+	defer func() {
+		if r := recover(); r != nil {
+			s.m.panics.Add(1)
+			res, herr, poisoned = nil, nil, true
+		}
+	}()
+	sv.Push()
+	if err := applyOverlay(m, req); err != nil {
+		// Invalid overlay is the caller's error; the encoder is fine once
+		// the scope unwinds.
+		if perr := sv.Pop(); perr != nil {
+			return nil, &handlerError{http.StatusBadRequest, err.Error()}, true
+		}
+		return nil, &handlerError{http.StatusBadRequest, err.Error()}, false
+	}
+	res, err := m.CheckContext(ctx)
+	if err != nil {
+		return nil, &handlerError{http.StatusInternalServerError, err.Error()}, true
+	}
+	if res.Inconclusive {
+		// The solve was torn mid-flight; skip the Pop and quarantine.
+		return res, nil, true
+	}
+	if err := sv.Pop(); err != nil {
+		// The verdict predates the failed Pop and stands; the encoder does
+		// not go back to the pool.
+		return res, nil, true
+	}
+	return res, nil, false
+}
+
+// verifyFresh is the ladder's trustworthy rung: a throwaway FreshPerCheck
+// encoder, optionally streaming an UNSAT certificate to a per-request
+// atomic file.
+func (s *Service) verifyFresh(ctx context.Context, req *VerifyRequest, retries int) (*VerifyResponse, *handlerError) {
+	sc, err := req.Attack.Scenario()
+	if err != nil {
+		return nil, &handlerError{http.StatusBadRequest, err.Error()}
+	}
+	opts := smt.DefaultOptions()
+	opts.FreshPerCheck = true
+	opts.Budget = s.cfg.Budget
+	var dec faultinject.Decision
+	if s.cfg.Faults != nil {
+		dec = s.cfg.Faults.Next()
+		opts.Interrupter = faultinject.NewInjector(dec)
+	}
+
+	var (
+		pw        *proof.Writer
+		tmp       *os.File
+		finalName string
+	)
+	if req.Proof {
+		f, err := os.CreateTemp(s.cfg.ProofDir, ".verify-*.tmp")
+		if err != nil {
+			return nil, &handlerError{http.StatusInternalServerError, fmt.Sprintf("stage certificate: %v", err)}
+		}
+		tmp = f
+		pw = proof.NewWriter(dec.Wrap(f))
+		opts.Proof = pw
+		finalName = proof.UniqueName("verify-", ".proof")
+	}
+	sc.Options = &opts
+
+	resp, herr := func() (resp *VerifyResponse, herr *handlerError) {
+		defer func() {
+			if r := recover(); r != nil {
+				s.m.panics.Add(1)
+				resp, herr = nil, &handlerError{http.StatusInternalServerError, fmt.Sprintf("solver panic: %v", r)}
+			}
+		}()
+		m, err := core.NewModel(sc)
+		if err != nil {
+			return nil, &handlerError{http.StatusBadRequest, err.Error()}
+		}
+		if err := applyOverlay(m, req); err != nil {
+			return nil, &handlerError{http.StatusBadRequest, err.Error()}
+		}
+		res, err := m.CheckContext(ctx)
+		if err != nil {
+			return nil, &handlerError{http.StatusInternalServerError, err.Error()}
+		}
+		return s.buildResponse(res, false, retries), nil
+	}()
+
+	if pw != nil {
+		werr := pw.Close()
+		if cerr := tmp.Close(); werr == nil {
+			werr = cerr
+		}
+		infeasible := herr == nil && resp != nil && resp.Status == "infeasible"
+		if infeasible && werr == nil {
+			// Publish: the certificate is complete and certifies this very
+			// verdict. Rename is atomic; a crash before it leaves only a
+			// hidden temp.
+			final := filepath.Join(s.cfg.ProofDir, finalName)
+			if err := os.Rename(tmp.Name(), final); err != nil {
+				_ = os.Remove(tmp.Name())
+				resp.ProofError = err.Error()
+			} else {
+				resp.ProofFile = finalName
+			}
+		} else {
+			// Feasible/inconclusive runs have nothing to certify; a failed
+			// stream must never publish. The verdict itself is unaffected —
+			// the solver does not abort on a failing proof sink.
+			_ = os.Remove(tmp.Name())
+			if infeasible && werr != nil {
+				s.m.proofErrors.Add(1)
+				resp.ProofError = fmt.Sprintf("certificate stream failed: %v", werr)
+			}
+		}
+	}
+	return resp, herr
+}
+
+// applyOverlay asserts the request's extra protections in the solver's
+// current scope.
+func applyOverlay(m *core.Model, req *VerifyRequest) error {
+	if len(req.SecuredBuses) > 0 {
+		if err := m.AssertBusesSecured(req.SecuredBuses); err != nil {
+			return err
+		}
+	}
+	if len(req.SecuredMeasurements) > 0 {
+		if err := m.AssertMeasurementsSecured(req.SecuredMeasurements); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// buildResponse maps a core.Result onto the wire. A nil result (panic on
+// the warm rung with no fresh retry possible) reports inconclusive.
+func (s *Service) buildResponse(res *core.Result, warm bool, retries int) *VerifyResponse {
+	resp := &VerifyResponse{Warm: warm, Retries: retries}
+	if res == nil {
+		resp.Status = "inconclusive"
+		resp.Why = "solver panic on warm encoder"
+		resp.UnknownReason = unknownToken(smt.ReasonOther)
+		return resp
+	}
+	switch {
+	case res.Inconclusive:
+		resp.Status = "inconclusive"
+		if res.Why != nil {
+			resp.Why = res.Why.Error()
+		}
+		resp.UnknownReason = unknownToken(res.Stats.Unknown)
+	case res.Feasible:
+		resp.Status = "feasible"
+		resp.AlteredMeasurements = res.AlteredMeasurements
+		resp.CompromisedBuses = res.CompromisedBuses
+		resp.ExcludedLines = res.ExcludedLines
+		resp.IncludedLines = res.IncludedLines
+		resp.StateChanges = ratMap(res.StateChanges)
+	default:
+		resp.Status = "infeasible"
+	}
+	return resp
+}

@@ -108,6 +108,11 @@ type Stats struct {
 	// the reproduction's analogue of the paper's solver memory usage.
 	AllocBytes uint64
 	Duration   time.Duration
+	// Unknown classifies an Unknown result (budget kind, cancellation,
+	// deadline, injected interruption); ReasonNone on Sat/Unsat. It is the
+	// machine-readable twin of Result.Why, letting retry policies decide
+	// whether another attempt can help without inspecting error chains.
+	Unknown UnknownReason
 }
 
 // cardKind distinguishes cardinality assertion directions.
@@ -351,6 +356,9 @@ func (s *Solver) CheckContext(ctx context.Context) (*Result, error) {
 		runtime.ReadMemStats(&memAfter)
 		res.Stats.AllocBytes = memAfter.TotalAlloc - memBefore.TotalAlloc
 		res.Stats.Duration = time.Since(start)
+		if res.Status == Unknown {
+			res.Stats.Unknown = ClassifyUnknown(res.Why)
+		}
 		s.lastStats = res.Stats
 		return res
 	}

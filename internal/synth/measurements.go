@@ -44,8 +44,12 @@ type MeasurementRequirements struct {
 
 	// ProofDir enables UNSAT certificate logging for the verification
 	// solvers, exactly as Requirements.ProofDir does for bus-granular
-	// synthesis.
+	// synthesis (collision-safe per-run file names, atomic publication).
 	ProofDir string
+
+	// ProofTag overrides the generated per-run certificate name component;
+	// see Requirements.ProofTag.
+	ProofTag string
 }
 
 // MeasurementArchitecture is a synthesized measurement-protection set.
@@ -193,7 +197,7 @@ func SynthesizeMeasurementsContext(ctx context.Context, req *MeasurementRequirem
 	var proofFiles []string
 	if req.ProofDir != "" {
 		var writers []*proof.Writer
-		scenarios, writers, proofFiles, err = withProofWriters(req.ProofDir, scenarios)
+		scenarios, writers, proofFiles, err = withProofWriters(req.ProofDir, req.ProofTag, scenarios)
 		if err != nil {
 			return nil, err
 		}

@@ -1,0 +1,123 @@
+package synth
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+
+	"segrid/internal/proof"
+)
+
+// TestProofDirConcurrentRunsDoNotCollide is the regression test for the
+// certificate filename scheme: several synthesis runs sharing one ProofDir
+// must each publish their own complete, independently checkable certificate
+// stream — no run may truncate or interleave another's.
+func TestProofDirConcurrentRunsDoNotCollide(t *testing.T) {
+	dir := t.TempDir()
+	const runs = 4
+	files := make([][]string, runs)
+	var wg sync.WaitGroup
+	errs := make([]error, runs)
+	for i := 0; i < runs; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			req, err := CaseStudyRequirements(1, 4)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			req.ProofDir = dir
+			arch, err := Synthesize(req)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			files[i] = arch.ProofFiles
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("run %d: %v", i, err)
+		}
+	}
+	seen := make(map[string]int)
+	for i, fs := range files {
+		if len(fs) == 0 {
+			t.Fatalf("run %d reported no proof files", i)
+		}
+		for _, f := range fs {
+			if prev, dup := seen[f]; dup {
+				t.Fatalf("runs %d and %d share certificate path %s", prev, i, f)
+			}
+			seen[f] = i
+			rep, err := proof.CheckFile(f)
+			if err != nil {
+				t.Fatalf("run %d certificate %s invalid: %v", i, f, err)
+			}
+			if rep.UnsatChecks == 0 {
+				t.Fatalf("run %d certificate %s certifies nothing", i, f)
+			}
+		}
+	}
+	// Publication is atomic: the directory holds exactly the published
+	// certificates, no staging temps.
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ents) != len(seen) {
+		t.Fatalf("ProofDir holds %d entries, want %d published certificates", len(ents), len(seen))
+	}
+	for _, e := range ents {
+		if !strings.HasPrefix(e.Name(), "attack-") || !strings.HasSuffix(e.Name(), ".proof") {
+			t.Fatalf("unexpected file %s in ProofDir", e.Name())
+		}
+	}
+}
+
+// TestProofTagNamesFiles checks an explicit session tag lands in the
+// published file names, giving services predictable per-session streams.
+func TestProofTagNamesFiles(t *testing.T) {
+	dir := t.TempDir()
+	req, err := CaseStudyRequirements(1, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.ProofDir = dir
+	req.ProofTag = "sess42"
+	arch, err := Synthesize(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := filepath.Join(dir, "attack-sess42-0.proof")
+	if len(arch.ProofFiles) != 1 || arch.ProofFiles[0] != want {
+		t.Fatalf("ProofFiles = %v, want [%s]", arch.ProofFiles, want)
+	}
+	if _, err := os.Stat(want); err != nil {
+		t.Fatalf("tagged certificate missing: %v", err)
+	}
+	if _, err := proof.CheckFile(want); err != nil {
+		t.Fatalf("tagged certificate invalid: %v", err)
+	}
+	// Same tag again would collide by construction; distinct tags coexist.
+	req2, err := CaseStudyRequirements(1, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req2.ProofDir = dir
+	req2.ProofTag = "sess43"
+	if _, err := Synthesize(req2); err != nil {
+		t.Fatal(err)
+	}
+	for _, tag := range []string{"sess42", "sess43"} {
+		p := filepath.Join(dir, fmt.Sprintf("attack-%s-0.proof", tag))
+		if _, err := proof.CheckFile(p); err != nil {
+			t.Fatalf("certificate %s invalid after second run: %v", p, err)
+		}
+	}
+}

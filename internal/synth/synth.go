@@ -70,11 +70,22 @@ type Requirements struct {
 	// ProofDir, when non-empty, turns on UNSAT certificate logging for the
 	// attack-verification solvers: attack model i (the primary attack is 0,
 	// ExtraAttacks follow in order) streams its certificates to
-	// <ProofDir>/attack-<i>.proof, one file covering every candidate check
-	// against that model. The files are listed on the returned Architecture
-	// and can be validated independently with cmd/proofcheck. The directory
-	// must already exist.
+	// <ProofDir>/attack-<tag>-<i>.proof, one file covering every candidate
+	// check against that model. The tag is ProofTag, or a generated
+	// process-unique run component when ProofTag is empty, so concurrent
+	// synthesis runs can share one directory without their certificate
+	// streams colliding. Files are staged in hidden temporaries and renamed
+	// into place when the run's writers close, so a killed run never leaves
+	// a half-written certificate at a published name. The files are listed
+	// on the returned Architecture and can be validated independently with
+	// cmd/proofcheck. The directory must already exist.
 	ProofDir string
+
+	// ProofTag overrides the generated per-run component of certificate
+	// file names (see ProofDir). Callers that need predictable names — a
+	// service tagging streams by request or session id — set it; it must be
+	// unique among runs sharing the directory.
+	ProofTag string
 }
 
 // Architecture is a synthesized security architecture.
@@ -261,16 +272,21 @@ func (m *selectionModel) relaxBudget() error {
 }
 
 // withProofWriters rewires attack scenarios so each verification solver logs
-// UNSAT certificates to <dir>/attack-<i>.proof. Scenarios are shallow-copied
-// with cloned solver options, so callers' scenarios stay untouched. The
-// caller owns the returned writers (closeProofWriters).
-func withProofWriters(dir string, scs []*core.Scenario) ([]*core.Scenario, []*proof.Writer, []string, error) {
+// UNSAT certificates to <dir>/attack-<tag>-<i>.proof (tag generated when
+// empty — see Requirements.ProofTag). Streams are atomic: they publish at
+// those names only when closed cleanly. Scenarios are shallow-copied with
+// cloned solver options, so callers' scenarios stay untouched. The caller
+// owns the returned writers (closeProofWriters).
+func withProofWriters(dir, tag string, scs []*core.Scenario) ([]*core.Scenario, []*proof.Writer, []string, error) {
+	if tag == "" {
+		tag = proof.UniqueName("", "")
+	}
 	out := make([]*core.Scenario, len(scs))
 	writers := make([]*proof.Writer, 0, len(scs))
 	paths := make([]string, 0, len(scs))
 	for i, sc := range scs {
-		path := filepath.Join(dir, fmt.Sprintf("attack-%d.proof", i))
-		w, err := proof.Create(path)
+		path := filepath.Join(dir, fmt.Sprintf("attack-%s-%d.proof", tag, i))
+		w, err := proof.CreateAtomic(path)
 		if err != nil {
 			for _, prev := range writers {
 				prev.Close()
@@ -331,7 +347,7 @@ func SynthesizeContext(ctx context.Context, req *Requirements) (res *Architectur
 	var proofFiles []string
 	if req.ProofDir != "" {
 		var writers []*proof.Writer
-		scenarios, writers, proofFiles, err = withProofWriters(req.ProofDir, scenarios)
+		scenarios, writers, proofFiles, err = withProofWriters(req.ProofDir, req.ProofTag, scenarios)
 		if err != nil {
 			return nil, err
 		}
