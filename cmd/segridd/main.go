@@ -24,6 +24,14 @@
 //	                  and POST /v1/proofcheck re-checks them independently
 //	-pool-live n      warm-encoder pool size cap (default 64)
 //	-pool-idle n      warm encoders kept per (topology, shape) key (default 2)
+//	-portfolio n      default portfolio worker count for verification: > 1
+//	                  races that many diversified solver instances per check,
+//	                  1 answers sequentially, -1 picks the host default
+//	                  (GOMAXPROCS, clamped); requests may override per call
+//	-cube-workers n   default cube-and-conquer worker count for bus-granular
+//	                  synthesis (same convention; measurement-granular
+//	                  synthesis always runs sequentially)
+//	-max-workers n    hard per-request cap on either worker count (default 8)
 //
 // Endpoints:
 //
@@ -71,6 +79,9 @@ func main() {
 	proofDir := fs.String("proof-dir", "", "enable per-request UNSAT certificates under this directory")
 	poolLive := fs.Int("pool-live", 0, "warm-encoder pool size cap (0 = default)")
 	poolIdle := fs.Int("pool-idle", 0, "warm encoders kept per key (0 = default)")
+	portfolio := fs.Int("portfolio", 0, "default portfolio workers for verification (1 = sequential, -1 = host default)")
+	cubeWorkers := fs.Int("cube-workers", 0, "default cube-and-conquer workers for synthesis (1 = sequential, -1 = host default)")
+	maxWorkers := fs.Int("max-workers", 0, "per-request cap on worker counts (0 = default 8)")
 	_ = fs.Parse(os.Args[1:])
 
 	if *proofDir != "" {
@@ -79,15 +90,18 @@ func main() {
 		}
 	}
 	svc, err := service.New(service.Config{
-		MaxConcurrent:     *concurrency,
-		MaxQueue:          *queue,
-		QueueWait:         *queueWait,
-		DefaultTimeout:    *timeout,
-		MaxTimeout:        *maxTimeout,
-		Budget:            smt.Budget{MaxConflicts: *maxConflicts, MaxPivots: *maxPivots},
-		ProofDir:          *proofDir,
-		PoolMaxLive:       *poolLive,
-		PoolMaxIdlePerKey: *poolIdle,
+		MaxConcurrent:        *concurrency,
+		MaxQueue:             *queue,
+		QueueWait:            *queueWait,
+		DefaultTimeout:       *timeout,
+		MaxTimeout:           *maxTimeout,
+		Budget:               smt.Budget{MaxConflicts: *maxConflicts, MaxPivots: *maxPivots},
+		ProofDir:             *proofDir,
+		PoolMaxLive:          *poolLive,
+		PoolMaxIdlePerKey:    *poolIdle,
+		Portfolio:            *portfolio,
+		CubeWorkers:          *cubeWorkers,
+		MaxWorkersPerRequest: *maxWorkers,
 	})
 	if err != nil {
 		log.Fatalf("segridd: %v", err)

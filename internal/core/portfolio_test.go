@@ -1,0 +1,61 @@
+package core
+
+import (
+	"context"
+	"testing"
+
+	"segrid/internal/smt"
+)
+
+// TestPortfolioAttackVerification pins the portfolio entry to the sequential
+// verdicts on the case-study model: the unprotected grid admits an attack
+// (with a concrete vector extracted from the winner's model), and the paper's
+// scenario-2 architecture makes the portfolio answer Unsat just like a
+// sequential check.
+func TestPortfolioAttackVerification(t *testing.T) {
+	ctx := context.Background()
+	sc := NewScenario(CaseStudyMeasurements(false).System())
+	sc.Meas = CaseStudyMeasurements(false)
+	sc.AnyState = true
+
+	m, err := NewModel(sc)
+	if err != nil {
+		t.Fatalf("NewModel: %v", err)
+	}
+	res, err := m.CheckPortfolioContext(ctx, smt.PortfolioOptions{Workers: 4})
+	if err != nil {
+		t.Fatalf("CheckPortfolioContext: %v", err)
+	}
+	if !res.Feasible {
+		t.Fatalf("unprotected grid must admit an attack")
+	}
+	if len(res.AlteredMeasurements) == 0 || len(res.CompromisedBuses) == 0 {
+		t.Fatalf("feasible portfolio result carries no attack vector: %+v", res)
+	}
+	if res.Stats.Workers != 4 {
+		t.Fatalf("Stats.Workers = %d, want 4", res.Stats.Workers)
+	}
+
+	m.Solver().Push()
+	if err := m.AssertBusesSecured([]int{1, 3, 6, 8, 9}); err != nil {
+		t.Fatalf("AssertBusesSecured: %v", err)
+	}
+	res, err = m.CheckPortfolioContext(ctx, smt.PortfolioOptions{Workers: 4})
+	if err != nil {
+		t.Fatalf("CheckPortfolioContext: %v", err)
+	}
+	if res.Feasible || res.Inconclusive {
+		t.Fatalf("paper architecture must make the model unsat, got %+v", res)
+	}
+	if err := m.Solver().Pop(); err != nil {
+		t.Fatalf("Pop: %v", err)
+	}
+
+	seq, err := m.Check()
+	if err != nil {
+		t.Fatalf("Check after portfolio: %v", err)
+	}
+	if !seq.Feasible {
+		t.Fatalf("sequential check after portfolio calls must still find the attack")
+	}
+}

@@ -79,15 +79,34 @@ func (m *Model) CheckContext(ctx context.Context) (*Result, error) {
 	if err != nil {
 		return nil, fmt.Errorf("core: attack model check: %w", err)
 	}
+	return m.extract(res), nil
+}
+
+// CheckPortfolioContext solves the model with a portfolio of diversified
+// solver instances racing under ctx (see smt.CheckPortfolio): the verdict is
+// the same as CheckContext's, but which concrete attack vector or certificate
+// is extracted follows the winning worker. Stats.Workers reports the
+// effective worker count.
+func (m *Model) CheckPortfolioContext(ctx context.Context, po smt.PortfolioOptions) (*Result, error) {
+	res, err := m.solver.CheckPortfolio(ctx, po)
+	if err != nil {
+		return nil, fmt.Errorf("core: attack model check: %w", err)
+	}
+	return m.extract(res.Result), nil
+}
+
+// extract converts the solver's verdict into an attack verification Result,
+// reading the attack vector out of a Sat model.
+func (m *Model) extract(res *smt.Result) *Result {
 	out := &Result{Stats: res.Stats}
 	if res.Status == smt.Unsat {
 		out.Proof = res.Proof
-		return out, nil
+		return out
 	}
 	if res.Status != smt.Sat {
 		out.Inconclusive = true
 		out.Why = res.Why
-		return out, nil
+		return out
 	}
 	out.Feasible = true
 	sys := m.sc.System()
@@ -128,7 +147,7 @@ func (m *Model) CheckContext(ctx context.Context) (*Result, error) {
 	}
 	sort.Ints(out.AlteredMeasurements)
 	sort.Ints(out.CompromisedBuses)
-	return out, nil
+	return out
 }
 
 // Verify builds the model for the scenario and checks it once. It is the

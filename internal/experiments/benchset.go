@@ -2,13 +2,17 @@ package experiments
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"io"
+	"math"
 	"math/big"
+	"os"
 	"runtime"
 	"sort"
 	"time"
 
+	"segrid/internal/acflow"
 	"segrid/internal/core"
 	"segrid/internal/grid"
 	"segrid/internal/proof"
@@ -52,6 +56,17 @@ type BenchEntry struct {
 	// near-empty; the unsat/ rows measure the realistic trimming case.
 	ProofBytes        int64 `json:"proof_bytes,omitempty"`
 	ProofTrimmedBytes int64 `json:"proof_trimmed_bytes,omitempty"`
+	// PortfolioNsPerOp is the parallel-verification column: the same
+	// workload answered by a CheckPortfolio race of Workers diversified
+	// solver instances with clause sharing. The fig4a rows carry it.
+	PortfolioNsPerOp int64 `json:"portfolio_ns_per_op,omitempty"`
+	// CubeNsPerOp is the parallel-synthesis column: the same workload run
+	// in cube-and-conquer mode at Workers workers (pivot-bus sign cubes,
+	// shared counterexample-support pool, per-cube harvesting). The fig5a
+	// rows carry it.
+	CubeNsPerOp int64 `json:"cube_ns_per_op,omitempty"`
+	// Workers is the worker count behind the portfolio/cube columns.
+	Workers int `json:"workers,omitempty"`
 }
 
 // Iteration policy for each workload: at least benchMinIters runs, then keep
@@ -74,6 +89,11 @@ const (
 	// Target duration of one timed sample in a paired measurement; fast
 	// workloads batch several ops per sample to reach it (see measurePaired).
 	benchPairSampleTime = 20 * time.Millisecond
+
+	// benchWorkers is the worker count behind the portfolio_ns_per_op and
+	// cube_ns_per_op columns, fixed (rather than GOMAXPROCS-derived) so the
+	// trajectory is comparable across machines.
+	benchWorkers = 4
 )
 
 // benchSynthBudgets are known-feasible operator budgets per system (greedy
@@ -336,6 +356,27 @@ func BenchSet(cfg Config) ([]BenchEntry, error) {
 		return res.Stats, nil
 	}
 
+	// runPortfolio answers one scenario through the diversified portfolio
+	// race instead of a single sequential instance.
+	runPortfolio := func(sc *core.Scenario, wantFeasible bool) (smt.Stats, error) {
+		cfg.applyBudget(sc)
+		m, err := core.NewModel(sc)
+		if err != nil {
+			return smt.Stats{}, err
+		}
+		res, err := m.CheckPortfolioContext(context.Background(), smt.PortfolioOptions{Workers: benchWorkers})
+		if err != nil {
+			return smt.Stats{}, err
+		}
+		if res.Inconclusive {
+			return smt.Stats{}, fmt.Errorf("inconclusive portfolio verification (%v)", res.Why)
+		}
+		if res.Feasible != wantFeasible {
+			return smt.Stats{}, fmt.Errorf("portfolio feasible = %v, want %v", res.Feasible, wantFeasible)
+		}
+		return res.Stats, nil
+	}
+
 	for _, name := range verificationCases(cfg.Large) {
 		sys, err := grid.Case(name)
 		if err != nil {
@@ -346,6 +387,14 @@ func BenchSet(cfg Config) ([]BenchEntry, error) {
 		}); err != nil {
 			return nil, err
 		}
+		pe, err := measureWorkload("fig4a/"+name+"/par", cfg.Out, func() (smt.Stats, error) {
+			return runPortfolio(verifyScenario(sys, 1+sys.Buses/2), true)
+		})
+		if err != nil {
+			return nil, err
+		}
+		entries[len(entries)-1].PortfolioNsPerOp = pe.NsPerOp
+		entries[len(entries)-1].Workers = benchWorkers
 	}
 
 	// Genuinely-unsat verification rows: any-state attackers under resource
@@ -382,12 +431,14 @@ func BenchSet(cfg Config) ([]BenchEntry, error) {
 			return nil, err
 		}
 		budget := benchSynthBudgets[name]
-		runSynth := func(fresh bool) (smt.Stats, error) {
+		runSynth := func(fresh bool, cubeWorkers int, proofDir string) (smt.Stats, error) {
 			sc := core.NewScenario(sys)
 			sc.AnyState = true
 			cfg.applyBudget(sc)
 			req := &synth.Requirements{
 				Attack: sc, MaxSecuredBuses: budget, Prune: true,
+				CubeWorkers: cubeWorkers,
+				ProofDir:    proofDir, ProofTag: "bench",
 			}
 			if fresh {
 				opts := smt.DefaultOptions()
@@ -398,6 +449,20 @@ func BenchSet(cfg Config) ([]BenchEntry, error) {
 			arch, err := synth.Synthesize(req)
 			if err != nil {
 				return smt.Stats{}, err
+			}
+			if proofDir != "" {
+				// The winning worker's trimmed certificates must survive the
+				// independent checker — the acceptance gate for parallel
+				// synthesis timings.
+				for _, pf := range arch.ProofFiles {
+					rep, err := proof.CheckFile(pf)
+					if err != nil {
+						return smt.Stats{}, fmt.Errorf("cube certificate %s: %w", pf, err)
+					}
+					if rep.UnsatChecks == 0 {
+						return smt.Stats{}, fmt.Errorf("cube certificate %s: no certified unsat checks", pf)
+					}
+				}
 			}
 			// Report the counters of the architecture's final verification
 			// check plus its candidate selection — the dominant work of the
@@ -412,20 +477,40 @@ func BenchSet(cfg Config) ([]BenchEntry, error) {
 			return st, nil
 		}
 		// Measure the default (incremental) mode as the workload's headline
-		// numbers, then the fresh-per-Check ablation; the ablation lands in
-		// the same entry's fresh_* columns rather than as a separate row.
+		// numbers, then the fresh-per-Check ablation and the cube-and-conquer
+		// mode; both ablations land in the same entry's columns rather than
+		// as separate rows.
 		e, err := measureWorkload("fig5a/"+name, cfg.Out,
-			func() (smt.Stats, error) { return runSynth(false) })
+			func() (smt.Stats, error) { return runSynth(false, 0, "") })
 		if err != nil {
 			return nil, err
 		}
 		fe, err := measureWorkload("fig5a/"+name+"/fresh", cfg.Out,
-			func() (smt.Stats, error) { return runSynth(true) })
+			func() (smt.Stats, error) { return runSynth(true, 0, "") })
 		if err != nil {
 			return nil, err
 		}
 		e.FreshNsPerOp = fe.NsPerOp
 		e.FreshAllocsPerOp = fe.AllocsPerOp
+		ce, err := measureWorkload("fig5a/"+name+"/cube", cfg.Out,
+			func() (smt.Stats, error) { return runSynth(false, benchWorkers, "") })
+		if err != nil {
+			return nil, err
+		}
+		e.CubeNsPerOp = ce.NsPerOp
+		e.Workers = benchWorkers
+		// One certified cube run outside the timed loop: proof streams change
+		// the constant factor, and what the trajectory gates on is that the
+		// winner's published certificates re-check independently.
+		proofDir, err := os.MkdirTemp("", "benchcube")
+		if err != nil {
+			return nil, err
+		}
+		_, cerr := runSynth(false, benchWorkers, proofDir)
+		os.RemoveAll(proofDir)
+		if cerr != nil {
+			return nil, cerr
+		}
 		entries = append(entries, e)
 	}
 
@@ -450,6 +535,11 @@ func BenchSet(cfg Config) ([]BenchEntry, error) {
 		}
 	}
 
+	if err := add("acflow/ieee14", func() (smt.Stats, error) {
+		return benchACFlow()
+	}); err != nil {
+		return nil, err
+	}
 	if err := add("smt/pigeonhole7", func() (smt.Stats, error) {
 		return benchPigeonhole()
 	}); err != nil {
@@ -461,6 +551,39 @@ func BenchSet(cfg Config) ([]BenchEntry, error) {
 		return nil, err
 	}
 	return entries, nil
+}
+
+// benchACFlow is the nonlinear-substrate workload: a full Newton–Raphson AC
+// power flow on the IEEE 14-bus system lifted from its DC data (R/X = 0.2,
+// 2% line charging), converged to 1e-10 mismatch and balance-checked. It
+// times the dense-Jacobian path that the AC measurement model builds on,
+// next to the SMT rows it will eventually feed.
+func benchACFlow() (smt.Stats, error) {
+	sys, err := grid.Case("ieee14")
+	if err != nil {
+		return smt.Stats{}, err
+	}
+	n, err := acflow.FromDC(sys, 0.2, 0.02)
+	if err != nil {
+		return smt.Stats{}, err
+	}
+	p := make([]float64, n.Buses+1)
+	q := make([]float64, n.Buses+1)
+	for j := 2; j <= n.Buses; j++ {
+		p[j] = -(0.05 + 0.01*float64(j%5))
+		q[j] = -0.02
+	}
+	st, err := n.Solve(acflow.FlowCase{Slack: 1, SlackV: 1.02, P: p, Q: q})
+	if err != nil {
+		return smt.Stats{}, err
+	}
+	pc, qc := n.Injections(st)
+	for j := 2; j <= n.Buses; j++ {
+		if math.Abs(pc[j]-p[j]) > 1e-7 || math.Abs(qc[j]-q[j]) > 1e-7 {
+			return smt.Stats{}, fmt.Errorf("acflow: bus %d injection mismatch", j)
+		}
+	}
+	return smt.Stats{}, nil
 }
 
 // benchPigeonhole is the propositional stress workload: 8 pigeons into 7

@@ -1,0 +1,108 @@
+package proof
+
+import (
+	"errors"
+	"fmt"
+	"io"
+
+	"segrid/internal/cnf"
+)
+
+// AppendSegment re-anchors a self-contained proof segment — a stream written
+// by its own Writer, as portfolio workers produce — onto this stream. The
+// segment's records are appended behind a Restart marker with every clause id
+// shifted by a uniform offset (ids are unique across a whole stream: the
+// trimmer maps id → installing record globally), and Unsat checks renumbered
+// to continue this stream's counting. Intra-segment structure (Delete
+// references, the id ranges GateDef/CardDef records claim) survives the shift
+// unchanged, so a segment that checked on its own still checks here.
+//
+// It returns the 1-based index of the segment's last Unsat check within this
+// stream (the value a Handle for the appended answer needs). A malformed
+// segment poisons the stream: by then records may already have been emitted,
+// and a half-appended segment must fail checking rather than pass silently.
+func (w *Writer) AppendSegment(r io.Reader) (uint64, error) {
+	w.flushPending()
+	if w.err != nil {
+		return w.checks, w.err
+	}
+	pr, err := NewReader(r)
+	if err != nil {
+		// Nothing emitted yet; the destination stream is still intact.
+		return w.checks, err
+	}
+	offset := w.nextID
+	var maxUsed uint64
+	first := true
+	for {
+		rec, err := pr.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			if w.err == nil {
+				w.err = fmt.Errorf("proof: appending segment: %w", err)
+			}
+			return w.checks, w.err
+		}
+		if first {
+			first = false
+			if rec.Kind != KindRestart {
+				w.emit(&Record{Kind: KindRestart})
+			}
+		}
+		switch rec.Kind {
+		case KindInput, KindDerived, KindTheoryLemma:
+			if rec.ID > maxUsed {
+				maxUsed = rec.ID
+			}
+			rec.ID += offset
+		case KindDelete:
+			rec.ID += offset
+		case KindGateDef:
+			// The claimed range is ID … ID+n−1 with n fixed by the kernel
+			// derivation — recompute it so the id watermark covers the whole
+			// range.
+			n := cnf.GateClauseCount(rec.Gate, len(rec.Lits))
+			if last := rec.ID + uint64(n) - 1; n > 0 && last > maxUsed {
+				maxUsed = last
+			}
+			rec.ID += offset
+		case KindCardDef:
+			n, ok := cnf.CardClauseCount(len(rec.Lits), rec.K, rec.Enc, maxProofLen)
+			if !ok {
+				if w.err == nil {
+					w.err = fmt.Errorf("proof: appending segment: cardinality circuit over %d literals derives too many clauses", len(rec.Lits))
+				}
+				return w.checks, w.err
+			}
+			if last := rec.ID + uint64(n) - 1; n > 0 && last > maxUsed {
+				maxUsed = last
+			}
+			rec.ID += offset
+		case KindUnsat:
+			w.checks++
+			rec.Check = w.checks
+		}
+		w.emit(rec)
+	}
+	w.nextID = offset + maxUsed
+	if w.err == nil {
+		w.err = w.w.Flush()
+	}
+	return w.checks, w.err
+}
+
+// Abort poisons the writer: later records are dropped and Close reports the
+// given error instead of publishing. For CreateAtomic writers nothing ever
+// appears at the publication path — the staging file is removed — which is
+// how losing portfolio/cube workers retract certificates they were cancelled
+// in the middle of writing.
+func (w *Writer) Abort(err error) {
+	if w.err == nil {
+		if err == nil {
+			err = errors.New("proof: stream aborted")
+		}
+		w.err = err
+	}
+}

@@ -1,0 +1,158 @@
+package sat
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// PhaseInit selects the initial saved phase given to fresh variables. The
+// portfolio driver varies it across workers so instances explore different
+// parts of the assignment space before phase saving takes over.
+type PhaseInit uint8
+
+const (
+	// PhaseDefault is the sequential solver's behavior: fresh variables
+	// default to false.
+	PhaseDefault PhaseInit = iota
+	// PhaseTrue defaults fresh variables to true.
+	PhaseTrue
+	// PhaseRandom draws each fresh variable's initial phase from the
+	// Tuning.Seed-keyed generator.
+	PhaseRandom
+)
+
+// RestartPolicy selects the restart schedule.
+type RestartPolicy uint8
+
+const (
+	// RestartLuby is the sequential solver's Luby schedule.
+	RestartLuby RestartPolicy = iota
+	// RestartGeometric grows the restart interval geometrically
+	// (RestartUnit · RestartGrowth^n), a common portfolio alternative: it
+	// restarts rarely and digs deep where Luby stays shallow.
+	RestartGeometric
+)
+
+// Tuning diversifies a solver instance for portfolio solving. The zero value
+// reproduces the sequential solver exactly, which keeps worker 0 of a
+// portfolio byte-compatible with a non-portfolio run.
+type Tuning struct {
+	// Seed keys the per-solver random generator (used by PhaseRandom).
+	// Zero selects a fixed default seed.
+	Seed uint64
+	// Phase selects the initial saved phase for fresh variables.
+	Phase PhaseInit
+	// Restart selects the restart schedule.
+	Restart RestartPolicy
+	// RestartUnit is the base restart interval in conflicts; ≤ 0 means the
+	// default (128, matching the sequential Luby unit).
+	RestartUnit int64
+	// RestartGrowth is the geometric schedule's growth factor; values ≤ 1
+	// mean the default 1.5. Ignored under RestartLuby.
+	RestartGrowth float64
+	// ExportMaxLen caps the length of learnt clauses published to the
+	// exchange; ≤ 0 means the default 8. Short clauses are the ones worth
+	// sharing: they prune the most and cost the least to re-check.
+	ExportMaxLen int
+}
+
+// xorshift64 is a tiny deterministic PRNG (Marsaglia xorshift). It exists so
+// solver diversification never touches math/rand global state and stays
+// reproducible from Tuning.Seed alone.
+type xorshift64 struct{ s uint64 }
+
+func (r *xorshift64) next() uint64 {
+	x := r.s
+	x ^= x << 13
+	x ^= x >> 7
+	x ^= x << 17
+	r.s = x
+	return x
+}
+
+// exchangeSlot is one published clause in the ring.
+type exchangeSlot struct {
+	src  int // publishing port, so a port never re-imports its own clauses
+	lits []Lit
+}
+
+// Exchange is a bounded many-to-many buffer for sharing short learnt clauses
+// between portfolio workers. Publishing overwrites the oldest entry once the
+// ring is full — sharing is best-effort by design; a slow reader loses old
+// clauses rather than stalling writers.
+//
+// The hot path is the read-side miss: solvers poll at every restart, and most
+// polls find nothing new. That check is a single atomic load (no lock). The
+// mutex is only taken when publishing or when there is something to copy out.
+type Exchange struct {
+	mu    sync.Mutex
+	seq   atomic.Uint64 // total clauses ever published
+	slots []exchangeSlot
+	ports int
+}
+
+// NewExchange builds an exchange holding up to capacity clauses
+// (≤ 0 selects the default 512).
+func NewExchange(capacity int) *Exchange {
+	if capacity <= 0 {
+		capacity = 512
+	}
+	return &Exchange{slots: make([]exchangeSlot, capacity)}
+}
+
+// Port returns a new endpoint for one solver instance. Ports must not be
+// shared between goroutines; the Exchange itself may be.
+func (e *Exchange) Port() *ExchangePort {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	p := &ExchangePort{ex: e, src: e.ports}
+	e.ports++
+	return p
+}
+
+// ExchangePort is one solver's endpoint on an Exchange. The zero value is not
+// usable; obtain ports from Exchange.Port.
+type ExchangePort struct {
+	ex     *Exchange
+	src    int
+	cursor uint64 // next sequence number to read
+}
+
+// Publish copies lits into the exchange. The slice is not retained, so
+// callers may pass scratch buffers.
+func (p *ExchangePort) Publish(lits []Lit) {
+	e := p.ex
+	e.mu.Lock()
+	n := e.seq.Load()
+	s := &e.slots[n%uint64(len(e.slots))]
+	s.src = p.src
+	s.lits = append(s.lits[:0], lits...)
+	e.seq.Store(n + 1)
+	e.mu.Unlock()
+}
+
+// Drain appends every clause published by other ports since the last Drain to
+// out and returns it. Clauses overwritten before the port caught up are
+// silently lost. The returned literal slices are owned by the caller.
+func (p *ExchangePort) Drain(out [][]Lit) [][]Lit {
+	e := p.ex
+	if e.seq.Load() == p.cursor {
+		return out // nothing new; no lock taken
+	}
+	e.mu.Lock()
+	n := e.seq.Load()
+	start := p.cursor
+	if ringCap := uint64(len(e.slots)); n > ringCap && start < n-ringCap {
+		start = n - ringCap
+	}
+	for i := start; i < n; i++ {
+		s := &e.slots[i%uint64(len(e.slots))]
+		if s.src == p.src {
+			continue
+		}
+		out = append(out, append([]Lit(nil), s.lits...))
+	}
+	e.mu.Unlock()
+	p.cursor = n
+	return out
+}

@@ -1,0 +1,212 @@
+package sat
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// randomCNF builds a random CNF near the 3-SAT phase transition.
+func randomCNF(rng *rand.Rand, n, m int) [][]Lit {
+	cnf := make([][]Lit, 0, m)
+	for c := 0; c < m; c++ {
+		width := 1 + rng.Intn(3)
+		cl := make([]Lit, width)
+		for i := range cl {
+			cl[i] = NewLit(Var(rng.Intn(n)), rng.Intn(2) == 1)
+		}
+		cnf = append(cnf, cl)
+	}
+	return cnf
+}
+
+func TestPortfolioExchangeDrainSkipsSelf(t *testing.T) {
+	ex := NewExchange(8)
+	a, b := ex.Port(), ex.Port()
+	a.Publish([]Lit{PosLit(0), NegLit(1)})
+	a.Publish([]Lit{PosLit(2)})
+	b.Publish([]Lit{NegLit(3)})
+
+	if got := a.Drain(nil); len(got) != 1 || got[0][0] != NegLit(3) {
+		t.Fatalf("a.Drain = %v, want only b's clause", got)
+	}
+	got := b.Drain(nil)
+	if len(got) != 2 {
+		t.Fatalf("b.Drain = %v, want a's two clauses", got)
+	}
+	// Draining again yields nothing (cursor advanced).
+	if got := a.Drain(nil); len(got) != 0 {
+		t.Fatalf("second a.Drain = %v, want empty", got)
+	}
+}
+
+func TestPortfolioExchangeOverwriteLosesOldest(t *testing.T) {
+	ex := NewExchange(4)
+	a, b := ex.Port(), ex.Port()
+	for i := 0; i < 10; i++ {
+		a.Publish([]Lit{PosLit(Var(i))})
+	}
+	got := b.Drain(nil)
+	// Only the newest 4 survive the ring.
+	if len(got) != 4 {
+		t.Fatalf("Drain returned %d clauses, want 4", len(got))
+	}
+	for i, cl := range got {
+		if want := PosLit(Var(6 + i)); cl[0] != want {
+			t.Fatalf("clause %d = %v, want %v", i, cl[0], want)
+		}
+	}
+}
+
+func TestPortfolioExchangePublishCopies(t *testing.T) {
+	ex := NewExchange(4)
+	a, b := ex.Port(), ex.Port()
+	scratch := []Lit{PosLit(0), PosLit(1)}
+	a.Publish(scratch)
+	scratch[0] = NegLit(7) // publisher reuses its buffer
+	got := b.Drain(nil)
+	if len(got) != 1 || got[0][0] != PosLit(0) {
+		t.Fatalf("Drain = %v, want the clause as published", got)
+	}
+	got[0][0] = NegLit(9) // and the drained copy is caller-owned
+	if c := b.Drain(nil); len(c) != 0 {
+		t.Fatalf("second Drain = %v, want empty", c)
+	}
+}
+
+// TestPortfolioTuningsAgree runs diversified tunings on random instances and
+// checks every configuration reaches the same verdict, with models validated.
+func TestPortfolioTuningsAgree(t *testing.T) {
+	tunings := []Tuning{
+		{}, // worker-0 anchor: sequential behavior
+		{Phase: PhaseTrue},
+		{Phase: PhaseRandom, Seed: 0xdecaf},
+		{Restart: RestartGeometric, RestartUnit: 64, RestartGrowth: 2},
+		{Phase: PhaseRandom, Seed: 99, Restart: RestartGeometric},
+	}
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 120; trial++ {
+		n := 3 + rng.Intn(8)
+		m := 2 + rng.Intn(5*n)
+		cnf := randomCNF(rng, n, m)
+		want := bruteForceSat(n, cnf)
+		for ti, tn := range tunings {
+			s := NewSolver(Options{Tuning: tn})
+			newVars(s, n)
+			for _, cl := range cnf {
+				mustAdd(t, s, cl...)
+			}
+			st, err := s.Solve()
+			if err != nil {
+				t.Fatalf("trial %d tuning %d: Solve: %v", trial, ti, err)
+			}
+			if (st == StatusSat) != want {
+				t.Fatalf("trial %d tuning %d: got %v, brute force says sat=%v", trial, ti, st, want)
+			}
+			if st == StatusSat && !modelSatisfies(s, cnf) {
+				t.Fatalf("trial %d tuning %d: invalid model", trial, ti)
+			}
+		}
+	}
+}
+
+// TestPortfolioImportRUP cross-connects two solvers on the same instance
+// through an exchange: the first solve publishes its learnt clauses, the
+// second drains and RUP-checks them before importing. Verdicts must agree
+// with brute force, imports must never flip a verdict, and on hard-enough
+// instances some sharing must actually happen.
+func TestPortfolioImportRUP(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	var imported, exported int64
+	for trial := 0; trial < 80; trial++ {
+		n := 10 + rng.Intn(4)
+		m := 4*n + rng.Intn(n) // near the 3-SAT phase transition
+		cnf := make([][]Lit, 0, m)
+		for c := 0; c < m; c++ {
+			cl := make([]Lit, 3)
+			for i := range cl {
+				cl[i] = NewLit(Var(rng.Intn(n)), rng.Intn(2) == 1)
+			}
+			cnf = append(cnf, cl)
+		}
+		want := bruteForceSat(n, cnf)
+
+		ex := NewExchange(0)
+		a := NewSolver(Options{Exchange: ex.Port()})
+		b := NewSolver(Options{Exchange: ex.Port(), Tuning: Tuning{Phase: PhaseTrue}})
+		for _, s := range []*Solver{a, b} {
+			newVars(s, n)
+			for _, cl := range cnf {
+				mustAdd(t, s, cl...)
+			}
+		}
+		stA, err := a.Solve()
+		if err != nil {
+			t.Fatalf("trial %d: a.Solve: %v", trial, err)
+		}
+		stB, err := b.Solve()
+		if err != nil {
+			t.Fatalf("trial %d: b.Solve: %v", trial, err)
+		}
+		if (stA == StatusSat) != want || (stB == StatusSat) != want {
+			t.Fatalf("trial %d: a=%v b=%v, brute force says sat=%v", trial, stA, stB, want)
+		}
+		if stB == StatusSat && !modelSatisfies(b, cnf) {
+			t.Fatalf("trial %d: importing solver returned invalid model", trial)
+		}
+		sb := b.Statistics()
+		imported += sb.Imported
+		exported += a.Statistics().Exported
+	}
+	if exported == 0 {
+		t.Fatalf("no clauses were ever exported across %d trials", 80)
+	}
+	if imported == 0 {
+		t.Fatalf("no clauses were ever imported across %d trials", 80)
+	}
+}
+
+// TestPortfolioImportKeepsIncrementalSound interleaves SolveAssuming calls
+// with imports (drained at every Solve entry) and checks assumption answers
+// against a fresh reference solver.
+func TestPortfolioImportKeepsIncrementalSound(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 40; trial++ {
+		n := 6 + rng.Intn(5)
+		m := 3 * n
+		cnf := randomCNF(rng, n, m)
+
+		ex := NewExchange(0)
+		pub := NewSolver(Options{Exchange: ex.Port()})
+		sub := NewSolver(Options{Exchange: ex.Port()})
+		newVars(pub, n)
+		newVars(sub, n)
+		for _, cl := range cnf {
+			mustAdd(t, pub, cl...)
+			mustAdd(t, sub, cl...)
+		}
+		if _, err := pub.Solve(); err != nil {
+			t.Fatalf("trial %d: pub.Solve: %v", trial, err)
+		}
+		for round := 0; round < 4; round++ {
+			assump := NewLit(Var(rng.Intn(n)), rng.Intn(2) == 1)
+			got, err := sub.SolveAssuming(assump)
+			if err != nil {
+				t.Fatalf("trial %d round %d: SolveAssuming: %v", trial, round, err)
+			}
+			ref := NewSolver(Options{})
+			newVars(ref, n)
+			for _, cl := range cnf {
+				mustAdd(t, ref, cl...)
+			}
+			wantSt, err := ref.SolveAssuming(assump)
+			if err != nil {
+				t.Fatalf("trial %d round %d: ref: %v", trial, round, err)
+			}
+			if got != wantSt {
+				t.Fatalf("trial %d round %d: importing solver says %v, reference says %v", trial, round, got, wantSt)
+			}
+			sub.Backtrack()
+			ref.Backtrack()
+		}
+	}
+}

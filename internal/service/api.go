@@ -44,6 +44,12 @@ type VerifyRequest struct {
 	// server's proof directory only when complete and the verdict is
 	// infeasible.
 	Proof bool `json:"proof,omitempty"`
+
+	// Portfolio overrides the server's portfolio worker count for this
+	// request: > 1 races that many diversified solver instances, 1 forces a
+	// sequential answer, < 0 picks the host default, 0 keeps the server
+	// configuration. Always clamped to the server's per-request maximum.
+	Portfolio int `json:"portfolio,omitempty"`
 }
 
 // VerifyResponse is the body of a completed verification.
@@ -86,6 +92,11 @@ type SynthesizeRequest struct {
 	// Proof streams per-attack-model UNSAT certificates to the server's
 	// proof directory, tagged with the request id.
 	Proof bool `json:"proof,omitempty"`
+
+	// CubeWorkers overrides the server's cube-and-conquer worker count for
+	// this bus-granular synthesis request (same convention as
+	// VerifyRequest.Portfolio; ignored by measurement-granular synthesis).
+	CubeWorkers int `json:"cubeWorkers,omitempty"`
 }
 
 // SynthesizeResponse is the body of a completed synthesis run.

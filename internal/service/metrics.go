@@ -22,6 +22,18 @@ type metrics struct {
 	poisoned    atomic.Uint64 // encoders quarantined after a check
 	panics      atomic.Uint64 // solver panics contained
 	proofErrors atomic.Uint64 // certificate streams that failed
+
+	portfolioChecks  atomic.Uint64 // verifications answered by a portfolio race
+	cubeRuns         atomic.Uint64 // synthesis runs in cube-and-conquer mode
+	sequentialSolves atomic.Uint64 // solves answered by one sequential instance
+	inFlightWorkers  atomic.Int64  // solver workers currently running, all modes
+}
+
+// trackWorkers bumps the in-flight-workers gauge for one solve and returns
+// the matching decrement; callers defer it around the solver call.
+func (m *metrics) trackWorkers(n int) func() {
+	m.inFlightWorkers.Add(int64(n))
+	return func() { m.inFlightWorkers.Add(-int64(n)) }
 }
 
 // Metrics is the GET /metrics body.
@@ -38,6 +50,11 @@ type Metrics struct {
 	Panics       uint64 `json:"panics"`
 	ProofErrors  uint64 `json:"proofErrors"`
 	Queued       int    `json:"queued"`
+
+	PortfolioChecks  uint64 `json:"portfolioChecks"`
+	CubeRuns         uint64 `json:"cubeRuns"`
+	SequentialSolves uint64 `json:"sequentialSolves"`
+	InFlightWorkers  int64  `json:"inFlightWorkers"`
 
 	Pool struct {
 		Hits          uint64 `json:"hits"`
@@ -65,6 +82,11 @@ func (m *metrics) snapshot(ps pool.Stats, queued int) *Metrics {
 		Panics:       m.panics.Load(),
 		ProofErrors:  m.proofErrors.Load(),
 		Queued:       queued,
+
+		PortfolioChecks:  m.portfolioChecks.Load(),
+		CubeRuns:         m.cubeRuns.Load(),
+		SequentialSolves: m.sequentialSolves.Load(),
+		InFlightWorkers:  m.inFlightWorkers.Load(),
 	}
 	out.Pool.Hits = ps.Hits
 	out.Pool.Misses = ps.Misses

@@ -1,0 +1,153 @@
+package service
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"testing"
+
+	"segrid/internal/scenariofile"
+)
+
+func getMetrics(t *testing.T, srv *httptest.Server) *Metrics {
+	t.Helper()
+	mr, err := srv.Client().Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mr.Body.Close()
+	var m Metrics
+	if err := json.NewDecoder(mr.Body).Decode(&m); err != nil {
+		t.Fatal(err)
+	}
+	return &m
+}
+
+// TestPortfolioVerifyEndpoint is the service-level differential check for the
+// portfolio race: a request answered by diversified racing workers must agree
+// with the sequential answer on both polarities, the per-mode counters and the
+// in-flight-workers gauge must reflect the mode, and a portfolio certificate
+// must survive the proofcheck round trip.
+func TestPortfolioVerifyEndpoint(t *testing.T) {
+	dir := t.TempDir()
+	_, srv := newTestServer(t, Config{ProofDir: dir})
+
+	seqFeas := verifyOn(t, srv, VerifyRequest{Attack: obj2Spec()})
+	seqInf := verifyOn(t, srv, VerifyRequest{Attack: obj2Spec(), SecuredMeasurements: []int{46}})
+	if seqFeas.Status != "feasible" || seqInf.Status != "infeasible" {
+		t.Fatalf("sequential ground truth broken: %s / %s", seqFeas.Status, seqInf.Status)
+	}
+
+	porFeas := verifyOn(t, srv, VerifyRequest{Attack: obj2Spec(), Portfolio: 3})
+	if porFeas.Status != seqFeas.Status {
+		t.Fatalf("portfolio says %s, sequential says %s", porFeas.Status, seqFeas.Status)
+	}
+	if len(porFeas.AlteredMeasurements) == 0 {
+		t.Fatalf("portfolio feasible verdict carries no attack vector")
+	}
+	porInf := verifyOn(t, srv, VerifyRequest{
+		Attack:              obj2Spec(),
+		SecuredMeasurements: []int{46},
+		Portfolio:           3,
+	})
+	if porInf.Status != seqInf.Status {
+		t.Fatalf("portfolio says %s, sequential says %s", porInf.Status, seqInf.Status)
+	}
+
+	// Certificate-producing portfolio check: infeasible, published, and
+	// accepted by the independent checker.
+	porProof := verifyOn(t, srv, VerifyRequest{
+		Attack:              obj2Spec(),
+		SecuredMeasurements: []int{46},
+		Proof:               true,
+		Portfolio:           3,
+	})
+	if porProof.Status != "infeasible" {
+		t.Fatalf("proof-producing portfolio check = %s, want infeasible", porProof.Status)
+	}
+	if porProof.ProofFile == "" || porProof.ProofError != "" {
+		t.Fatalf("proof = %q / %q, want a published portfolio certificate", porProof.ProofFile, porProof.ProofError)
+	}
+	resp, raw := post(t, srv, "/v1/proofcheck", ProofCheckRequest{Path: porProof.ProofFile})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("proofcheck status %d: %s", resp.StatusCode, raw)
+	}
+	var chk ProofCheckResponse
+	if err := json.Unmarshal(raw, &chk); err != nil {
+		t.Fatal(err)
+	}
+	if !chk.Valid || chk.UnsatChecks == 0 {
+		t.Fatalf("portfolio certificate rejected: %+v", chk)
+	}
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ents) != 1 || ents[0].Name() != porProof.ProofFile {
+		t.Fatalf("proof dir = %v, want exactly %s (no worker temps)", ents, porProof.ProofFile)
+	}
+
+	m := getMetrics(t, srv)
+	if m.PortfolioChecks < 3 {
+		t.Fatalf("portfolioChecks = %d, want the three portfolio requests counted", m.PortfolioChecks)
+	}
+	if m.SequentialSolves < 2 {
+		t.Fatalf("sequentialSolves = %d, want the two sequential requests counted", m.SequentialSolves)
+	}
+	if m.InFlightWorkers != 0 {
+		t.Fatalf("inFlightWorkers = %d at rest, want 0", m.InFlightWorkers)
+	}
+}
+
+// TestPortfolioVerifyWorkerClamp pins the server-side clamp: a per-request
+// worker count above MaxWorkersPerRequest must still answer correctly (the
+// clamp bounds resources, it does not refuse the request).
+func TestPortfolioVerifyWorkerClamp(t *testing.T) {
+	_, srv := newTestServer(t, Config{MaxWorkersPerRequest: 2})
+	r := verifyOn(t, srv, VerifyRequest{Attack: obj2Spec(), Portfolio: 64})
+	if r.Status != "feasible" {
+		t.Fatalf("clamped portfolio request = %s, want feasible", r.Status)
+	}
+}
+
+// TestCubeSynthesizeEndpoint runs bus-granular synthesis in cube-and-conquer
+// mode through the service and checks verdict parity with the sequential
+// endpoint contract plus the cube-mode counters.
+func TestCubeSynthesizeEndpoint(t *testing.T) {
+	_, srv := newTestServer(t, Config{})
+	resp, raw := post(t, srv, "/v1/synthesize", SynthesizeRequest{
+		Synthesis: scenariofile.SynthesisSpec{
+			Attack: scenariofile.AttackSpec{
+				Case:     "ieee14",
+				Untaken:  []int{5, 10, 14, 19, 22, 27, 30, 35, 43, 52},
+				AnyState: true,
+			},
+			MaxSecuredBuses: 5,
+			RequiredBuses:   []int{1},
+			Prune:           true,
+		},
+		CubeWorkers: 3,
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("synthesize status %d: %s", resp.StatusCode, raw)
+	}
+	var out SynthesizeResponse
+	if err := json.Unmarshal(raw, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Status != "found" || len(out.SecuredBuses) == 0 || len(out.SecuredBuses) > 5 {
+		t.Fatalf("cube synthesize = %+v, want an architecture of at most 5 buses", out)
+	}
+	if out.SecuredBuses[0] != 1 {
+		t.Fatalf("architecture %v misses required bus 1", out.SecuredBuses)
+	}
+
+	m := getMetrics(t, srv)
+	if m.CubeRuns != 1 {
+		t.Fatalf("cubeRuns = %d, want 1", m.CubeRuns)
+	}
+	if m.InFlightWorkers != 0 {
+		t.Fatalf("inFlightWorkers = %d at rest, want 0", m.InFlightWorkers)
+	}
+}

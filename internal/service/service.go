@@ -78,6 +78,18 @@ type Config struct {
 	// schedule: every check draws a Decision applied through the solver's
 	// interruption points and the certificate sink. Test harness only.
 	Faults *faultinject.Schedule
+	// Portfolio is the default portfolio worker count for verification
+	// requests: 0 or 1 answers sequentially, > 1 races that many diversified
+	// solver instances, < 0 picks the GOMAXPROCS-aware default. Requests
+	// override it with their "portfolio" field.
+	Portfolio int
+	// CubeWorkers is the default cube-and-conquer worker count for
+	// bus-granular synthesis requests (same convention as Portfolio;
+	// requests override it with "cubeWorkers").
+	CubeWorkers int
+	// MaxWorkersPerRequest clamps any per-request worker count (default 8):
+	// a client cannot fan one request wider than the operator allows.
+	MaxWorkersPerRequest int
 }
 
 func (c Config) withDefaults() Config {
@@ -96,7 +108,27 @@ func (c Config) withDefaults() Config {
 	if c.MaxTimeout <= 0 {
 		c.MaxTimeout = 2 * time.Minute
 	}
+	if c.MaxWorkersPerRequest <= 0 {
+		c.MaxWorkersPerRequest = 8
+	}
 	return c
+}
+
+// effectiveWorkers resolves a per-request worker override against the
+// configured default and the per-request clamp: asked == 0 takes the server
+// default, negative counts select smt.DefaultWorkers().
+func (s *Service) effectiveWorkers(asked, def int) int {
+	n := def
+	if asked != 0 {
+		n = asked
+	}
+	if n < 0 {
+		n = smt.DefaultWorkers()
+	}
+	if n > s.cfg.MaxWorkersPerRequest {
+		n = s.cfg.MaxWorkersPerRequest
+	}
+	return n
 }
 
 // warmModel is the pooled item: one encoded attack model plus the spec it
@@ -314,6 +346,18 @@ func (s *Service) handleSynthesize(w http.ResponseWriter, r *http.Request) {
 func (s *Service) synthesize(ctx context.Context, req *SynthesizeRequest) (*SynthesizeResponse, *handlerError) {
 	spec := req.Synthesis
 	tag := proof.UniqueName("req", "")
+	workers := s.effectiveWorkers(req.CubeWorkers, s.cfg.CubeWorkers)
+	if spec.MeasurementGranular() {
+		// The measurement-granular loop has no cube mode; it always runs
+		// sequentially.
+		workers = 1
+	}
+	if workers > 1 {
+		s.m.cubeRuns.Add(1)
+	} else {
+		s.m.sequentialSolves.Add(1)
+	}
+	defer s.m.trackWorkers(workers)()
 	if spec.MeasurementGranular() {
 		mreq, err := spec.MeasurementRequirements()
 		if err != nil {
@@ -341,6 +385,9 @@ func (s *Service) synthesize(ctx context.Context, req *SynthesizeRequest) (*Synt
 	if req.Proof {
 		sreq.ProofDir = s.cfg.ProofDir
 		sreq.ProofTag = tag
+	}
+	if workers > 1 {
+		sreq.CubeWorkers = workers
 	}
 	arch, err := synth.SynthesizeContext(ctx, sreq)
 	if err != nil {

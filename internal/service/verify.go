@@ -84,8 +84,11 @@ func (s *Service) verify(ctx context.Context, req *VerifyRequest) (*VerifyRespon
 func (s *Service) checkWarm(ctx context.Context, m *core.Model, req *VerifyRequest) (res *core.Result, herr *handlerError, poisoned bool) {
 	sv := m.Solver()
 	sv.SetBudget(s.cfg.Budget)
-	if s.cfg.Faults != nil {
-		sv.SetInterrupter(s.cfg.Faults.Injector())
+	var dec faultinject.Decision
+	haveDec := s.cfg.Faults != nil
+	if haveDec {
+		dec = s.cfg.Faults.Next()
+		sv.SetInterrupter(faultinject.NewInjector(dec))
 		defer sv.SetInterrupter(nil)
 	}
 	defer func() {
@@ -103,7 +106,7 @@ func (s *Service) checkWarm(ctx context.Context, m *core.Model, req *VerifyReque
 		}
 		return nil, &handlerError{http.StatusBadRequest, err.Error()}, false
 	}
-	res, err := m.CheckContext(ctx)
+	res, err := s.checkModel(ctx, m, req, dec, haveDec)
 	if err != nil {
 		return nil, &handlerError{http.StatusInternalServerError, err.Error()}, true
 	}
@@ -117,6 +120,28 @@ func (s *Service) checkWarm(ctx context.Context, m *core.Model, req *VerifyReque
 		return res, nil, true
 	}
 	return res, nil, false
+}
+
+// checkModel answers one verification check in the request's solve mode: a
+// sequential check, or a portfolio race when the resolved worker count is
+// above one. The per-mode counters and the in-flight-workers gauge cover the
+// exact solver lifetime.
+func (s *Service) checkModel(ctx context.Context, m *core.Model, req *VerifyRequest, dec faultinject.Decision, haveDec bool) (*core.Result, error) {
+	workers := s.effectiveWorkers(req.Portfolio, s.cfg.Portfolio)
+	if workers <= 1 {
+		s.m.sequentialSolves.Add(1)
+		defer s.m.trackWorkers(1)()
+		return m.CheckContext(ctx)
+	}
+	s.m.portfolioChecks.Add(1)
+	defer s.m.trackWorkers(workers)()
+	po := smt.PortfolioOptions{Workers: workers}
+	if haveDec {
+		// Interrupter state is per solver instance; every racing worker gets
+		// its own injector replaying the same drawn decision.
+		po.Interrupters = func(int) smt.Interrupter { return faultinject.NewInjector(dec) }
+	}
+	return m.CheckPortfolioContext(ctx, po)
 }
 
 // verifyFresh is the ladder's trustworthy rung: a throwaway FreshPerCheck
@@ -167,7 +192,7 @@ func (s *Service) verifyFresh(ctx context.Context, req *VerifyRequest, retries i
 		if err := applyOverlay(m, req); err != nil {
 			return nil, &handlerError{http.StatusBadRequest, err.Error()}
 		}
-		res, err := m.CheckContext(ctx)
+		res, err := s.checkModel(ctx, m, req, dec, s.cfg.Faults != nil)
 		if err != nil {
 			return nil, &handlerError{http.StatusInternalServerError, err.Error()}
 		}

@@ -152,6 +152,8 @@ func newEncoder(owner *Solver) *encoder {
 			Theory:          theory,
 			CheckAtFixpoint: owner.opts.TheoryCheckAtFixpoint,
 			Proof:           plog,
+			Tuning:          owner.tuning,
+			Exchange:        owner.exPort,
 		}),
 		simplex:    simplex,
 		theory:     theory,
@@ -464,6 +466,8 @@ func (e *encoder) statsSnapshot() Stats {
 		Pivots:       lst.Pivots - e.baseLra.Pivots,
 		FastOps:      lst.FastOps - e.baseLra.FastOps,
 		BigOps:       lst.BigOps - e.baseLra.BigOps,
+		Exported:     sst.Exported - e.baseSat.Exported,
+		Imported:     sst.Imported - e.baseSat.Imported,
 	}
 }
 

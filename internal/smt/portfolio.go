@@ -1,0 +1,232 @@
+package smt
+
+import (
+	"bytes"
+	"context"
+	"runtime"
+	"sync"
+
+	"segrid/internal/proof"
+	"segrid/internal/sat"
+)
+
+// DefaultWorkers returns the default parallel worker count: GOMAXPROCS at
+// call time, clamped to [1, maxDefaultWorkers]. Portfolio diversification
+// stops paying for itself well before the clamp on the workloads this stack
+// serves, and an unclamped default on a large host would mostly burn budget.
+func DefaultWorkers() int {
+	n := runtime.GOMAXPROCS(0)
+	if n < 1 {
+		n = 1
+	}
+	if n > maxDefaultWorkers {
+		n = maxDefaultWorkers
+	}
+	return n
+}
+
+const maxDefaultWorkers = 8
+
+// PortfolioOptions configure one CheckPortfolio call.
+type PortfolioOptions struct {
+	// Workers is the number of diversified solver instances racing on the
+	// query; ≤ 0 selects DefaultWorkers().
+	Workers int
+	// DisableSharing turns off learnt-clause exchange between the workers,
+	// leaving a pure diversification race (ablation knob).
+	DisableSharing bool
+	// ExchangeCap bounds the clause-exchange ring; ≤ 0 selects the sat
+	// package default.
+	ExchangeCap int
+	// Interrupters, if non-nil, supplies a fault-injection hook per worker
+	// index. A single Interrupter cannot be shared: the hook is stateful and
+	// polled concurrently from every worker.
+	Interrupters func(worker int) Interrupter
+}
+
+// PortfolioResult is the outcome of a portfolio race: the winning worker's
+// Result plus per-worker accounting.
+type PortfolioResult struct {
+	*Result
+	// Winner is the index of the worker whose answer was published, or -1
+	// when no worker reached a definitive answer.
+	Winner int
+	// Workers is the effective worker count (also mirrored in Stats.Workers).
+	Workers int
+	// PerWorker holds each worker's Stats snapshot, indexed by worker.
+	PerWorker []Stats
+}
+
+// workerTuning diversifies worker i. Worker 0 always runs the zero Tuning —
+// the sequential solver's exact configuration — so the portfolio's answer set
+// always includes the answer a non-portfolio run would have produced.
+func workerTuning(i int) sat.Tuning {
+	seed := splitmix64(uint64(i))
+	switch i % 4 {
+	case 1:
+		return sat.Tuning{Phase: sat.PhaseTrue, Seed: seed}
+	case 2:
+		return sat.Tuning{Phase: sat.PhaseRandom, Seed: seed, Restart: sat.RestartGeometric}
+	case 3:
+		return sat.Tuning{Phase: sat.PhaseRandom, Seed: seed, Restart: sat.RestartGeometric, RestartUnit: 256, RestartGrowth: 2}
+	default:
+		if i == 0 {
+			return sat.Tuning{}
+		}
+		return sat.Tuning{Phase: sat.PhaseRandom, Seed: seed, RestartUnit: 64}
+	}
+}
+
+// splitmix64 is the SplitMix64 mixing function; it turns small worker
+// indices into well-spread seeds.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4b9fe
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// forkForPortfolio builds a worker-private Solver over the shared assertion
+// stack. Formula trees, names and the per-scope assertion slices are shared
+// read-only; every mutable part — scope progress counters, selector
+// literals, the encoder with its SAT instance and simplex — is fresh, so
+// workers never touch common state. The fork encodes from scratch on its
+// first Check.
+func (s *Solver) forkForPortfolio(tuning sat.Tuning, port *sat.ExchangePort, pw *proof.Writer, intr Interrupter) *Solver {
+	f := &Solver{
+		opts:      s.opts,
+		boolNames: s.boolNames,
+		realNames: s.realNames,
+		tuning:    tuning,
+		exPort:    port,
+	}
+	f.opts.Proof = pw
+	f.opts.Interrupter = intr
+	f.opts.FreshPerCheck = false
+	f.scopes = make([]*scope, len(s.scopes))
+	for i, sc := range s.scopes {
+		f.scopes[i] = &scope{asserts: sc.asserts, cards: sc.cards, sel: sat.LitUndef}
+	}
+	return f
+}
+
+// CheckPortfolio solves the current assertion stack with a portfolio of
+// diversified solver instances racing under ctx: distinct seeds, phase
+// policies and restart schedules per worker (worker 0 keeps the sequential
+// configuration), with one-way sharing of short learnt clauses through a
+// lock-light exchange unless disabled. The first definitive answer (Sat or
+// Unsat) cancels the remaining workers; when every worker ends Unknown,
+// worker 0's result is returned so the failure mode matches a sequential
+// run.
+//
+// The verdict is deterministic — every worker solves the same formula, so
+// all definitive answers agree — but which worker's model or certificate is
+// published is first-past-the-post. With Options.Proof configured, each
+// worker logs to a private in-memory stream; an Unsat winner's segment is
+// re-anchored onto the configured writer (proof.AppendSegment), so the
+// published certificate is exactly as checkable as a sequential one.
+//
+// The owner's persistent encoder is left untouched except when a proof
+// segment is appended, which resets it (the next sequential Check re-encodes
+// into a fresh certificate segment). Per-worker budgets follow Options.Budget
+// independently; wall-clock deadlines race in real time.
+func (s *Solver) CheckPortfolio(ctx context.Context, po PortfolioOptions) (*PortfolioResult, error) {
+	workers := po.Workers
+	if workers <= 0 {
+		workers = DefaultWorkers()
+	}
+
+	var ex *sat.Exchange
+	if !po.DisableSharing && workers > 1 {
+		ex = sat.NewExchange(po.ExchangeCap)
+	}
+
+	type workerOut struct {
+		res *Result
+		err error
+	}
+	forks := make([]*Solver, workers)
+	bufs := make([]*bytes.Buffer, workers)
+	outs := make([]workerOut, workers)
+	for i := 0; i < workers; i++ {
+		var port *sat.ExchangePort
+		if ex != nil {
+			port = ex.Port()
+		}
+		var pw *proof.Writer
+		if s.opts.Proof != nil {
+			bufs[i] = &bytes.Buffer{}
+			pw = proof.NewWriter(bufs[i])
+		}
+		var intr Interrupter
+		if po.Interrupters != nil {
+			intr = po.Interrupters(i)
+		}
+		forks[i] = s.forkForPortfolio(workerTuning(i), port, pw, intr)
+	}
+
+	raceCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	winnerCh := make(chan int, workers)
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			res, err := forks[i].CheckContext(raceCtx)
+			outs[i] = workerOut{res: res, err: err}
+			if err == nil && res.Status != Unknown {
+				winnerCh <- i // buffered: never blocks
+				cancel()
+			}
+		}(i)
+	}
+	wg.Wait()
+
+	winner := -1
+	select {
+	case winner = <-winnerCh:
+	default:
+	}
+
+	pr := &PortfolioResult{Winner: winner, Workers: workers, PerWorker: make([]Stats, workers)}
+	for i, out := range outs {
+		if out.res != nil {
+			pr.PerWorker[i] = out.res.Stats
+		}
+	}
+
+	pick := winner
+	if pick < 0 {
+		pick = 0
+	}
+	if out := outs[pick]; out.err != nil {
+		// Malformed input: every worker saw the same formulas, so worker 0's
+		// error speaks for all.
+		return nil, out.err
+	}
+	pr.Result = outs[pick].res
+	pr.Result.Stats.Workers = workers
+
+	if w := s.opts.Proof; w != nil && winner >= 0 && pr.Result.Status == Unsat {
+		// Close the winner's in-memory stream (flushing it), then re-anchor
+		// its segment onto the configured writer. The owner's persistent
+		// encoder — if any — logged into the previous segment; reset it so
+		// the next sequential check opens a fresh one instead of continuing
+		// a database the appended segment reset.
+		pr.Result.Proof = nil
+		if err := forks[winner].opts.Proof.Close(); err == nil {
+			if check, err := w.AppendSegment(bytes.NewReader(bufs[winner].Bytes())); err == nil {
+				pr.Result.Proof = &proof.Handle{Path: w.Path(), Check: check}
+			}
+		}
+		s.resetEncoding()
+	} else if pr.Result.Proof != nil {
+		// A worker's Proof handle points into its private buffer; it is
+		// meaningless outside this call unless re-anchored above.
+		pr.Result.Proof = nil
+	}
+
+	s.lastStats = pr.Result.Stats
+	return pr, nil
+}

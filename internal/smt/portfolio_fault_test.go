@@ -1,0 +1,137 @@
+// Losing-worker fault injection for the portfolio race. This lives in an
+// external test package because faultinject imports smt: the schedule drives
+// the same smt.Interrupter hook production uses.
+package smt_test
+
+import (
+	"context"
+	"fmt"
+	"path/filepath"
+	"testing"
+
+	"segrid/internal/faultinject"
+	"segrid/internal/proof"
+	"segrid/internal/smt"
+)
+
+// assertPigeonhole asserts the unsatisfiable pigeonhole principle
+// (pigeons > holes): enough search that injected faults land mid-solve, with
+// every worker's private certificate stream already open.
+func assertPigeonhole(s *smt.Solver, pigeons, holes int) {
+	vars := make([][]smt.BoolVar, pigeons)
+	for i := range vars {
+		vars[i] = make([]smt.BoolVar, holes)
+		for j := range vars[i] {
+			vars[i][j] = s.BoolVar(fmt.Sprintf("p_%d_%d", i, j))
+		}
+	}
+	for i := 0; i < pigeons; i++ {
+		fs := make([]smt.Formula, holes)
+		for j := 0; j < holes; j++ {
+			fs[j] = smt.B(vars[i][j])
+		}
+		s.Assert(smt.Or(fs...))
+	}
+	for j := 0; j < holes; j++ {
+		fs := make([]smt.Formula, pigeons)
+		for i := 0; i < pigeons; i++ {
+			fs[i] = smt.B(vars[i][j])
+		}
+		s.AssertAtMostK(fs, 1)
+	}
+}
+
+// TestPortfolioFaultCancelsLosingWorkers cancels every worker except worker 0
+// mid-solve — after each has begun its private certificate stream — and
+// requires the surviving worker's verdict and merged certificate to be
+// untouched by the losers' torn streams.
+func TestPortfolioFaultCancelsLosingWorkers(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "fault.proof")
+	w, err := proof.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := smt.DefaultOptions()
+	opts.Proof = w
+	s := smt.NewSolver(opts)
+	assertPigeonhole(s, 6, 5)
+
+	res, err := s.CheckPortfolio(context.Background(), smt.PortfolioOptions{
+		Workers: 4,
+		Interrupters: func(worker int) smt.Interrupter {
+			if worker == 0 {
+				return nil
+			}
+			// Stagger the cancellation points so the losers die at different
+			// depths of their streams.
+			return faultinject.NewInjector(faultinject.Decision{
+				Kind:       faultinject.Cancel,
+				AfterPolls: int64(worker),
+			})
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != smt.Unsat {
+		t.Fatalf("status = %v, want unsat (pigeonhole)", res.Status)
+	}
+	if res.Winner != 0 {
+		t.Fatalf("winner = %d, want the only uninterrupted worker 0", res.Winner)
+	}
+	if res.Proof == nil || res.Proof.Path != path {
+		t.Fatalf("merged proof handle = %+v", res.Proof)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := proof.CheckFile(path)
+	if err != nil {
+		t.Fatalf("winner certificate rejected after losers were cancelled mid-stream: %v", err)
+	}
+	if rep.UnsatChecks != 1 {
+		t.Fatalf("UnsatChecks = %d, want 1", rep.UnsatChecks)
+	}
+}
+
+// TestPortfolioFaultScheduleAllCancel draws a deterministic all-cancel
+// schedule: with every worker faulted the race has no winner, the answer is
+// Unknown, and nothing is published into the shared certificate stream.
+func TestPortfolioFaultScheduleAllCancel(t *testing.T) {
+	sched := faultinject.New(7, faultinject.Config{PCancel: 1, MaxAfterPolls: 4})
+	dir := t.TempDir()
+	path := filepath.Join(dir, "all-cancel.proof")
+	w, err := proof.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := smt.DefaultOptions()
+	opts.Proof = w
+	s := smt.NewSolver(opts)
+	assertPigeonhole(s, 6, 5)
+
+	res, err := s.CheckPortfolio(context.Background(), smt.PortfolioOptions{
+		Workers:      3,
+		Interrupters: func(int) smt.Interrupter { return sched.Injector() },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != smt.Unknown || res.Winner != -1 {
+		t.Fatalf("all-faulted race: status %v winner %d, want unknown/-1", res.Status, res.Winner)
+	}
+	if res.Proof != nil {
+		t.Fatalf("no worker finished, yet a proof handle was published: %+v", res.Proof)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := proof.CheckFile(path)
+	if err != nil {
+		t.Fatalf("shared stream must stay checkable: %v", err)
+	}
+	if rep.UnsatChecks != 0 {
+		t.Fatalf("UnsatChecks = %d, want 0 (nothing merged)", rep.UnsatChecks)
+	}
+}

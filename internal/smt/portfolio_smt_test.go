@@ -1,0 +1,313 @@
+package smt
+
+import (
+	"context"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"segrid/internal/proof"
+)
+
+// TestPortfolioMatchesSequentialScripts replays random assert/push/pop/check
+// scripts on a sequential solver and a portfolio twin and requires the same
+// verdict at every check, with both models validated against the live
+// assertion stack. This is the differential suite pinning the portfolio race
+// to sequential semantics.
+func TestPortfolioMatchesSequentialScripts(t *testing.T) {
+	const nBool, nReal, scripts, opsPerScript = 6, 4, 12, 30
+	rng := rand.New(rand.NewSource(7331))
+	ctx := context.Background()
+	for script := 0; script < scripts; script++ {
+		seq := NewSolver(DefaultOptions())
+		par := NewSolver(DefaultOptions())
+		boolVars := make([]BoolVar, nBool)
+		for i := range boolVars {
+			boolVars[i] = seq.BoolVar("b")
+			par.BoolVar("b")
+		}
+		realVars := make([]RealVar, nReal)
+		for i := range realVars {
+			realVars[i] = seq.RealVar("x")
+			par.RealVar("x")
+		}
+		st := newScriptState()
+		for op := 0; op < opsPerScript; op++ {
+			switch r := rng.Intn(10); {
+			case r < 5: // assert
+				f := randFormula(rng, seq, boolVars, realVars, 2)
+				seq.Assert(f)
+				par.Assert(f)
+				st.assert(f)
+			case r < 6: // push
+				seq.Push()
+				par.Push()
+				st.push()
+			case r < 7: // pop
+				if seq.NumScopes() > 1 {
+					if err := seq.Pop(); err != nil {
+						t.Fatal(err)
+					}
+					if err := par.Pop(); err != nil {
+						t.Fatal(err)
+					}
+					st.pop()
+				}
+			default: // differential check
+				rs, err := seq.Check()
+				if err != nil {
+					t.Fatalf("script %d: sequential Check: %v", script, err)
+				}
+				rp, err := par.CheckPortfolio(ctx, PortfolioOptions{Workers: 4})
+				if err != nil {
+					t.Fatalf("script %d: CheckPortfolio: %v", script, err)
+				}
+				if rs.Status != rp.Status {
+					t.Fatalf("script %d op %d: sequential %v vs portfolio %v (winner %d)",
+						script, op, rs.Status, rp.Status, rp.Winner)
+				}
+				if rp.Status != Unknown && rp.Winner < 0 {
+					t.Fatalf("script %d: definitive answer without a winner", script)
+				}
+				if rp.Stats.Workers != 4 {
+					t.Fatalf("script %d: Stats.Workers = %d, want 4", script, rp.Stats.Workers)
+				}
+				if len(rp.PerWorker) != 4 {
+					t.Fatalf("script %d: PerWorker has %d entries, want 4", script, len(rp.PerWorker))
+				}
+				if rp.Status == Sat {
+					st.checkModel(t, "portfolio", rp.Result, nBool, nReal)
+				}
+			}
+		}
+	}
+}
+
+// TestPortfolioProofMergedAndTrimmed mixes sequential and portfolio checks on
+// one proof stream: every portfolio Unsat re-anchors the winning worker's
+// private segment onto the shared writer. The merged stream must verify
+// under the independent checker with exactly the observed number of Unsat
+// checks, and must still verify after backward trimming.
+func TestPortfolioProofMergedAndTrimmed(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "portfolio.proof")
+	w, err := proof.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := DefaultOptions()
+	opts.Proof = w
+	s := NewSolver(opts)
+	ctx := context.Background()
+
+	x := s.RealVar("x")
+	b := s.BoolVar("b")
+	unsatChecks := 0
+
+	// Scope 1: contradictory bounds — portfolio Unsat, merged segment.
+	s.Push()
+	s.Assert(GE(NewLinExpr().TermInt(1, x), rat(2, 1)))
+	s.Assert(LE(NewLinExpr().TermInt(1, x), rat(1, 1)))
+	rp, err := s.CheckPortfolio(ctx, PortfolioOptions{Workers: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rp.Status != Unsat {
+		t.Fatalf("contradictory bounds: got %v", rp.Status)
+	}
+	unsatChecks++
+	if rp.Proof == nil {
+		t.Fatal("portfolio Unsat carried no proof handle")
+	}
+	if rp.Proof.Path != path {
+		t.Fatalf("proof handle path %q, want %q", rp.Proof.Path, path)
+	}
+	if rp.Proof.Check != uint64(unsatChecks) {
+		t.Fatalf("proof handle check %d, want %d", rp.Proof.Check, unsatChecks)
+	}
+	if err := s.Pop(); err != nil {
+		t.Fatal(err)
+	}
+
+	// A sequential Unsat on the same stream after the merge: the writer was
+	// re-anchored, the encoder reset, so this must open a fresh segment and
+	// keep the stream checkable.
+	s.Push()
+	s.Assert(B(b))
+	s.Assert(Not(B(b)))
+	rs, err := s.Check()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rs.Status != Unsat {
+		t.Fatalf("b∧¬b: got %v", rs.Status)
+	}
+	unsatChecks++
+	if rs.Proof == nil || rs.Proof.Check != uint64(unsatChecks) {
+		t.Fatalf("sequential check after merge: handle %+v, want check %d", rs.Proof, unsatChecks)
+	}
+	if err := s.Pop(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Another portfolio Unsat, now with sharing disabled (the ablation path
+	// must certify identically).
+	s.Push()
+	s.Assert(LT(NewLinExpr().TermInt(1, x), rat(0, 1)))
+	s.Assert(GT(NewLinExpr().TermInt(1, x), rat(0, 1)))
+	rp2, err := s.CheckPortfolio(ctx, PortfolioOptions{Workers: 2, DisableSharing: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rp2.Status != Unsat {
+		t.Fatalf("x<0∧x>0: got %v", rp2.Status)
+	}
+	unsatChecks++
+	if rp2.Proof == nil || rp2.Proof.Check != uint64(unsatChecks) {
+		t.Fatalf("second portfolio handle %+v, want check %d", rp2.Proof, unsatChecks)
+	}
+	if err := s.Pop(); err != nil {
+		t.Fatal(err)
+	}
+
+	if err := w.Close(); err != nil {
+		t.Fatalf("close writer: %v", err)
+	}
+	rep, err := proof.CheckFile(path)
+	if err != nil {
+		t.Fatalf("merged stream failed verification: %v", err)
+	}
+	if rep.UnsatChecks != unsatChecks {
+		t.Fatalf("merged stream has %d unsat checks, want %d", rep.UnsatChecks, unsatChecks)
+	}
+
+	// Backward trimming re-verifies the trimmed stream before publishing it.
+	if _, err := proof.TrimFile(path); err != nil {
+		t.Fatalf("trimming merged stream: %v", err)
+	}
+	rep, err = proof.CheckFile(path)
+	if err != nil {
+		t.Fatalf("trimmed merged stream failed verification: %v", err)
+	}
+	if rep.UnsatChecks != unsatChecks {
+		t.Fatalf("trimmed stream has %d unsat checks, want %d", rep.UnsatChecks, unsatChecks)
+	}
+}
+
+// TestPortfolioProofOnRandomScripts drives the merge path through random
+// scripts: portfolio checks with proof logging on, certificate verified at
+// the end of every script.
+func TestPortfolioProofOnRandomScripts(t *testing.T) {
+	const nBool, nReal, scripts, opsPerScript = 5, 3, 6, 16
+	rng := rand.New(rand.NewSource(40427))
+	ctx := context.Background()
+	dir := t.TempDir()
+	for script := 0; script < scripts; script++ {
+		path := filepath.Join(dir, proof.UniqueName("script-", ".proof"))
+		w, err := proof.Create(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		opts := DefaultOptions()
+		opts.Proof = w
+		s := NewSolver(opts)
+		boolVars := make([]BoolVar, nBool)
+		for i := range boolVars {
+			boolVars[i] = s.BoolVar("b")
+		}
+		realVars := make([]RealVar, nReal)
+		for i := range realVars {
+			realVars[i] = s.RealVar("x")
+		}
+		unsat := 0
+		for op := 0; op < opsPerScript; op++ {
+			switch r := rng.Intn(6); {
+			case r < 3:
+				s.Assert(randFormula(rng, s, boolVars, realVars, 2))
+			case r < 4:
+				s.Push()
+			case r < 5:
+				if s.NumScopes() > 1 {
+					if err := s.Pop(); err != nil {
+						t.Fatal(err)
+					}
+				}
+			default:
+				rp, err := s.CheckPortfolio(ctx, PortfolioOptions{Workers: 3})
+				if err != nil {
+					t.Fatalf("script %d: %v", script, err)
+				}
+				if rp.Status == Unsat {
+					unsat++
+					if rp.Proof == nil || rp.Proof.Check != uint64(unsat) {
+						t.Fatalf("script %d: handle %+v, want check %d", script, rp.Proof, unsat)
+					}
+				}
+			}
+		}
+		if err := w.Close(); err != nil {
+			t.Fatalf("script %d: close: %v", script, err)
+		}
+		rep, err := proof.CheckFile(path)
+		if err != nil {
+			t.Fatalf("script %d: certificate failed: %v", script, err)
+		}
+		if rep.UnsatChecks != unsat {
+			t.Fatalf("script %d: %d unsat checks in stream, want %d", script, rep.UnsatChecks, unsat)
+		}
+		os.Remove(path)
+	}
+}
+
+// TestPortfolioAllUnknown injects an interrupter into every worker: the race
+// has no winner, and the result must be worker 0's Unknown — never a made-up
+// verdict.
+func TestPortfolioAllUnknown(t *testing.T) {
+	s := NewSolver(DefaultOptions())
+	x := s.RealVar("x")
+	y := s.RealVar("y")
+	s.Assert(GE(NewLinExpr().TermInt(1, x), rat(0, 1)))
+	s.Assert(LE(NewLinExpr().TermInt(1, x).TermInt(-1, y), rat(3, 1)))
+	s.Assert(GE(NewLinExpr().TermInt(1, x).TermInt(-1, y), rat(-3, 1)))
+	rp, err := s.CheckPortfolio(context.Background(), PortfolioOptions{
+		Workers:      3,
+		Interrupters: func(int) Interrupter { return NewCountdownInterrupter(1) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rp.Status != Unknown {
+		t.Fatalf("got %v, want unknown when every worker is interrupted", rp.Status)
+	}
+	if rp.Winner != -1 {
+		t.Fatalf("winner = %d, want -1", rp.Winner)
+	}
+	if rp.Why == nil {
+		t.Fatal("Unknown result carries no Why")
+	}
+	if rp.Stats.Workers != 3 {
+		t.Fatalf("Stats.Workers = %d, want 3", rp.Stats.Workers)
+	}
+}
+
+// TestPortfolioDefaultWorkers pins the GOMAXPROCS-aware clamp.
+func TestPortfolioDefaultWorkers(t *testing.T) {
+	n := DefaultWorkers()
+	if n < 1 || n > maxDefaultWorkers {
+		t.Fatalf("DefaultWorkers() = %d, want within [1, %d]", n, maxDefaultWorkers)
+	}
+	s := NewSolver(DefaultOptions())
+	b := s.BoolVar("b")
+	s.Assert(B(b))
+	rp, err := s.CheckPortfolio(context.Background(), PortfolioOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rp.Workers != n {
+		t.Fatalf("effective workers = %d, want DefaultWorkers() = %d", rp.Workers, n)
+	}
+	if rp.Stats.Workers != n {
+		t.Fatalf("Stats.Workers = %d, want %d", rp.Stats.Workers, n)
+	}
+}

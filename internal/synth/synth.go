@@ -86,6 +86,17 @@ type Requirements struct {
 	// service tagging streams by request or session id — set it; it must be
 	// unique among runs sharing the directory.
 	ProofTag string
+
+	// CubeWorkers switches Algorithm 1 to cube-and-conquer: the candidate
+	// space is partitioned by sign constraints on pivot buses and the cubes
+	// are fanned across that many workers, each running the selection/verify
+	// loop on its own incremental solver instances with counterexample
+	// supports shared through a common pool. 0 keeps the sequential loop;
+	// < 0 selects smt.DefaultWorkers(). The verdict is unchanged — cubes
+	// partition the space exactly, and shared blocking clauses are valid in
+	// every cube — but which verified architecture is returned is
+	// first-past-the-post among the workers.
+	CubeWorkers int
 }
 
 // Architecture is a synthesized security architecture.
@@ -110,8 +121,13 @@ type Architecture struct {
 
 	// ProofFiles lists the UNSAT certificate files written during
 	// verification when Requirements.ProofDir was set, in attack-model
-	// order. Empty otherwise.
+	// order. Empty otherwise. In cube mode these are the winning worker's
+	// trimmed streams; losing workers' staged streams are discarded.
 	ProofFiles []string
+
+	// Workers is the effective cube-and-conquer worker count (0 for a
+	// sequential run).
+	Workers int
 }
 
 // Duration is the total synthesis time.
@@ -338,6 +354,13 @@ func SynthesizeContext(ctx context.Context, req *Requirements) (res *Architectur
 	}
 	if req.MaxSecuredBuses < 1 {
 		return nil, fmt.Errorf("synth: MaxSecuredBuses must be positive, got %d", req.MaxSecuredBuses)
+	}
+	if req.CubeWorkers != 0 {
+		workers := req.CubeWorkers
+		if workers < 0 {
+			workers = smt.DefaultWorkers()
+		}
+		return synthesizeCubes(ctx, req, workers)
 	}
 	ctx, cancelRun := req.Limits.runContext(ctx)
 	defer cancelRun()
