@@ -9,6 +9,7 @@
 package segrid
 
 import (
+	"context"
 	"fmt"
 	"testing"
 
@@ -18,7 +19,9 @@ import (
 	"segrid/internal/dcflow"
 	"segrid/internal/dcopf"
 	"segrid/internal/grid"
+	"segrid/internal/scenariofile"
 	"segrid/internal/se"
+	"segrid/internal/service"
 	"segrid/internal/smt"
 	"segrid/internal/synth"
 )
@@ -484,6 +487,71 @@ func BenchmarkMeasurementSynthesis(b *testing.B) {
 			b.Fatalf("SynthesizeMeasurements: %v", err)
 		}
 	}
+}
+
+// BenchmarkSweepVsSequential measures the service-layer batched sweep
+// against the batch-unaware baseline on a fig5a-style family: the obj2 case
+// study under per-item secured-measurement deltas. The sequential variant
+// answers each item as its own verification with the delta folded into a
+// self-contained spec (one cold encoder build per item); the sweep variant
+// answers the whole family through one /v1/sweep plan — one pooled encoder,
+// per-item scoped overlays. A fresh service per iteration keeps every build
+// inside the timed loop. internal/experiments mirrors this pair as the
+// sweep/ rows of the BENCH_<n>.json trajectory.
+func BenchmarkSweepVsSequential(b *testing.B) {
+	base := scenariofile.AttackSpec{
+		Case:        "ieee14",
+		Untaken:     []int{5, 10, 14, 19, 22, 27, 30, 35, 43, 52},
+		Targets:     []int{12},
+		OnlyTargets: true,
+	}
+	ids := []int{1, 2, 3, 4, 6, 7, 8, 9, 11, 46}
+	items := []service.SweepItem{{}}
+	for _, id := range ids {
+		items = append(items, service.SweepItem{SecuredMeasurements: []int{id}})
+	}
+	newSvc := func(b *testing.B) *service.Service {
+		svc, err := service.New(service.Config{Portfolio: 1})
+		if err != nil {
+			b.Fatalf("service.New: %v", err)
+		}
+		return svc
+	}
+	b.Run("sequential", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			svc := newSvc(b)
+			for _, it := range items {
+				spec := base
+				spec.Secured = append([]int(nil), it.SecuredMeasurements...)
+				resp, err := svc.Verify(context.Background(), &service.VerifyRequest{Attack: spec})
+				if err != nil {
+					b.Fatalf("Verify: %v", err)
+				}
+				if resp.Status != "feasible" && resp.Status != "infeasible" {
+					b.Fatalf("inconclusive: %s", resp.Why)
+				}
+			}
+			svc.Close()
+		}
+	})
+	b.Run("sweep", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			svc := newSvc(b)
+			resp, err := svc.Sweep(context.Background(), &service.SweepRequest{Attack: base, Items: items})
+			if err != nil {
+				b.Fatalf("Sweep: %v", err)
+			}
+			if resp.EncoderBuilds != 1 {
+				b.Fatalf("sweep paid %d encoder builds, want 1", resp.EncoderBuilds)
+			}
+			for j, item := range resp.Items {
+				if item.Status != "feasible" && item.Status != "infeasible" {
+					b.Fatalf("item %d inconclusive: %s", j, item.Why)
+				}
+			}
+			svc.Close()
+		}
+	})
 }
 
 // BenchmarkLNRIdentification measures one full LNR pass with a planted

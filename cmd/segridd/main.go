@@ -24,6 +24,12 @@
 //	                  and POST /v1/proofcheck re-checks them independently
 //	-pool-live n      warm-encoder pool size cap (default 64)
 //	-pool-idle n      warm encoders kept per (topology, shape) key (default 2)
+//	-pool-idle-total n   idle warm encoders kept across all keys; past it the
+//	                  globally least-recently-used encoder is evicted and torn
+//	                  down (default: the -pool-live cap)
+//	-pool-idle-bytes n   idle warm-pool memory budget in bytes, enforced by the
+//	                  same global LRU order (0 = unlimited)
+//	-sweep-max-items n   per-request item cap for POST /v1/sweep (default 256)
 //	-portfolio n      default portfolio worker count for verification: > 1
 //	                  races that many diversified solver instances per check,
 //	                  1 answers sequentially, -1 picks the host default
@@ -36,6 +42,7 @@
 // Endpoints:
 //
 //	POST /v1/verify      {"attack": <scenariofile attack spec>, ...}
+//	POST /v1/sweep       {"attack": <base spec>, "items": [<per-item deltas>]}
 //	POST /v1/synthesize  {"synthesis": <scenariofile synthesis spec>, ...}
 //	POST /v1/proofcheck  {"path": "<certificate relative to -proof-dir>"}
 //	GET  /healthz        liveness
@@ -79,6 +86,9 @@ func main() {
 	proofDir := fs.String("proof-dir", "", "enable per-request UNSAT certificates under this directory")
 	poolLive := fs.Int("pool-live", 0, "warm-encoder pool size cap (0 = default)")
 	poolIdle := fs.Int("pool-idle", 0, "warm encoders kept per key (0 = default)")
+	poolIdleTotal := fs.Int("pool-idle-total", 0, "idle warm encoders kept across all keys, LRU-evicted past it (0 = pool-live cap)")
+	poolIdleBytes := fs.Int64("pool-idle-bytes", 0, "idle warm-pool memory budget in bytes, LRU-enforced (0 = unlimited)")
+	sweepMaxItems := fs.Int("sweep-max-items", 0, "per-request item cap for POST /v1/sweep (0 = default 256)")
 	portfolio := fs.Int("portfolio", 0, "default portfolio workers for verification (1 = sequential, -1 = host default)")
 	cubeWorkers := fs.Int("cube-workers", 0, "default cube-and-conquer workers for synthesis (1 = sequential, -1 = host default)")
 	maxWorkers := fs.Int("max-workers", 0, "per-request cap on worker counts (0 = default 8)")
@@ -99,6 +109,9 @@ func main() {
 		ProofDir:             *proofDir,
 		PoolMaxLive:          *poolLive,
 		PoolMaxIdlePerKey:    *poolIdle,
+		PoolMaxIdle:          *poolIdleTotal,
+		PoolMaxIdleBytes:     *poolIdleBytes,
+		MaxSweepItems:        *sweepMaxItems,
 		Portfolio:            *portfolio,
 		CubeWorkers:          *cubeWorkers,
 		MaxWorkersPerRequest: *maxWorkers,

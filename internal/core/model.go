@@ -380,6 +380,44 @@ func (m *Model) buildGoal() {
 	}
 }
 
+// AssertMaxAlteredMeasurements adds, in the solver's current scope, the
+// Eq. 22 cardinality bound Σ cz_i ≤ k. Layering a bound tighter than the
+// scenario's base MaxMeasurements (or onto an unbounded base) is sound: the
+// scoped constraint only shrinks the feasible set and is retracted on Pop.
+// Loosening a base bound this way is NOT possible — base constraints stay
+// asserted — so callers must rebuild the model for a larger budget. k must
+// be positive.
+func (m *Model) AssertMaxAlteredMeasurements(k int) error {
+	if k <= 0 {
+		return fmt.Errorf("core: scoped measurement bound must be positive, got %d", k)
+	}
+	sys := m.sc.System()
+	fs := make([]smt.Formula, 0, sys.NumMeasurements())
+	for id := 1; id <= sys.NumMeasurements(); id++ {
+		if m.hasCZ[id] {
+			fs = append(fs, smt.B(m.cz[id]))
+		}
+	}
+	m.solver.AssertAtMostK(fs, k)
+	return nil
+}
+
+// AssertMaxCompromisedBuses adds, in the solver's current scope, the Eq. 24
+// cardinality bound Σ cb_j ≤ k. The same tightening-only caveat as
+// AssertMaxAlteredMeasurements applies. k must be positive.
+func (m *Model) AssertMaxCompromisedBuses(k int) error {
+	if k <= 0 {
+		return fmt.Errorf("core: scoped bus bound must be positive, got %d", k)
+	}
+	sys := m.sc.System()
+	fs := make([]smt.Formula, 0, sys.Buses)
+	for j := 1; j <= sys.Buses; j++ {
+		fs = append(fs, smt.B(m.cb[j]))
+	}
+	m.solver.AssertAtMostK(fs, k)
+	return nil
+}
+
 // AssertMeasurementsSecured adds, in the solver's current scope, the
 // constraint that the given individual measurements are integrity
 // protected: their cz variables are forced false. Used by the

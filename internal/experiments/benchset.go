@@ -16,6 +16,8 @@ import (
 	"segrid/internal/core"
 	"segrid/internal/grid"
 	"segrid/internal/proof"
+	"segrid/internal/scenariofile"
+	"segrid/internal/service"
 	"segrid/internal/smt"
 	"segrid/internal/synth"
 )
@@ -67,6 +69,15 @@ type BenchEntry struct {
 	CubeNsPerOp int64 `json:"cube_ns_per_op,omitempty"`
 	// Workers is the worker count behind the portfolio/cube columns.
 	Workers int `json:"workers,omitempty"`
+	// SweepNsPerOp is the batched-sweep column: the same scenario family
+	// answered by one service-layer /v1/sweep (one pooled encoder per
+	// compatibility group, per-item scoped overlays) instead of N
+	// independent verifications each paying a cold encoder build. The
+	// headline ns/op of the sweep/ rows is the sequential baseline;
+	// SweepBuilds and SeqBuilds are the encoder builds each mode paid.
+	SweepNsPerOp int64 `json:"sweep_ns_per_op,omitempty"`
+	SweepBuilds  int64 `json:"sweep_builds,omitempty"`
+	SeqBuilds    int64 `json:"seq_builds,omitempty"`
 }
 
 // Iteration policy for each workload: at least benchMinIters runs, then keep
@@ -511,6 +522,99 @@ func BenchSet(cfg Config) ([]BenchEntry, error) {
 		if cerr != nil {
 			return nil, cerr
 		}
+		entries = append(entries, e)
+	}
+
+	// Batched-sweep rows: the serving-layer analogue of the incremental-vs-
+	// fresh ablation. A fig5a-style family (one base scenario, per-item
+	// secured-measurement deltas) is answered two ways on a fresh
+	// single-worker service per iteration: sequentially, with each delta
+	// folded into its own self-contained spec — the batch-unaware client,
+	// one cold encoder build per distinct item — and as one batched sweep,
+	// which plans the family into one compatibility group and answers every
+	// item on a single pooled encoder through scoped overlays. The headline
+	// ns/op is the sequential baseline, sweep_ns_per_op the batched run, and
+	// seq_builds/sweep_builds the encoder builds each mode paid (from the
+	// pool's own Misses counter). Per-item verdicts must agree between modes.
+	for _, w := range []struct {
+		name string
+		spec scenariofile.AttackSpec
+		ids  []int
+	}{
+		{"ieee14", scenariofile.AttackSpec{
+			Case: "ieee14", Untaken: []int{5, 10, 14, 19, 22, 27, 30, 35, 43, 52},
+			Targets: []int{12}, OnlyTargets: true},
+			[]int{1, 2, 3, 4, 6, 7, 8, 9, 11, 46}},
+		{"ieee30", scenariofile.AttackSpec{Case: "ieee30", AnyState: true},
+			[]int{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12}},
+	} {
+		items := []service.SweepItem{{}}
+		for _, id := range w.ids {
+			items = append(items, service.SweepItem{SecuredMeasurements: []int{id}})
+		}
+		svcCfg := service.Config{Portfolio: 1}
+		var (
+			seqVerdicts []string
+			seqBuilds   uint64
+			sweepBuilds uint64
+		)
+		runSeq := func() (smt.Stats, error) {
+			svc, err := service.New(svcCfg)
+			if err != nil {
+				return smt.Stats{}, err
+			}
+			defer svc.Close()
+			verdicts := make([]string, len(items))
+			for i, it := range items {
+				spec := w.spec
+				spec.Secured = append(append([]int(nil), spec.Secured...), it.SecuredMeasurements...)
+				resp, err := svc.Verify(context.Background(), &service.VerifyRequest{Attack: spec})
+				if err != nil {
+					return smt.Stats{}, err
+				}
+				if resp.Status != "feasible" && resp.Status != "infeasible" {
+					return smt.Stats{}, fmt.Errorf("sweep/%s item %d: sequential inconclusive (%s)", w.name, i, resp.Why)
+				}
+				verdicts[i] = resp.Status
+			}
+			seqVerdicts = verdicts
+			seqBuilds = svc.PoolStats().Misses
+			return smt.Stats{}, nil
+		}
+		runSweep := func() (smt.Stats, error) {
+			svc, err := service.New(svcCfg)
+			if err != nil {
+				return smt.Stats{}, err
+			}
+			defer svc.Close()
+			resp, err := svc.Sweep(context.Background(), &service.SweepRequest{Attack: w.spec, Items: items})
+			if err != nil {
+				return smt.Stats{}, err
+			}
+			for i, item := range resp.Items {
+				if item.Status != seqVerdicts[i] {
+					return smt.Stats{}, fmt.Errorf("sweep/%s item %d: sweep says %s, sequential said %s",
+						w.name, i, item.Status, seqVerdicts[i])
+				}
+			}
+			sweepBuilds = svc.PoolStats().Misses
+			return smt.Stats{}, nil
+		}
+		e, err := measureWorkload("sweep/"+w.name, cfg.Out, runSeq)
+		if err != nil {
+			return nil, err
+		}
+		se, err := measureWorkload("sweep/"+w.name+"/batch", cfg.Out, runSweep)
+		if err != nil {
+			return nil, err
+		}
+		if sweepBuilds >= seqBuilds {
+			return nil, fmt.Errorf("sweep/%s: batched mode built %d encoders, sequential built %d — no amortization",
+				w.name, sweepBuilds, seqBuilds)
+		}
+		e.SweepNsPerOp = se.NsPerOp
+		e.SeqBuilds = int64(seqBuilds)
+		e.SweepBuilds = int64(sweepBuilds)
 		entries = append(entries, e)
 	}
 

@@ -14,6 +14,15 @@
 //     whose internal SAT/simplex state therefore cannot be trusted. A
 //     discarded item never re-enters the pool, under any path.
 //
+// Idle items are bounded by a cross-key, size-aware LRU policy: a global
+// recency order spans every key, each item carries a cost sampled from the
+// optional Config.Size hook when it returns, and Returns that push the pool
+// past its per-key, global-count or byte budgets evict the least recently
+// used items (never the one just returned). Every path that removes an item
+// from the pool's accounting — eviction, Reset-failure quarantine, Discard,
+// Drain — invokes the optional Config.Close hook exactly once, outside the
+// pool lock, so owners can release encoder resources deterministically.
+//
 // The pool bounds total live encoders (checked-out plus idle); exhaustion
 // fails fast with ErrExhausted so admission control above the pool decides
 // between queueing and shedding. All methods are safe for concurrent use.
@@ -53,9 +62,33 @@ type Config[T any] struct {
 	// Optional; nil skips validation.
 	Reset func(item T) error
 
-	// MaxIdlePerKey bounds the warm list per key; a Return past it discards
-	// the returning item (counted in Stats.Trimmed). Default 2.
+	// Close releases an item's resources. Invoked exactly once, outside the
+	// pool lock, on every path that removes an item from the pool's
+	// accounting: LRU/budget eviction, Reset-failure quarantine, Discard,
+	// and Drain. Never invoked for items still idle or leased. Optional;
+	// nil skips the hook.
+	Close func(item T)
+
+	// Size estimates an item's retained cost in bytes for the idle byte
+	// budget. Sampled once, outside the pool lock, as the item returns to
+	// the warm list. Optional; nil charges every item zero bytes, so
+	// MaxIdleBytes never binds.
+	Size func(item T) int64
+
+	// MaxIdlePerKey bounds the warm list per key; a Return past it evicts
+	// that key's least recently used idle item (the returning item stays —
+	// it is the warmest). Default 2.
 	MaxIdlePerKey int
+
+	// MaxIdle bounds idle items across all keys; excess evicts the global
+	// LRU item. Default MaxLive (the live bound already caps idle, so the
+	// default adds no constraint).
+	MaxIdle int
+
+	// MaxIdleBytes bounds the summed Size cost of idle items across all
+	// keys; excess evicts global LRU items until under budget. 0 disables
+	// the byte budget.
+	MaxIdleBytes int64
 
 	// MaxLive bounds live items — checked out plus idle — across all keys.
 	// Default 64.
@@ -64,8 +97,13 @@ type Config[T any] struct {
 
 // Stats counts pool traffic. Snapshot via Pool.Stats.
 type Stats struct {
-	// Hits and Misses split Checkout calls by warm-list outcome.
+	// Hits and Misses split Checkout calls by warm-list outcome. A miss
+	// whose cold build fails still counts: Misses is "checkouts that went
+	// to Config.New", and Hits + Misses - BuildFailures is the number of
+	// leases actually handed out.
 	Hits, Misses uint64
+	// BuildFailures counts cold builds whose Config.New returned an error.
+	BuildFailures uint64
 	// Returns counts healthy returns that re-entered the warm list.
 	Returns uint64
 	// Discards counts quarantined items: explicit Discard calls plus
@@ -74,11 +112,24 @@ type Stats struct {
 	// ResetFailures counts returns rejected by the Reset hook (a subset of
 	// Discards).
 	ResetFailures uint64
-	// Trimmed counts healthy returns dropped because the key's warm list
-	// was full.
-	Trimmed uint64
+	// Evictions counts idle items dropped by the LRU policy (per-key,
+	// global-count or byte budget); EvictedBytes sums their sampled sizes.
+	Evictions    uint64
+	EvictedBytes uint64
 	// Live and Idle are current gauges: items outstanding or warm.
+	// IdleBytes is the summed sampled cost of the warm items.
 	Live, Idle int
+	IdleBytes  int64
+}
+
+// idleEntry is one warm item: a node in both its key's warm list and the
+// pool-wide recency list (older/newer).
+type idleEntry[T any] struct {
+	item T
+	key  Key
+	size int64
+
+	older, newer *idleEntry[T]
 }
 
 // Pool is the warm-encoder pool. The zero value is not usable; construct
@@ -86,10 +137,15 @@ type Stats struct {
 type Pool[T any] struct {
 	cfg Config[T]
 
-	mu    sync.Mutex
-	idle  map[Key][]T
-	live  int
-	stats Stats
+	mu   sync.Mutex
+	idle map[Key][]*idleEntry[T] // per key, oldest first
+	lru  *idleEntry[T]           // least recently used (eviction end)
+	mru  *idleEntry[T]           // most recently used
+	live int
+
+	idleCount int
+	idleBytes int64
+	stats     Stats
 }
 
 // New constructs a pool.
@@ -103,7 +159,10 @@ func New[T any](cfg Config[T]) (*Pool[T], error) {
 	if cfg.MaxLive <= 0 {
 		cfg.MaxLive = 64
 	}
-	return &Pool[T]{cfg: cfg, idle: make(map[Key][]T)}, nil
+	if cfg.MaxIdle <= 0 {
+		cfg.MaxIdle = cfg.MaxLive
+	}
+	return &Pool[T]{cfg: cfg, idle: make(map[Key][]*idleEntry[T])}, nil
 }
 
 // leaseState tracks the one-way lease lifecycle.
@@ -153,13 +212,18 @@ func (p *Pool[T]) checkout(ctx context.Context, key Key, allowWarm bool) (*Lease
 	p.mu.Lock()
 	if allowWarm {
 		if list := p.idle[key]; len(list) > 0 {
-			item := list[len(list)-1]
-			var zero T
-			list[len(list)-1] = zero // do not pin the item in the backing array
+			e := list[len(list)-1] // the key's warmest item
+			list[len(list)-1] = nil
 			p.idle[key] = list[:len(list)-1]
+			if len(list) == 1 {
+				delete(p.idle, key)
+			}
+			p.unlink(e)
+			p.idleCount--
+			p.idleBytes -= e.size
 			p.stats.Hits++
 			p.mu.Unlock()
-			return &Lease[T]{Item: item, key: key, warm: true, pool: p}, nil
+			return &Lease[T]{Item: e.item, key: key, warm: true, pool: p}, nil
 		}
 	}
 	if p.live >= p.cfg.MaxLive {
@@ -174,7 +238,10 @@ func (p *Pool[T]) checkout(ctx context.Context, key Key, allowWarm bool) (*Lease
 	if err != nil {
 		p.mu.Lock()
 		p.live--
-		p.stats.Misses-- // the checkout never happened
+		// Misses stays: the cold attempt happened. A rollback here would
+		// let a concurrent Stats() observe the transient decrement and
+		// report a negative-skewed miss count.
+		p.stats.BuildFailures++
 		p.mu.Unlock()
 		return nil, err
 	}
@@ -182,9 +249,11 @@ func (p *Pool[T]) checkout(ctx context.Context, key Key, allowWarm bool) (*Lease
 }
 
 // Return puts the leased item back on its key's warm list after the Reset
-// validation. A failed Reset (or a full warm list) quarantines/drops the
-// item instead — Return never pools an item the Reset hook rejected. It
-// errors if the lease was already settled.
+// validation. A failed Reset quarantines the item instead (its Close hook
+// runs) — Return never pools an item the Reset hook rejected. Pooling the
+// item may push the idle set past a budget, evicting least-recently-used
+// items (their Close hooks run; the returning item is the warmest and is
+// never the victim). It errors if the lease was already settled.
 func (l *Lease[T]) Return() error {
 	if err := l.settle(returned); err != nil {
 		return err
@@ -197,35 +266,126 @@ func (l *Lease[T]) Return() error {
 			p.stats.Discards++
 			p.stats.ResetFailures++
 			p.mu.Unlock()
+			p.close(l.Item)
 			return nil // the item is quarantined; the return itself succeeded
 		}
 	}
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	if len(p.idle[l.key]) >= p.cfg.MaxIdlePerKey {
-		p.live--
-		p.stats.Trimmed++
-		return nil
+	var size int64
+	if p.cfg.Size != nil {
+		size = p.cfg.Size(l.Item)
+		if size < 0 {
+			size = 0
+		}
 	}
-	p.idle[l.key] = append(p.idle[l.key], l.Item)
+	e := &idleEntry[T]{item: l.Item, key: l.key, size: size}
+
+	p.mu.Lock()
+	p.idle[l.key] = append(p.idle[l.key], e)
+	p.pushMRU(e)
+	p.idleCount++
+	p.idleBytes += size
 	p.stats.Returns++
+	evicted := p.evictLocked(l.key)
+	p.mu.Unlock()
+
+	for _, v := range evicted {
+		p.close(v.item)
+	}
 	return nil
 }
 
+// evictLocked enforces the idle budgets after a return to key, collecting
+// the victims for the caller to Close outside the lock. Eviction order: the
+// returned key's own LRU while that key is over MaxIdlePerKey, then the
+// global LRU while over MaxIdle or MaxIdleBytes.
+func (p *Pool[T]) evictLocked(key Key) []*idleEntry[T] {
+	var victims []*idleEntry[T]
+	for len(p.idle[key]) > p.cfg.MaxIdlePerKey {
+		victims = append(victims, p.removeLocked(p.idle[key][0]))
+	}
+	for p.idleCount > p.cfg.MaxIdle && p.lru != nil {
+		victims = append(victims, p.removeLocked(p.lru))
+	}
+	for p.cfg.MaxIdleBytes > 0 && p.idleBytes > p.cfg.MaxIdleBytes && p.lru != nil {
+		victims = append(victims, p.removeLocked(p.lru))
+	}
+	return victims
+}
+
+// removeLocked evicts one idle entry: unlinks it from both lists and charges
+// the eviction counters.
+func (p *Pool[T]) removeLocked(e *idleEntry[T]) *idleEntry[T] {
+	list := p.idle[e.key]
+	for i, cand := range list {
+		if cand == e {
+			copy(list[i:], list[i+1:])
+			list[len(list)-1] = nil
+			if len(list) == 1 {
+				delete(p.idle, e.key)
+			} else {
+				p.idle[e.key] = list[:len(list)-1]
+			}
+			break
+		}
+	}
+	p.unlink(e)
+	p.idleCount--
+	p.idleBytes -= e.size
+	p.live--
+	p.stats.Evictions++
+	p.stats.EvictedBytes += uint64(e.size)
+	return e
+}
+
+// pushMRU appends e at the most-recently-used end of the recency list.
+func (p *Pool[T]) pushMRU(e *idleEntry[T]) {
+	e.older = p.mru
+	if p.mru != nil {
+		p.mru.newer = e
+	} else {
+		p.lru = e
+	}
+	p.mru = e
+}
+
+// unlink detaches e from the recency list.
+func (p *Pool[T]) unlink(e *idleEntry[T]) {
+	if e.older != nil {
+		e.older.newer = e.newer
+	} else if p.lru == e {
+		p.lru = e.newer
+	}
+	if e.newer != nil {
+		e.newer.older = e.older
+	} else if p.mru == e {
+		p.mru = e.older
+	}
+	e.older, e.newer = nil, nil
+}
+
+// close invokes the Close hook, if configured. Callers must not hold the
+// pool lock.
+func (p *Pool[T]) close(item T) {
+	if p.cfg.Close != nil {
+		p.cfg.Close(item)
+	}
+}
+
 // Discard quarantines the leased item: it is dropped from the pool's
-// accounting and will never be handed out again. Use it whenever a check
-// ended in a way that could have torn encoder state — Unknown results,
-// panics, budget exhaustion, mid-solve cancellation. It errors if the lease
-// was already settled.
+// accounting (its Close hook runs) and will never be handed out again. Use
+// it whenever a check ended in a way that could have torn encoder state —
+// Unknown results, panics, budget exhaustion, mid-solve cancellation. It
+// errors if the lease was already settled.
 func (l *Lease[T]) Discard() error {
 	if err := l.settle(discarded); err != nil {
 		return err
 	}
 	p := l.pool
 	p.mu.Lock()
-	defer p.mu.Unlock()
 	p.live--
 	p.stats.Discards++
+	p.mu.Unlock()
+	p.close(l.Item)
 	return nil
 }
 
@@ -244,24 +404,30 @@ func (p *Pool[T]) Stats() Stats {
 	defer p.mu.Unlock()
 	s := p.stats
 	s.Live = p.live
-	s.Idle = 0
-	for _, list := range p.idle {
-		s.Idle += len(list)
-	}
+	s.Idle = p.idleCount
+	s.IdleBytes = p.idleBytes
 	return s
 }
 
-// Drain empties every warm list, returning the drained items so the owner
-// can release their resources. Outstanding leases are unaffected: their
-// items settle through Return/Discard as usual. Used at shutdown.
-func (p *Pool[T]) Drain() []T {
+// Drain empties every warm list, invoking the Close hook on each drained
+// item, and reports how many were dropped. Outstanding leases are
+// unaffected: their items settle through Return/Discard as usual. Used at
+// shutdown.
+func (p *Pool[T]) Drain() int {
 	p.mu.Lock()
-	defer p.mu.Unlock()
-	var out []T
-	for k, list := range p.idle {
-		out = append(out, list...)
-		delete(p.idle, k)
+	var items []T
+	for e := p.lru; e != nil; e = e.newer {
+		items = append(items, e.item)
 	}
-	p.live -= len(out)
-	return out
+	p.idle = make(map[Key][]*idleEntry[T])
+	p.lru, p.mru = nil, nil
+	p.live -= len(items)
+	p.idleCount = 0
+	p.idleBytes = 0
+	p.mu.Unlock()
+
+	for _, item := range items {
+		p.close(item)
+	}
+	return len(items)
 }

@@ -12,13 +12,15 @@ import (
 	"segrid/internal/smt"
 )
 
-// testItem is a pool item instrumented to detect lease-exclusivity and
-// quarantine violations.
+// testItem is a pool item instrumented to detect lease-exclusivity,
+// quarantine and double-close violations.
 type testItem struct {
-	id    int
-	key   Key
-	inUse atomic.Bool
-	dirty bool // set by tests to make Reset fail
+	id     int
+	key    Key
+	size   int64
+	inUse  atomic.Bool
+	closed atomic.Int32
+	dirty  bool // set by tests to make Reset fail
 }
 
 type testPool = Pool[*testItem]
@@ -44,6 +46,22 @@ func newTestPool(t *testing.T, cfg Config[*testItem]) (*testPool, *atomic.Int64)
 		t.Fatal(err)
 	}
 	return p, &built
+}
+
+// countingClose returns a Close hook that flags double-closes and closes of
+// in-use items, plus the total-closes counter.
+func countingClose(t *testing.T) (func(*testItem), *atomic.Int64, *atomic.Int64) {
+	t.Helper()
+	var closes, violations atomic.Int64
+	return func(it *testItem) {
+		closes.Add(1)
+		if it.closed.Add(1) != 1 {
+			violations.Add(1)
+		}
+		if it.inUse.Load() {
+			violations.Add(1)
+		}
+	}, &closes, &violations
 }
 
 var keyA = Key{Topology: "ieee14", Shape: "anystate"}
@@ -192,19 +210,85 @@ func TestPoolBuildErrorReleasesSlot(t *testing.T) {
 	if _, err := p.Checkout(context.Background(), keyA); err != nil {
 		t.Fatalf("checkout after build failure = %v, want success (slot released)", err)
 	}
-	if st := p.Stats(); st.Misses != 1 {
-		t.Fatalf("Misses = %d, want 1 (failed build uncounted)", st.Misses)
+	st := p.Stats()
+	if st.Misses != 2 || st.BuildFailures != 1 {
+		t.Fatalf("Misses = %d, BuildFailures = %d; want 2 cold attempts, 1 failure", st.Misses, st.BuildFailures)
 	}
 }
 
-// TestPoolTrimAndFresh checks the idle bound trims returns and
-// CheckoutFresh bypasses a populated warm list.
+// TestPoolBuildFailureStatsNeverSkewed hammers the failing-build path while a
+// reader snapshots Stats: Misses must never be observed below BuildFailures
+// (the old implementation rolled Misses back after the fact, so a snapshot
+// between increment and rollback over-reported misses and hit-rate math on
+// successful checkouts went negative).
+func TestPoolBuildFailureStatsNeverSkewed(t *testing.T) {
+	boom := errors.New("boom")
+	var built atomic.Int64
+	cfg := Config[*testItem]{
+		MaxLive: 16,
+		New: func(_ context.Context, key Key) (*testItem, error) {
+			if built.Add(1)%2 == 0 {
+				return nil, boom
+			}
+			return &testItem{key: key}, nil
+		},
+	}
+	p, _ := newTestPool(t, cfg)
+	stop := make(chan struct{})
+	var skews atomic.Int64
+	var rwg sync.WaitGroup
+	rwg.Add(1)
+	go func() {
+		defer rwg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			st := p.Stats()
+			// Leases handed out so far can never exceed cold attempts plus
+			// hits; with rollback, this transiently went negative.
+			if st.Misses < st.BuildFailures {
+				skews.Add(1)
+			}
+		}
+	}()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				l, err := p.Checkout(context.Background(), keyA)
+				if err != nil {
+					continue
+				}
+				_ = l.Discard()
+			}
+		}()
+	}
+	wg.Wait()
+	close(stop)
+	rwg.Wait()
+	if skews.Load() != 0 {
+		t.Fatalf("%d Stats snapshots saw Misses < BuildFailures", skews.Load())
+	}
+	st := p.Stats()
+	if st.Hits+st.Misses-st.BuildFailures != st.Discards {
+		t.Fatalf("lease conservation broken: %+v", st)
+	}
+}
+
+// TestPoolTrimAndFresh checks the per-key idle bound evicts the key's LRU
+// item — the freshly returned one stays warm — and CheckoutFresh bypasses a
+// populated warm list.
 func TestPoolTrimAndFresh(t *testing.T) {
 	p, _ := newTestPool(t, Config[*testItem]{MaxIdlePerKey: 1})
 	ctx := context.Background()
 	l1, _ := p.Checkout(ctx, keyA)
 	l2, _ := p.Checkout(ctx, keyA)
-	warm := l1.Item
+	stale, warm := l1.Item, l2.Item
 	if err := l1.Return(); err != nil {
 		t.Fatal(err)
 	}
@@ -212,23 +296,136 @@ func TestPoolTrimAndFresh(t *testing.T) {
 		t.Fatal(err)
 	}
 	st := p.Stats()
-	if st.Idle != 1 || st.Trimmed != 1 {
-		t.Fatalf("stats = %+v, want 1 idle + 1 trimmed", st)
+	if st.Idle != 1 || st.Evictions != 1 {
+		t.Fatalf("stats = %+v, want 1 idle + 1 evicted", st)
 	}
 	lf, err := p.CheckoutFresh(ctx, keyA)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if lf.Warm() || lf.Item == warm {
-		t.Fatalf("CheckoutFresh served the warm item")
+	if lf.Warm() || lf.Item == warm || lf.Item == stale {
+		t.Fatalf("CheckoutFresh served a pooled item")
 	}
-	// The warm item is still there for a regular checkout.
+	// The surviving warm item is the most recently returned one, not the
+	// evicted LRU, and a regular checkout still finds it.
 	lw, err := p.Checkout(ctx, keyA)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if !lw.Warm() || lw.Item != warm {
-		t.Fatalf("warm item lost after CheckoutFresh")
+		t.Fatalf("warm checkout got %v, want the most recently returned item %v", lw.Item, warm)
+	}
+}
+
+// TestPoolLRUEvictionOrder checks the recency list spans keys: with a global
+// idle budget of 2, returns across three keys evict in least-recently-used
+// order regardless of key, and byte accounting tracks the survivors.
+func TestPoolLRUEvictionOrder(t *testing.T) {
+	closeHook, closes, violations := countingClose(t)
+	p, _ := newTestPool(t, Config[*testItem]{
+		MaxIdle: 2,
+		Close:   closeHook,
+		Size:    func(it *testItem) int64 { return it.size },
+	})
+	ctx := context.Background()
+	kb := Key{Topology: "ieee30", Shape: "anystate"}
+	kc := Key{Topology: "ieee57", Shape: "anystate"}
+
+	la, _ := p.Checkout(ctx, keyA)
+	lb, _ := p.Checkout(ctx, kb)
+	lc, _ := p.Checkout(ctx, kc)
+	a, b, c := la.Item, lb.Item, lc.Item
+	a.size, b.size, c.size = 100, 200, 400
+
+	// Return order a, b, c ⇒ recency order (oldest first) a, b, c. The
+	// third return breaches MaxIdle=2 and must evict a — the global LRU —
+	// even though a, b, c live under three different keys.
+	for _, l := range []*Lease[*testItem]{la, lb, lc} {
+		if err := l.Return(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := p.Stats()
+	if st.Idle != 2 || st.Evictions != 1 || st.EvictedBytes != 100 {
+		t.Fatalf("stats = %+v, want 2 idle, 1 eviction of 100 bytes", st)
+	}
+	if st.IdleBytes != 600 {
+		t.Fatalf("IdleBytes = %d, want 600 (b+c)", st.IdleBytes)
+	}
+	if a.closed.Load() != 1 {
+		t.Fatalf("evicted LRU item not closed")
+	}
+	if b.closed.Load() != 0 || c.closed.Load() != 0 {
+		t.Fatalf("survivors were closed")
+	}
+
+	// Touching b (checkout+return) makes c the LRU; the next cross-key
+	// return must evict c.
+	lb2, err := p.Checkout(ctx, kb)
+	if err != nil || lb2.Item != b {
+		t.Fatalf("checkout(kb) = %v, %v; want warm b", lb2, err)
+	}
+	if err := lb2.Return(); err != nil {
+		t.Fatal(err)
+	}
+	ld, _ := p.Checkout(ctx, keyA)
+	d := ld.Item
+	d.size = 50
+	if err := ld.Return(); err != nil {
+		t.Fatal(err)
+	}
+	st = p.Stats()
+	if c.closed.Load() != 1 {
+		t.Fatalf("expected c evicted after b was touched; stats %+v", st)
+	}
+	if st.Evictions != 2 || st.EvictedBytes != 500 || st.IdleBytes != 250 {
+		t.Fatalf("stats = %+v, want 2 evictions (500B) and 250 idle bytes", st)
+	}
+	if closes.Load() != 2 || violations.Load() != 0 {
+		t.Fatalf("closes = %d (violations %d), want exactly 2", closes.Load(), violations.Load())
+	}
+}
+
+// TestPoolByteBudget checks MaxIdleBytes evicts LRU items until the summed
+// sampled cost fits, even when the count budgets are slack.
+func TestPoolByteBudget(t *testing.T) {
+	closeHook, closes, violations := countingClose(t)
+	p, _ := newTestPool(t, Config[*testItem]{
+		MaxIdlePerKey: 8,
+		MaxIdleBytes:  1000,
+		Close:         closeHook,
+		Size:          func(it *testItem) int64 { return it.size },
+	})
+	ctx := context.Background()
+	var items []*testItem
+	for i := 0; i < 4; i++ {
+		l, err := p.CheckoutFresh(ctx, keyA) // distinct cold builds
+		if err != nil {
+			t.Fatal(err)
+		}
+		l.Item.size = 400
+		items = append(items, l.Item)
+		if err := l.Return(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// 4×400 returned against a 1000-byte budget: returns 3 and 4 each
+	// breach it, evicting the LRU (items 0 then 1); 2 and 3 survive.
+	st := p.Stats()
+	if st.IdleBytes != 800 || st.Idle != 2 || st.Evictions != 2 || st.EvictedBytes != 800 {
+		t.Fatalf("stats = %+v, want 2 survivors at 800 idle bytes, 2 evictions", st)
+	}
+	for i, it := range items {
+		want := int32(0)
+		if i < 2 {
+			want = 1
+		}
+		if got := it.closed.Load(); got != want {
+			t.Fatalf("item %d closed %d times, want %d", i, got, want)
+		}
+	}
+	if closes.Load() != 2 || violations.Load() != 0 {
+		t.Fatalf("closes = %d (violations %d), want exactly 2", closes.Load(), violations.Load())
 	}
 }
 
@@ -253,10 +450,11 @@ func TestPoolDoubleSettle(t *testing.T) {
 	}
 }
 
-// TestPoolDrain checks shutdown drains warm lists without touching
-// outstanding leases.
+// TestPoolDrain checks shutdown closes and drops every warm item without
+// touching outstanding leases.
 func TestPoolDrain(t *testing.T) {
-	p, _ := newTestPool(t, Config[*testItem]{MaxIdlePerKey: 4})
+	closeHook, closes, violations := countingClose(t)
+	p, _ := newTestPool(t, Config[*testItem]{MaxIdlePerKey: 4, Close: closeHook})
 	ctx := context.Background()
 	var leases []*Lease[*testItem]
 	for i := 0; i < 4; i++ {
@@ -271,12 +469,14 @@ func TestPoolDrain(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	drained := p.Drain()
-	if len(drained) != 2 {
-		t.Fatalf("Drain returned %d items, want 2", len(drained))
+	if drained := p.Drain(); drained != 2 {
+		t.Fatalf("Drain dropped %d items, want 2", drained)
+	}
+	if closes.Load() != 2 || violations.Load() != 0 {
+		t.Fatalf("drain closed %d items (violations %d), want 2", closes.Load(), violations.Load())
 	}
 	st := p.Stats()
-	if st.Idle != 0 || st.Live != 2 {
+	if st.Idle != 0 || st.IdleBytes != 0 || st.Live != 2 {
 		t.Fatalf("stats after drain = %+v, want idle 0, live 2 (outstanding)", st)
 	}
 	for _, l := range leases[2:] {
@@ -287,13 +487,86 @@ func TestPoolDrain(t *testing.T) {
 	if st := p.Stats(); st.Live != 0 {
 		t.Fatalf("live = %d after settling all leases, want 0", st.Live)
 	}
+	// Outstanding leases settled via Discard close too: 2 drained + 2
+	// discarded = every build closed exactly once.
+	if closes.Load() != 4 || violations.Load() != 0 {
+		t.Fatalf("closes = %d (violations %d), want all 4 items closed once", closes.Load(), violations.Load())
+	}
+}
+
+// TestPoolCloseHookDropPaths drives every path that removes an item from the
+// pool's accounting — per-key eviction on Return, Reset-failure quarantine,
+// and explicit Discard — and asserts the Close hook fires exactly once per
+// dropped item and never for items still pooled or leased.
+func TestPoolCloseHookDropPaths(t *testing.T) {
+	closeHook, closes, violations := countingClose(t)
+	p, built := newTestPool(t, Config[*testItem]{MaxIdlePerKey: 1, Close: closeHook})
+	ctx := context.Background()
+
+	// Path 1: Return past MaxIdlePerKey evicts the key's LRU.
+	l1, _ := p.Checkout(ctx, keyA)
+	l2, _ := p.Checkout(ctx, keyA)
+	evictee := l1.Item
+	if err := l1.Return(); err != nil {
+		t.Fatal(err)
+	}
+	if err := l2.Return(); err != nil {
+		t.Fatal(err)
+	}
+	if evictee.closed.Load() != 1 {
+		t.Fatalf("evicted item closed %d times, want 1", evictee.closed.Load())
+	}
+
+	// Path 2: Reset failure quarantines the returning item.
+	ld, _ := p.CheckoutFresh(ctx, keyA)
+	dirty := ld.Item
+	dirty.dirty = true
+	if err := ld.Return(); err != nil {
+		t.Fatal(err)
+	}
+	if dirty.closed.Load() != 1 {
+		t.Fatalf("reset-rejected item closed %d times, want 1", dirty.closed.Load())
+	}
+
+	// Path 3: explicit Discard.
+	lp, _ := p.CheckoutFresh(ctx, keyA)
+	poisoned := lp.Item
+	if err := lp.Discard(); err != nil {
+		t.Fatal(err)
+	}
+	if poisoned.closed.Load() != 1 {
+		t.Fatalf("discarded item closed %d times, want 1", poisoned.closed.Load())
+	}
+
+	// The one item still warm was never closed; Drain closes it.
+	if closes.Load() != 3 || violations.Load() != 0 {
+		t.Fatalf("closes = %d (violations %d), want 3 before drain", closes.Load(), violations.Load())
+	}
+	if drained := p.Drain(); drained != 1 {
+		t.Fatalf("Drain dropped %d, want 1", drained)
+	}
+	if closes.Load() != int64(built.Load()) || violations.Load() != 0 {
+		t.Fatalf("closes = %d, builds = %d (violations %d): every build must close exactly once", closes.Load(), built.Load(), violations.Load())
+	}
+	if st := p.Stats(); st.Live != 0 || st.Idle != 0 {
+		t.Fatalf("pool not empty after drop-path sweep: %+v", st)
+	}
 }
 
 // TestPoolConcurrentLoad hammers checkout/reset/return from many goroutines
 // under -race, asserting lease exclusivity (no item leased twice at once),
-// conservation (live returns to zero) and counter consistency.
+// conservation (live returns to zero, every dropped item closed exactly
+// once) and counter consistency under the LRU budgets.
 func TestPoolConcurrentLoad(t *testing.T) {
-	p, _ := newTestPool(t, Config[*testItem]{MaxLive: 8, MaxIdlePerKey: 4})
+	closeHook, closes, closeViolations := countingClose(t)
+	p, built := newTestPool(t, Config[*testItem]{
+		MaxLive:       8,
+		MaxIdlePerKey: 2,
+		MaxIdle:       4,
+		MaxIdleBytes:  1 << 20,
+		Close:         closeHook,
+		Size:          func(*testItem) int64 { return 1024 },
+	})
 	keys := []Key{
 		{Topology: "ieee14", Shape: "a"},
 		{Topology: "ieee14", Shape: "b"},
@@ -357,10 +630,24 @@ func TestPoolConcurrentLoad(t *testing.T) {
 	if st.Hits+st.Misses != checkouts.Load() {
 		t.Fatalf("hits+misses = %d, want %d checkouts", st.Hits+st.Misses, checkouts.Load())
 	}
-	if got := st.Returns + st.Discards + st.Trimmed; got != checkouts.Load() {
+	// Every checkout settles through Return or Discard (evictions drop
+	// pooled items, not settlements).
+	if got := st.Returns + st.Discards; got != checkouts.Load() {
 		t.Fatalf("settlements %d ≠ checkouts %d (stats %+v)", got, checkouts.Load(), st)
 	}
-	t.Logf("pool load: %d checkouts, %d sheds, stats %+v", checkouts.Load(), sheds.Load(), st)
+	if st.Idle > 4 || st.IdleBytes != int64(st.Idle)*1024 {
+		t.Fatalf("idle budget breached: %+v", st)
+	}
+	// Builds conserve: every built item is either still idle or was closed
+	// (evicted, quarantined, or discarded). Drain closes the stragglers.
+	p.Drain()
+	if closeViolations.Load() != 0 {
+		t.Fatalf("%d close violations (double close or close-while-leased)", closeViolations.Load())
+	}
+	if closes.Load() != built.Load() {
+		t.Fatalf("closes = %d, builds = %d: dropped items leaked past the Close hook", closes.Load(), built.Load())
+	}
+	t.Logf("pool load: %d checkouts, %d sheds, %d builds/closes, stats %+v", checkouts.Load(), sheds.Load(), built.Load(), st)
 }
 
 // TestPoolPoisonedEncoderViaInjectedFault is the end-to-end quarantine path:

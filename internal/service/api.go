@@ -84,6 +84,74 @@ type VerifyResponse struct {
 	ElapsedMs int64 `json:"elapsedMs"`
 }
 
+// SweepRequest is the body of POST /v1/sweep: one base attack scenario plus
+// a list of per-item deltas — the Algorithm 1 / Fig. 4–5 workload shape,
+// where a whole family of (grid, goal, resource-bound) scenarios differs
+// only in small per-scenario knobs. The service groups items by warm-encoder
+// compatibility key and runs each group back-to-back on a single pooled
+// encoder, so an N-item family that a batch-unaware client would answer
+// with N encoder builds costs one build per distinct group.
+//
+// A sweep occupies one solve slot (admission control sees one request) and
+// its items solve sequentially on their group's encoder.
+type SweepRequest struct {
+	// Attack is the base scenario every item starts from.
+	Attack scenariofile.AttackSpec `json:"attack"`
+
+	// Items are the per-scenario deltas, answered in order.
+	Items []SweepItem `json:"items"`
+
+	// TimeoutMs bounds the whole sweep's wall clock (0: the server
+	// default). When the deadline expires mid-sweep, items already decided
+	// keep their verdicts and every remaining item reports inconclusive
+	// with the deadline reason — never a partial guess.
+	TimeoutMs int `json:"timeoutMs,omitempty"`
+}
+
+// SweepItem is one scenario delta against the sweep's base attack spec.
+//
+// Secured sets and tightened resource bounds are asserted as scoped overlays
+// on the group's warm encoder (they only shrink the feasible set, so a
+// Push/Pop scope answers them exactly). Goal replacement and bound
+// loosening change the encoded model itself, so such items land in their
+// own (topology, shape) group with a separately built encoder — same
+// verdicts as N sequential /v1/verify calls, just grouped as tightly as
+// soundness allows.
+type SweepItem struct {
+	// SecuredBuses / SecuredMeasurements add integrity protections for this
+	// item only (the same overlay semantics as VerifyRequest).
+	SecuredBuses        []int `json:"securedBuses,omitempty"`
+	SecuredMeasurements []int `json:"securedMeasurements,omitempty"`
+
+	// MaxAlteredMeasurements / MaxCompromisedBuses override the base
+	// spec's resource bounds for this item. nil inherits the base bound; 0
+	// lifts it (unbounded). A bound tighter than the base (or a bound on
+	// an unbounded base) is answered in-scope on the group encoder; a
+	// looser bound re-groups the item under its own spec.
+	MaxAlteredMeasurements *int `json:"maxAlteredMeasurements,omitempty"`
+	MaxCompromisedBuses    *int `json:"maxCompromisedBuses,omitempty"`
+
+	// Targets replaces the base spec's target-state set for this item
+	// (nil inherits). Goal changes always re-group.
+	Targets []int `json:"targets,omitempty"`
+}
+
+// SweepResponse is the body of a completed sweep.
+type SweepResponse struct {
+	// Items holds one VerifyResponse per request item, in request order.
+	// Per-item ElapsedMs is the item's own solve time.
+	Items []*VerifyResponse `json:"items"`
+
+	// Groups is the number of distinct encoder-compatibility groups the
+	// items collapsed into; EncoderBuilds counts cold encoder builds the
+	// sweep actually performed (groups served warm from the pool build
+	// nothing).
+	Groups        int `json:"groups"`
+	EncoderBuilds int `json:"encoderBuilds"`
+
+	ElapsedMs int64 `json:"elapsedMs"`
+}
+
 // SynthesizeRequest is the body of POST /v1/synthesize: a synthesis spec in
 // the scenariofile format plus service controls.
 type SynthesizeRequest struct {
@@ -134,8 +202,13 @@ type ProofCheckResponse struct {
 type errorResponse struct {
 	Error string `json:"error"`
 	// RetryAfterSeconds accompanies 429/503 shed responses (also sent as a
-	// Retry-After header): the request was not processed and may be retried.
-	RetryAfterSeconds int `json:"retryAfterSeconds,omitempty"`
+	// Retry-After header): the request was not processed and may be
+	// retried. The header and this field are whole seconds rounded up (the
+	// Retry-After grammar requires integral seconds); RetryAfterMs carries
+	// the undistorted wait so sub-second queue drains are not advertised as
+	// a full second to clients that can use the precision.
+	RetryAfterSeconds int   `json:"retryAfterSeconds,omitempty"`
+	RetryAfterMs      int64 `json:"retryAfterMs,omitempty"`
 }
 
 // decodeStrict decodes JSON rejecting unknown fields, mirroring the

@@ -23,6 +23,10 @@ type metrics struct {
 	panics      atomic.Uint64 // solver panics contained
 	proofErrors atomic.Uint64 // certificate streams that failed
 
+	sweeps         atomic.Uint64 // /v1/sweep requests answered
+	sweepItems     atomic.Uint64 // per-item verdicts those sweeps produced
+	encodersClosed atomic.Uint64 // encoders torn down via the pool drop hook
+
 	portfolioChecks  atomic.Uint64 // verifications answered by a portfolio race
 	cubeRuns         atomic.Uint64 // synthesis runs in cube-and-conquer mode
 	sequentialSolves atomic.Uint64 // solves answered by one sequential instance
@@ -56,15 +60,22 @@ type Metrics struct {
 	SequentialSolves uint64 `json:"sequentialSolves"`
 	InFlightWorkers  int64  `json:"inFlightWorkers"`
 
+	Sweeps         uint64 `json:"sweeps"`
+	SweepItems     uint64 `json:"sweepItems"`
+	EncodersClosed uint64 `json:"encodersClosed"`
+
 	Pool struct {
 		Hits          uint64 `json:"hits"`
 		Misses        uint64 `json:"misses"`
+		BuildFailures uint64 `json:"buildFailures"`
 		Returns       uint64 `json:"returns"`
 		Discards      uint64 `json:"discards"`
 		ResetFailures uint64 `json:"resetFailures"`
-		Trimmed       uint64 `json:"trimmed"`
+		Evictions     uint64 `json:"evictions"`
+		EvictedBytes  uint64 `json:"evictedBytes"`
 		Live          int    `json:"live"`
 		Idle          int    `json:"idle"`
+		IdleBytes     int64  `json:"idleBytes"`
 	} `json:"pool"`
 }
 
@@ -87,14 +98,21 @@ func (m *metrics) snapshot(ps pool.Stats, queued int) *Metrics {
 		CubeRuns:         m.cubeRuns.Load(),
 		SequentialSolves: m.sequentialSolves.Load(),
 		InFlightWorkers:  m.inFlightWorkers.Load(),
+
+		Sweeps:         m.sweeps.Load(),
+		SweepItems:     m.sweepItems.Load(),
+		EncodersClosed: m.encodersClosed.Load(),
 	}
 	out.Pool.Hits = ps.Hits
 	out.Pool.Misses = ps.Misses
+	out.Pool.BuildFailures = ps.BuildFailures
 	out.Pool.Returns = ps.Returns
 	out.Pool.Discards = ps.Discards
 	out.Pool.ResetFailures = ps.ResetFailures
-	out.Pool.Trimmed = ps.Trimmed
+	out.Pool.Evictions = ps.Evictions
+	out.Pool.EvictedBytes = ps.EvictedBytes
 	out.Pool.Live = ps.Live
 	out.Pool.Idle = ps.Idle
+	out.Pool.IdleBytes = ps.IdleBytes
 	return out
 }

@@ -70,10 +70,18 @@ type Config struct {
 	// ProofDir enables certificate production and checking; empty disables
 	// the proof features. The directory must exist.
 	ProofDir string
-	// PoolMaxLive / PoolMaxIdlePerKey size the warm-encoder pool (see
-	// pool.Config). Zero: pool defaults.
+	// PoolMaxLive / PoolMaxIdlePerKey / PoolMaxIdle / PoolMaxIdleBytes size
+	// the warm-encoder pool and its cross-key LRU idle budgets (see
+	// pool.Config). Zero: pool defaults (PoolMaxIdleBytes zero disables the
+	// byte budget).
 	PoolMaxLive       int
 	PoolMaxIdlePerKey int
+	PoolMaxIdle       int
+	PoolMaxIdleBytes  int64
+	// MaxSweepItems bounds the item count of one /v1/sweep request
+	// (default 256): a sweep holds its solve slot for the whole batch, so
+	// batch size is an operator decision, not a client one.
+	MaxSweepItems int
 	// Faults, when non-nil, installs the deterministic fault-injection
 	// schedule: every check draws a Decision applied through the solver's
 	// interruption points and the certificate sink. Test harness only.
@@ -110,6 +118,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.MaxWorkersPerRequest <= 0 {
 		c.MaxWorkersPerRequest = 8
+	}
+	if c.MaxSweepItems <= 0 {
+		c.MaxSweepItems = 256
 	}
 	return c
 }
@@ -161,8 +172,12 @@ func New(cfg Config) (*Service, error) {
 	p, err := pool.New(pool.Config[*warmModel]{
 		MaxLive:       cfg.PoolMaxLive,
 		MaxIdlePerKey: cfg.PoolMaxIdlePerKey,
+		MaxIdle:       cfg.PoolMaxIdle,
+		MaxIdleBytes:  cfg.PoolMaxIdleBytes,
 		New:           s.buildModel,
 		Reset:         resetModel,
+		Close:         s.closeModel,
+		Size:          modelSize,
 	})
 	if err != nil {
 		return nil, err
@@ -200,10 +215,35 @@ func resetModel(wm *warmModel) error {
 	return nil
 }
 
+// closeModel is the pool's drop hook: it tears down an encoder leaving the
+// pool's accounting on any path (LRU eviction, Reset-failure quarantine,
+// Discard, shutdown Drain). The model holds no OS resources — releasing the
+// references and letting the GC reclaim the solver arenas is the teardown —
+// but running it through the hook keeps teardown observable (the
+// encodersClosed counter) and guards against a dropped encoder being reused
+// through a stale reference.
+func (s *Service) closeModel(wm *warmModel) {
+	s.m.encodersClosed.Add(1)
+	wm.model = nil
+	wm.spec = nil
+}
+
+// modelSize is the pool's cost hook for the idle byte budget: heap bytes
+// allocated by the encoder's last encode+solve, a deliberate over-estimate
+// of retained size (allocation includes transient solve garbage) that scales
+// with case size, which is what a relative eviction budget needs.
+func modelSize(wm *warmModel) int64 {
+	if wm.model == nil {
+		return 0
+	}
+	return int64(wm.model.Solver().LastStats().AllocBytes)
+}
+
 // Handler returns the service's HTTP routes.
 func (s *Service) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/verify", s.handleVerify)
+	mux.HandleFunc("POST /v1/sweep", s.handleSweep)
 	mux.HandleFunc("POST /v1/synthesize", s.handleSynthesize)
 	mux.HandleFunc("POST /v1/proofcheck", s.handleProofCheck)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
@@ -220,13 +260,46 @@ func (s *Service) Close() {
 // PoolStats exposes the warm-pool counters (tests and /metrics).
 func (s *Service) PoolStats() pool.Stats { return s.pool.Stats() }
 
+// Verify answers one verification request in-process, bypassing HTTP
+// transport and admission control — the benchmark harness's entry point for
+// measuring the solve path alone. The handler pipeline's verdict semantics
+// are identical.
+func (s *Service) Verify(ctx context.Context, req *VerifyRequest) (*VerifyResponse, error) {
+	resp, herr := s.verify(ctx, req)
+	if herr != nil {
+		return nil, fmt.Errorf("verify: %s (http %d)", herr.msg, herr.status)
+	}
+	return resp, nil
+}
+
+// Sweep answers one batched sweep in-process (see Verify).
+func (s *Service) Sweep(ctx context.Context, req *SweepRequest) (*SweepResponse, error) {
+	resp, herr := s.sweep(ctx, req)
+	if herr != nil {
+		return nil, fmt.Errorf("sweep: %s (http %d)", herr.msg, herr.status)
+	}
+	return resp, nil
+}
+
+// shedDelay is the single clamped Retry-After computation every shed path
+// shares: a shed client should come back after roughly one queue-drain
+// interval, whichever status told it to go away. Clamped below at 50ms so a
+// zero/absurd QueueWait never advertises an immediate hammer-retry.
+func (s *Service) shedDelay() time.Duration {
+	d := s.cfg.QueueWait
+	if d < 50*time.Millisecond {
+		d = 50 * time.Millisecond
+	}
+	return d
+}
+
 // admit implements the bounded admission queue. It returns a release
 // function on success, or writes the shed response and returns false.
 func (s *Service) admit(w http.ResponseWriter, r *http.Request) (func(), bool) {
 	if s.wait.Add(1) > int64(s.cfg.MaxQueue) {
 		s.wait.Add(-1)
 		s.m.shed429.Add(1)
-		writeShed(w, http.StatusTooManyRequests, "admission queue full", 1)
+		writeShed(w, http.StatusTooManyRequests, "admission queue full", s.shedDelay())
 		return nil, false
 	}
 	t := time.NewTimer(s.cfg.QueueWait)
@@ -238,7 +311,7 @@ func (s *Service) admit(w http.ResponseWriter, r *http.Request) (func(), bool) {
 	case <-t.C:
 		s.wait.Add(-1)
 		s.m.shed503.Add(1)
-		writeShed(w, http.StatusServiceUnavailable, "no solve slot within queue wait", int(s.cfg.QueueWait/time.Second)+1)
+		writeShed(w, http.StatusServiceUnavailable, "no solve slot within queue wait", s.shedDelay())
 		return nil, false
 	case <-r.Context().Done():
 		s.wait.Add(-1)
@@ -286,7 +359,7 @@ func (s *Service) handleVerify(w http.ResponseWriter, r *http.Request) {
 		switch herr.status {
 		case http.StatusServiceUnavailable:
 			s.m.shed503.Add(1)
-			writeShed(w, herr.status, herr.msg, 1)
+			writeShed(w, herr.status, herr.msg, s.shedDelay())
 		case http.StatusBadRequest:
 			s.m.badRequests.Add(1)
 			writeError(w, herr.status, herr.msg)
@@ -296,13 +369,61 @@ func (s *Service) handleVerify(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	resp.ElapsedMs = time.Since(start).Milliseconds()
-	switch resp.Status {
+	s.countVerdict(resp.Status)
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// countVerdict folds one verification verdict into the service ledger.
+func (s *Service) countVerdict(status string) {
+	switch status {
 	case "feasible":
 		s.m.feasible.Add(1)
 	case "infeasible":
 		s.m.infeasible.Add(1)
 	default:
 		s.m.inconclusive.Add(1)
+	}
+}
+
+// handleSweep answers one batched scenario sweep. The whole sweep occupies a
+// single solve slot — admission control prices a sweep like one long solve —
+// while the ledger counts every per-item verdict.
+func (s *Service) handleSweep(w http.ResponseWriter, r *http.Request) {
+	s.m.requests.Add(1)
+	var req SweepRequest
+	if err := decodeStrict(r.Body, &req); err != nil {
+		s.m.badRequests.Add(1)
+		writeError(w, http.StatusBadRequest, fmt.Sprintf("bad sweep request: %v", err))
+		return
+	}
+	release, ok := s.admit(w, r)
+	if !ok {
+		return
+	}
+	defer release()
+	ctx, cancel := s.requestContext(r, req.TimeoutMs)
+	defer cancel()
+
+	start := time.Now()
+	resp, herr := s.sweep(ctx, &req)
+	if herr != nil {
+		switch herr.status {
+		case http.StatusServiceUnavailable:
+			s.m.shed503.Add(1)
+			writeShed(w, herr.status, herr.msg, s.shedDelay())
+		case http.StatusBadRequest:
+			s.m.badRequests.Add(1)
+			writeError(w, herr.status, herr.msg)
+		default:
+			writeError(w, herr.status, herr.msg)
+		}
+		return
+	}
+	resp.ElapsedMs = time.Since(start).Milliseconds()
+	s.m.sweeps.Add(1)
+	s.m.sweepItems.Add(uint64(len(resp.Items)))
+	for _, item := range resp.Items {
+		s.countVerdict(item.Status)
 	}
 	writeJSON(w, http.StatusOK, resp)
 }
@@ -481,7 +602,19 @@ func writeError(w http.ResponseWriter, status int, msg string) {
 }
 
 // writeShed answers a load-shed: the request was refused, not mis-answered.
-func writeShed(w http.ResponseWriter, status int, msg string, retryAfter int) {
-	w.Header().Set("Retry-After", strconv.Itoa(retryAfter))
-	writeJSON(w, status, &errorResponse{Error: msg, RetryAfterSeconds: retryAfter})
+// The Retry-After header (and the mirrored JSON field) is the wait rounded
+// up to whole seconds as the header grammar requires — never truncated to 0,
+// which would invite an immediate retry storm; retryAfterMs carries the
+// exact wait for clients that honor sub-second precision.
+func writeShed(w http.ResponseWriter, status int, msg string, wait time.Duration) {
+	secs := int((wait + time.Second - 1) / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	w.Header().Set("Retry-After", strconv.Itoa(secs))
+	writeJSON(w, status, &errorResponse{
+		Error:             msg,
+		RetryAfterSeconds: secs,
+		RetryAfterMs:      wait.Milliseconds(),
+	})
 }

@@ -29,21 +29,24 @@ import (
 // short-circuits to inconclusive: retrying against an expired deadline
 // cannot succeed. At no point does a failure turn into a guessed verdict.
 func (s *Service) verify(ctx context.Context, req *VerifyRequest) (*VerifyResponse, *handlerError) {
+	ov := &overlay{
+		securedBuses:        req.SecuredBuses,
+		securedMeasurements: req.SecuredMeasurements,
+	}
+	workers := s.effectiveWorkers(req.Portfolio, s.cfg.Portfolio)
 	if req.Proof || req.FreshEncode {
 		// Certificate streams capture a solver lifetime; differential
 		// requests want no shared state. Both bypass the pool.
-		return s.verifyFresh(ctx, req, 0)
+		return s.verifyFresh(ctx, &req.Attack, ov, workers, req.Proof, 0)
 	}
-	key, err := poolKey(&req.Attack)
-	if err != nil {
-		return nil, &handlerError{http.StatusBadRequest, err.Error()}
+	key, herr := s.keyFor(&req.Attack)
+	if herr != nil {
+		return nil, herr
 	}
-	if prev, loaded := s.specs.LoadOrStore(key, &req.Attack); loaded {
-		if !specEqual(prev.(*scenariofile.AttackSpec), &req.Attack) {
-			// A key-hash collision between distinct specs: never share an
-			// encoder across models. Fall back to a fresh encoding.
-			return s.verifyFresh(ctx, req, 0)
-		}
+	if key == (pool.Key{}) {
+		// A key-hash collision between distinct specs: never share an
+		// encoder across models. Fall back to a fresh encoding.
+		return s.verifyFresh(ctx, &req.Attack, ov, workers, false, 0)
 	}
 	lease, err := s.pool.Checkout(ctx, key)
 	if errors.Is(err, pool.ErrExhausted) {
@@ -52,7 +55,7 @@ func (s *Service) verify(ctx context.Context, req *VerifyRequest) (*VerifyRespon
 	if err != nil {
 		return nil, &handlerError{http.StatusBadRequest, err.Error()}
 	}
-	res, herr, poisoned := s.checkWarm(ctx, lease.Item.model, req)
+	res, herr, poisoned := s.checkWarm(ctx, lease.Item.model, ov, workers)
 	if poisoned {
 		s.m.poisoned.Add(1)
 		_ = lease.Discard()
@@ -74,14 +77,31 @@ func (s *Service) verify(ctx context.Context, req *VerifyRequest) (*VerifyRespon
 		return s.buildResponse(res, lease.Warm(), 0), nil
 	}
 	s.m.retries.Add(1)
-	return s.verifyFresh(ctx, req, 1)
+	return s.verifyFresh(ctx, &req.Attack, ov, workers, false, 1)
+}
+
+// keyFor fingerprints spec into its pool key and registers the spec for the
+// pool's cold-build hook. A key-hash collision against a different
+// registered spec returns the zero Key: the caller must not share an
+// encoder and falls back to fresh encoding.
+func (s *Service) keyFor(spec *scenariofile.AttackSpec) (pool.Key, *handlerError) {
+	key, err := poolKey(spec)
+	if err != nil {
+		return pool.Key{}, &handlerError{http.StatusBadRequest, err.Error()}
+	}
+	if prev, loaded := s.specs.LoadOrStore(key, spec); loaded {
+		if !specEqual(prev.(*scenariofile.AttackSpec), spec) {
+			return pool.Key{}, nil
+		}
+	}
+	return key, nil
 }
 
 // checkWarm runs one check on a leased warm encoder. The overlay is
 // asserted inside a Push/Pop scope; the boolean result reports whether the
 // encoder must be quarantined (Unknown result, panic, failed Pop — any
 // ending after which its internal state cannot be trusted).
-func (s *Service) checkWarm(ctx context.Context, m *core.Model, req *VerifyRequest) (res *core.Result, herr *handlerError, poisoned bool) {
+func (s *Service) checkWarm(ctx context.Context, m *core.Model, ov *overlay, workers int) (res *core.Result, herr *handlerError, poisoned bool) {
 	sv := m.Solver()
 	sv.SetBudget(s.cfg.Budget)
 	var dec faultinject.Decision
@@ -98,7 +118,7 @@ func (s *Service) checkWarm(ctx context.Context, m *core.Model, req *VerifyReque
 		}
 	}()
 	sv.Push()
-	if err := applyOverlay(m, req); err != nil {
+	if err := applyOverlay(m, ov); err != nil {
 		// Invalid overlay is the caller's error; the encoder is fine once
 		// the scope unwinds.
 		if perr := sv.Pop(); perr != nil {
@@ -106,7 +126,7 @@ func (s *Service) checkWarm(ctx context.Context, m *core.Model, req *VerifyReque
 		}
 		return nil, &handlerError{http.StatusBadRequest, err.Error()}, false
 	}
-	res, err := s.checkModel(ctx, m, req, dec, haveDec)
+	res, err := s.checkModel(ctx, m, workers, dec, haveDec)
 	if err != nil {
 		return nil, &handlerError{http.StatusInternalServerError, err.Error()}, true
 	}
@@ -122,12 +142,11 @@ func (s *Service) checkWarm(ctx context.Context, m *core.Model, req *VerifyReque
 	return res, nil, false
 }
 
-// checkModel answers one verification check in the request's solve mode: a
-// sequential check, or a portfolio race when the resolved worker count is
-// above one. The per-mode counters and the in-flight-workers gauge cover the
-// exact solver lifetime.
-func (s *Service) checkModel(ctx context.Context, m *core.Model, req *VerifyRequest, dec faultinject.Decision, haveDec bool) (*core.Result, error) {
-	workers := s.effectiveWorkers(req.Portfolio, s.cfg.Portfolio)
+// checkModel answers one verification check in the resolved solve mode: a
+// sequential check, or a portfolio race when the worker count is above one.
+// The per-mode counters and the in-flight-workers gauge cover the exact
+// solver lifetime.
+func (s *Service) checkModel(ctx context.Context, m *core.Model, workers int, dec faultinject.Decision, haveDec bool) (*core.Result, error) {
 	if workers <= 1 {
 		s.m.sequentialSolves.Add(1)
 		defer s.m.trackWorkers(1)()
@@ -145,10 +164,10 @@ func (s *Service) checkModel(ctx context.Context, m *core.Model, req *VerifyRequ
 }
 
 // verifyFresh is the ladder's trustworthy rung: a throwaway FreshPerCheck
-// encoder, optionally streaming an UNSAT certificate to a per-request
-// atomic file.
-func (s *Service) verifyFresh(ctx context.Context, req *VerifyRequest, retries int) (*VerifyResponse, *handlerError) {
-	sc, err := req.Attack.Scenario()
+// encoder for spec with ov asserted, optionally streaming an UNSAT
+// certificate to a per-request atomic file.
+func (s *Service) verifyFresh(ctx context.Context, spec *scenariofile.AttackSpec, ov *overlay, workers int, wantProof bool, retries int) (*VerifyResponse, *handlerError) {
+	sc, err := spec.Scenario()
 	if err != nil {
 		return nil, &handlerError{http.StatusBadRequest, err.Error()}
 	}
@@ -166,7 +185,7 @@ func (s *Service) verifyFresh(ctx context.Context, req *VerifyRequest, retries i
 		tmp       *os.File
 		finalName string
 	)
-	if req.Proof {
+	if wantProof {
 		f, err := os.CreateTemp(s.cfg.ProofDir, ".verify-*.tmp")
 		if err != nil {
 			return nil, &handlerError{http.StatusInternalServerError, fmt.Sprintf("stage certificate: %v", err)}
@@ -189,10 +208,10 @@ func (s *Service) verifyFresh(ctx context.Context, req *VerifyRequest, retries i
 		if err != nil {
 			return nil, &handlerError{http.StatusBadRequest, err.Error()}
 		}
-		if err := applyOverlay(m, req); err != nil {
+		if err := applyOverlay(m, ov); err != nil {
 			return nil, &handlerError{http.StatusBadRequest, err.Error()}
 		}
-		res, err := s.checkModel(ctx, m, req, dec, s.cfg.Faults != nil)
+		res, err := s.checkModel(ctx, m, workers, dec, s.cfg.Faults != nil)
 		if err != nil {
 			return nil, &handlerError{http.StatusInternalServerError, err.Error()}
 		}
@@ -230,16 +249,40 @@ func (s *Service) verifyFresh(ctx context.Context, req *VerifyRequest, retries i
 	return resp, herr
 }
 
-// applyOverlay asserts the request's extra protections in the solver's
-// current scope.
-func applyOverlay(m *core.Model, req *VerifyRequest) error {
-	if len(req.SecuredBuses) > 0 {
-		if err := m.AssertBusesSecured(req.SecuredBuses); err != nil {
+// overlay is a per-check scoped delta asserted on top of an encoded model:
+// extra integrity protections and/or tightened resource bounds. Everything
+// an overlay can express only shrinks the feasible set, which is what makes
+// answering it inside a Push/Pop scope on a shared warm encoder sound.
+type overlay struct {
+	securedBuses        []int
+	securedMeasurements []int
+	// maxAltered / maxBuses, when positive, layer scoped Eq. 22 / Eq. 24
+	// cardinality bounds tighter than (or absent from) the encoded base
+	// spec. Loosening a base bound is not expressible here — it requires a
+	// different encoder.
+	maxAltered int
+	maxBuses   int
+}
+
+// applyOverlay asserts the overlay in the solver's current scope.
+func applyOverlay(m *core.Model, ov *overlay) error {
+	if len(ov.securedBuses) > 0 {
+		if err := m.AssertBusesSecured(ov.securedBuses); err != nil {
 			return err
 		}
 	}
-	if len(req.SecuredMeasurements) > 0 {
-		if err := m.AssertMeasurementsSecured(req.SecuredMeasurements); err != nil {
+	if len(ov.securedMeasurements) > 0 {
+		if err := m.AssertMeasurementsSecured(ov.securedMeasurements); err != nil {
+			return err
+		}
+	}
+	if ov.maxAltered > 0 {
+		if err := m.AssertMaxAlteredMeasurements(ov.maxAltered); err != nil {
+			return err
+		}
+	}
+	if ov.maxBuses > 0 {
+		if err := m.AssertMaxCompromisedBuses(ov.maxBuses); err != nil {
 			return err
 		}
 	}
