@@ -38,6 +38,11 @@
 //	                  synthesis (same convention; measurement-granular
 //	                  synthesis always runs sequentially)
 //	-max-workers n    hard per-request cap on either worker count (default 8)
+//	-screen           enable the LP-relaxation screening tier: verify and
+//	                  sweep items the screen decides definitively are
+//	                  answered without an encoder or SMT solve ("screened":
+//	                  true in the response); requests override per call with
+//	                  their "screen" field
 //
 // Endpoints:
 //
@@ -92,6 +97,7 @@ func main() {
 	portfolio := fs.Int("portfolio", 0, "default portfolio workers for verification (1 = sequential, -1 = host default)")
 	cubeWorkers := fs.Int("cube-workers", 0, "default cube-and-conquer workers for synthesis (1 = sequential, -1 = host default)")
 	maxWorkers := fs.Int("max-workers", 0, "per-request cap on worker counts (0 = default 8)")
+	screenTier := fs.Bool("screen", false, "enable the LP-relaxation screening tier ahead of the SMT pipeline")
 	_ = fs.Parse(os.Args[1:])
 
 	if *proofDir != "" {
@@ -115,6 +121,7 @@ func main() {
 		Portfolio:            *portfolio,
 		CubeWorkers:          *cubeWorkers,
 		MaxWorkersPerRequest: *maxWorkers,
+		Screen:               *screenTier,
 	})
 	if err != nil {
 		log.Fatalf("segridd: %v", err)

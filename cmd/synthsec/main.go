@@ -15,6 +15,11 @@
 //	-max-pivots n     initial per-verification simplex pivot budget (0 = unlimited)
 //	-fresh-encode     re-encode from scratch on every Check instead of reusing
 //	                  the incremental solver instances (ablation/debug knob)
+//	-no-screen        disable the LP-relaxation screening pre-filter that, by
+//	                  default, resolves candidate checks the relaxation can
+//	                  decide without an SMT solve (ablation knob; bus-granular
+//	                  synthesis only — proof-logging runs skip the screen
+//	                  automatically)
 //	-proof dir        stream per-attack-model UNSAT certificates to
 //	                  dir/attack-<i>.proof (internal/proof format); every
 //	                  candidate an architecture must resist is then
@@ -78,6 +83,7 @@ func run(args []string) (int, error) {
 	maxConflicts := fs.Int64("max-conflicts", 0, "initial per-verification CDCL conflict budget (0 = unlimited)")
 	maxPivots := fs.Int64("max-pivots", 0, "initial per-verification simplex pivot budget (0 = unlimited)")
 	freshEncode := fs.Bool("fresh-encode", false, "re-encode on every Check instead of solving incrementally (ablation)")
+	noScreen := fs.Bool("no-screen", false, "disable the LP-relaxation screening pre-filter (ablation)")
 	proofDir := fs.String("proof", "", "directory for per-attack-model UNSAT certificate streams")
 	checkProof := fs.Bool("check-proof", false, "emit the certificates and verify each with the independent checker (temp directory when -proof is unset)")
 	trimProof := fs.Bool("trim-proof", false, "trim each closed certificate in place before any -check-proof verification")
@@ -119,6 +125,7 @@ func run(args []string) (int, error) {
 	}
 	req.Limits = limits
 	req.ProofDir = pc.dir
+	req.NoScreen = *noScreen
 	if *freshEncode {
 		opts := freshOptions(req.Options)
 		req.Options = opts

@@ -14,6 +14,14 @@
 //	-max-pivots n     simplex pivot budget (0 = unlimited)
 //	-fresh-encode     re-encode from scratch on every Check instead of reusing
 //	                  the incremental solver instance (ablation/debug knob)
+//	-screen           run the LP-relaxation screening tier first (default
+//	                  true): a definitive relaxation verdict — certified
+//	                  unsat or an exactly replayed attack vector — answers
+//	                  without the SMT solver; inconclusive screens fall
+//	                  through silently. Skipped when a certificate is
+//	                  requested (-proof/-check-proof), which needs the
+//	                  solver's stream
+//	-no-screen        disable the screening tier (ablation; -screen=false)
 //	-proof path       stream an UNSAT certificate to path (internal/proof
 //	                  format); on unsat the verdict is then independently
 //	                  re-checkable with cmd/proofcheck
@@ -44,8 +52,10 @@ import (
 	"time"
 
 	"segrid/internal/core"
+	"segrid/internal/grid"
 	"segrid/internal/proof"
 	"segrid/internal/scenariofile"
+	"segrid/internal/screen"
 	"segrid/internal/smt"
 )
 
@@ -72,6 +82,8 @@ func run(args []string) (int, error) {
 	maxConflicts := fs.Int64("max-conflicts", 0, "CDCL conflict budget (0 = unlimited)")
 	maxPivots := fs.Int64("max-pivots", 0, "simplex pivot budget (0 = unlimited)")
 	freshEncode := fs.Bool("fresh-encode", false, "re-encode on every Check instead of solving incrementally (ablation)")
+	screenTier := fs.Bool("screen", true, "run the LP-relaxation screening tier before the SMT solve")
+	noScreen := fs.Bool("no-screen", false, "disable the screening tier (ablation; same as -screen=false)")
 	proofPath := fs.String("proof", "", "stream an UNSAT certificate to this file")
 	checkProof := fs.Bool("check-proof", false, "emit the certificate and verify it with the independent checker (temp file when -proof is unset)")
 	trimProof := fs.Bool("trim-proof", false, "trim the closed certificate in place before any -check-proof verification")
@@ -88,6 +100,18 @@ func run(args []string) (int, error) {
 	sc, err := spec.Scenario()
 	if err != nil {
 		return exitError, err
+	}
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+	if *screenTier && !*noScreen && *proofPath == "" && !*checkProof {
+		code, done, err := runScreen(ctx, sc)
+		if done {
+			return code, err
+		}
 	}
 	if *trimProof && *proofPath == "" && !*checkProof {
 		return exitError, fmt.Errorf("-trim-proof needs a certificate to act on: set -proof (or -check-proof)")
@@ -126,12 +150,6 @@ func run(args []string) (int, error) {
 			opts.Proof = pw
 		}
 		sc.Options = &opts
-	}
-	ctx := context.Background()
-	if *timeout > 0 {
-		var cancel context.CancelFunc
-		ctx, cancel = context.WithTimeout(ctx, *timeout)
-		defer cancel()
 	}
 
 	res, err := core.VerifyContext(ctx, sc)
@@ -173,6 +191,41 @@ func run(args []string) (int, error) {
 		return exitUnsat, nil
 	}
 	fmt.Println("result: sat — attack vector found")
+	printAttack(sys, res)
+	printSolverStats(res.Stats)
+	return exitSat, nil
+}
+
+// runScreen tries to answer the scenario with the LP-relaxation screening
+// tier. done reports whether the screen decided (code then carries the
+// normal exit code); an inconclusive screen returns done=false and the
+// caller falls through to the SMT pipeline.
+func runScreen(ctx context.Context, sc *core.Scenario) (code int, done bool, err error) {
+	res, err := core.ScreenScenario(ctx, sc, screen.Options{MaxPivots: screen.DefaultMaxPivots})
+	if err != nil {
+		return exitError, true, err
+	}
+	if !res.Verdict.Definitive() {
+		return 0, false, nil
+	}
+	sys := sc.System()
+	fmt.Printf("system: %s (%d buses, %d lines, %d potential measurements)\n",
+		sys.Name, sys.Buses, sys.NumLines(), sys.NumMeasurements())
+	st := res.Stats
+	fmt.Printf("screen: LP relaxation decided without the SMT solver — %d vars, %d rows, %d pivots, %d probes, %s\n",
+		st.Vars, st.Rows, st.Pivots, st.Probes, st.Elapsed.Round(10*time.Microsecond))
+	if res.Verdict == screen.Infeasible {
+		fmt.Printf("screen: %d rational Farkas certificate(s) carried on the verdict\n", len(res.Certificates))
+		fmt.Println("result: unsat — no attack vector satisfies the constraints")
+		return exitUnsat, true, nil
+	}
+	fmt.Println("result: sat — attack vector found")
+	printAttack(sys, core.ResultFromScreen(res))
+	return exitSat, true, nil
+}
+
+// printAttack renders a feasible verdict's concrete attack vector.
+func printAttack(sys *grid.System, res *core.Result) {
 	fmt.Printf("  measurements to alter (%d): %v\n",
 		len(res.AlteredMeasurements), res.AlteredMeasurements)
 	fmt.Printf("  substations to compromise (%d): %v\n",
@@ -190,8 +243,6 @@ func run(args []string) (int, error) {
 			fmt.Printf("    bus %3d: %+.6f rad\n", bus, f)
 		}
 	}
-	printSolverStats(res.Stats)
-	return exitSat, nil
 }
 
 func printSolverStats(st smt.Stats) {

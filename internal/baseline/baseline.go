@@ -57,10 +57,18 @@ func securedRows(meas *grid.MeasurementConfig, refBus int, secured []bool) (*mat
 // taken) measurements defend state estimation against every UFDI attack iff
 // their Jacobian rows have full column rank b−1 — then no nonzero state
 // change can avoid touching a protected measurement.
+//
+// The graphical sufficient condition (GraphProtectsAllStates) is tried
+// first: when the secured flow measurements already connect every bus the
+// answer is yes without building or eliminating the Jacobian. Only sets the
+// graph test cannot certify fall through to the rank computation.
 func ProtectsAllStates(meas *grid.MeasurementConfig, refBus int) (bool, error) {
 	sys := meas.System()
-	if refBus < 1 || refBus > sys.Buses {
-		return false, fmt.Errorf("baseline: reference bus %d out of range 1..%d", refBus, sys.Buses)
+	if err := validRefBus(sys, refBus); err != nil {
+		return false, err
+	}
+	if GraphProtectsAllStates(meas) {
+		return true, nil
 	}
 	rows, err := securedRows(meas, refBus, meas.Secured)
 	if err != nil {
@@ -76,8 +84,8 @@ func ProtectsAllStates(meas *grid.MeasurementConfig, refBus int) (bool, error) {
 // the selected measurement IDs.
 func GreedyMeasurementProtection(meas *grid.MeasurementConfig, refBus int) ([]int, error) {
 	sys := meas.System()
-	if refBus < 1 || refBus > sys.Buses {
-		return nil, fmt.Errorf("baseline: reference bus %d out of range 1..%d", refBus, sys.Buses)
+	if err := validRefBus(sys, refBus); err != nil {
+		return nil, err
 	}
 	full := dcflow.BuildH(sys, nil)
 	n := sys.Buses - 1
@@ -120,8 +128,8 @@ func GreedyMeasurementProtection(meas *grid.MeasurementConfig, refBus int) ([]in
 // the paper's synthesis is compared against and returns the selected buses.
 func GreedyBusProtection(meas *grid.MeasurementConfig, refBus int, maxBuses int) ([]int, error) {
 	sys := meas.System()
-	if refBus < 1 || refBus > sys.Buses {
-		return nil, fmt.Errorf("baseline: reference bus %d out of range 1..%d", refBus, sys.Buses)
+	if err := validRefBus(sys, refBus); err != nil {
+		return nil, err
 	}
 	full := dcflow.BuildH(sys, nil)
 	n := sys.Buses - 1

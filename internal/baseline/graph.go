@@ -1,0 +1,108 @@
+package baseline
+
+import (
+	"errors"
+	"fmt"
+
+	"segrid/internal/grid"
+)
+
+// GraphProtectsAllStates implements the graphical sufficient condition of
+// Bi & Zhang: if the lines carrying a secured (and taken) flow measurement —
+// forward or backward — connect every bus, then the secured rows contain a
+// spanning tree of the reduced incidence matrix and therefore span all b−1
+// states; no UFDI attack can corrupt any state. The check is a single
+// union-find pass over the lines, O(l·α(b)), against the O(m·b²) Gaussian
+// elimination behind ProtectsAllStates.
+//
+// The condition is sufficient, not necessary: a true answer guarantees
+// protection, while false says nothing — secured injection measurements can
+// complete the span even when the secured flow graph is disconnected.
+func GraphProtectsAllStates(meas *grid.MeasurementConfig) bool {
+	sys := meas.System()
+	uf := newUnionFind(sys.Buses)
+	components := sys.Buses
+	for _, ln := range sys.Lines {
+		fwd := sys.ForwardFlowMeas(ln.ID)
+		bwd := sys.BackwardFlowMeas(ln.ID)
+		secured := (meas.Taken[fwd] && meas.Secured[fwd]) ||
+			(meas.Taken[bwd] && meas.Secured[bwd])
+		if !secured {
+			continue
+		}
+		if uf.union(ln.From, ln.To) {
+			components--
+			if components == 1 {
+				return true
+			}
+		}
+	}
+	return components == 1
+}
+
+// TreeDefense constructs the minimal graphical defense: the forward-flow
+// measurement IDs of a spanning tree of the network, exactly b−1 meters.
+// Securing them (when taken) satisfies GraphProtectsAllStates and hence
+// defends every state — the cheapest certificate the graphical condition
+// can issue. An error is returned when the network is disconnected, in
+// which case no measurement set defends all states.
+func TreeDefense(sys *grid.System) ([]int, error) {
+	uf := newUnionFind(sys.Buses)
+	ids := make([]int, 0, sys.Buses-1)
+	for _, ln := range sys.Lines {
+		if uf.union(ln.From, ln.To) {
+			ids = append(ids, sys.ForwardFlowMeas(ln.ID))
+			if len(ids) == sys.Buses-1 {
+				return ids, nil
+			}
+		}
+	}
+	return nil, errors.New("baseline: network is disconnected; no spanning tree exists")
+}
+
+// unionFind is a plain disjoint-set forest over 1-based bus IDs with path
+// halving and union by size.
+type unionFind struct {
+	parent []int
+	size   []int
+}
+
+func newUnionFind(n int) *unionFind {
+	uf := &unionFind{parent: make([]int, n+1), size: make([]int, n+1)}
+	for i := 1; i <= n; i++ {
+		uf.parent[i] = i
+		uf.size[i] = 1
+	}
+	return uf
+}
+
+func (uf *unionFind) find(x int) int {
+	for uf.parent[x] != x {
+		uf.parent[x] = uf.parent[uf.parent[x]]
+		x = uf.parent[x]
+	}
+	return x
+}
+
+// union merges the sets of a and b, reporting whether they were distinct.
+func (uf *unionFind) union(a, b int) bool {
+	ra, rb := uf.find(a), uf.find(b)
+	if ra == rb {
+		return false
+	}
+	if uf.size[ra] < uf.size[rb] {
+		ra, rb = rb, ra
+	}
+	uf.parent[rb] = ra
+	uf.size[ra] += uf.size[rb]
+	return true
+}
+
+// validRefBus factors the shared argument check of the rank-based entry
+// points.
+func validRefBus(sys *grid.System, refBus int) error {
+	if refBus < 1 || refBus > sys.Buses {
+		return fmt.Errorf("baseline: reference bus %d out of range 1..%d", refBus, sys.Buses)
+	}
+	return nil
+}

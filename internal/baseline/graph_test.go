@@ -1,0 +1,197 @@
+package baseline
+
+import (
+	"math/rand"
+	"testing"
+
+	"segrid/internal/grid"
+)
+
+// rankProtects is the rank-based ground truth with no graphical fast path:
+// the secured rows span the state space iff their rank is b−1.
+func rankProtects(t *testing.T, meas *grid.MeasurementConfig, refBus int) bool {
+	t.Helper()
+	rows, err := securedRows(meas, refBus, meas.Secured)
+	if err != nil {
+		t.Fatalf("securedRows: %v", err)
+	}
+	return rows.Rank(rankTol) == meas.System().Buses-1
+}
+
+// TestTreeDefense: the spanning-tree constructor yields exactly b−1 forward
+// flows on each benchmark case, and securing them passes the graphical
+// check, the rank ground truth, and the public entry point alike.
+func TestTreeDefense(t *testing.T) {
+	for _, name := range []string{"ieee14", "ieee30", "ieee57"} {
+		sys, err := grid.Case(name)
+		if err != nil {
+			t.Fatalf("Case: %v", err)
+		}
+		ids, err := TreeDefense(sys)
+		if err != nil {
+			t.Fatalf("%s: TreeDefense: %v", name, err)
+		}
+		if len(ids) != sys.Buses-1 {
+			t.Fatalf("%s: %d meters, want %d", name, len(ids), sys.Buses-1)
+		}
+		for _, id := range ids {
+			kind, _, err := sys.DecodeMeas(id)
+			if err != nil {
+				t.Fatalf("%s: DecodeMeas(%d): %v", name, id, err)
+			}
+			if kind != grid.MeasForwardFlow {
+				t.Fatalf("%s: meter %d is not a forward flow", name, id)
+			}
+		}
+		meas := grid.NewMeasurementConfig(sys)
+		if err := meas.Secure(ids...); err != nil {
+			t.Fatalf("Secure: %v", err)
+		}
+		if !GraphProtectsAllStates(meas) {
+			t.Fatalf("%s: tree defense fails the graphical condition", name)
+		}
+		if !rankProtects(t, meas, 1) {
+			t.Fatalf("%s: tree defense fails the rank condition", name)
+		}
+		ok, err := ProtectsAllStates(meas, 1)
+		if err != nil {
+			t.Fatalf("ProtectsAllStates: %v", err)
+		}
+		if !ok {
+			t.Fatalf("%s: tree defense rejected by ProtectsAllStates", name)
+		}
+	}
+}
+
+// TestGraphConditionSufficientNotNecessary: securing every injection
+// measurement spans the state space (the reduced weighted Laplacian has
+// rank b−1) while the secured flow graph is empty — the graphical test must
+// answer false, and ProtectsAllStates must still say yes via the rank path.
+func TestGraphConditionSufficientNotNecessary(t *testing.T) {
+	sys := grid.IEEE14()
+	meas := grid.NewMeasurementConfig(sys)
+	for j := 1; j <= sys.Buses; j++ {
+		if err := meas.Secure(sys.InjectionMeas(j)); err != nil {
+			t.Fatalf("Secure: %v", err)
+		}
+	}
+	if GraphProtectsAllStates(meas) {
+		t.Fatalf("injection-only defense passed the flow-graph condition")
+	}
+	ok, err := ProtectsAllStates(meas, 1)
+	if err != nil {
+		t.Fatalf("ProtectsAllStates: %v", err)
+	}
+	if !ok {
+		t.Fatalf("injection-only defense rejected by the rank condition")
+	}
+}
+
+// TestGraphUntakenFlowsIgnored: a secured meter the estimator does not read
+// contributes nothing; dropping one tree edge must disconnect the check.
+func TestGraphUntakenFlowsIgnored(t *testing.T) {
+	sys := grid.IEEE14()
+	ids, err := TreeDefense(sys)
+	if err != nil {
+		t.Fatalf("TreeDefense: %v", err)
+	}
+	meas := grid.NewMeasurementConfig(sys)
+	if err := meas.Secure(ids...); err != nil {
+		t.Fatalf("Secure: %v", err)
+	}
+	if err := meas.Untake(ids[0]); err != nil {
+		t.Fatalf("Untake: %v", err)
+	}
+	if GraphProtectsAllStates(meas) {
+		t.Fatalf("untaken tree edge still counted as connecting")
+	}
+}
+
+// TestGraphBackwardFlowsConnect: the condition accepts either flow
+// direction — replacing every tree meter with its backward twin must still
+// connect the graph.
+func TestGraphBackwardFlowsConnect(t *testing.T) {
+	sys := grid.IEEE14()
+	ids, err := TreeDefense(sys)
+	if err != nil {
+		t.Fatalf("TreeDefense: %v", err)
+	}
+	meas := grid.NewMeasurementConfig(sys)
+	for _, id := range ids {
+		if err := meas.Secure(sys.BackwardFlowMeas(id)); err != nil {
+			t.Fatalf("Secure: %v", err)
+		}
+	}
+	if !GraphProtectsAllStates(meas) {
+		t.Fatalf("backward-flow tree defense fails the graphical condition")
+	}
+}
+
+// TestTreeDefenseDisconnected: a network whose lines do not span the buses
+// has no spanning tree, and no secured set can pass the graphical check.
+func TestTreeDefenseDisconnected(t *testing.T) {
+	sys, err := grid.NewSystem("split", 4, []grid.Line{
+		{ID: 1, From: 1, To: 2, Admittance: 1},
+		{ID: 2, From: 3, To: 4, Admittance: 1},
+	})
+	if err != nil {
+		t.Fatalf("NewSystem: %v", err)
+	}
+	if _, err := TreeDefense(sys); err == nil {
+		t.Fatalf("disconnected network yielded a spanning tree")
+	}
+	meas := grid.NewMeasurementConfig(sys)
+	ids := make([]int, sys.NumMeasurements())
+	for i := range ids {
+		ids[i] = i + 1
+	}
+	if err := meas.Secure(ids...); err != nil {
+		t.Fatalf("Secure: %v", err)
+	}
+	if GraphProtectsAllStates(meas) {
+		t.Fatalf("disconnected network passed the graphical condition")
+	}
+}
+
+// TestGraphDifferentialRank samples random secured subsets on the three
+// benchmark cases and checks both halves of the contract: the graphical
+// condition never contradicts the rank ground truth (sufficiency), and the
+// fast-pathed ProtectsAllStates always agrees with the rank-only answer.
+func TestGraphDifferentialRank(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	for _, name := range []string{"ieee14", "ieee30", "ieee57"} {
+		sys, err := grid.Case(name)
+		if err != nil {
+			t.Fatalf("Case: %v", err)
+		}
+		for trial := 0; trial < 40; trial++ {
+			meas := grid.NewMeasurementConfig(sys)
+			p := 0.1 + 0.8*rng.Float64()
+			var secured []int
+			for id := 1; id <= sys.NumMeasurements(); id++ {
+				if rng.Float64() < p {
+					secured = append(secured, id)
+				}
+			}
+			if len(secured) > 0 {
+				if err := meas.Secure(secured...); err != nil {
+					t.Fatalf("Secure: %v", err)
+				}
+			}
+			graph := GraphProtectsAllStates(meas)
+			rank := rankProtects(t, meas, 1)
+			if graph && !rank {
+				t.Fatalf("%s trial %d: graphical condition true but rank condition false (secured %d meters)",
+					name, trial, len(secured))
+			}
+			fast, err := ProtectsAllStates(meas, 1)
+			if err != nil {
+				t.Fatalf("ProtectsAllStates: %v", err)
+			}
+			if fast != rank {
+				t.Fatalf("%s trial %d: fast-pathed ProtectsAllStates=%v, rank ground truth=%v",
+					name, trial, fast, rank)
+			}
+		}
+	}
+}

@@ -6,15 +6,15 @@ import (
 	"math/big"
 
 	"segrid/internal/grid"
+	"segrid/internal/lpbuild"
 	"segrid/internal/smt"
 )
 
-// ratFromAdmittance converts a line admittance to an exact small rational by
-// rounding to four decimals. The paper's data has at most two decimals, so
-// embedded cases round-trip exactly; keeping denominators small keeps the
-// exact simplex arithmetic fast.
+// ratFromAdmittance converts a line admittance to an exact small rational;
+// see lpbuild.AdmittanceRat, which is shared with the LP screening tier so
+// that both models reason about identical rational admittances.
 func ratFromAdmittance(y float64) *big.Rat {
-	return big.NewRat(int64(math.Round(y*1e4)), 10000)
+	return lpbuild.AdmittanceRat(y)
 }
 
 // Model is the UFDI attack verification model built over the SMT solver.
@@ -93,6 +93,17 @@ func NewModel(sc *Scenario) (*Model, error) {
 // Solver exposes the underlying SMT solver (for Push/Pop layering).
 func (m *Model) Solver() *smt.Solver { return m.solver }
 
+// minChangeEps is the exact rational MinChange threshold (nil when the
+// extension is off). Rounded toward a small exact rational; the magnitude
+// threshold does not need to be bit-exact with the float input, but the
+// full model and the LP screen must agree on it, so both go through here.
+func minChangeEps(minChange float64) *big.Rat {
+	if minChange <= 0 {
+		return nil
+	}
+	return big.NewRat(int64(math.Round(minChange*1e9)), 1_000_000_000)
+}
+
 // thetaExpr returns a fresh expression coeff·Δθ_bus, empty for the
 // reference bus (whose angle change is identically 0).
 func (m *Model) addTheta(e *smt.LinExpr, coeff *big.Rat, bus int) {
@@ -108,12 +119,7 @@ func (m *Model) addTheta(e *smt.LinExpr, coeff *big.Rat, bus int) {
 // sub-threshold drift is tolerated on non-target states).
 func (m *Model) buildStateVars() {
 	sys := m.sc.System()
-	var eps *big.Rat
-	if m.sc.MinChange > 0 {
-		// Round toward a small exact rational; the magnitude threshold
-		// does not need to be bit-exact with the float input.
-		eps = big.NewRat(int64(math.Round(m.sc.MinChange*1e9)), 1_000_000_000)
-	}
+	eps := minChangeEps(m.sc.MinChange)
 	for j := 1; j <= sys.Buses; j++ {
 		if j == m.sc.RefBus {
 			continue

@@ -15,6 +15,7 @@ import (
 	"math/big"
 
 	"segrid/internal/grid"
+	"segrid/internal/lpbuild"
 	"segrid/internal/lra"
 	"segrid/internal/numeric"
 )
@@ -37,7 +38,12 @@ type Case struct {
 	Load []float64
 	// LineLimit is the 1-based per-line |flow| limit; 0 means unlimited.
 	LineLimit []float64
-	// RefBus anchors the angles.
+	// RefBus is the 1-based slack/reference bus whose angle is pinned to
+	// zero. DC angles are only determined up to a global shift, so the LP
+	// needs one anchored bus to have a unique solution; RefBus also absorbs
+	// the network's net imbalance in the underlying DC approximation, which
+	// is why it is conventionally a generator bus. It must name a valid bus
+	// — there is no default; Solve rejects 0 or out-of-range values.
 	RefBus int
 }
 
@@ -53,18 +59,8 @@ type Dispatch struct {
 	Angles []float64
 }
 
-// rat converts a float to an exact rational with 1e-9 quantization —
-// plenty for p.u. quantities and keeps the exact arithmetic small.
-func rat(f float64) *big.Rat {
-	return new(big.Rat).SetFrac64(int64(f*1e9+copysign(0.5, f)), 1_000_000_000)
-}
-
-func copysign(h, f float64) float64 {
-	if f < 0 {
-		return -h
-	}
-	return h
-}
+// rat quantizes a float to an exact rational; see lpbuild.Rat.
+func rat(f float64) *big.Rat { return lpbuild.Rat(f) }
 
 // Solve builds and optimizes the dispatch LP.
 func (c *Case) Solve() (*Dispatch, error) {
@@ -99,49 +95,38 @@ func (c *Case) Solve() (*Dispatch, error) {
 	for j := 1; j <= sys.Buses; j++ {
 		theta[j] = s.NewVar()
 	}
-	s.AssertLower(theta[c.RefBus], numeric.Delta{}, lra.NoTag)
-	s.AssertUpper(theta[c.RefBus], numeric.Delta{}, lra.NoTag)
+	lpbuild.Fix(s, theta[c.RefBus], numeric.Delta{}, lra.NoTag)
 
 	// Generator variables with box bounds.
 	gen := make([]int, len(c.Gens))
 	for i, g := range c.Gens {
 		gen[i] = s.NewVar()
-		s.AssertLower(gen[i], numeric.DeltaFromRat(rat(g.MinP)), lra.NoTag)
-		s.AssertUpper(gen[i], numeric.DeltaFromRat(rat(g.MaxP)), lra.NoTag)
+		lpbuild.Box(s, gen[i],
+			numeric.DeltaFromRat(rat(g.MinP)), numeric.DeltaFromRat(rat(g.MaxP)),
+			lra.NoTag, lra.NoTag)
 	}
 
 	// Line flows as slack definitions, optionally bounded.
 	flow := make([]int, sys.NumLines()+1)
 	for _, ln := range sys.Lines {
-		y := rat(ln.Admittance)
-		sv, err := s.DefineSlack([]lra.Term{
-			{Var: theta[ln.From], Coeff: y},
-			{Var: theta[ln.To], Coeff: new(big.Rat).Neg(y)},
-		})
+		sv, err := s.DefineSlack(lpbuild.LineFlowTerms(theta, ln, rat(ln.Admittance)))
 		if err != nil {
 			return nil, fmt.Errorf("dcopf: flow slack: %w", err)
 		}
 		flow[ln.ID] = sv
 		if c.LineLimit != nil && c.LineLimit[ln.ID] > 0 {
-			lim := rat(c.LineLimit[ln.ID])
-			s.AssertUpper(sv, numeric.DeltaFromRat(lim), lra.NoTag)
-			s.AssertLower(sv, numeric.DeltaFromRat(new(big.Rat).Neg(lim)), lra.NoTag)
+			lpbuild.SymmetricBound(s, sv, rat(c.LineLimit[ln.ID]), lra.NoTag, lra.NoTag)
 		}
 	}
 
-	// Bus balance: Σ gen_at_bus − load_j = Σ outflows − Σ inflows.
+	// Bus balance: Σ gen_at_bus − load_j = Σ outflows − Σ inflows, i.e. the
+	// net-inflow row plus the bus's generation terms is fixed to its load.
 	for j := 1; j <= sys.Buses; j++ {
-		terms := []lra.Term{}
+		terms := lpbuild.BusFlowTerms(sys, flow, j)
 		for i, g := range c.Gens {
 			if g.Bus == j {
 				terms = append(terms, lra.Term{Var: gen[i], Coeff: big.NewRat(1, 1)})
 			}
-		}
-		for _, id := range sys.OutLines(j) {
-			terms = append(terms, lra.Term{Var: flow[id], Coeff: big.NewRat(-1, 1)})
-		}
-		for _, id := range sys.InLines(j) {
-			terms = append(terms, lra.Term{Var: flow[id], Coeff: big.NewRat(1, 1)})
 		}
 		if len(terms) == 0 {
 			// Isolated unloaded bus: balance trivially if load is zero.
@@ -154,11 +139,7 @@ func (c *Case) Solve() (*Dispatch, error) {
 		if err != nil {
 			return nil, fmt.Errorf("dcopf: balance slack: %w", err)
 		}
-		load := numeric.DeltaFromRat(rat(c.Load[j]))
-		if conflict := s.AssertLower(sv, load, lra.NoTag); conflict != nil {
-			return nil, ErrInfeasible
-		}
-		if conflict := s.AssertUpper(sv, load, lra.NoTag); conflict != nil {
+		if conflict := lpbuild.Fix(s, sv, numeric.DeltaFromRat(rat(c.Load[j])), lra.NoTag); conflict != nil {
 			return nil, ErrInfeasible
 		}
 	}

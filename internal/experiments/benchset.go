@@ -78,6 +78,15 @@ type BenchEntry struct {
 	SweepNsPerOp int64 `json:"sweep_ns_per_op,omitempty"`
 	SweepBuilds  int64 `json:"sweep_builds,omitempty"`
 	SeqBuilds    int64 `json:"seq_builds,omitempty"`
+	// ScreenNsPerOp/ScreenRate are the LP-relaxation screening columns: the
+	// same batched sweep answered by a screening-enabled service (definitive
+	// relaxation verdicts bypass encoder checkout and the SMT solver
+	// entirely), and the fraction of items the screen answered definitively.
+	// Per-item verdicts are asserted equal to the sequential baseline's, so
+	// the column only exists when screening changed no answer. The sweep/
+	// rows carry them.
+	ScreenNsPerOp int64   `json:"screen_ns_per_op,omitempty"`
+	ScreenRate    float64 `json:"screen_rate,omitempty"`
 }
 
 // Iteration policy for each workload: at least benchMinIters runs, then keep
@@ -600,6 +609,35 @@ func BenchSet(cfg Config) ([]BenchEntry, error) {
 			sweepBuilds = svc.PoolStats().Misses
 			return smt.Stats{}, nil
 		}
+		// The screening variant: same batch, service.Config.Screen on. Items
+		// the LP relaxation decides are answered without touching the pool;
+		// the rest fall through to the group's pooled encoder as usual. The
+		// verdicts must match the sequential baseline item for item — the
+		// screen may only change the cost of an answer, never the answer.
+		var screenedItems int
+		runScreenSweep := func() (smt.Stats, error) {
+			svc, err := service.New(service.Config{Portfolio: 1, Screen: true})
+			if err != nil {
+				return smt.Stats{}, err
+			}
+			defer svc.Close()
+			resp, err := svc.Sweep(context.Background(), &service.SweepRequest{Attack: w.spec, Items: items})
+			if err != nil {
+				return smt.Stats{}, err
+			}
+			n := 0
+			for i, item := range resp.Items {
+				if item.Status != seqVerdicts[i] {
+					return smt.Stats{}, fmt.Errorf("sweep/%s item %d: screened sweep says %s, sequential said %s",
+						w.name, i, item.Status, seqVerdicts[i])
+				}
+				if item.Screened {
+					n++
+				}
+			}
+			screenedItems = n
+			return smt.Stats{}, nil
+		}
 		e, err := measureWorkload("sweep/"+w.name, cfg.Out, runSeq)
 		if err != nil {
 			return nil, err
@@ -612,9 +650,15 @@ func BenchSet(cfg Config) ([]BenchEntry, error) {
 			return nil, fmt.Errorf("sweep/%s: batched mode built %d encoders, sequential built %d — no amortization",
 				w.name, sweepBuilds, seqBuilds)
 		}
+		ke, err := measureWorkload("sweep/"+w.name+"/screen", cfg.Out, runScreenSweep)
+		if err != nil {
+			return nil, err
+		}
 		e.SweepNsPerOp = se.NsPerOp
 		e.SeqBuilds = int64(seqBuilds)
 		e.SweepBuilds = int64(sweepBuilds)
+		e.ScreenNsPerOp = ke.NsPerOp
+		e.ScreenRate = float64(screenedItems) / float64(len(items))
 		entries = append(entries, e)
 	}
 

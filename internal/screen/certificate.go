@@ -1,0 +1,107 @@
+package screen
+
+import (
+	"fmt"
+	"math/big"
+)
+
+// Term is one summand of a certificate bound's left-hand side, written over
+// the screen's primitive variables by name (slack definitions are expanded
+// at recording time, so a certificate never references solver-internal
+// rows).
+type Term struct {
+	Var   string
+	Coeff *big.Rat
+}
+
+// Bound is one linear inequality participating in a Farkas combination:
+// Σ Terms ≥ Value (Lower) or Σ Terms ≤ Value (Upper), strictly when Strict
+// is set. Desc says which model constraint the bound came from.
+type Bound struct {
+	Desc   string
+	Terms  []Term
+	Lower  bool
+	Value  *big.Rat
+	Strict bool
+}
+
+// Certificate is a rational Farkas certificate of infeasibility: a list of
+// bounds from the LP relaxation and positive multipliers such that the
+// scaled bounds sum to a contradiction (the variables cancel and the
+// combined constant says 0 > 0 or 0 ≥ c for some positive c). It is
+// self-contained — Verify needs nothing from the solver, the SAT core or
+// the tableau, only exact rational arithmetic over the recorded rows — so
+// a screen reject can be audited independently of the screening run.
+type Certificate struct {
+	// Desc names the refuted claim, e.g. "goal dtheta_12 > 0 is feasible".
+	Desc   string
+	Bounds []Bound
+	Coeffs []*big.Rat
+}
+
+// Verify recombines the certificate and errors unless it is a valid proof
+// of infeasibility. Each bound is oriented as a ≥-inequality over the
+// primitive variables (upper bounds are negated), scaled by its positive
+// multiplier and summed; the combination must cancel every variable and
+// leave a constant inequality that is false: 0 ≥ c with c > 0, or the
+// strict 0 > 0 when a strict bound participates at c = 0.
+func (c *Certificate) Verify() error {
+	if len(c.Bounds) == 0 {
+		return fmt.Errorf("screen: empty certificate")
+	}
+	if len(c.Bounds) != len(c.Coeffs) {
+		return fmt.Errorf("screen: %d bounds but %d coefficients", len(c.Bounds), len(c.Coeffs))
+	}
+	sum := make(map[string]*big.Rat)
+	constant := new(big.Rat)
+	strict := false
+	tmp := new(big.Rat)
+	for i, bd := range c.Bounds {
+		lam := c.Coeffs[i]
+		if lam == nil || lam.Sign() <= 0 {
+			return fmt.Errorf("screen: bound %d (%s): Farkas coefficient must be positive", i, bd.Desc)
+		}
+		// σ = +1 for a lower bound (E − b ≥ 0), −1 for an upper (b − E ≥ 0).
+		sigma := lam
+		if !bd.Lower {
+			sigma = tmp.Neg(lam)
+		}
+		for _, t := range bd.Terms {
+			if t.Coeff == nil {
+				return fmt.Errorf("screen: bound %d (%s): nil term coefficient", i, bd.Desc)
+			}
+			acc, ok := sum[t.Var]
+			if !ok {
+				acc = new(big.Rat)
+				sum[t.Var] = acc
+			}
+			acc.Add(acc, new(big.Rat).Mul(sigma, t.Coeff))
+		}
+		if bd.Value == nil {
+			return fmt.Errorf("screen: bound %d (%s): nil bound value", i, bd.Desc)
+		}
+		constant.Add(constant, new(big.Rat).Mul(sigma, bd.Value))
+		// A strict bound tightens by an infinitesimal toward the feasible
+		// side: lower-strict is b + δ, upper-strict b − δ; with the upper's
+		// σ = −1 both contribute +λ·δ to the combined constant.
+		if bd.Strict {
+			strict = true
+		}
+	}
+	for v, acc := range sum {
+		if acc.Sign() != 0 {
+			return fmt.Errorf("screen: variable %s does not cancel (residual %s)", v, acc.RatString())
+		}
+	}
+	// The combination proves 0 ≥ constant (+δ if strict); it contradicts
+	// exactly when constant > 0, or constant = 0 with a strict participant.
+	if constant.Sign() > 0 || (constant.Sign() == 0 && strict) {
+		return nil
+	}
+	return fmt.Errorf("screen: combination does not contradict (constant %s, strict=%v)", constant.RatString(), strict)
+}
+
+// String summarizes the certificate for logs.
+func (c *Certificate) String() string {
+	return fmt.Sprintf("farkas certificate (%s): %d bounds", c.Desc, len(c.Bounds))
+}

@@ -1,0 +1,154 @@
+package screen_test
+
+// Differential soundness suite: the screen's contract is that a definitive
+// verdict (Infeasible / FeasibleIntegral) always matches what the full SMT
+// model decides. These tests throw randomized (grid, goal, resource-bound)
+// triples at both tiers and fail on any disagreement. They live in an
+// external test package because internal/core imports internal/screen.
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"segrid/internal/core"
+	"segrid/internal/grid"
+	"segrid/internal/screen"
+)
+
+// randomScenario draws one verification instance over sys. The
+// distribution is tuned so every scenario dimension the screen models —
+// secured/untaken/inaccessible measurements, topology attacks, knowledge
+// limits, budgets, all four goal families, MinChange — shows up often.
+func randomScenario(rng *rand.Rand, sys *grid.System) *core.Scenario {
+	sc := core.NewScenario(sys)
+	nm, nl := sys.NumMeasurements(), sys.NumLines()
+
+	for id := 1; id <= nm; id++ {
+		switch rng.Intn(10) {
+		case 0:
+			sc.Meas.Taken[id] = false
+		case 1, 2:
+			sc.Meas.Secured[id] = true
+		case 3:
+			sc.Meas.Accessible[id] = false
+		}
+	}
+	if rng.Intn(3) == 0 {
+		sc.Knowledge = make([]bool, nl+1)
+		for i := 1; i <= nl; i++ {
+			sc.Knowledge[i] = rng.Intn(5) != 0
+		}
+		sc.StrictKnowledge = rng.Intn(2) == 0
+	}
+	if rng.Intn(3) == 0 {
+		sc.AllowExclusion = true
+		sc.FixedLines = make([]bool, nl+1)
+		for i := 1; i <= nl; i++ {
+			sc.FixedLines[i] = rng.Intn(3) == 0
+		}
+	}
+	if rng.Intn(4) == 0 {
+		sc.InService = make([]bool, nl+1)
+		for i := 1; i <= nl; i++ {
+			sc.InService[i] = rng.Intn(8) != 0
+		}
+		sc.AllowInclusion = rng.Intn(2) == 0
+	}
+	if rng.Intn(2) == 0 {
+		sc.MaxAlteredMeasurements = 1 + rng.Intn(8)
+	}
+	if rng.Intn(3) == 0 {
+		sc.MaxCompromisedBuses = 1 + rng.Intn(5)
+	}
+
+	// Goal: at least one family, sometimes several.
+	switch rng.Intn(5) {
+	case 0:
+		sc.AnyState = true
+	case 1:
+		sc.TargetStates = []int{2 + rng.Intn(sys.Buses-1)}
+		sc.OnlyTargets = rng.Intn(2) == 0
+	case 2:
+		sc.TargetStates = []int{2 + rng.Intn(sys.Buses-1), 2 + rng.Intn(sys.Buses-1)}
+	case 3:
+		a, bb := 2+rng.Intn(sys.Buses-1), 2+rng.Intn(sys.Buses-1)
+		sc.DistinctPairs = [][2]int{{a, bb}}
+	default:
+		sc.AnyState = true
+		sc.UntouchedStates = []int{2 + rng.Intn(sys.Buses-1)}
+	}
+	if rng.Intn(4) == 0 {
+		sc.MinChange = 0.05
+	}
+	return sc
+}
+
+// scenarioLabel renders enough of sc to reproduce a failure by hand.
+func scenarioLabel(sc *core.Scenario) string {
+	return fmt.Sprintf("targets=%v only=%v any=%v untouched=%v pairs=%v maxAlt=%d maxBus=%d excl=%v incl=%v strict=%v minchg=%v",
+		sc.TargetStates, sc.OnlyTargets, sc.AnyState, sc.UntouchedStates, sc.DistinctPairs,
+		sc.MaxAlteredMeasurements, sc.MaxCompromisedBuses, sc.AllowExclusion, sc.AllowInclusion,
+		sc.StrictKnowledge, sc.MinChange)
+}
+
+func runDifferential(t *testing.T, name string, rounds int, seed int64) {
+	t.Helper()
+	sys, err := grid.Case(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	ctx := context.Background()
+	definitive := 0
+	for n := 0; n < rounds; n++ {
+		sc := randomScenario(rng, sys)
+		res, err := core.ScreenScenario(ctx, sc, screen.Options{})
+		if err != nil {
+			t.Fatalf("%s round %d: screen: %v (%s)", name, n, err, scenarioLabel(sc))
+		}
+		if !res.Verdict.Definitive() {
+			continue
+		}
+		definitive++
+		full, err := core.Verify(sc)
+		if err != nil {
+			t.Fatalf("%s round %d: verify: %v (%s)", name, n, err, scenarioLabel(sc))
+		}
+		if full.Inconclusive {
+			t.Fatalf("%s round %d: full model inconclusive: %v (%s)", name, n, full.Why, scenarioLabel(sc))
+		}
+		if want := res.Verdict == screen.FeasibleIntegral; full.Feasible != want {
+			t.Fatalf("%s round %d: screen says %v but full model says feasible=%v (%s)",
+				name, n, res.Verdict, full.Feasible, scenarioLabel(sc))
+		}
+		if res.Verdict == screen.Infeasible {
+			if len(res.Certificates) == 0 {
+				t.Fatalf("%s round %d: reject without certificates (%s)", name, n, scenarioLabel(sc))
+			}
+			for _, c := range res.Certificates {
+				if err := c.Verify(); err != nil {
+					t.Fatalf("%s round %d: bad certificate: %v (%s)", name, n, err, scenarioLabel(sc))
+				}
+			}
+		}
+		if res.Verdict == screen.FeasibleIntegral && res.Attack == nil {
+			t.Fatalf("%s round %d: accept without witness (%s)", name, n, scenarioLabel(sc))
+		}
+	}
+	if definitive == 0 {
+		t.Fatalf("%s: no definitive verdict in %d rounds — the screen is useless here", name, rounds)
+	}
+	t.Logf("%s: %d/%d rounds definitive", name, definitive, rounds)
+}
+
+func TestDifferentialIEEE14(t *testing.T) { runDifferential(t, "ieee14", 120, 1401) }
+func TestDifferentialIEEE30(t *testing.T) { runDifferential(t, "ieee30", 60, 3001) }
+
+func TestDifferentialIEEE57(t *testing.T) {
+	if testing.Short() {
+		t.Skip("ieee57 differential rounds are slow")
+	}
+	runDifferential(t, "ieee57", 25, 5701)
+}

@@ -1,0 +1,784 @@
+package screen
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/big"
+	"sort"
+
+	"segrid/internal/grid"
+	"segrid/internal/lpbuild"
+	"segrid/internal/lra"
+	"segrid/internal/numeric"
+)
+
+// builder owns one screening run: the exact simplex holding the
+// relaxation, the certificate bookkeeping that lets any conflict be
+// exported as a self-contained Farkas proof, and the variable tables the
+// witness replay reads back.
+type builder struct {
+	p *Problem
+	s *lra.Simplex
+
+	// bounds records every asserted bound, indexed by its lra.Tag, as an
+	// oriented certificate row over primitive variables. Every bound the
+	// screen asserts is tagged — an untagged (NoTag) participant would
+	// make the solver's Farkas coefficients unreconstructible.
+	bounds []Bound
+	// expand maps each solver variable to its expansion over primitive
+	// variables (angles, free line flows, cz, cb), so certificate rows
+	// never mention solver-internal slack rows.
+	expand map[int]map[int]*big.Rat
+	names  map[int]string
+
+	theta []int // 1-based bus → Δθ variable
+	fvar  []int // 1-based line → free ΔPL variable (attackable lines only)
+
+	lineVar []int // memo: 1-based line → flow-delta variable (−1 unset, −2 identically zero)
+	busVar  []int // memo: 1-based bus → injection-delta variable (−1 unset, −2 identically zero)
+
+	// effAtt marks lines whose status the relaxation treats as attackable:
+	// the scenario allows the attack for the line's service state, and
+	// strict knowledge does not rule the line out.
+	effAtt []bool
+
+	czIDs []int       // measurement IDs with alteration-indicator variables
+	czVar map[int]int // measurement ID → cz variable
+	cbVar map[int]int // bus → cb variable
+
+	maxPivots int64
+	probes    int
+	buildErr  string
+}
+
+// sparsifyPivotCap bounds the extra pivots the accept path spends trying
+// to sparsify a witness that over-spent a relaxed budget; past it the
+// instance is handed to the SMT tier instead.
+const sparsifyPivotCap = 256
+
+// build constructs the LP relaxation. It never fails on well-formed
+// problems; internal construction errors are deferred into buildErr and
+// surface as an Inconclusive verdict.
+func build(p *Problem, ctx context.Context, opts Options) (*builder, error) {
+	b := &builder{
+		p:       p,
+		s:       lra.NewSimplex(),
+		expand:  make(map[int]map[int]*big.Rat),
+		names:   make(map[int]string),
+		theta:   make([]int, p.Sys.Buses+1),
+		fvar:    make([]int, p.Sys.NumLines()+1),
+		lineVar: make([]int, p.Sys.NumLines()+1),
+		busVar:  make([]int, p.Sys.Buses+1),
+		effAtt:  make([]bool, p.Sys.NumLines()+1),
+		czVar:   make(map[int]int),
+		cbVar:   make(map[int]int),
+	}
+	if opts.MaxPivots > 0 {
+		b.maxPivots = opts.MaxPivots
+		b.s.SetMaxPivots(opts.MaxPivots)
+	}
+	stop := opts.Stop
+	b.s.SetStop(func() error {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		if stop != nil {
+			return stop()
+		}
+		return nil
+	})
+	b.construct()
+	return b, nil
+}
+
+func (b *builder) fail(why string) {
+	if b.buildErr == "" {
+		b.buildErr = why
+	}
+}
+
+// newVar introduces a named primitive variable.
+func (b *builder) newVar(name string) int {
+	v := b.s.NewVar()
+	b.names[v] = name
+	b.expand[v] = map[int]*big.Rat{v: big.NewRat(1, 1)}
+	return v
+}
+
+// slack introduces a defined row and records its expansion over primitive
+// variables for certificate export.
+func (b *builder) slack(terms []lra.Term) (int, bool) {
+	v, err := b.s.DefineSlack(terms)
+	if err != nil {
+		b.fail("screen: internal slack definition failed: " + err.Error())
+		return 0, false
+	}
+	exp := make(map[int]*big.Rat)
+	for _, t := range terms {
+		for pv, c := range b.expand[t.Var] {
+			acc, ok := exp[pv]
+			if !ok {
+				acc = new(big.Rat)
+				exp[pv] = acc
+			}
+			acc.Add(acc, new(big.Rat).Mul(t.Coeff, c))
+		}
+	}
+	b.expand[v] = exp
+	return v, true
+}
+
+// certTerms renders a variable's primitive expansion as certificate terms
+// in deterministic (ascending variable) order.
+func (b *builder) certTerms(v int) []Term {
+	exp := b.expand[v]
+	vars := make([]int, 0, len(exp))
+	for pv := range exp {
+		if exp[pv].Sign() != 0 {
+			vars = append(vars, pv)
+		}
+	}
+	sort.Ints(vars)
+	out := make([]Term, len(vars))
+	for i, pv := range vars {
+		out[i] = Term{Var: b.names[pv], Coeff: new(big.Rat).Set(exp[pv])}
+	}
+	return out
+}
+
+// addBound records an oriented certificate row for a bound and asserts it,
+// returning the solver's conflict explanation if the assertion itself
+// closes an empty interval.
+func (b *builder) addBound(v int, lower bool, d numeric.Delta, desc string) []lra.Tag {
+	tag := lra.Tag(len(b.bounds))
+	b.bounds = append(b.bounds, Bound{
+		Desc:   desc,
+		Terms:  b.certTerms(v),
+		Lower:  lower,
+		Value:  new(big.Rat).Set(d.Rat()),
+		Strict: d.Inf().Sign() != 0,
+	})
+	if lower {
+		return b.s.AssertLower(v, d, tag)
+	}
+	return b.s.AssertUpper(v, d, tag)
+}
+
+// fixZero asserts v = 0 with both bounds tagged. Base-relaxation bounds
+// all admit the zero point, so a conflict here is an internal error.
+func (b *builder) fixZero(v int, desc string) {
+	if c := b.addBound(v, true, numeric.Delta{}, desc); c != nil {
+		b.fail("screen: internal conflict while building relaxation: " + desc)
+		return
+	}
+	if c := b.addBound(v, false, numeric.Delta{}, desc); c != nil {
+		b.fail("screen: internal conflict while building relaxation: " + desc)
+	}
+}
+
+// certify exports the solver's most recent conflict explanation as a
+// self-contained certificate, or nil if the Farkas coefficients are
+// unavailable (which the callers treat as Inconclusive, never as a
+// definitive verdict).
+func (b *builder) certify(desc string, tags []lra.Tag) *Certificate {
+	lams := b.s.LastFarkas()
+	if lams == nil || len(lams) != len(tags) {
+		return nil
+	}
+	c := &Certificate{Desc: desc}
+	for i, t := range tags {
+		if t < 0 || int(t) >= len(b.bounds) {
+			return nil
+		}
+		c.Bounds = append(c.Bounds, b.bounds[t])
+		// Copy immediately: the solver reuses its Farkas buffer on the
+		// next conflict.
+		c.Coeffs = append(c.Coeffs, new(big.Rat).Set(lams[i].Rat()))
+	}
+	return c
+}
+
+// alterable reports whether the attacker may change measurement id: it is
+// taken, accessible, unsecured, and not the flow of a line whose
+// admittance the attacker does not know (Eq. 17's knowledge limit).
+func (b *builder) alterable(id int) bool {
+	p := b.p
+	if !p.Taken[id] || !p.Accessible[id] || p.Secured[id] {
+		return false
+	}
+	kind, ref, err := p.Sys.DecodeMeas(id)
+	if err != nil {
+		return false
+	}
+	if (kind == grid.MeasForwardFlow || kind == grid.MeasBackwardFlow) && !p.Known[ref] {
+		return false
+	}
+	return true
+}
+
+// pinReason names why a taken measurement's delta is forced to zero.
+func (b *builder) pinReason(id int) string {
+	p := b.p
+	switch {
+	case p.Secured[id]:
+		return "secured"
+	case !p.Accessible[id]:
+		return "inaccessible"
+	default:
+		return "unknown-admittance"
+	}
+}
+
+const (
+	memoUnset = -1
+	memoZero  = -2
+)
+
+// lineDeltaVar returns a variable carrying line i's measured-flow delta
+// ΔPL: the free variable for attackable lines, the state-implied slack
+// y·(Δθ_from − Δθ_to) for in-service lines, and nothing for out-of-service
+// lines (identically zero).
+func (b *builder) lineDeltaVar(i int) (int, bool) {
+	if b.lineVar[i] != memoUnset {
+		return b.lineVar[i], b.lineVar[i] != memoZero
+	}
+	switch {
+	case b.effAtt[i]:
+		b.lineVar[i] = b.fvar[i]
+	case b.p.InService[i]:
+		ln := b.p.Sys.Line(i)
+		v, ok := b.slack(lpbuild.LineFlowTerms(b.theta, ln, lpbuild.AdmittanceRat(ln.Admittance)))
+		if !ok {
+			return 0, false
+		}
+		b.lineVar[i] = v
+	default:
+		b.lineVar[i] = memoZero
+	}
+	return b.lineVar[i], b.lineVar[i] != memoZero
+}
+
+// busDeltaVar returns a variable carrying bus j's injection-measurement
+// delta Σ inflow deltas − Σ outflow deltas, or false if it is identically
+// zero (isolated or fully out-of-service neighborhood).
+func (b *builder) busDeltaVar(j int) (int, bool) {
+	if b.busVar[j] != memoUnset {
+		return b.busVar[j], b.busVar[j] != memoZero
+	}
+	var terms []lra.Term
+	for _, id := range b.p.Sys.InLines(j) {
+		if v, ok := b.lineDeltaVar(id); ok {
+			terms = append(terms, lra.Term{Var: v, Coeff: big.NewRat(1, 1)})
+		}
+	}
+	for _, id := range b.p.Sys.OutLines(j) {
+		if v, ok := b.lineDeltaVar(id); ok {
+			terms = append(terms, lra.Term{Var: v, Coeff: big.NewRat(-1, 1)})
+		}
+	}
+	if len(terms) == 0 {
+		b.busVar[j] = memoZero
+		return 0, false
+	}
+	v, ok := b.slack(terms)
+	if !ok {
+		return 0, false
+	}
+	b.busVar[j] = v
+	return v, true
+}
+
+// measDeltaVar returns a variable carrying measurement id's delta, or
+// false if the delta is identically zero in the relaxation.
+func (b *builder) measDeltaVar(id int) (int, bool) {
+	kind, ref, err := b.p.Sys.DecodeMeas(id)
+	if err != nil {
+		b.fail("screen: " + err.Error())
+		return 0, false
+	}
+	switch kind {
+	case grid.MeasForwardFlow, grid.MeasBackwardFlow:
+		// The backward flow shares the forward expression up to sign;
+		// every constraint the relaxation places on it (zero-forcing,
+		// |delta| domination) is symmetric, so the same variable serves.
+		return b.lineDeltaVar(ref)
+	default:
+		return b.busDeltaVar(ref)
+	}
+}
+
+// construct builds the base relaxation: every constraint here is implied
+// for (a scaled image of) every concrete attack, so the polytope is a
+// relaxation of the full model and its infeasibilities transfer.
+func (b *builder) construct() {
+	p := b.p
+	sys := p.Sys
+
+	for i := range b.lineVar {
+		b.lineVar[i] = memoUnset
+	}
+	for j := range b.busVar {
+		b.busVar[j] = memoUnset
+	}
+
+	// Effective attackability: the scenario must allow the attack for the
+	// line's actual service state, and under strict knowledge an unknown
+	// line cannot be attacked at all.
+	for i := 1; i <= sys.NumLines(); i++ {
+		ok := (p.CanExclude[i] && p.InService[i]) || (p.CanInclude[i] && !p.InService[i])
+		if p.StrictKnowledge && !p.Known[i] {
+			ok = false
+		}
+		b.effAtt[i] = ok
+	}
+
+	// State-delta variables; the reference angle is pinned.
+	for j := 1; j <= sys.Buses; j++ {
+		b.theta[j] = b.newVar(fmt.Sprintf("dtheta_%d", j))
+	}
+	b.fixZero(b.theta[p.RefBus], fmt.Sprintf("reference bus %d angle delta pinned to zero", p.RefBus))
+
+	// Attackable lines carry their measured flow delta as a free variable:
+	// a status attack decouples the measured flow from the state-implied
+	// y·(Δθf − Δθt).
+	for i := 1; i <= sys.NumLines(); i++ {
+		if b.effAtt[i] {
+			b.fvar[i] = b.newVar(fmt.Sprintf("dpl_%d", i))
+		}
+	}
+
+	// Strict knowledge: unknown lines keep their endpoint states equal
+	// (the attacker cannot reason about them at all, Eq. 18 tightened).
+	if p.StrictKnowledge {
+		for i := 1; i <= sys.NumLines(); i++ {
+			if p.Known[i] {
+				continue
+			}
+			ln := sys.Line(i)
+			if ln.From == ln.To {
+				continue
+			}
+			v, ok := b.slack([]lra.Term{
+				{Var: b.theta[ln.From], Coeff: big.NewRat(1, 1)},
+				{Var: b.theta[ln.To], Coeff: big.NewRat(-1, 1)},
+			})
+			if !ok {
+				return
+			}
+			b.fixZero(v, fmt.Sprintf("strict knowledge: unknown line %d state difference zero", i))
+		}
+	}
+
+	// Taken measurements the attacker cannot alter keep their value: the
+	// delta is forced to zero exactly.
+	for id := 1; id <= sys.NumMeasurements(); id++ {
+		if !p.Taken[id] || b.alterable(id) {
+			continue
+		}
+		if v, ok := b.measDeltaVar(id); ok {
+			b.fixZero(v, fmt.Sprintf("%s measurement %d delta zero", b.pinReason(id), id))
+		}
+	}
+
+	// Implied topology constraint: an excludable in-service line whose
+	// flow measurement is taken but unalterable cannot actually be
+	// excluded (exclusion forces a nonzero measured-flow change), so its
+	// measured flow — already pinned to zero above — must also equal the
+	// state-implied flow: y·(Δθf − Δθt) = 0.
+	for i := 1; i <= sys.NumLines(); i++ {
+		if !b.effAtt[i] || !p.CanExclude[i] || !p.InService[i] {
+			continue
+		}
+		fwd, bwd := sys.ForwardFlowMeas(i), sys.BackwardFlowMeas(i)
+		pinned := (p.Taken[fwd] && !b.alterable(fwd)) || (p.Taken[bwd] && !b.alterable(bwd))
+		if !pinned {
+			continue
+		}
+		ln := sys.Line(i)
+		v, ok := b.slack(lpbuild.LineFlowTerms(b.theta, ln, lpbuild.AdmittanceRat(ln.Admittance)))
+		if !ok {
+			return
+		}
+		b.fixZero(v, fmt.Sprintf("line %d unexcludable with pinned flow measurement: state-implied flow zero", i))
+	}
+
+	// Goal-side zero-forcing is only sound without MinChange: under a
+	// significance threshold ε, "state not attacked" means |Δθ| < ε, not
+	// Δθ = 0, so these fixes would cut off real attacks.
+	if p.MinChangeEps == nil {
+		if p.OnlyTargets {
+			target := make(map[int]bool, len(p.Targets))
+			for _, t := range p.Targets {
+				target[t] = true
+			}
+			for j := 1; j <= sys.Buses; j++ {
+				if j == p.RefBus || target[j] {
+					continue
+				}
+				b.fixZero(b.theta[j], fmt.Sprintf("only-targets: non-target state %d unchanged", j))
+			}
+		}
+		for _, j := range p.Untouched {
+			if j == p.RefBus {
+				continue
+			}
+			b.fixZero(b.theta[j], fmt.Sprintf("untouched state %d unchanged", j))
+		}
+	}
+
+	// Cardinality budgets, relaxed to continuous sums. After scaling an
+	// attack down to ∥delta∥∞ ≤ 1 (the constraint system minus the goal is
+	// a cone, so this stays feasible), cz := |delta| ∈ [0,1] satisfies the
+	// couplings and Σ cz ≤ Σ 1{delta≠0} ≤ MaxAltered; likewise cb := max
+	// cz per bus. Only built when a budget is active — the variables exist
+	// purely to make the sums meaningful.
+	if p.MaxAltered > 0 || p.MaxBuses > 0 {
+		b.buildCardinality()
+	}
+}
+
+// buildCardinality adds the continuous alteration/compromise indicators
+// and their budget rows.
+func (b *builder) buildCardinality() {
+	p := b.p
+	sys := p.Sys
+	one := numeric.DeltaFromRat(big.NewRat(1, 1))
+	for id := 1; id <= sys.NumMeasurements(); id++ {
+		if !b.alterable(id) {
+			continue
+		}
+		dv, ok := b.measDeltaVar(id)
+		if !ok {
+			continue // delta identically zero: never altered, no indicator needed
+		}
+		cz := b.newVar(fmt.Sprintf("cz_%d", id))
+		b.czIDs = append(b.czIDs, id)
+		b.czVar[id] = cz
+		b.addBound(cz, true, numeric.Delta{}, fmt.Sprintf("alteration indicator cz_%d ≥ 0", id))
+		b.addBound(cz, false, one, fmt.Sprintf("alteration indicator cz_%d ≤ 1", id))
+		// cz dominates |delta|: delta − cz ≤ 0 and delta + cz ≥ 0.
+		up, ok := b.slack([]lra.Term{{Var: dv, Coeff: big.NewRat(1, 1)}, {Var: cz, Coeff: big.NewRat(-1, 1)}})
+		if !ok {
+			return
+		}
+		b.addBound(up, false, numeric.Delta{}, fmt.Sprintf("cz_%d dominates measurement %d delta (upper)", id, id))
+		lo, ok := b.slack([]lra.Term{{Var: dv, Coeff: big.NewRat(1, 1)}, {Var: cz, Coeff: big.NewRat(1, 1)}})
+		if !ok {
+			return
+		}
+		b.addBound(lo, true, numeric.Delta{}, fmt.Sprintf("cz_%d dominates measurement %d delta (lower)", id, id))
+	}
+	if len(b.czIDs) == 0 {
+		return
+	}
+	if p.MaxAltered > 0 {
+		terms := make([]lra.Term, len(b.czIDs))
+		for i, id := range b.czIDs {
+			terms[i] = lra.Term{Var: b.czVar[id], Coeff: big.NewRat(1, 1)}
+		}
+		sum, ok := b.slack(terms)
+		if !ok {
+			return
+		}
+		b.addBound(sum, false, numeric.DeltaFromRat(big.NewRat(int64(p.MaxAltered), 1)),
+			fmt.Sprintf("resource bound: at most %d altered measurements (relaxed)", p.MaxAltered))
+	}
+	if p.MaxBuses > 0 {
+		byBus := make(map[int][]int)
+		for _, id := range b.czIDs {
+			j, err := sys.HomeBus(id)
+			if err != nil {
+				b.fail("screen: " + err.Error())
+				return
+			}
+			byBus[j] = append(byBus[j], id)
+		}
+		buses := make([]int, 0, len(byBus))
+		for j := range byBus {
+			buses = append(buses, j)
+		}
+		sort.Ints(buses)
+		cbTerms := make([]lra.Term, 0, len(buses))
+		for _, j := range buses {
+			cb := b.newVar(fmt.Sprintf("cb_%d", j))
+			b.cbVar[j] = cb
+			b.addBound(cb, true, numeric.Delta{}, fmt.Sprintf("compromise indicator cb_%d ≥ 0", j))
+			b.addBound(cb, false, one, fmt.Sprintf("compromise indicator cb_%d ≤ 1", j))
+			for _, id := range byBus[j] {
+				d, ok := b.slack([]lra.Term{{Var: cb, Coeff: big.NewRat(1, 1)}, {Var: b.czVar[id], Coeff: big.NewRat(-1, 1)}})
+				if !ok {
+					return
+				}
+				b.addBound(d, true, numeric.Delta{}, fmt.Sprintf("cb_%d dominates cz_%d", j, id))
+			}
+			cbTerms = append(cbTerms, lra.Term{Var: cb, Coeff: big.NewRat(1, 1)})
+		}
+		sum, ok := b.slack(cbTerms)
+		if !ok {
+			return
+		}
+		b.addBound(sum, false, numeric.DeltaFromRat(big.NewRat(int64(p.MaxBuses), 1)),
+			fmt.Sprintf("resource bound: at most %d compromised buses (relaxed)", p.MaxBuses))
+	}
+}
+
+// pick is one chosen strict sign for a goal conjunct, carried from the
+// probing phase into the combined accept attempt.
+type pick struct {
+	v        int
+	positive bool
+	desc     string
+}
+
+func strictSign(positive bool) (numeric.Delta, bool) {
+	if positive {
+		return numeric.NewDelta(new(big.Rat), big.NewRat(1, 1)), true // > 0 as lower bound 0 + δ
+	}
+	return numeric.NewDelta(new(big.Rat), big.NewRat(-1, 1)), false // < 0 as upper bound 0 − δ
+}
+
+// probe checks whether the relaxation admits expr(v) with the given
+// strict sign. It returns (feasible, certificate-if-refuted, why) —
+// a non-empty why means the probe could not be decided (budget,
+// cancellation, or an unreconstructible Farkas combination).
+func (b *builder) probe(v int, positive bool, desc string) (bool, *Certificate, string) {
+	b.probes++
+	op := ">"
+	if !positive {
+		op = "<"
+	}
+	pdesc := fmt.Sprintf("probe: %s %s 0", desc, op)
+	d, lower := strictSign(positive)
+	b.s.Push()
+	defer b.s.Pop(1)
+	if conflict := b.addBound(v, lower, d, pdesc); conflict != nil {
+		cert := b.certify(pdesc, conflict)
+		if cert == nil {
+			return false, nil, "screen: incomplete Farkas explanation for " + pdesc
+		}
+		return false, cert, ""
+	}
+	tags, err := b.s.CheckBudget()
+	if err != nil {
+		return false, nil, "screen: " + err.Error()
+	}
+	if tags == nil {
+		return true, nil, ""
+	}
+	cert := b.certify(pdesc, tags)
+	if cert == nil {
+		return false, nil, "screen: incomplete Farkas explanation for " + pdesc
+	}
+	return false, cert, ""
+}
+
+// probeSigns probes both strict signs of a goal expression. sign is +1 or
+// −1 for the first feasible direction, or 0 with both refutation
+// certificates when the relaxation forces the expression to zero.
+func (b *builder) probeSigns(v int, desc string) (int, []*Certificate, string) {
+	posOK, posCert, why := b.probe(v, true, desc)
+	if why != "" {
+		return 0, nil, why
+	}
+	if posOK {
+		return 1, nil, ""
+	}
+	negOK, negCert, why := b.probe(v, false, desc)
+	if why != "" {
+		return 0, nil, why
+	}
+	if negOK {
+		return -1, nil, ""
+	}
+	return 0, []*Certificate{posCert, negCert}, ""
+}
+
+// trivialPairCertificates hand-builds the refutation of a distinct-pair
+// goal over the same bus twice: Δθ_j − Δθ_j > 0 reduces to the termless
+// strict bound 0 > 0, which is its own Farkas contradiction.
+func trivialPairCertificates(j int) []*Certificate {
+	mk := func(op string, lower bool) *Certificate {
+		return &Certificate{
+			Desc: fmt.Sprintf("probe: dtheta_%d − dtheta_%d %s 0", j, j, op),
+			Bounds: []Bound{{
+				Desc:   fmt.Sprintf("probe: dtheta_%d − dtheta_%d %s 0", j, j, op),
+				Lower:  lower,
+				Value:  new(big.Rat),
+				Strict: true,
+			}},
+			Coeffs: []*big.Rat{big.NewRat(1, 1)},
+		}
+	}
+	return []*Certificate{mk(">", true), mk("<", false)}
+}
+
+func inconclusive(why string) *Result {
+	return &Result{Verdict: Inconclusive, Why: why}
+}
+
+// run executes the screening protocol: sign probes per goal conjunct
+// (fast-reject with certificates), then a combined solution, sparsified
+// and replayed exactly (fast-accept with witness). Anything undecidable
+// degrades to Inconclusive.
+func (b *builder) run() *Result {
+	if b.buildErr != "" {
+		return inconclusive(b.buildErr)
+	}
+	p := b.p
+
+	if len(p.Targets) == 0 && len(p.DistinctPairs) == 0 && !p.AnyState {
+		return &Result{
+			Verdict: FeasibleIntegral,
+			Why:     "empty goal: the all-zero attack satisfies the model",
+			Attack:  &Attack{StateChanges: map[int]*big.Rat{}, TopoFlowDeltas: map[int]*big.Rat{}},
+		}
+	}
+
+	var picks []pick
+	seenTarget := make(map[int]bool)
+	for _, t := range p.Targets {
+		if seenTarget[t] {
+			continue
+		}
+		seenTarget[t] = true
+		desc := fmt.Sprintf("dtheta_%d", t)
+		sign, certs, why := b.probeSigns(b.theta[t], desc)
+		if why != "" {
+			return inconclusive(why)
+		}
+		if sign == 0 {
+			return &Result{
+				Verdict:      Infeasible,
+				Why:          fmt.Sprintf("target state %d is forced unchanged by the relaxation", t),
+				Certificates: certs,
+			}
+		}
+		picks = append(picks, pick{v: b.theta[t], positive: sign > 0, desc: desc})
+	}
+
+	for _, pr := range p.DistinctPairs {
+		if pr[0] == pr[1] {
+			return &Result{
+				Verdict:      Infeasible,
+				Why:          fmt.Sprintf("distinct-pair goal compares state %d with itself", pr[0]),
+				Certificates: trivialPairCertificates(pr[0]),
+			}
+		}
+		v, ok := b.slack([]lra.Term{
+			{Var: b.theta[pr[0]], Coeff: big.NewRat(1, 1)},
+			{Var: b.theta[pr[1]], Coeff: big.NewRat(-1, 1)},
+		})
+		if !ok {
+			return inconclusive(b.buildErr)
+		}
+		desc := fmt.Sprintf("dtheta_%d − dtheta_%d", pr[0], pr[1])
+		sign, certs, why := b.probeSigns(v, desc)
+		if why != "" {
+			return inconclusive(why)
+		}
+		if sign == 0 {
+			return &Result{
+				Verdict:      Infeasible,
+				Why:          fmt.Sprintf("states %d and %d are forced equal by the relaxation", pr[0], pr[1]),
+				Certificates: certs,
+			}
+		}
+		picks = append(picks, pick{v: v, positive: sign > 0, desc: desc})
+	}
+
+	// AnyState: if some non-reference target is already forced nonzero the
+	// disjunction is satisfied by it; otherwise scan for a witness bus and
+	// reject only when every state is blocked in both signs.
+	anyBus := 0
+	if p.AnyState {
+		for _, t := range p.Targets {
+			if t != p.RefBus {
+				anyBus = t
+				break
+			}
+		}
+		if anyBus == 0 {
+			var certs []*Certificate
+			for j := 1; j <= p.Sys.Buses; j++ {
+				if j == p.RefBus {
+					continue
+				}
+				desc := fmt.Sprintf("dtheta_%d", j)
+				sign, cs, why := b.probeSigns(b.theta[j], desc)
+				if why != "" {
+					return inconclusive(why)
+				}
+				if sign == 0 {
+					certs = append(certs, cs...)
+					continue
+				}
+				anyBus = j
+				picks = append(picks, pick{v: b.theta[j], positive: sign > 0, desc: desc})
+				break
+			}
+			if anyBus == 0 {
+				return &Result{
+					Verdict:      Infeasible,
+					Why:          "anystate goal: every state delta is forced to zero by the relaxation",
+					Certificates: certs,
+				}
+			}
+		}
+	}
+
+	// Combined accept attempt: assert every chosen sign at once.
+	b.s.Push()
+	defer b.s.Pop(1)
+	for _, pk := range picks {
+		op := ">"
+		if !pk.positive {
+			op = "<"
+		}
+		d, lower := strictSign(pk.positive)
+		if conflict := b.addBound(pk.v, lower, d, fmt.Sprintf("goal sign: %s %s 0", pk.desc, op)); conflict != nil {
+			return inconclusive("goal sign combination conflicts in the relaxation")
+		}
+	}
+	tags, err := b.s.CheckBudget()
+	if err != nil {
+		return inconclusive("screen: " + err.Error())
+	}
+	if tags != nil {
+		return inconclusive("goal sign combination infeasible in the relaxation")
+	}
+
+	attack, why := b.replay(b.s.Model(), anyBus)
+	if attack == nil && len(b.czIDs) > 0 {
+		// The raw vertex over-spends a relaxed budget. Sparsify — push the
+		// continuous indicators down — and replay once more. The primal
+		// simplex keeps the tableau feasible throughout, so running out of
+		// the (deliberately small) pivot allowance mid-optimize still
+		// leaves a usable model; the allowance keeps a fruitless
+		// sparsification from dominating the screen's cost.
+		st := b.s.Statistics()
+		allowance := st.Pivots + sparsifyPivotCap
+		if b.maxPivots > 0 && b.maxPivots < allowance {
+			allowance = b.maxPivots
+		}
+		b.s.SetMaxPivots(allowance)
+		obj := make([]lra.Term, len(b.czIDs))
+		for i, id := range b.czIDs {
+			obj[i] = lra.Term{Var: b.czVar[id], Coeff: big.NewRat(-1, 1)}
+		}
+		_, err := b.s.Maximize(obj)
+		b.s.SetMaxPivots(b.maxPivots)
+		if err != nil && errors.Is(err, lra.ErrInfeasible) {
+			return inconclusive("screen: sparsification reported infeasible after a feasible check")
+		}
+		attack, why = b.replay(b.s.Model(), anyBus)
+	}
+	if attack == nil {
+		return inconclusive(why)
+	}
+	return &Result{
+		Verdict: FeasibleIntegral,
+		Why:     "relaxed solution replayed exactly as a concrete attack",
+		Attack:  attack,
+	}
+}

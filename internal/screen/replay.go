@@ -1,0 +1,247 @@
+package screen
+
+import (
+	"fmt"
+	"math/big"
+	"sort"
+
+	"segrid/internal/grid"
+	"segrid/internal/lpbuild"
+)
+
+// replay checks a relaxed solution against the full UFDI model's exact
+// semantics and converts it into a concrete attack. It returns nil with a
+// reason when the solution does not round-trip — fractional resource
+// usage, an unrealizable topology assignment, or a state vector that a
+// MinChange threshold cannot separate — in which case the screen answers
+// Inconclusive and the SMT tier decides. A non-nil return is a definitive
+// fast-accept: every full-model constraint has been checked directly, so
+// no trust in the relaxation is required.
+//
+// anyBus is the witness bus chosen for an AnyState goal (0 when the goal
+// has none or a target already covers it).
+func (b *builder) replay(model []*big.Rat, anyBus int) (*Attack, string) {
+	p := b.p
+	sys := p.Sys
+	zero := new(big.Rat)
+
+	th := make([]*big.Rat, sys.Buses+1)
+	for j := 1; j <= sys.Buses; j++ {
+		th[j] = model[b.theta[j]]
+	}
+
+	// Classify every line: measured-flow delta, and for attackable lines
+	// the integral status decision the flow value implies.
+	flowDelta := make([]*big.Rat, sys.NumLines()+1)
+	var excluded, included []int
+	dpt := make(map[int]*big.Rat)
+	for i := 1; i <= sys.NumLines(); i++ {
+		ln := sys.Line(i)
+		diff := new(big.Rat).Sub(th[ln.From], th[ln.To])
+		if p.StrictKnowledge && !p.Known[i] && diff.Sign() != 0 {
+			return nil, fmt.Sprintf("replay: unknown line %d has a nonzero state difference under strict knowledge", i)
+		}
+		implied := new(big.Rat).Mul(lpbuild.AdmittanceRat(ln.Admittance), diff)
+		if !b.effAtt[i] {
+			if p.InService[i] {
+				flowDelta[i] = implied
+			} else {
+				flowDelta[i] = zero
+			}
+			continue
+		}
+		f := model[b.fvar[i]]
+		flowDelta[i] = f
+		switch {
+		case p.CanExclude[i]: // in service (effAtt guarantees it)
+			switch {
+			case f.Cmp(implied) == 0:
+				// Line kept: measured flow tracks the state.
+			case f.Sign() != 0:
+				excluded = append(excluded, i)
+				dpt[i] = f
+			default:
+				return nil, fmt.Sprintf("replay: line %d measured flow is zero but its state-implied flow is not — exclusion cannot realize it", i)
+			}
+		default: // CanInclude, out of service
+			switch {
+			case f.Sign() == 0:
+				// Line left out: no measured flow.
+			case f.Cmp(implied) != 0:
+				included = append(included, i)
+				dpt[i] = new(big.Rat).Sub(f, implied)
+			default:
+				return nil, fmt.Sprintf("replay: line %d measured flow equals its state-implied flow — inclusion needs a nonzero topology delta", i)
+			}
+		}
+	}
+
+	// Injection deltas follow from the line flows: net inflow change.
+	injDelta := make([]*big.Rat, sys.Buses+1)
+	for j := 1; j <= sys.Buses; j++ {
+		d := new(big.Rat)
+		for _, id := range sys.InLines(j) {
+			d.Add(d, flowDelta[id])
+		}
+		for _, id := range sys.OutLines(j) {
+			d.Sub(d, flowDelta[id])
+		}
+		injDelta[j] = d
+	}
+
+	// Measurement deltas, alteration set, and the pinned-delta guard: a
+	// taken measurement the attacker cannot touch must not have moved —
+	// the relaxation forces this, so a violation is an internal error.
+	var altered []int
+	compromised := make(map[int]bool)
+	for id := 1; id <= sys.NumMeasurements(); id++ {
+		if !p.Taken[id] {
+			continue
+		}
+		kind, ref, err := sys.DecodeMeas(id)
+		if err != nil {
+			return nil, "replay: " + err.Error()
+		}
+		var delta *big.Rat
+		switch kind {
+		case grid.MeasForwardFlow, grid.MeasBackwardFlow:
+			delta = flowDelta[ref] // backward differs only in sign; zeroness is what matters
+		default:
+			delta = injDelta[ref]
+		}
+		if delta.Sign() == 0 {
+			continue
+		}
+		if !b.alterable(id) {
+			return nil, fmt.Sprintf("replay: pinned measurement %d moved (internal error)", id)
+		}
+		altered = append(altered, id)
+		j, err := sys.HomeBus(id)
+		if err != nil {
+			return nil, "replay: " + err.Error()
+		}
+		compromised[j] = true
+	}
+
+	// Integral resource accounting — the point of the replay: the relaxed
+	// sums guarantee nothing about the true counts.
+	if p.MaxAltered > 0 && len(altered) > p.MaxAltered {
+		return nil, fmt.Sprintf("replay: fractional optimum alters %d measurements, budget is %d", len(altered), p.MaxAltered)
+	}
+	if p.MaxBuses > 0 && len(compromised) > p.MaxBuses {
+		return nil, fmt.Sprintf("replay: fractional optimum compromises %d buses, budget is %d", len(compromised), p.MaxBuses)
+	}
+
+	// Goal disequalities (asserted in the LP; checked again so the accept
+	// path never leans on solver internals).
+	for _, t := range p.Targets {
+		if th[t].Sign() == 0 {
+			return nil, fmt.Sprintf("replay: target state %d unchanged (internal error)", t)
+		}
+	}
+	for _, pr := range p.DistinctPairs {
+		if th[pr[0]].Cmp(th[pr[1]]) == 0 {
+			return nil, fmt.Sprintf("replay: states %d and %d coincide (internal error)", pr[0], pr[1])
+		}
+	}
+	if anyBus != 0 && th[anyBus].Sign() == 0 {
+		return nil, fmt.Sprintf("replay: anystate witness %d unchanged (internal error)", anyBus)
+	}
+	if p.MinChangeEps == nil {
+		target := make(map[int]bool, len(p.Targets))
+		for _, t := range p.Targets {
+			target[t] = true
+		}
+		if p.OnlyTargets {
+			for j := 1; j <= sys.Buses; j++ {
+				if j != p.RefBus && !target[j] && th[j].Sign() != 0 {
+					return nil, fmt.Sprintf("replay: non-target state %d changed (internal error)", j)
+				}
+			}
+		}
+		for _, j := range p.Untouched {
+			if j != p.RefBus && th[j].Sign() != 0 {
+				return nil, fmt.Sprintf("replay: untouched state %d changed (internal error)", j)
+			}
+		}
+	}
+
+	// MinChange rescaling: the full model reads "attacked" as |Δθ| ≥ ε and
+	// "untouched" as |Δθ| < ε. Every other constraint is positively
+	// homogeneous, so a uniform scale factor moves the significant states
+	// above ε and the must-stay-quiet states below it — when a gap exists.
+	scale := big.NewRat(1, 1)
+	if eps := p.MinChangeEps; eps != nil {
+		mustOn := make(map[int]bool)
+		for _, t := range p.Targets {
+			mustOn[t] = true
+		}
+		if anyBus != 0 {
+			mustOn[anyBus] = true
+		}
+		mustOff := make(map[int]bool)
+		for _, j := range p.Untouched {
+			if j != p.RefBus {
+				mustOff[j] = true
+			}
+		}
+		if p.OnlyTargets {
+			for j := 1; j <= sys.Buses; j++ {
+				if j != p.RefBus && !mustOn[j] {
+					mustOff[j] = true
+				}
+			}
+		}
+		var minOn, maxOff *big.Rat
+		for j := range mustOn {
+			if mustOff[j] {
+				return nil, fmt.Sprintf("replay: state %d must be both significant and insignificant", j)
+			}
+			a := new(big.Rat).Abs(th[j])
+			if a.Sign() == 0 {
+				return nil, fmt.Sprintf("replay: required state %d unchanged (internal error)", j)
+			}
+			if minOn == nil || a.Cmp(minOn) < 0 {
+				minOn = a
+			}
+		}
+		for j := range mustOff {
+			a := new(big.Rat).Abs(th[j])
+			if maxOff == nil || a.Cmp(maxOff) > 0 {
+				maxOff = a
+			}
+		}
+		switch {
+		case minOn != nil:
+			if maxOff != nil && maxOff.Cmp(minOn) >= 0 {
+				return nil, "replay: relaxed witness cannot separate significant from insignificant state changes"
+			}
+			scale = new(big.Rat).Quo(eps, minOn)
+		case maxOff != nil && maxOff.Sign() != 0:
+			// Only quiet-side constraints (distinct-pair goals scale
+			// freely): shrink everything safely below ε.
+			scale = new(big.Rat).Quo(eps, new(big.Rat).Mul(big.NewRat(2, 1), maxOff))
+		}
+	}
+
+	atk := &Attack{
+		AlteredMeasurements: altered,
+		ExcludedLines:       excluded,
+		IncludedLines:       included,
+		StateChanges:        make(map[int]*big.Rat),
+		TopoFlowDeltas:      make(map[int]*big.Rat, len(dpt)),
+	}
+	for j := range compromised {
+		atk.CompromisedBuses = append(atk.CompromisedBuses, j)
+	}
+	sort.Ints(atk.CompromisedBuses)
+	for j := 1; j <= sys.Buses; j++ {
+		if j != p.RefBus && th[j].Sign() != 0 {
+			atk.StateChanges[j] = new(big.Rat).Mul(scale, th[j])
+		}
+	}
+	for i, d := range dpt {
+		atk.TopoFlowDeltas[i] = new(big.Rat).Mul(scale, d)
+	}
+	return atk, ""
+}

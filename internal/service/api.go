@@ -50,6 +50,13 @@ type VerifyRequest struct {
 	// sequential answer, < 0 picks the host default, 0 keeps the server
 	// configuration. Always clamped to the server's per-request maximum.
 	Portfolio int `json:"portfolio,omitempty"`
+
+	// Screen overrides the server's LP-relaxation screening default for
+	// this request: true runs the screen even on a server with screening
+	// off, false forces the full SMT pipeline (the ablation switch), nil
+	// keeps the server configuration. Proof and freshEncode requests are
+	// never screened — both explicitly ask for solver artifacts.
+	Screen *bool `json:"screen,omitempty"`
 }
 
 // VerifyResponse is the body of a completed verification.
@@ -67,6 +74,14 @@ type VerifyResponse struct {
 	// Retries counts fallback attempts before this answer (0: first try).
 	Warm    bool `json:"warm"`
 	Retries int  `json:"retries"`
+
+	// Screened reports that the LP-relaxation screening tier answered this
+	// request definitively — no encoder was built or leased and the SMT
+	// solver never ran. Screened verdicts are certifying: an infeasible
+	// answer is backed by a rational Farkas certificate, a feasible one by
+	// an exact replay of the relaxation vertex against the full model's
+	// semantics.
+	Screened bool `json:"screened,omitempty"`
 
 	// Attack vector, present when Status is "feasible".
 	AlteredMeasurements []int             `json:"alteredMeasurements,omitempty"`
@@ -106,6 +121,12 @@ type SweepRequest struct {
 	// keep their verdicts and every remaining item reports inconclusive
 	// with the deadline reason — never a partial guess.
 	TimeoutMs int `json:"timeoutMs,omitempty"`
+
+	// Screen overrides the server's LP-relaxation screening default for
+	// every item of this sweep (same convention as VerifyRequest.Screen).
+	// Items the screen answers definitively carry "screened": true and
+	// never occupy their group's encoder.
+	Screen *bool `json:"screen,omitempty"`
 }
 
 // SweepItem is one scenario delta against the sweep's base attack spec.

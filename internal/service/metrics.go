@@ -31,6 +31,11 @@ type metrics struct {
 	cubeRuns         atomic.Uint64 // synthesis runs in cube-and-conquer mode
 	sequentialSolves atomic.Uint64 // solves answered by one sequential instance
 	inFlightWorkers  atomic.Int64  // solver workers currently running, all modes
+
+	screenAccepts      atomic.Uint64 // LP screen answered feasible (witness replayed)
+	screenRejects      atomic.Uint64 // LP screen answered infeasible (Farkas certified)
+	screenInconclusive atomic.Uint64 // screens that fell through to the SMT tier
+	screenNanos        atomic.Uint64 // total wall time spent screening, definitive or not
 }
 
 // trackWorkers bumps the in-flight-workers gauge for one solve and returns
@@ -63,6 +68,15 @@ type Metrics struct {
 	Sweeps         uint64 `json:"sweeps"`
 	SweepItems     uint64 `json:"sweepItems"`
 	EncodersClosed uint64 `json:"encodersClosed"`
+
+	// Screening-tier figures: accepts/rejects are definitive answers the
+	// SMT tier never saw; inconclusive screens fell through. ScreenNanos is
+	// the total wall time spent screening — divide by the three counters'
+	// sum for the mean screening latency.
+	ScreenAccepts      uint64 `json:"screenAccepts"`
+	ScreenRejects      uint64 `json:"screenRejects"`
+	ScreenInconclusive uint64 `json:"screenInconclusive"`
+	ScreenNanos        uint64 `json:"screenNanos"`
 
 	Pool struct {
 		Hits          uint64 `json:"hits"`
@@ -102,6 +116,11 @@ func (m *metrics) snapshot(ps pool.Stats, queued int) *Metrics {
 		Sweeps:         m.sweeps.Load(),
 		SweepItems:     m.sweepItems.Load(),
 		EncodersClosed: m.encodersClosed.Load(),
+
+		ScreenAccepts:      m.screenAccepts.Load(),
+		ScreenRejects:      m.screenRejects.Load(),
+		ScreenInconclusive: m.screenInconclusive.Load(),
+		ScreenNanos:        m.screenNanos.Load(),
 	}
 	out.Pool.Hits = ps.Hits
 	out.Pool.Misses = ps.Misses

@@ -98,6 +98,13 @@ type Config struct {
 	// MaxWorkersPerRequest clamps any per-request worker count (default 8):
 	// a client cannot fan one request wider than the operator allows.
 	MaxWorkersPerRequest int
+	// Screen enables the LP-relaxation screening tier (internal/screen):
+	// each verify request and sweep item is first screened under the
+	// screen's default pivot budget, and a definitive screen verdict is
+	// answered without leasing an encoder or running the SMT solver.
+	// Inconclusive screens fall through unchanged. Requests override it
+	// with their "screen" field.
+	Screen bool
 }
 
 func (c Config) withDefaults() Config {

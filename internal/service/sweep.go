@@ -171,16 +171,21 @@ func (s *Service) sweep(ctx context.Context, req *SweepRequest) (*SweepResponse,
 		Items:  make([]*VerifyResponse, len(req.Items)),
 		Groups: len(groups),
 	}
+	useScreen := s.screenEnabled(req.Screen)
 	for _, g := range groups {
-		s.runGroup(ctx, g, resp)
+		s.runGroup(ctx, g, resp, useScreen)
 	}
 	return resp, nil
 }
 
 // runGroup answers one group's items on a single pooled lease, handling
 // mid-group poisoning (discard + re-checkout), pool exhaustion (per-item
-// fresh fallback) and deadline expiry (remaining items inconclusive).
-func (s *Service) runGroup(ctx context.Context, g *sweepGroup, resp *SweepResponse) {
+// fresh fallback) and deadline expiry (remaining items inconclusive). With
+// useScreen, each item first runs through the LP screening tier; a
+// definitive screen verdict answers the item before the lease is touched,
+// so a group whose items all screen definitively never checks out (or
+// builds) an encoder at all.
+func (s *Service) runGroup(ctx context.Context, g *sweepGroup, resp *SweepResponse, useScreen bool) {
 	var lease *pool.Lease[*warmModel]
 	settle := func(poisoned bool) {
 		if lease == nil {
@@ -202,6 +207,13 @@ func (s *Service) runGroup(ctx context.Context, g *sweepGroup, resp *SweepRespon
 			continue
 		}
 		start := time.Now()
+		if useScreen {
+			if r := s.screenItem(ctx, g.spec, &it.ov); r != nil {
+				r.ElapsedMs = time.Since(start).Milliseconds()
+				resp.Items[it.index] = r
+				continue
+			}
+		}
 		if g.fresh {
 			resp.Items[it.index] = s.sweepFresh(ctx, g, &it, 0, start, resp)
 			continue

@@ -7,12 +7,14 @@ import (
 	"net/http"
 	"os"
 	"path/filepath"
+	"time"
 
 	"segrid/internal/core"
 	"segrid/internal/faultinject"
 	"segrid/internal/pool"
 	"segrid/internal/proof"
 	"segrid/internal/scenariofile"
+	"segrid/internal/screen"
 	"segrid/internal/smt"
 )
 
@@ -34,6 +36,15 @@ func (s *Service) verify(ctx context.Context, req *VerifyRequest) (*VerifyRespon
 		securedMeasurements: req.SecuredMeasurements,
 	}
 	workers := s.effectiveWorkers(req.Portfolio, s.cfg.Portfolio)
+	if s.screenEnabled(req.Screen) && !req.Proof && !req.FreshEncode {
+		// The screening tier answers ahead of the whole encoder machinery:
+		// no pool key, no lease, no SMT work. Proof requests skip it (the
+		// client wants the solver's certificate stream), as do differential
+		// freshEncode requests.
+		if r := s.screenItem(ctx, &req.Attack, ov); r != nil {
+			return r, nil
+		}
+	}
 	if req.Proof || req.FreshEncode {
 		// Certificate streams capture a solver lifetime; differential
 		// requests want no shared state. Both bypass the pool.
@@ -247,6 +258,74 @@ func (s *Service) verifyFresh(ctx context.Context, spec *scenariofile.AttackSpec
 		}
 	}
 	return resp, herr
+}
+
+// screenEnabled resolves a per-request screening override against the
+// server default: nil keeps the configuration, non-nil wins either way.
+func (s *Service) screenEnabled(override *bool) bool {
+	if override != nil {
+		return *override
+	}
+	return s.cfg.Screen
+}
+
+// screenItem runs the LP-relaxation screening tier on one (spec, overlay)
+// instance. A definitive verdict comes back as a complete response with
+// Screened set — the caller returns it and never touches the encoder pool.
+// Anything else (inconclusive screen, malformed spec or overlay, screening
+// error) returns nil: the SMT path runs as if the screen did not exist and
+// reports its own errors, so screening never changes what a request can
+// observe beyond latency.
+func (s *Service) screenItem(ctx context.Context, spec *scenariofile.AttackSpec, ov *overlay) *VerifyResponse {
+	start := time.Now()
+	sc, err := spec.Scenario()
+	if err != nil {
+		return nil
+	}
+	if err := overlayScenario(sc, ov); err != nil {
+		return nil
+	}
+	res, err := core.ScreenScenario(ctx, sc, screen.Options{MaxPivots: screen.DefaultMaxPivots})
+	s.m.screenNanos.Add(uint64(time.Since(start).Nanoseconds()))
+	if err != nil || !res.Verdict.Definitive() {
+		s.m.screenInconclusive.Add(1)
+		return nil
+	}
+	if res.Verdict == screen.Infeasible {
+		s.m.screenRejects.Add(1)
+	} else {
+		s.m.screenAccepts.Add(1)
+	}
+	r := s.buildResponse(core.ResultFromScreen(res), false, 0)
+	r.Screened = true
+	return r
+}
+
+// overlayScenario folds a per-request overlay into a freshly built scenario
+// — the screening tier's equivalent of applyOverlay, which asserts the same
+// delta on an encoded model. Securing a bus means securing every
+// measurement homed at it, exactly the semantics of the model-level
+// bus-compromise indicator being forced false.
+func overlayScenario(sc *core.Scenario, ov *overlay) error {
+	for _, j := range ov.securedBuses {
+		if err := sc.Meas.SecureBus(j); err != nil {
+			return err
+		}
+	}
+	if len(ov.securedMeasurements) > 0 {
+		if err := sc.Meas.Secure(ov.securedMeasurements...); err != nil {
+			return err
+		}
+	}
+	// Overlay bounds are only ever tightenings (planItem re-specs anything
+	// else), so replacing the scenario bound is exact.
+	if ov.maxAltered > 0 {
+		sc.MaxAlteredMeasurements = ov.maxAltered
+	}
+	if ov.maxBuses > 0 {
+		sc.MaxCompromisedBuses = ov.maxBuses
+	}
+	return nil
 }
 
 // overlay is a per-check scoped delta asserted on top of an encoded model:

@@ -108,6 +108,9 @@ func TestBudgetEscalationExhausted(t *testing.T) {
 		BudgetGrowth:   2,
 		MaxEscalations: 1, // one attempt, no headroom
 	}
+	// The LP screen would answer these candidate checks without the SMT
+	// solver, and this test is specifically about the SMT budget ladder.
+	req.NoScreen = true
 	_, err = Synthesize(req)
 	var be *BudgetExhaustedError
 	if !errors.As(err, &be) {

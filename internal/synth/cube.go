@@ -14,6 +14,7 @@ import (
 
 	"segrid/internal/core"
 	"segrid/internal/proof"
+	"segrid/internal/screen"
 	"segrid/internal/smt"
 )
 
@@ -171,6 +172,7 @@ func disjoint(candidate, clause []int) bool {
 type cubeWorker struct {
 	id      int
 	attacks []*core.Model
+	scens   []*core.Scenario // attack scenarios, parallel to attacks (screening)
 	writers []*proof.Writer
 	paths   []string
 
@@ -263,6 +265,7 @@ func synthesizeCubes(ctx context.Context, req *Requirements, workers int) (res *
 				return nil, fmt.Errorf("synth: attack model: %w", merr)
 			}
 			w.attacks = append(w.attacks, m)
+			w.scens = append(w.scens, sc)
 		}
 		ws[i] = w
 	}
@@ -502,7 +505,25 @@ func (r *cubeRun) runCube(ctx context.Context, w *cubeWorker, cube []cubeLit) (b
 func (r *cubeRun) verifyAndHarvest(ctx context.Context, w *cubeWorker, selection *selectionModel, candidate []int) (resists bool, inconclusive error, err error) {
 	candCtx, cancelCand := r.req.Limits.candidateContext(ctx)
 	defer cancelCand()
-	for _, attack := range w.attacks {
+	for ai, attack := range w.attacks {
+		if screeningOn(r.req) {
+			verdict, support := screenCandidate(candCtx, w.scens[ai], candidate)
+			if verdict == screen.Infeasible {
+				continue // relaxation-certified resistance: skip the SMT model
+			}
+			if verdict == screen.FeasibleIntegral {
+				// Definitively defeated; the witness support blocks locally
+				// and publishes to every cube. No harvesting — deeper
+				// witnesses need the SMT scope this path exists to avoid.
+				if len(support) == 0 {
+					selection.blockBySubset(candidate)
+				} else {
+					selection.blockByAttack(support)
+					r.pool.publish(support)
+				}
+				return false, nil, nil
+			}
+		}
 		attack.Solver().Push()
 		if err := attack.AssertBusesSecured(candidate); err != nil {
 			return false, nil, err

@@ -1,0 +1,45 @@
+package synth
+
+import (
+	"context"
+
+	"segrid/internal/core"
+	"segrid/internal/screen"
+)
+
+// screeningOn decides whether a run uses the LP-relaxation screening
+// pre-filter. Proof-logging runs skip it: a candidate check the screen
+// answers would leave no certificate in the attack model's stream, and the
+// stream's completeness (one certificate per refuting check) is the point
+// of asking for proofs.
+func screeningOn(req *Requirements) bool {
+	return !req.NoScreen && req.ProofDir == ""
+}
+
+// screenCandidate runs the LP screening tier on one (attack scenario,
+// candidate architecture) pair before any SMT work: the candidate's buses
+// are secured on a cloned measurement configuration and the relaxation
+// consulted. Infeasible means the scenario provably resists the candidate
+// (skip its SMT model entirely); FeasibleIntegral means the candidate is
+// provably defeated, with support carrying the witness attack's compromised
+// buses for hitting-set blocking; Inconclusive decides nothing and the
+// caller falls through to the solver. Screening failures of any kind
+// degrade to Inconclusive — the pre-filter can only save work, never
+// change a verdict.
+func screenCandidate(ctx context.Context, sc *core.Scenario, candidate []int) (screen.Verdict, []int) {
+	scc := *sc
+	scc.Meas = sc.Meas.Clone()
+	for _, j := range candidate {
+		if err := scc.Meas.SecureBus(j); err != nil {
+			return screen.Inconclusive, nil
+		}
+	}
+	res, err := core.ScreenScenario(ctx, &scc, screen.Options{MaxPivots: screen.DefaultMaxPivots})
+	if err != nil {
+		return screen.Inconclusive, nil
+	}
+	if res.Verdict == screen.FeasibleIntegral {
+		return res.Verdict, res.Attack.CompromisedBuses
+	}
+	return res.Verdict, nil
+}

@@ -16,6 +16,7 @@ import (
 
 	"segrid/internal/core"
 	"segrid/internal/proof"
+	"segrid/internal/screen"
 	"segrid/internal/smt"
 )
 
@@ -86,6 +87,17 @@ type Requirements struct {
 	// service tagging streams by request or session id — set it; it must be
 	// unique among runs sharing the directory.
 	ProofTag string
+
+	// NoScreen disables the LP-relaxation screening pre-filter. By default
+	// every (candidate, attack model) check first consults internal/screen:
+	// a definitive relaxation verdict resolves the check without touching
+	// the SMT solver — Infeasible skips the model, FeasibleIntegral defeats
+	// the candidate and feeds the witness's support into hitting-set
+	// blocking. Verdicts are unchanged either way (the screen is certifying
+	// and inconclusive screens fall through); this is the ablation switch.
+	// Proof-logging runs (ProofDir set) skip the screen automatically, so
+	// certificate streams keep one certificate per refuting check.
+	NoScreen bool
 
 	// CubeWorkers switches Algorithm 1 to cube-and-conquer: the candidate
 	// space is partitioned by sign constraints on pivot buses and the cubes
@@ -449,7 +461,24 @@ func SynthesizeContext(ctx context.Context, req *Requirements) (res *Architectur
 		candCtx, cancelCand := req.Limits.candidateContext(ctx)
 		resists := true
 		var inconclusive error
-		for _, attack := range attacks {
+		for ai, attack := range attacks {
+			if screeningOn(req) {
+				verdict, support := screenCandidate(candCtx, scenarios[ai], candidate)
+				if verdict == screen.Infeasible {
+					// The relaxation proves this scenario resists the
+					// candidate; its SMT model is never consulted.
+					continue
+				}
+				if verdict == screen.FeasibleIntegral {
+					resists = false
+					if len(support) > 0 {
+						selection.blockByAttack(support)
+					} else {
+						selection.blockBySubset(candidate)
+					}
+					break
+				}
+			}
 			attack.Solver().Push()
 			if err := attack.AssertBusesSecured(candidate); err != nil {
 				cancelCand()

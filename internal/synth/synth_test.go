@@ -257,6 +257,38 @@ func TestBudgetRelaxationPath(t *testing.T) {
 	}
 }
 
+// TestScreenPreFilterAblation runs the scenario-1 synthesis with the LP
+// screening pre-filter on (the default), off (the ablation), and on under
+// cube-and-conquer: every mode must produce a protecting architecture
+// within budget — the pre-filter saves SMT work but never changes what
+// counts as a solution.
+func TestScreenPreFilterAblation(t *testing.T) {
+	modes := []struct {
+		name     string
+		noScreen bool
+		workers  int
+	}{
+		{"screened", false, 0},
+		{"unscreened", true, 0},
+		{"screened-cubes", false, 2},
+	}
+	for _, mode := range modes {
+		req, err := CaseStudyRequirements(1, 4)
+		if err != nil {
+			t.Fatalf("%s: CaseStudyRequirements: %v", mode.name, err)
+		}
+		req.NoScreen = mode.noScreen
+		req.CubeWorkers = mode.workers
+		arch := synthesize(t, req)
+		if len(arch.SecuredBuses) > 4 {
+			t.Fatalf("%s: architecture %v exceeds 4 buses", mode.name, arch.SecuredBuses)
+		}
+		if !protectsIn(t, arch.SecuredBuses, req.Attack) {
+			t.Fatalf("%s: architecture %v does not protect", mode.name, arch.SecuredBuses)
+		}
+	}
+}
+
 func equalInts(a, b []int) bool {
 	if len(a) != len(b) {
 		return false
