@@ -12,7 +12,12 @@
 // Flags:
 //
 //	-addr host:port   listen address (default 127.0.0.1:8547)
-//	-concurrency n    simultaneous solves (default 4)
+//	-concurrency n    admitted requests solving at once; also the default
+//	                  scheduler worker count (default 4)
+//	-sched-workers n  solver threads draining the shared work-unit queue; all
+//	                  requests' units (verify checks, sweep groups, portfolio
+//	                  forks) share these workers under deficit-round-robin
+//	                  fairness (0 = -concurrency)
 //	-queue n          admission queue depth; excess sheds 429 (default 16)
 //	-queue-wait d     max wait for a solve slot; past it sheds 503 (default 2s)
 //	-timeout d        default per-request deadline (default 30s)
@@ -30,19 +35,25 @@
 //	-pool-idle-bytes n   idle warm-pool memory budget in bytes, enforced by the
 //	                  same global LRU order (0 = unlimited)
 //	-sweep-max-items n   per-request item cap for POST /v1/sweep (default 256)
-//	-portfolio n      default portfolio worker count for verification: > 1
-//	                  races that many diversified solver instances per check,
-//	                  1 answers sequentially, -1 picks the host default
-//	                  (GOMAXPROCS, clamped); requests may override per call
-//	-cube-workers n   default cube-and-conquer worker count for bus-granular
+//	-portfolio n      default portfolio width for verification: > 1 races
+//	                  that many diversified solver instances per check, 1
+//	                  answers sequentially, -1 picks the host default
+//	                  (GOMAXPROCS, clamped); requests may override per call.
+//	                  The width is a fairness weight on the shared scheduler
+//	                  workers, not a private goroutine fleet
+//	-cube-workers n   default cube-and-conquer width for bus-granular
 //	                  synthesis (same convention; measurement-granular
 //	                  synthesis always runs sequentially)
-//	-max-workers n    hard per-request cap on either worker count (default 8)
+//	-max-workers n    hard per-request cap on either width (default 8)
 //	-screen           enable the LP-relaxation screening tier: verify and
 //	                  sweep items the screen decides definitively are
 //	                  answered without an encoder or SMT solve ("screened":
 //	                  true in the response); requests override per call with
 //	                  their "screen" field
+//	-screen-cache n   screen-verdict cache entries: definitive and
+//	                  inconclusive screen outcomes are memoized by (topology,
+//	                  goal, overlay) and re-served without re-screening
+//	                  (0 = default 1024, negative disables)
 //
 // Endpoints:
 //
@@ -82,6 +93,7 @@ func main() {
 	fs := flag.NewFlagSet("segridd", flag.ExitOnError)
 	addr := fs.String("addr", "127.0.0.1:8547", "listen address")
 	concurrency := fs.Int("concurrency", 4, "simultaneous solves")
+	schedWorkers := fs.Int("sched-workers", 0, "solver threads draining the shared work-unit queue (0 = -concurrency)")
 	queue := fs.Int("queue", 16, "admission queue depth")
 	queueWait := fs.Duration("queue-wait", 2*time.Second, "max wait for a solve slot")
 	timeout := fs.Duration("timeout", 30*time.Second, "default per-request deadline")
@@ -98,6 +110,7 @@ func main() {
 	cubeWorkers := fs.Int("cube-workers", 0, "default cube-and-conquer workers for synthesis (1 = sequential, -1 = host default)")
 	maxWorkers := fs.Int("max-workers", 0, "per-request cap on worker counts (0 = default 8)")
 	screenTier := fs.Bool("screen", false, "enable the LP-relaxation screening tier ahead of the SMT pipeline")
+	screenCache := fs.Int("screen-cache", 0, "screen-verdict cache entries (0 = default 1024, negative disables)")
 	_ = fs.Parse(os.Args[1:])
 
 	if *proofDir != "" {
@@ -107,6 +120,7 @@ func main() {
 	}
 	svc, err := service.New(service.Config{
 		MaxConcurrent:        *concurrency,
+		SchedWorkers:         *schedWorkers,
 		MaxQueue:             *queue,
 		QueueWait:            *queueWait,
 		DefaultTimeout:       *timeout,
@@ -122,6 +136,7 @@ func main() {
 		CubeWorkers:          *cubeWorkers,
 		MaxWorkersPerRequest: *maxWorkers,
 		Screen:               *screenTier,
+		ScreenCacheSize:      *screenCache,
 	})
 	if err != nil {
 		log.Fatalf("segridd: %v", err)

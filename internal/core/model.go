@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/big"
@@ -51,6 +52,19 @@ type Model struct {
 // NewModel validates the scenario and constructs the constraint system
 // (Eqs. 5–26).
 func NewModel(sc *Scenario) (*Model, error) {
+	return NewModelContext(context.Background(), sc)
+}
+
+// NewModelContext is NewModel with cancellation: construction checks ctx
+// between build stages and abandons the encoding with ctx.Err() once the
+// context is done. Encoding a large case is the most expensive
+// non-solve step on the service path (pool misses pay it), so a build queued
+// behind a cancelled or deadline-expired request must stop instead of
+// completing dead work.
+func NewModelContext(ctx context.Context, sc *Scenario) (*Model, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	if err := sc.validate(); err != nil {
 		return nil, err
 	}
@@ -79,14 +93,22 @@ func NewModel(sc *Scenario) (*Model, error) {
 		flowExpr: make([]*smt.LinExpr, l+1),
 		busExpr:  make([]*smt.LinExpr, b+1),
 	}
-	m.buildStateVars()
-	m.buildLines()
-	m.buildBusExprs()
-	m.buildMeasurementConstraints()
-	m.buildKnowledgeConstraints()
-	m.buildBusCompromise()
-	m.buildResourceLimits()
-	m.buildGoal()
+	stages := []func(){
+		m.buildStateVars,
+		m.buildLines,
+		m.buildBusExprs,
+		m.buildMeasurementConstraints,
+		m.buildKnowledgeConstraints,
+		m.buildBusCompromise,
+		m.buildResourceLimits,
+		m.buildGoal,
+	}
+	for _, stage := range stages {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		stage()
+	}
 	return m, nil
 }
 

@@ -87,6 +87,22 @@ type BenchEntry struct {
 	// rows carry them.
 	ScreenNsPerOp int64   `json:"screen_ns_per_op,omitempty"`
 	ScreenRate    float64 `json:"screen_rate,omitempty"`
+	// MixedP95Ms is the work-unit scheduler's fairness column: a stream of
+	// small verifies issued behind a large multi-group sweep on a
+	// two-worker scheduler, reporting the p95 small-verify latency in
+	// milliseconds (pooled across iterations). The headline ns/op of the
+	// mixed/ row is the whole mixed scenario; per-item and per-verify
+	// verdicts are asserted equal to an idle sequential baseline inside the
+	// harness, so the column only exists when fairness changed no answer.
+	MixedP95Ms float64 `json:"mixed_p95_ms,omitempty"`
+	// SharedPortfolioNsPerOp is the cross-request portfolio column: one
+	// verification answered by a portfolio race of Workers diversified
+	// instances whose forks run as work units on the shared scheduler
+	// workers (plus the orchestrating unit helping inline) instead of a
+	// per-request goroutine fleet. Compare against the same system's
+	// fig4a portfolio_ns_per_op, which races a private fleet at the same
+	// width. The mixed/ row carries it.
+	SharedPortfolioNsPerOp int64 `json:"shared_portfolio_ns_per_op,omitempty"`
 }
 
 // Iteration policy for each workload: at least benchMinIters runs, then keep
@@ -659,6 +675,138 @@ func BenchSet(cfg Config) ([]BenchEntry, error) {
 		e.SweepBuilds = int64(sweepBuilds)
 		e.ScreenNsPerOp = ke.NsPerOp
 		e.ScreenRate = float64(screenedItems) / float64(len(items))
+		entries = append(entries, e)
+	}
+
+	// Mixed-load scheduler row: the work-unit scheduler's serving-side
+	// measurement. A six-group sweep (goal replacement re-specs each target
+	// into its own group) runs on a two-worker scheduler while a stream of
+	// small verifies arrives behind it; the headline ns/op is the whole
+	// mixed scenario, mixed_p95_ms the p95 small-verify latency pooled
+	// across iterations. Every answer — sweep items under load and the
+	// small stream — is asserted equal to an idle-server baseline: fairness
+	// may only change the cost of an answer, never the answer.
+	{
+		base := scenariofile.AttackSpec{
+			Case: "ieee14", Untaken: []int{5, 10, 14, 19, 22, 27, 30, 35, 43, 52},
+			Targets: []int{12}, OnlyTargets: true}
+		var items []service.SweepItem
+		for _, target := range []int{12, 9, 13, 4, 7, 10} {
+			tgt := []int{target}
+			items = append(items, service.SweepItem{Targets: tgt})
+			for _, id := range []int{1, 2, 3, 4, 6, 7, 8, 9, 11, 46} {
+				items = append(items, service.SweepItem{Targets: tgt, SecuredMeasurements: []int{id}})
+			}
+		}
+		// Idle-server ground truth, computed once outside the timed loop.
+		baseSvc, err := service.New(service.Config{Portfolio: 1})
+		if err != nil {
+			return nil, err
+		}
+		itemTruth := make([]string, len(items))
+		for i, it := range items {
+			spec := base
+			spec.Targets = it.Targets
+			resp, err := baseSvc.Verify(context.Background(), &service.VerifyRequest{
+				Attack: spec, SecuredMeasurements: it.SecuredMeasurements})
+			if err != nil {
+				baseSvc.Close()
+				return nil, err
+			}
+			itemTruth[i] = resp.Status
+		}
+		smallTruth, err := baseSvc.Verify(context.Background(), &service.VerifyRequest{Attack: base})
+		baseSvc.Close()
+		if err != nil {
+			return nil, err
+		}
+
+		var smallNs []int64
+		runMixed := func() (smt.Stats, error) {
+			svc, err := service.New(service.Config{SchedWorkers: 2, Portfolio: 1})
+			if err != nil {
+				return smt.Stats{}, err
+			}
+			defer svc.Close()
+			var (
+				sweepResp *service.SweepResponse
+				sweepErr  error
+				done      = make(chan struct{})
+			)
+			go func() {
+				defer close(done)
+				sweepResp, sweepErr = svc.Sweep(context.Background(),
+					&service.SweepRequest{Attack: base, Items: items})
+			}()
+			// The small stream starts once sweep units occupy the scheduler,
+			// so its latencies measure fair interleaving, not an idle server.
+		waitBusy:
+			for {
+				select {
+				case <-done:
+					break waitBusy
+				default:
+				}
+				if st := svc.SchedStats(); st.Running > 0 || st.Queued > 0 {
+					break
+				}
+				time.Sleep(50 * time.Microsecond)
+			}
+			for i := 0; i < 12; i++ {
+				t0 := time.Now()
+				resp, err := svc.Verify(context.Background(), &service.VerifyRequest{Attack: base})
+				if err != nil {
+					return smt.Stats{}, err
+				}
+				smallNs = append(smallNs, time.Since(t0).Nanoseconds())
+				if resp.Status != smallTruth.Status {
+					return smt.Stats{}, fmt.Errorf("mixed/ieee14: small verify under load says %s, idle baseline says %s",
+						resp.Status, smallTruth.Status)
+				}
+			}
+			<-done
+			if sweepErr != nil {
+				return smt.Stats{}, sweepErr
+			}
+			for i, item := range sweepResp.Items {
+				if item.Status != itemTruth[i] {
+					return smt.Stats{}, fmt.Errorf("mixed/ieee14 item %d: sweep under load says %s, idle baseline says %s",
+						i, item.Status, itemTruth[i])
+				}
+			}
+			return smt.Stats{}, nil
+		}
+		e, err := measureWorkload("mixed/ieee14", cfg.Out, runMixed)
+		if err != nil {
+			return nil, err
+		}
+		sort.Slice(smallNs, func(i, j int) bool { return smallNs[i] < smallNs[j] })
+		e.MixedP95Ms = float64(smallNs[len(smallNs)*95/100]) / 1e6
+
+		// The shared-portfolio column: the same verification raced at
+		// benchWorkers width, forks running as work units on the shared
+		// scheduler workers instead of a per-request goroutine fleet.
+		psvc, err := service.New(service.Config{SchedWorkers: benchWorkers, Portfolio: benchWorkers})
+		if err != nil {
+			return nil, err
+		}
+		pe, perr := measureWorkload("mixed/ieee14/portfolio", cfg.Out, func() (smt.Stats, error) {
+			resp, err := psvc.Verify(context.Background(), &service.VerifyRequest{Attack: base})
+			if err != nil {
+				return smt.Stats{}, err
+			}
+			if resp.Status != smallTruth.Status {
+				return smt.Stats{}, fmt.Errorf("mixed/ieee14/portfolio: says %s, sequential baseline says %s",
+					resp.Status, smallTruth.Status)
+			}
+			return smt.Stats{}, nil
+		})
+		psvc.Close()
+		if perr != nil {
+			return nil, perr
+		}
+		e.SharedPortfolioNsPerOp = pe.NsPerOp
+		e.Workers = benchWorkers
 		entries = append(entries, e)
 	}
 

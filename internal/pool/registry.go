@@ -1,0 +1,86 @@
+package pool
+
+import "sync"
+
+// Registry is the pool's shared-value sibling: a bounded cache of values
+// that are *not* leased exclusively. Where Pool hands out one encoder to one
+// goroutine at a time, a Registry entry is handed to every caller with the
+// same Key simultaneously — the cube synthesis support pool is the canonical
+// tenant: harvested counterexample-support clauses are monotone facts about
+// an attack model, so concurrent synthesis runs on the same key can all
+// publish into and seed from one shared value. Values must therefore be
+// internally synchronized; the Registry only guards its own map.
+//
+// Entries are bounded by MaxEntries with least-recently-used eviction (a
+// GetOrCreate touch counts as use). There is no poisoning path: registry
+// values are pure accumulations of independently verified facts, so a failed
+// run never invalidates them — contrast with Pool.Discard for encoders.
+type Registry[T any] struct {
+	mu      sync.Mutex
+	max     int
+	tick    uint64
+	entries map[Key]*regEntry[T]
+	stats   RegistryStats
+}
+
+type regEntry[T any] struct {
+	value T
+	used  uint64
+}
+
+// RegistryStats counts registry traffic.
+type RegistryStats struct {
+	Hits      uint64
+	Misses    uint64
+	Evictions uint64
+	Entries   int // gauge
+}
+
+// NewRegistry builds a registry bounded to maxEntries values (values ≤ 0
+// select the default of 64).
+func NewRegistry[T any](maxEntries int) *Registry[T] {
+	if maxEntries <= 0 {
+		maxEntries = 64
+	}
+	return &Registry[T]{max: maxEntries, entries: make(map[Key]*regEntry[T])}
+}
+
+// GetOrCreate returns the value registered under key, building it with
+// create on first use. The build runs under the registry lock — keep create
+// cheap (allocate an empty accumulator, not a populated one). Evicts the
+// least recently used entry when the bound is exceeded.
+func (r *Registry[T]) GetOrCreate(key Key, create func() T) T {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.tick++
+	if e, ok := r.entries[key]; ok {
+		e.used = r.tick
+		r.stats.Hits++
+		return e.value
+	}
+	r.stats.Misses++
+	e := &regEntry[T]{value: create(), used: r.tick}
+	r.entries[key] = e
+	for len(r.entries) > r.max {
+		var victim Key
+		var oldest uint64
+		first := true
+		for k, cand := range r.entries {
+			if first || cand.used < oldest {
+				victim, oldest, first = k, cand.used, false
+			}
+		}
+		delete(r.entries, victim)
+		r.stats.Evictions++
+	}
+	return e.value
+}
+
+// Stats snapshots registry counters.
+func (r *Registry[T]) Stats() RegistryStats {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	st := r.stats
+	st.Entries = len(r.entries)
+	return st
+}

@@ -1,0 +1,66 @@
+package pool
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestRegistrySharesValueAcrossCallers(t *testing.T) {
+	r := NewRegistry[*[]int](8)
+	k := Key{Topology: "t", Shape: "s"}
+	builds := 0
+	get := func() *[]int {
+		return r.GetOrCreate(k, func() *[]int { builds++; return new([]int) })
+	}
+	a, b := get(), get()
+	if a != b {
+		t.Fatal("same key must return the same value")
+	}
+	if builds != 1 {
+		t.Fatalf("create ran %d times, want 1", builds)
+	}
+	st := r.Stats()
+	if st.Hits != 1 || st.Misses != 1 || st.Entries != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestRegistryEvictsLRU(t *testing.T) {
+	r := NewRegistry[int](2)
+	mk := func(i int) Key { return Key{Topology: fmt.Sprint(i)} }
+	r.GetOrCreate(mk(1), func() int { return 1 })
+	r.GetOrCreate(mk(2), func() int { return 2 })
+	r.GetOrCreate(mk(1), func() int { return -1 }) // touch 1: 2 is now LRU
+	r.GetOrCreate(mk(3), func() int { return 3 })  // evicts 2
+
+	if got := r.GetOrCreate(mk(1), func() int { return -1 }); got != 1 {
+		t.Fatalf("key 1 was evicted (got %d)", got)
+	}
+	if got := r.GetOrCreate(mk(2), func() int { return 22 }); got != 22 {
+		t.Fatalf("key 2 survived eviction (got %d)", got)
+	}
+	if st := r.Stats(); st.Evictions < 1 || st.Entries != 2 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestRegistryConcurrent(t *testing.T) {
+	r := NewRegistry[*sync.Map](4)
+	var wg sync.WaitGroup
+	for g := 0; g < 16; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				k := Key{Topology: fmt.Sprint(i % 3)}
+				m := r.GetOrCreate(k, func() *sync.Map { return new(sync.Map) })
+				m.Store(g*1000+i, true)
+			}
+		}(g)
+	}
+	wg.Wait()
+	if st := r.Stats(); st.Entries != 3 {
+		t.Fatalf("entries = %d, want 3", st.Entries)
+	}
+}

@@ -1,0 +1,367 @@
+// Package sched is the analytics service's work-unit scheduler: a fixed set
+// of worker goroutines draining schedulable units with deficit-round-robin
+// (DRR) fairness across flows.
+//
+// The service decomposes each request into units on one Flow — a verify is a
+// single unit, a sweep one unit per encoder-compatibility group, a portfolio
+// race one unit per racing fork — and the scheduler interleaves units from
+// different flows instead of letting one large request monopolize the solver
+// workers. Costs express relative unit sizes (a sweep group unit costs its
+// item count); weights express a flow's service share per round (a portfolio
+// flow weighs its worker count, so its forks drain at fleet speed without a
+// private fleet).
+//
+// DRR, concretely: active flows (those with queued units) are visited in a
+// round-robin ring. Each visit that cannot serve the flow's head unit earns
+// the flow Quantum×weight deficit credit; a flow whose credit covers its head
+// unit's cost is served and charged. A flow's credit resets when its queue
+// empties, so idle flows accumulate no priority. Every full pass strictly
+// grows each unserved flow's credit, so a pick terminates in at most
+// max-unit-cost passes and no flow starves.
+//
+// Units run to completion on a worker; the scheduler never preempts. A
+// goroutine already running a unit may additionally drain its own flow's
+// queued units inline with TryRunQueued — how a portfolio orchestrator
+// guarantees its forks progress even when every worker is busy orchestrating
+// (the waiting worker does the work itself instead of idling, so fan-out
+// units can never deadlock the fixed worker set).
+package sched
+
+import (
+	"errors"
+	"sync"
+)
+
+// ErrClosed is returned by Submit after Close: the scheduler is draining and
+// accepts no new units.
+var ErrClosed = errors.New("sched: scheduler closed")
+
+// ErrAborted is returned by Submit on a flow that was Abort()ed.
+var ErrAborted = errors.New("sched: flow aborted")
+
+// Config parameterizes a Scheduler. The zero value is usable; defaults are
+// applied by New.
+type Config struct {
+	// Workers is the number of goroutines draining units (default 4). It is
+	// the scheduler-layer concurrency bound: at most Workers units execute on
+	// scheduler goroutines at once (inline helpers run on the worker slot
+	// they already occupy, so they do not add concurrency).
+	Workers int
+
+	// Quantum is the deficit credit a flow earns per round-robin visit,
+	// multiplied by the flow's weight (default 1). Larger quanta serve
+	// bursts; 1 gives the finest interleaving.
+	Quantum int
+}
+
+// Stats snapshots scheduler counters and gauges.
+type Stats struct {
+	// FlowsOpened counts NewFlow calls.
+	FlowsOpened uint64
+	// UnitsRun counts units run to completion, workers and inline combined.
+	UnitsRun uint64
+	// UnitsInline is the subset of UnitsRun executed via TryRunQueued.
+	UnitsInline uint64
+	// UnitsAborted counts queued units removed by Flow.Abort before running.
+	UnitsAborted uint64
+	// Queued and Running are gauges: units waiting in flow queues and units
+	// currently executing.
+	Queued  int
+	Running int
+}
+
+// unit is one schedulable piece of work.
+type unit struct {
+	cost int
+	fn   func()
+}
+
+// Flow is one request's ordered stream of units, the unit of DRR fairness.
+// Flows are created with Scheduler.NewFlow and need no explicit teardown: a
+// flow occupies scheduler state only while it has queued units.
+type Flow struct {
+	s      *Scheduler
+	weight int
+
+	// All fields below are guarded by s.mu.
+	queue    []unit
+	deficit  int
+	pending  int // queued + running units
+	inActive bool
+	started  bool
+	aborted  bool
+	startCh  chan struct{} // closed when the flow's first unit starts
+}
+
+// Scheduler drains flows' units with a fixed worker set. Construct with New;
+// all methods are safe for concurrent use.
+type Scheduler struct {
+	cfg Config
+
+	mu     sync.Mutex
+	cond   *sync.Cond
+	active []*Flow // flows with queued units, round-robin ring
+	next   int     // ring position of the next visit
+	closed bool
+
+	queued  int
+	running int
+	stats   Stats
+	wg      sync.WaitGroup
+}
+
+// New constructs a Scheduler and starts its workers.
+func New(cfg Config) *Scheduler {
+	if cfg.Workers <= 0 {
+		cfg.Workers = 4
+	}
+	if cfg.Quantum <= 0 {
+		cfg.Quantum = 1
+	}
+	s := &Scheduler{cfg: cfg}
+	s.cond = sync.NewCond(&s.mu)
+	for i := 0; i < cfg.Workers; i++ {
+		s.wg.Add(1)
+		go s.worker()
+	}
+	return s
+}
+
+// NewFlow opens a flow with the given service weight (values below 1 are
+// clamped to 1). Weight multiplies the flow's per-round deficit credit: a
+// weight-3 flow drains roughly three times faster than a weight-1 flow under
+// contention.
+func (s *Scheduler) NewFlow(weight int) *Flow {
+	if weight < 1 {
+		weight = 1
+	}
+	f := &Flow{s: s, weight: weight, startCh: make(chan struct{})}
+	s.mu.Lock()
+	s.stats.FlowsOpened++
+	s.mu.Unlock()
+	return f
+}
+
+// Close stops the scheduler: units already queued still run (the shutdown
+// drains, it never abandons accepted work), Submit refuses new units with
+// ErrClosed, and Close returns once every worker has exited.
+func (s *Scheduler) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		s.wg.Wait()
+		return
+	}
+	s.closed = true
+	s.cond.Broadcast()
+	s.mu.Unlock()
+	s.wg.Wait()
+}
+
+// Stats snapshots the scheduler counters and gauges.
+func (s *Scheduler) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := s.stats
+	st.Queued = s.queued
+	st.Running = s.running
+	return st
+}
+
+// Submit enqueues one unit on the flow. Cost expresses the unit's relative
+// size for DRR accounting (values below 1 are clamped to 1); fn runs to
+// completion on a scheduler worker (or inline via TryRunQueued). Submit
+// never blocks on the workers.
+func (f *Flow) Submit(cost int, fn func()) error {
+	if fn == nil {
+		return errors.New("sched: nil unit")
+	}
+	if cost < 1 {
+		cost = 1
+	}
+	s := f.s
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	if f.aborted {
+		return ErrAborted
+	}
+	f.queue = append(f.queue, unit{cost: cost, fn: fn})
+	f.pending++
+	s.queued++
+	if !f.inActive {
+		f.inActive = true
+		s.active = append(s.active, f)
+	}
+	s.cond.Broadcast()
+	return nil
+}
+
+// Started returns a channel closed when the flow's first unit begins
+// executing — the admission layer's signal that the request is no longer
+// queued.
+func (f *Flow) Started() <-chan struct{} { return f.startCh }
+
+// Abort cancels the flow if and only if none of its units has started:
+// queued units are removed and the flow refuses further Submits. It reports
+// whether the abort won; false means at least one unit is running or done
+// and the caller must Wait for the flow instead. The admission layer uses
+// this to shed a request that waited out its queue budget without ever
+// reaching a worker.
+func (f *Flow) Abort() bool {
+	s := f.s
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if f.started {
+		return false
+	}
+	f.aborted = true
+	n := len(f.queue)
+	f.queue = nil
+	f.pending -= n
+	s.queued -= n
+	s.stats.UnitsAborted += uint64(n)
+	if f.inActive {
+		s.removeActiveLocked(f)
+	}
+	s.cond.Broadcast()
+	return true
+}
+
+// Wait blocks until every submitted unit of the flow has finished (or was
+// removed by a winning Abort). It is a passive wait: the calling goroutine
+// does not execute units — request goroutines wait here while scheduler
+// workers do the work, keeping solver concurrency at the worker bound.
+func (f *Flow) Wait() {
+	s := f.s
+	s.mu.Lock()
+	for f.pending > 0 {
+		s.cond.Wait()
+	}
+	s.mu.Unlock()
+}
+
+// TryRunQueued pops one of the flow's own queued units and runs it on the
+// calling goroutine, reporting whether a unit was run. It is the inline-help
+// escape hatch for code already executing inside a unit (a portfolio
+// orchestrator draining its fork units): the caller's worker slot does the
+// work, so a flow's fan-out always progresses even when every worker is
+// occupied by orchestrators. Returns false when the flow has nothing queued.
+func (f *Flow) TryRunQueued() bool {
+	s := f.s
+	s.mu.Lock()
+	if len(f.queue) == 0 {
+		s.mu.Unlock()
+		return false
+	}
+	u := f.queue[0]
+	f.queue = f.queue[1:]
+	if len(f.queue) == 0 && f.inActive {
+		s.removeActiveLocked(f)
+	}
+	s.startLocked(f)
+	s.stats.UnitsInline++
+	s.mu.Unlock()
+
+	u.fn()
+
+	s.mu.Lock()
+	s.finishLocked(f)
+	s.mu.Unlock()
+	return true
+}
+
+// worker is one scheduler goroutine: pick a unit by DRR, run it, repeat.
+func (s *Scheduler) worker() {
+	defer s.wg.Done()
+	s.mu.Lock()
+	for {
+		f, u, ok := s.pickLocked()
+		if !ok {
+			if s.closed {
+				s.mu.Unlock()
+				return
+			}
+			s.cond.Wait()
+			continue
+		}
+		s.startLocked(f)
+		s.mu.Unlock()
+
+		u.fn()
+
+		s.mu.Lock()
+		s.finishLocked(f)
+	}
+}
+
+// pickLocked selects the next unit by deficit round-robin. Each visit to a
+// flow whose credit cannot cover its head unit earns it Quantum×weight;
+// every full pass strictly grows all unserved credits, so the loop
+// terminates in at most max-head-cost passes. Serving does not advance the
+// ring position: a flow with remaining credit is served again next pick,
+// which is DRR's per-turn burst.
+func (s *Scheduler) pickLocked() (*Flow, unit, bool) {
+	if s.queued == 0 {
+		return nil, unit{}, false
+	}
+	for {
+		for range s.active {
+			if s.next >= len(s.active) {
+				s.next = 0
+			}
+			f := s.active[s.next]
+			if f.deficit >= f.queue[0].cost {
+				u := f.queue[0]
+				f.queue = f.queue[1:]
+				f.deficit -= u.cost
+				if len(f.queue) == 0 {
+					s.removeActiveLocked(f)
+				}
+				return f, u, true
+			}
+			f.deficit += s.cfg.Quantum * f.weight
+			s.next++
+		}
+	}
+}
+
+// removeActiveLocked takes a flow out of the ring (its queue emptied or it
+// aborted) and resets its deficit so it cannot bank credit while idle.
+func (s *Scheduler) removeActiveLocked(f *Flow) {
+	for i, cand := range s.active {
+		if cand == f {
+			s.active = append(s.active[:i], s.active[i+1:]...)
+			if s.next > i {
+				s.next--
+			}
+			break
+		}
+	}
+	f.inActive = false
+	f.deficit = 0
+}
+
+// startLocked transitions one popped unit into running state and signals the
+// flow's first start.
+func (s *Scheduler) startLocked(f *Flow) {
+	s.queued--
+	s.running++
+	if !f.started {
+		f.started = true
+		close(f.startCh)
+	}
+}
+
+// finishLocked retires one completed unit and wakes waiters when the flow
+// settles.
+func (s *Scheduler) finishLocked(f *Flow) {
+	s.running--
+	s.stats.UnitsRun++
+	f.pending--
+	if f.pending == 0 {
+		s.cond.Broadcast()
+	}
+}

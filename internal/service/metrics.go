@@ -4,6 +4,7 @@ import (
 	"sync/atomic"
 
 	"segrid/internal/pool"
+	"segrid/internal/sched"
 )
 
 // metrics are the service's monotonic counters. All fields are updated with
@@ -36,6 +37,9 @@ type metrics struct {
 	screenRejects      atomic.Uint64 // LP screen answered infeasible (Farkas certified)
 	screenInconclusive atomic.Uint64 // screens that fell through to the SMT tier
 	screenNanos        atomic.Uint64 // total wall time spent screening, definitive or not
+
+	screenCacheHits   atomic.Uint64 // screen instances answered from the verdict cache
+	screenCacheMisses atomic.Uint64 // screen instances that had to run the LP tier
 }
 
 // trackWorkers bumps the in-flight-workers gauge for one solve and returns
@@ -78,6 +82,34 @@ type Metrics struct {
 	ScreenInconclusive uint64 `json:"screenInconclusive"`
 	ScreenNanos        uint64 `json:"screenNanos"`
 
+	// Verdict-cache figures for the screening tier: hits re-served a
+	// memoized screen outcome (definitive or inconclusive) without touching
+	// the LP; misses paid for a fresh screen.
+	ScreenCacheHits   uint64 `json:"screenCacheHits"`
+	ScreenCacheMisses uint64 `json:"screenCacheMisses"`
+
+	// Sched reports the work-unit scheduler: units run by workers vs. inline
+	// by helping flows, units discarded by admission aborts, and the current
+	// queue depth and occupancy.
+	Sched struct {
+		FlowsOpened  uint64 `json:"flowsOpened"`
+		UnitsRun     uint64 `json:"unitsRun"`
+		UnitsInline  uint64 `json:"unitsInline"`
+		UnitsAborted uint64 `json:"unitsAborted"`
+		Queued       int    `json:"queued"`
+		Running      int    `json:"running"`
+	} `json:"sched"`
+
+	// Supports reports the cross-request cube support-pool registry: hits
+	// mean a synthesis run started with blocking clauses harvested by an
+	// earlier request on the same attack model.
+	Supports struct {
+		Hits      uint64 `json:"hits"`
+		Misses    uint64 `json:"misses"`
+		Evictions uint64 `json:"evictions"`
+		Entries   int    `json:"entries"`
+	} `json:"supports"`
+
 	Pool struct {
 		Hits          uint64 `json:"hits"`
 		Misses        uint64 `json:"misses"`
@@ -93,7 +125,7 @@ type Metrics struct {
 	} `json:"pool"`
 }
 
-func (m *metrics) snapshot(ps pool.Stats, queued int) *Metrics {
+func (m *metrics) snapshot(ps pool.Stats, queued int, ss sched.Stats, rs pool.RegistryStats) *Metrics {
 	out := &Metrics{
 		Requests:     m.requests.Load(),
 		BadRequests:  m.badRequests.Load(),
@@ -121,7 +153,20 @@ func (m *metrics) snapshot(ps pool.Stats, queued int) *Metrics {
 		ScreenRejects:      m.screenRejects.Load(),
 		ScreenInconclusive: m.screenInconclusive.Load(),
 		ScreenNanos:        m.screenNanos.Load(),
+
+		ScreenCacheHits:   m.screenCacheHits.Load(),
+		ScreenCacheMisses: m.screenCacheMisses.Load(),
 	}
+	out.Sched.FlowsOpened = ss.FlowsOpened
+	out.Sched.UnitsRun = ss.UnitsRun
+	out.Sched.UnitsInline = ss.UnitsInline
+	out.Sched.UnitsAborted = ss.UnitsAborted
+	out.Sched.Queued = ss.Queued
+	out.Sched.Running = ss.Running
+	out.Supports.Hits = rs.Hits
+	out.Supports.Misses = rs.Misses
+	out.Supports.Evictions = rs.Evictions
+	out.Supports.Entries = rs.Entries
 	out.Pool.Hits = ps.Hits
 	out.Pool.Misses = ps.Misses
 	out.Pool.BuildFailures = ps.BuildFailures

@@ -9,9 +9,17 @@
 //     attack-model shape. A healthy check returns its encoder; any check
 //     that ends Unknown, panics, or trips a scope mismatch quarantines it —
 //     a poisoned encoder is never reused.
-//   - Admission control bounds concurrent solves and the waiting queue.
-//     Excess load is shed with 429/503 plus Retry-After — an overloaded
-//     server refuses work, it never guesses an answer.
+//   - Every request decomposes into work units on the shared scheduler
+//     (package sched): a verify is one unit, a sweep one unit per
+//     encoder-compatibility group, a portfolio race one fork unit per
+//     worker. A fixed worker set drains units with deficit-round-robin
+//     fairness across requests, so a large sweep interleaves with small
+//     verifies instead of blocking them, and portfolio forks from many
+//     requests share one pool of workers instead of private fleets.
+//   - Admission control bounds the waiting queue and how long a request
+//     may wait for its first unit to start. Excess load is shed with
+//     429/503 plus Retry-After — an overloaded server refuses work, it
+//     never guesses an answer.
 //   - Every request carries a deadline that propagates into the solver; an
 //     expired check reports inconclusive with a machine-readable reason.
 //   - A retry ladder falls back from the warm incremental encoder to a
@@ -43,6 +51,7 @@ import (
 	"segrid/internal/pool"
 	"segrid/internal/proof"
 	"segrid/internal/scenariofile"
+	"segrid/internal/sched"
 	"segrid/internal/smt"
 	"segrid/internal/synth"
 )
@@ -52,13 +61,19 @@ import (
 type Config struct {
 	// MaxConcurrent bounds simultaneously running solves (default 4). The
 	// solver is CPU-bound; admitting more checks than cores buys latency,
-	// not throughput.
+	// not throughput. It is the default for SchedWorkers.
 	MaxConcurrent int
-	// MaxQueue bounds requests waiting for a solve slot (default 16). A
-	// request arriving past it is shed immediately with 429.
+	// SchedWorkers is the scheduler's worker count — the fixed set of
+	// goroutines draining work units from every request with
+	// deficit-round-robin fairness (default MaxConcurrent). Per-request
+	// portfolio/cubeWorkers knobs are fairness weights on this shared set,
+	// not private fleets.
+	SchedWorkers int
+	// MaxQueue bounds requests waiting for their first work unit to start
+	// (default 16). A request arriving past it is shed immediately with 429.
 	MaxQueue int
-	// QueueWait bounds how long an admitted request waits for a slot
-	// (default 2s); past it the request is shed with 503.
+	// QueueWait bounds how long an admitted request waits for its first
+	// unit to start (default 2s); past it the request is shed with 503.
 	QueueWait time.Duration
 	// DefaultTimeout and MaxTimeout bound per-request wall clock (defaults
 	// 30s and 2m). A request's timeoutMs is clamped to MaxTimeout.
@@ -105,11 +120,19 @@ type Config struct {
 	// Inconclusive screens fall through unchanged. Requests override it
 	// with their "screen" field.
 	Screen bool
+	// ScreenCacheSize bounds the screen-verdict LRU cache: screening
+	// outcomes are memoized across requests keyed by (topology, goal,
+	// bounds) and consulted before any work unit is scheduled. 0 selects
+	// the default of 1024 entries; negative disables the cache.
+	ScreenCacheSize int
 }
 
 func (c Config) withDefaults() Config {
 	if c.MaxConcurrent <= 0 {
 		c.MaxConcurrent = 4
+	}
+	if c.SchedWorkers <= 0 {
+		c.SchedWorkers = c.MaxConcurrent
 	}
 	if c.MaxQueue <= 0 {
 		c.MaxQueue = 16
@@ -159,22 +182,26 @@ type warmModel struct {
 // Service is the analytics server. Construct with New; register its Handler
 // on an http.Server.
 type Service struct {
-	cfg   Config
-	pool  *pool.Pool[*warmModel]
-	sem   chan struct{}
-	wait  atomic.Int64 // requests queued for a solve slot
-	specs sync.Map     // pool.Key → *scenariofile.AttackSpec
-	m     metrics
-	start time.Time
+	cfg      Config
+	pool     *pool.Pool[*warmModel]
+	sched    *sched.Scheduler
+	screens  *screenCache
+	supports *pool.Registry[*synth.SupportPool] // cube supports keyed by attack model
+	wait     atomic.Int64                       // requests admitted but not yet started
+	specs    sync.Map                           // pool.Key → *scenariofile.AttackSpec
+	m        metrics
+	start    time.Time
 }
 
 // New constructs a Service.
 func New(cfg Config) (*Service, error) {
 	cfg = cfg.withDefaults()
 	s := &Service{
-		cfg:   cfg,
-		sem:   make(chan struct{}, cfg.MaxConcurrent),
-		start: time.Now(),
+		cfg:      cfg,
+		sched:    sched.New(sched.Config{Workers: cfg.SchedWorkers}),
+		screens:  newScreenCache(cfg.ScreenCacheSize),
+		supports: pool.NewRegistry[*synth.SupportPool](0),
+		start:    time.Now(),
 	}
 	p, err := pool.New(pool.Config[*warmModel]{
 		MaxLive:       cfg.PoolMaxLive,
@@ -194,8 +221,11 @@ func New(cfg Config) (*Service, error) {
 }
 
 // buildModel is the pool's cold-build hook: it looks the key's spec up in
-// the registry and encodes the attack model.
-func (s *Service) buildModel(_ context.Context, key pool.Key) (*warmModel, error) {
+// the registry and encodes the attack model. The requesting check's context
+// flows into the encoding stages, so a build queued behind a cancelled or
+// deadline-expired request stops instead of completing dead work; callers
+// map the resulting error to an inconclusive answer, not a client error.
+func (s *Service) buildModel(ctx context.Context, key pool.Key) (*warmModel, error) {
 	v, ok := s.specs.Load(key)
 	if !ok {
 		return nil, fmt.Errorf("service: no spec registered for pool key %+v", key)
@@ -205,7 +235,7 @@ func (s *Service) buildModel(_ context.Context, key pool.Key) (*warmModel, error
 	if err != nil {
 		return nil, err
 	}
-	m, err := core.NewModel(sc)
+	m, err := core.NewModelContext(ctx, sc)
 	if err != nil {
 		return nil, err
 	}
@@ -258,21 +288,27 @@ func (s *Service) Handler() http.Handler {
 	return mux
 }
 
-// Close drains the warm pool. Outstanding requests finish on their leased
-// encoders; call after the HTTP server has shut down.
+// Close stops the scheduler (queued units drain; new submissions are
+// refused) and then drains the warm pool. Outstanding requests finish on
+// their leased encoders; call after the HTTP server has shut down.
 func (s *Service) Close() {
+	s.sched.Close()
 	s.pool.Drain()
 }
 
 // PoolStats exposes the warm-pool counters (tests and /metrics).
 func (s *Service) PoolStats() pool.Stats { return s.pool.Stats() }
 
+// SchedStats exposes the work-unit scheduler counters (tests and /metrics).
+func (s *Service) SchedStats() sched.Stats { return s.sched.Stats() }
+
 // Verify answers one verification request in-process, bypassing HTTP
-// transport and admission control — the benchmark harness's entry point for
-// measuring the solve path alone. The handler pipeline's verdict semantics
-// are identical.
+// transport and admission shedding — the benchmark harness's entry point
+// for measuring the solve path alone. The work still runs as scheduler
+// units, so in-process calls share the worker set and fairness policy with
+// HTTP traffic; verdict semantics are identical.
 func (s *Service) Verify(ctx context.Context, req *VerifyRequest) (*VerifyResponse, error) {
-	resp, herr := s.verify(ctx, req)
+	resp, herr := s.verify(ctx, req, nil)
 	if herr != nil {
 		return nil, fmt.Errorf("verify: %s (http %d)", herr.msg, herr.status)
 	}
@@ -281,7 +317,7 @@ func (s *Service) Verify(ctx context.Context, req *VerifyRequest) (*VerifyRespon
 
 // Sweep answers one batched sweep in-process (see Verify).
 func (s *Service) Sweep(ctx context.Context, req *SweepRequest) (*SweepResponse, error) {
-	resp, herr := s.sweep(ctx, req)
+	resp, herr := s.sweep(ctx, req, nil)
 	if herr != nil {
 		return nil, fmt.Errorf("sweep: %s (http %d)", herr.msg, herr.status)
 	}
@@ -300,30 +336,52 @@ func (s *Service) shedDelay() time.Duration {
 	return d
 }
 
-// admit implements the bounded admission queue. It returns a release
-// function on success, or writes the shed response and returns false.
-func (s *Service) admit(w http.ResponseWriter, r *http.Request) (func(), bool) {
+// admit implements the bounded admission queue's front half: a request past
+// the queue bound is shed immediately with 429. On success the caller owes
+// one s.wait decrement, normally paid by the httpAdmit watcher.
+func (s *Service) admit(w http.ResponseWriter) bool {
 	if s.wait.Add(1) > int64(s.cfg.MaxQueue) {
 		s.wait.Add(-1)
 		s.m.shed429.Add(1)
 		writeShed(w, http.StatusTooManyRequests, "admission queue full", s.shedDelay())
-		return nil, false
+		return false
 	}
-	t := time.NewTimer(s.cfg.QueueWait)
-	defer t.Stop()
-	select {
-	case s.sem <- struct{}{}:
-		s.wait.Add(-1)
-		return func() { <-s.sem }, true
-	case <-t.C:
-		s.wait.Add(-1)
-		s.m.shed503.Add(1)
-		writeShed(w, http.StatusServiceUnavailable, "no solve slot within queue wait", s.shedDelay())
-		return nil, false
-	case <-r.Context().Done():
-		s.wait.Add(-1)
-		writeError(w, 499, "client went away while queued")
-		return nil, false
+	return true
+}
+
+// httpAdmit is the HTTP back half of admission: a watcher over the request's
+// flow that sheds with 503 when no scheduler worker starts a unit within the
+// queue wait, and with 499 when the client goes away first. An Abort that
+// loses its race (a unit started concurrently) falls through to normal
+// processing — the work is running; shedding now would waste it. Called with
+// a nil flow (the screening tier answered without scheduling anything) it
+// only settles the wait counter. The returned statuses are terminal: the
+// caller writes them and must not Wait on the flow, whose queue the winning
+// Abort emptied.
+func (s *Service) httpAdmit(r *http.Request) func(fl *sched.Flow) *handlerError {
+	return func(fl *sched.Flow) *handlerError {
+		defer s.wait.Add(-1)
+		if fl == nil {
+			return nil
+		}
+		t := time.NewTimer(s.cfg.QueueWait)
+		defer t.Stop()
+		select {
+		case <-fl.Started():
+			return nil
+		case <-t.C:
+			if fl.Abort() {
+				return &handlerError{http.StatusServiceUnavailable, "no solve slot within queue wait"}
+			}
+			<-fl.Started()
+			return nil
+		case <-r.Context().Done():
+			if fl.Abort() {
+				return &handlerError{499, "client went away while queued"}
+			}
+			<-fl.Started()
+			return nil
+		}
 	}
 }
 
@@ -352,16 +410,14 @@ func (s *Service) handleVerify(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "proof requested but the server has no proof directory")
 		return
 	}
-	release, ok := s.admit(w, r)
-	if !ok {
+	if !s.admit(w) {
 		return
 	}
-	defer release()
 	ctx, cancel := s.requestContext(r, req.TimeoutMs)
 	defer cancel()
 
 	start := time.Now()
-	resp, herr := s.verify(ctx, &req)
+	resp, herr := s.verify(ctx, &req, s.httpAdmit(r))
 	if herr != nil {
 		switch herr.status {
 		case http.StatusServiceUnavailable:
@@ -392,9 +448,10 @@ func (s *Service) countVerdict(status string) {
 	}
 }
 
-// handleSweep answers one batched scenario sweep. The whole sweep occupies a
-// single solve slot — admission control prices a sweep like one long solve —
-// while the ledger counts every per-item verdict.
+// handleSweep answers one batched scenario sweep. The sweep schedules one
+// work unit per encoder-compatibility group, costed by item count, so
+// groups from a large sweep interleave with other requests' units under the
+// scheduler's fairness policy; the ledger counts every per-item verdict.
 func (s *Service) handleSweep(w http.ResponseWriter, r *http.Request) {
 	s.m.requests.Add(1)
 	var req SweepRequest
@@ -403,16 +460,14 @@ func (s *Service) handleSweep(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, fmt.Sprintf("bad sweep request: %v", err))
 		return
 	}
-	release, ok := s.admit(w, r)
-	if !ok {
+	if !s.admit(w) {
 		return
 	}
-	defer release()
 	ctx, cancel := s.requestContext(r, req.TimeoutMs)
 	defer cancel()
 
 	start := time.Now()
-	resp, herr := s.sweep(ctx, &req)
+	resp, herr := s.sweep(ctx, &req, s.httpAdmit(r))
 	if herr != nil {
 		switch herr.status {
 		case http.StatusServiceUnavailable:
@@ -448,19 +503,25 @@ func (s *Service) handleSynthesize(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "proof requested but the server has no proof directory")
 		return
 	}
-	release, ok := s.admit(w, r)
-	if !ok {
+	if !s.admit(w) {
 		return
 	}
-	defer release()
 	ctx, cancel := s.requestContext(r, req.TimeoutMs)
 	defer cancel()
 
 	start := time.Now()
-	resp, herr := s.synthesize(ctx, &req)
+	resp, herr := s.synthesize(ctx, &req, s.httpAdmit(r))
 	if herr != nil {
-		s.m.badRequests.Add(1)
-		writeError(w, herr.status, herr.msg)
+		switch herr.status {
+		case http.StatusServiceUnavailable:
+			s.m.shed503.Add(1)
+			writeShed(w, herr.status, herr.msg, s.shedDelay())
+		case 499:
+			writeError(w, herr.status, herr.msg)
+		default:
+			s.m.badRequests.Add(1)
+			writeError(w, herr.status, herr.msg)
+		}
 		return
 	}
 	resp.ElapsedMs = time.Since(start).Milliseconds()
@@ -469,17 +530,42 @@ func (s *Service) handleSynthesize(w http.ResponseWriter, r *http.Request) {
 
 // synthesize runs one synthesis request. Synthesis manages its own solver
 // lifecycle (a persistent selection model plus per-run verification
-// models), so it does not use the warm pool; admission control and the
-// deadline still apply.
-func (s *Service) synthesize(ctx context.Context, req *SynthesizeRequest) (*SynthesizeResponse, *handlerError) {
+// models), so it does not use the warm pool; it runs as a single scheduler
+// unit costed and weighted by its worker count (a cube fleet's workers run
+// on the unit's goroutine plus its own fan-out — a documented
+// oversubscription of the scheduler bound, priced into the unit's cost).
+// admit follows the flow-admission contract described on Service.verify.
+func (s *Service) synthesize(ctx context.Context, req *SynthesizeRequest, admit func(*sched.Flow) *handlerError) (*SynthesizeResponse, *handlerError) {
+	if admit == nil {
+		admit = func(*sched.Flow) *handlerError { return nil }
+	}
 	spec := req.Synthesis
-	tag := proof.UniqueName("req", "")
 	workers := s.effectiveWorkers(req.CubeWorkers, s.cfg.CubeWorkers)
 	if spec.MeasurementGranular() {
 		// The measurement-granular loop has no cube mode; it always runs
 		// sequentially.
 		workers = 1
 	}
+	fl := s.sched.NewFlow(workers)
+	var (
+		resp *SynthesizeResponse
+		herr *handlerError
+	)
+	if err := fl.Submit(workers, func() { resp, herr = s.synthesizeUnit(ctx, req, workers) }); err != nil {
+		_ = admit(nil)
+		return nil, &handlerError{http.StatusServiceUnavailable, "scheduler shutting down"}
+	}
+	if aerr := admit(fl); aerr != nil {
+		return nil, aerr
+	}
+	fl.Wait()
+	return resp, herr
+}
+
+// synthesizeUnit is the body of a synthesis work unit.
+func (s *Service) synthesizeUnit(ctx context.Context, req *SynthesizeRequest, workers int) (*SynthesizeResponse, *handlerError) {
+	spec := req.Synthesis
+	tag := proof.UniqueName("req", "")
 	if workers > 1 {
 		s.m.cubeRuns.Add(1)
 	} else {
@@ -516,6 +602,16 @@ func (s *Service) synthesize(ctx context.Context, req *SynthesizeRequest) (*Synt
 	}
 	if workers > 1 {
 		sreq.CubeWorkers = workers
+		// Cube runs on the same attack model share one persistent support
+		// pool: blocking clauses harvested from verification counterexamples
+		// are facts about the attack scenario alone (never about the
+		// defender's budget or exclusions), so a later request with a
+		// different budget starts from every support earlier requests paid
+		// to discover. Keyed by the attack spec's fingerprint; a key error
+		// just leaves the run on a private pool.
+		if key, err := poolKey(&spec.Attack); err == nil {
+			sreq.SupportPool = s.supports.GetOrCreate(key, synth.NewSupportPool)
+		}
 	}
 	arch, err := synth.SynthesizeContext(ctx, sreq)
 	if err != nil {
@@ -588,7 +684,8 @@ func (s *Service) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 }
 
 func (s *Service) handleMetrics(w http.ResponseWriter, _ *http.Request) {
-	writeJSON(w, http.StatusOK, s.m.snapshot(s.pool.Stats(), int(s.wait.Load())))
+	writeJSON(w, http.StatusOK, s.m.snapshot(
+		s.pool.Stats(), int(s.wait.Load()), s.sched.Stats(), s.supports.Stats()))
 }
 
 // handlerError carries an HTTP status through the request pipeline.

@@ -5,10 +5,12 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"sync/atomic"
 	"time"
 
 	"segrid/internal/pool"
 	"segrid/internal/scenariofile"
+	"segrid/internal/sched"
 	"segrid/internal/smt"
 )
 
@@ -161,31 +163,82 @@ func planItem(base *scenariofile.AttackSpec, item *SweepItem) (*scenariofile.Att
 	return eff, ov, nil
 }
 
-// sweep plans and executes one sweep request.
-func (s *Service) sweep(ctx context.Context, req *SweepRequest) (*SweepResponse, *handlerError) {
+// sweep plans and executes one sweep request: planning and the screening
+// tier run on the request goroutine (the screen-verdict cache is consulted
+// before anything is scheduled), then each group with unscreened items
+// becomes one scheduler work unit costed by its item count. Group units
+// from one sweep run concurrently when workers are free and interleave with
+// other requests' units under the fairness policy — a sweep no longer
+// monopolizes one opaque solve slot for its whole batch. admit follows the
+// flow-admission contract described on Service.verify.
+func (s *Service) sweep(ctx context.Context, req *SweepRequest, admit func(*sched.Flow) *handlerError) (*SweepResponse, *handlerError) {
+	if admit == nil {
+		admit = func(*sched.Flow) *handlerError { return nil }
+	}
 	groups, herr := s.planSweep(req)
 	if herr != nil {
+		_ = admit(nil)
 		return nil, herr
 	}
 	resp := &SweepResponse{
 		Items:  make([]*VerifyResponse, len(req.Items)),
 		Groups: len(groups),
 	}
-	useScreen := s.screenEnabled(req.Screen)
-	for _, g := range groups {
-		s.runGroup(ctx, g, resp, useScreen)
+	if s.screenEnabled(req.Screen) {
+		// Screen items up front; groups keep only what the screen could not
+		// answer. A fully screened sweep schedules nothing at all.
+		remaining := groups[:0]
+		for _, g := range groups {
+			unscreened := g.items[:0]
+			for _, it := range g.items {
+				start := time.Now()
+				if r := s.screenItem(ctx, g.spec, &it.ov); r != nil {
+					r.ElapsedMs = time.Since(start).Milliseconds()
+					resp.Items[it.index] = r
+					continue
+				}
+				unscreened = append(unscreened, it)
+			}
+			g.items = unscreened
+			if len(g.items) > 0 {
+				remaining = append(remaining, g)
+			}
+		}
+		groups = remaining
 	}
+	if len(groups) == 0 {
+		_ = admit(nil)
+		return resp, nil
+	}
+	fl := s.sched.NewFlow(1)
+	var builds atomic.Int64
+	for _, g := range groups {
+		g := g
+		if err := fl.Submit(len(g.items), func() { s.runGroup(ctx, g, resp, &builds) }); err != nil {
+			// Scheduler closing mid-request: drain whatever was already
+			// submitted (units may be writing into resp), then shed rather
+			// than publish a torn sweep.
+			fl.Wait()
+			_ = admit(nil)
+			return nil, &handlerError{http.StatusServiceUnavailable, "scheduler shutting down"}
+		}
+	}
+	if aerr := admit(fl); aerr != nil {
+		return nil, aerr
+	}
+	fl.Wait()
+	resp.EncoderBuilds = int(builds.Load())
 	return resp, nil
 }
 
-// runGroup answers one group's items on a single pooled lease, handling
-// mid-group poisoning (discard + re-checkout), pool exhaustion (per-item
-// fresh fallback) and deadline expiry (remaining items inconclusive). With
-// useScreen, each item first runs through the LP screening tier; a
-// definitive screen verdict answers the item before the lease is touched,
-// so a group whose items all screen definitively never checks out (or
-// builds) an encoder at all.
-func (s *Service) runGroup(ctx context.Context, g *sweepGroup, resp *SweepResponse, useScreen bool) {
+// runGroup is the body of one sweep group's work unit: it answers the
+// group's items on a single pooled lease, handling mid-group poisoning
+// (discard + re-checkout), pool exhaustion (per-item fresh fallback) and
+// deadline expiry (remaining items inconclusive). Groups of one sweep may
+// run concurrently on different scheduler workers; they write disjoint
+// resp.Items slots and count encoder builds through the shared atomic.
+// Screening already happened at planning time, on the request goroutine.
+func (s *Service) runGroup(ctx context.Context, g *sweepGroup, resp *SweepResponse, builds *atomic.Int64) {
 	var lease *pool.Lease[*warmModel]
 	settle := func(poisoned bool) {
 		if lease == nil {
@@ -207,15 +260,8 @@ func (s *Service) runGroup(ctx context.Context, g *sweepGroup, resp *SweepRespon
 			continue
 		}
 		start := time.Now()
-		if useScreen {
-			if r := s.screenItem(ctx, g.spec, &it.ov); r != nil {
-				r.ElapsedMs = time.Since(start).Milliseconds()
-				resp.Items[it.index] = r
-				continue
-			}
-		}
 		if g.fresh {
-			resp.Items[it.index] = s.sweepFresh(ctx, g, &it, 0, start, resp)
+			resp.Items[it.index] = s.sweepFresh(ctx, g, &it, 0, start, builds)
 			continue
 		}
 		if lease == nil {
@@ -224,19 +270,25 @@ func (s *Service) runGroup(ctx context.Context, g *sweepGroup, resp *SweepRespon
 			if errors.Is(err, pool.ErrExhausted) {
 				// The pool is full of other requests' encoders; this item
 				// pays for a throwaway build instead of failing the sweep.
-				resp.Items[it.index] = s.sweepFresh(ctx, g, &it, 0, start, resp)
+				resp.Items[it.index] = s.sweepFresh(ctx, g, &it, 0, start, builds)
 				continue
 			}
 			if err != nil {
+				if ctx.Err() != nil {
+					// The cold build was abandoned by the sweep's own
+					// deadline; the item is expired, not failed.
+					resp.Items[it.index] = ctxExpired(ctx.Err())
+					continue
+				}
 				resp.Items[it.index] = itemFailure(err.Error(), start)
 				continue
 			}
 			if !lease.Warm() {
-				resp.EncoderBuilds++
+				builds.Add(1)
 			}
 		}
 		warm := lease.Warm()
-		res, herr, poisoned := s.checkWarm(ctx, lease.Item.model, &it.ov, 1)
+		res, herr, poisoned := s.checkWarm(ctx, nil, lease.Item.model, &it.ov, 1)
 		if poisoned {
 			// The lease is settled right here; a healthy lease stays out
 			// for the group's remaining items.
@@ -255,7 +307,7 @@ func (s *Service) runGroup(ctx context.Context, g *sweepGroup, resp *SweepRespon
 			retryable := res == nil || res.Stats.Unknown.Retryable()
 			if retryable && ctx.Err() == nil {
 				s.m.retries.Add(1)
-				resp.Items[it.index] = s.sweepFresh(ctx, g, &it, 1, start, resp)
+				resp.Items[it.index] = s.sweepFresh(ctx, g, &it, 1, start, builds)
 			} else {
 				r := s.buildResponse(res, warm, 0)
 				r.ElapsedMs = time.Since(start).Milliseconds()
@@ -267,10 +319,11 @@ func (s *Service) runGroup(ctx context.Context, g *sweepGroup, resp *SweepRespon
 
 // sweepFresh answers one sweep item on a throwaway encoder (collision
 // groups, pool exhaustion, or the retry ladder's second rung). Each call is
-// a cold build, counted against the sweep's amortization.
-func (s *Service) sweepFresh(ctx context.Context, g *sweepGroup, it *plannedItem, retries int, start time.Time, resp *SweepResponse) *VerifyResponse {
-	resp.EncoderBuilds++
-	r, herr := s.verifyFresh(ctx, g.spec, &it.ov, 1, false, retries)
+// a cold build, counted against the sweep's amortization. Sweep items run
+// sequentially inside their group unit (workers=1), so no flow is passed.
+func (s *Service) sweepFresh(ctx context.Context, g *sweepGroup, it *plannedItem, retries int, start time.Time, builds *atomic.Int64) *VerifyResponse {
+	builds.Add(1)
+	r, herr := s.verifyFresh(ctx, nil, g.spec, &it.ov, 1, false, retries)
 	if herr != nil {
 		return itemFailure(herr.msg, start)
 	}
@@ -278,9 +331,10 @@ func (s *Service) sweepFresh(ctx context.Context, g *sweepGroup, it *plannedItem
 	return r
 }
 
-// ctxExpired is the verdict-free answer for items the sweep deadline (or a
-// client cancellation) left unsolved: inconclusive with the machine-readable
-// reason, mirroring what a single /v1/verify under the same deadline says.
+// ctxExpired is the verdict-free answer for checks the request deadline (or
+// a client cancellation) ended before a verdict: inconclusive with the
+// machine-readable reason. Sweeps use it for frozen items; verifies use it
+// when the deadline lands during an encoder build.
 func ctxExpired(err error) *VerifyResponse {
 	reason := smt.ReasonCancelled
 	if errors.Is(err, context.DeadlineExceeded) {
@@ -288,7 +342,7 @@ func ctxExpired(err error) *VerifyResponse {
 	}
 	return &VerifyResponse{
 		Status:        "inconclusive",
-		Why:           fmt.Sprintf("sweep ended before this item: %v", err),
+		Why:           fmt.Sprintf("deadline or cancellation ended this check before a verdict: %v", err),
 		UnknownReason: unknownToken(reason),
 	}
 }

@@ -7,6 +7,7 @@ import (
 	"net/http"
 	"os"
 	"path/filepath"
+	"sync"
 	"time"
 
 	"segrid/internal/core"
@@ -14,11 +15,15 @@ import (
 	"segrid/internal/pool"
 	"segrid/internal/proof"
 	"segrid/internal/scenariofile"
+	"segrid/internal/sched"
 	"segrid/internal/screen"
 	"segrid/internal/smt"
 )
 
-// verify answers one verification request through the retry ladder:
+// verify answers one verification request: the screening tier first (on the
+// request goroutine, consulting the screen-verdict cache — a definitive
+// screen never schedules anything), then one scheduler work unit running
+// the retry ladder:
 //
 //  1. a warm pooled encoder, with the per-request overlay asserted in a
 //     solver scope — the cheap path;
@@ -30,7 +35,16 @@ import (
 // A non-retryable failure (the request's own deadline or cancellation)
 // short-circuits to inconclusive: retrying against an expired deadline
 // cannot succeed. At no point does a failure turn into a guessed verdict.
-func (s *Service) verify(ctx context.Context, req *VerifyRequest) (*VerifyResponse, *handlerError) {
+//
+// admit, when non-nil, is called exactly once after the request's units (if
+// any) are submitted — with the flow, or with nil when screening answered
+// without scheduling. A non-nil admit error means the flow was aborted
+// before starting (queue-wait shed, client gone); verify returns it without
+// waiting.
+func (s *Service) verify(ctx context.Context, req *VerifyRequest, admit func(*sched.Flow) *handlerError) (*VerifyResponse, *handlerError) {
+	if admit == nil {
+		admit = func(*sched.Flow) *handlerError { return nil }
+	}
 	ov := &overlay{
 		securedBuses:        req.SecuredBuses,
 		securedMeasurements: req.SecuredMeasurements,
@@ -38,17 +52,38 @@ func (s *Service) verify(ctx context.Context, req *VerifyRequest) (*VerifyRespon
 	workers := s.effectiveWorkers(req.Portfolio, s.cfg.Portfolio)
 	if s.screenEnabled(req.Screen) && !req.Proof && !req.FreshEncode {
 		// The screening tier answers ahead of the whole encoder machinery:
-		// no pool key, no lease, no SMT work. Proof requests skip it (the
-		// client wants the solver's certificate stream), as do differential
-		// freshEncode requests.
+		// no pool key, no lease, no SMT work, no scheduled unit. Proof
+		// requests skip it (the client wants the solver's certificate
+		// stream), as do differential freshEncode requests.
 		if r := s.screenItem(ctx, &req.Attack, ov); r != nil {
+			_ = admit(nil)
 			return r, nil
 		}
 	}
+	fl := s.sched.NewFlow(workers)
+	var (
+		resp *VerifyResponse
+		herr *handlerError
+	)
+	if err := fl.Submit(1, func() { resp, herr = s.verifySolve(ctx, fl, req, ov, workers) }); err != nil {
+		_ = admit(nil)
+		return nil, &handlerError{http.StatusServiceUnavailable, "scheduler shutting down"}
+	}
+	if aerr := admit(fl); aerr != nil {
+		return nil, aerr
+	}
+	fl.Wait()
+	return resp, herr
+}
+
+// verifySolve is the body of a verification work unit: the warm-pool path
+// with the warm→fresh retry ladder. fl is the unit's own flow, used to
+// schedule portfolio fork units.
+func (s *Service) verifySolve(ctx context.Context, fl *sched.Flow, req *VerifyRequest, ov *overlay, workers int) (*VerifyResponse, *handlerError) {
 	if req.Proof || req.FreshEncode {
 		// Certificate streams capture a solver lifetime; differential
 		// requests want no shared state. Both bypass the pool.
-		return s.verifyFresh(ctx, &req.Attack, ov, workers, req.Proof, 0)
+		return s.verifyFresh(ctx, fl, &req.Attack, ov, workers, req.Proof, 0)
 	}
 	key, herr := s.keyFor(&req.Attack)
 	if herr != nil {
@@ -57,16 +92,22 @@ func (s *Service) verify(ctx context.Context, req *VerifyRequest) (*VerifyRespon
 	if key == (pool.Key{}) {
 		// A key-hash collision between distinct specs: never share an
 		// encoder across models. Fall back to a fresh encoding.
-		return s.verifyFresh(ctx, &req.Attack, ov, workers, false, 0)
+		return s.verifyFresh(ctx, fl, &req.Attack, ov, workers, false, 0)
 	}
 	lease, err := s.pool.Checkout(ctx, key)
 	if errors.Is(err, pool.ErrExhausted) {
 		return nil, &handlerError{http.StatusServiceUnavailable, "encoder pool exhausted"}
 	}
 	if err != nil {
+		if ctx.Err() != nil {
+			// The cold build was abandoned because this request's deadline
+			// expired or it was cancelled — an inconclusive answer, not a
+			// client error.
+			return ctxExpired(ctx.Err()), nil
+		}
 		return nil, &handlerError{http.StatusBadRequest, err.Error()}
 	}
-	res, herr, poisoned := s.checkWarm(ctx, lease.Item.model, ov, workers)
+	res, herr, poisoned := s.checkWarm(ctx, fl, lease.Item.model, ov, workers)
 	if poisoned {
 		s.m.poisoned.Add(1)
 		_ = lease.Discard()
@@ -88,7 +129,34 @@ func (s *Service) verify(ctx context.Context, req *VerifyRequest) (*VerifyRespon
 		return s.buildResponse(res, lease.Warm(), 0), nil
 	}
 	s.m.retries.Add(1)
-	return s.verifyFresh(ctx, &req.Attack, ov, workers, false, 1)
+	return s.verifyFresh(ctx, fl, &req.Attack, ov, workers, false, 1)
+}
+
+// flowSpawn adapts a request's flow into smt.PortfolioOptions.Spawn: each
+// racing fork becomes a cost-1 unit on the flow, so forks from concurrent
+// portfolio requests share the scheduler's workers under the same fairness
+// policy instead of spawning private goroutine fleets. The orchestrating
+// unit's goroutine helps drain its own queue inline before blocking — the
+// guarantee that fork units always progress even when every scheduler
+// worker is busy orchestrating (the classic nested-fork-join deadlock
+// cannot form: waiting orchestrators do the forks' work themselves). A
+// Submit refused by a closing scheduler falls back to running the fork
+// inline, preserving the exactly-once contract.
+func flowSpawn(fl *sched.Flow) func(tasks []func()) {
+	return func(tasks []func()) {
+		var wg sync.WaitGroup
+		for _, task := range tasks {
+			task := task
+			wg.Add(1)
+			wrapped := func() { defer wg.Done(); task() }
+			if err := fl.Submit(1, wrapped); err != nil {
+				wrapped()
+			}
+		}
+		for fl.TryRunQueued() {
+		}
+		wg.Wait()
+	}
 }
 
 // keyFor fingerprints spec into its pool key and registers the spec for the
@@ -112,7 +180,7 @@ func (s *Service) keyFor(spec *scenariofile.AttackSpec) (pool.Key, *handlerError
 // asserted inside a Push/Pop scope; the boolean result reports whether the
 // encoder must be quarantined (Unknown result, panic, failed Pop — any
 // ending after which its internal state cannot be trusted).
-func (s *Service) checkWarm(ctx context.Context, m *core.Model, ov *overlay, workers int) (res *core.Result, herr *handlerError, poisoned bool) {
+func (s *Service) checkWarm(ctx context.Context, fl *sched.Flow, m *core.Model, ov *overlay, workers int) (res *core.Result, herr *handlerError, poisoned bool) {
 	sv := m.Solver()
 	sv.SetBudget(s.cfg.Budget)
 	var dec faultinject.Decision
@@ -137,7 +205,7 @@ func (s *Service) checkWarm(ctx context.Context, m *core.Model, ov *overlay, wor
 		}
 		return nil, &handlerError{http.StatusBadRequest, err.Error()}, false
 	}
-	res, err := s.checkModel(ctx, m, workers, dec, haveDec)
+	res, err := s.checkModel(ctx, fl, m, workers, dec, haveDec)
 	if err != nil {
 		return nil, &handlerError{http.StatusInternalServerError, err.Error()}, true
 	}
@@ -155,9 +223,11 @@ func (s *Service) checkWarm(ctx context.Context, m *core.Model, ov *overlay, wor
 
 // checkModel answers one verification check in the resolved solve mode: a
 // sequential check, or a portfolio race when the worker count is above one.
-// The per-mode counters and the in-flight-workers gauge cover the exact
-// solver lifetime.
-func (s *Service) checkModel(ctx context.Context, m *core.Model, workers int, dec faultinject.Decision, haveDec bool) (*core.Result, error) {
+// With a flow, the race's forks run as that flow's scheduler units — the
+// shared cross-query portfolio pool — rather than a private goroutine
+// fleet; clause exchange stays per-query either way. The per-mode counters
+// and the in-flight-workers gauge cover the exact solver lifetime.
+func (s *Service) checkModel(ctx context.Context, fl *sched.Flow, m *core.Model, workers int, dec faultinject.Decision, haveDec bool) (*core.Result, error) {
 	if workers <= 1 {
 		s.m.sequentialSolves.Add(1)
 		defer s.m.trackWorkers(1)()
@@ -166,6 +236,9 @@ func (s *Service) checkModel(ctx context.Context, m *core.Model, workers int, de
 	s.m.portfolioChecks.Add(1)
 	defer s.m.trackWorkers(workers)()
 	po := smt.PortfolioOptions{Workers: workers}
+	if fl != nil {
+		po.Spawn = flowSpawn(fl)
+	}
 	if haveDec {
 		// Interrupter state is per solver instance; every racing worker gets
 		// its own injector replaying the same drawn decision.
@@ -177,7 +250,7 @@ func (s *Service) checkModel(ctx context.Context, m *core.Model, workers int, de
 // verifyFresh is the ladder's trustworthy rung: a throwaway FreshPerCheck
 // encoder for spec with ov asserted, optionally streaming an UNSAT
 // certificate to a per-request atomic file.
-func (s *Service) verifyFresh(ctx context.Context, spec *scenariofile.AttackSpec, ov *overlay, workers int, wantProof bool, retries int) (*VerifyResponse, *handlerError) {
+func (s *Service) verifyFresh(ctx context.Context, fl *sched.Flow, spec *scenariofile.AttackSpec, ov *overlay, workers int, wantProof bool, retries int) (*VerifyResponse, *handlerError) {
 	sc, err := spec.Scenario()
 	if err != nil {
 		return nil, &handlerError{http.StatusBadRequest, err.Error()}
@@ -215,14 +288,19 @@ func (s *Service) verifyFresh(ctx context.Context, spec *scenariofile.AttackSpec
 				resp, herr = nil, &handlerError{http.StatusInternalServerError, fmt.Sprintf("solver panic: %v", r)}
 			}
 		}()
-		m, err := core.NewModel(sc)
+		m, err := core.NewModelContext(ctx, sc)
 		if err != nil {
+			if ctx.Err() != nil {
+				// The fresh encoding was abandoned by this request's own
+				// deadline or cancellation: an inconclusive answer.
+				return ctxExpired(ctx.Err()), nil
+			}
 			return nil, &handlerError{http.StatusBadRequest, err.Error()}
 		}
 		if err := applyOverlay(m, ov); err != nil {
 			return nil, &handlerError{http.StatusBadRequest, err.Error()}
 		}
-		res, err := s.checkModel(ctx, m, workers, dec, s.cfg.Faults != nil)
+		res, err := s.checkModel(ctx, fl, m, workers, dec, s.cfg.Faults != nil)
 		if err != nil {
 			return nil, &handlerError{http.StatusInternalServerError, err.Error()}
 		}
@@ -270,13 +348,35 @@ func (s *Service) screenEnabled(override *bool) bool {
 }
 
 // screenItem runs the LP-relaxation screening tier on one (spec, overlay)
-// instance. A definitive verdict comes back as a complete response with
-// Screened set — the caller returns it and never touches the encoder pool.
-// Anything else (inconclusive screen, malformed spec or overlay, screening
-// error) returns nil: the SMT path runs as if the screen did not exist and
-// reports its own errors, so screening never changes what a request can
-// observe beyond latency.
+// instance, consulting the cross-request screen-verdict cache first. A
+// definitive verdict comes back as a complete response with Screened set —
+// the caller returns it and never touches the encoder pool or the
+// scheduler. Anything else (inconclusive screen, malformed spec or overlay,
+// screening error) returns nil: the SMT path runs as if the screen did not
+// exist and reports its own errors, so screening never changes what a
+// request can observe beyond latency.
+//
+// Cache hits count into the regular screen verdict counters (plus the hit
+// counter), so the accept/reject/inconclusive ledger stays the tier's
+// complete answer record whether a verdict was computed or remembered.
 func (s *Service) screenItem(ctx context.Context, spec *scenariofile.AttackSpec, ov *overlay) *VerifyResponse {
+	key := screenCacheKey(spec, ov)
+	if cached, ok := s.screens.get(key); ok {
+		s.m.screenCacheHits.Add(1)
+		if cached == nil {
+			s.m.screenInconclusive.Add(1)
+			return nil
+		}
+		if cached.Feasible {
+			s.m.screenAccepts.Add(1)
+		} else {
+			s.m.screenRejects.Add(1)
+		}
+		r := s.buildResponse(cached, false, 0)
+		r.Screened = true
+		return r
+	}
+	s.m.screenCacheMisses.Add(1)
 	start := time.Now()
 	sc, err := spec.Scenario()
 	if err != nil {
@@ -289,14 +389,22 @@ func (s *Service) screenItem(ctx context.Context, spec *scenariofile.AttackSpec,
 	s.m.screenNanos.Add(uint64(time.Since(start).Nanoseconds()))
 	if err != nil || !res.Verdict.Definitive() {
 		s.m.screenInconclusive.Add(1)
+		if err == nil && ctx.Err() == nil {
+			// A clean inconclusive is deterministic (the pivot cap, not the
+			// clock, gave up) and worth remembering: repeats skip straight
+			// to the SMT tier.
+			s.screens.put(key, nil)
+		}
 		return nil
 	}
+	cres := core.ResultFromScreen(res)
+	s.screens.put(key, cres)
 	if res.Verdict == screen.Infeasible {
 		s.m.screenRejects.Add(1)
 	} else {
 		s.m.screenAccepts.Add(1)
 	}
-	r := s.buildResponse(core.ResultFromScreen(res), false, 0)
+	r := s.buildResponse(cres, false, 0)
 	r.Screened = true
 	return r
 }

@@ -42,6 +42,13 @@ type PortfolioOptions struct {
 	// index. A single Interrupter cannot be shared: the hook is stateful and
 	// polled concurrently from every worker.
 	Interrupters func(worker int) Interrupter
+	// Spawn, if non-nil, runs the racing worker tasks instead of the default
+	// one-goroutine-per-task fan-out, and must execute every task exactly
+	// once, concurrently or not, returning only when all have finished. It
+	// is how a service-level scheduler turns portfolio workers into shared,
+	// fairly-ordered work units; tasks are independent and safe to run on
+	// any goroutine. nil keeps the private-fleet behavior.
+	Spawn func(tasks []func())
 }
 
 // PortfolioResult is the outcome of a portfolio race: the winning worker's
@@ -168,20 +175,31 @@ func (s *Solver) CheckPortfolio(ctx context.Context, po PortfolioOptions) (*Port
 	raceCtx, cancel := context.WithCancel(ctx)
 	defer cancel()
 	winnerCh := make(chan int, workers)
-	var wg sync.WaitGroup
+	tasks := make([]func(), workers)
 	for i := 0; i < workers; i++ {
-		wg.Add(1)
-		go func(i int) {
-			defer wg.Done()
+		i := i
+		tasks[i] = func() {
 			res, err := forks[i].CheckContext(raceCtx)
 			outs[i] = workerOut{res: res, err: err}
 			if err == nil && res.Status != Unknown {
 				winnerCh <- i // buffered: never blocks
 				cancel()
 			}
-		}(i)
+		}
 	}
-	wg.Wait()
+	if po.Spawn != nil {
+		po.Spawn(tasks)
+	} else {
+		var wg sync.WaitGroup
+		for _, task := range tasks {
+			wg.Add(1)
+			go func(task func()) {
+				defer wg.Done()
+				task()
+			}(task)
+		}
+		wg.Wait()
+	}
 
 	winner := -1
 	select {

@@ -35,7 +35,10 @@ type cubeLit struct {
 
 // supportPool shares counterexample supports across cube workers. Entries are
 // append-only and deduplicated; every entry means "any viable candidate must
-// secure at least one of these buses" and is valid in every cube.
+// secure at least one of these buses" and is valid in every cube — and, more
+// broadly, in every synthesis run over the same attack model: supports are
+// facts about the attack scenarios alone, independent of the defender's
+// budget or bus exclusions, which only shape the selection side.
 type supportPool struct {
 	mu      sync.Mutex
 	seen    map[string]bool
@@ -43,6 +46,22 @@ type supportPool struct {
 }
 
 func newSupportPool() *supportPool { return &supportPool{seen: make(map[string]bool)} }
+
+// SupportPool is the exported handle to a counterexample-support pool, for
+// callers (the analytics service) that persist one across synthesis runs via
+// Requirements.SupportPool. All operations are safe for concurrent use, so
+// one pool may serve overlapping runs.
+type SupportPool = supportPool
+
+// NewSupportPool allocates an empty shareable support pool.
+func NewSupportPool() *SupportPool { return newSupportPool() }
+
+// Size reports the number of supports accumulated so far.
+func (p *supportPool) Size() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.clauses)
+}
 
 // publish adds a support (already ascending); it reports whether it was new.
 func (p *supportPool) publish(s []int) bool {
@@ -224,11 +243,15 @@ func synthesizeCubes(ctx context.Context, req *Requirements, workers int) (res *
 	ctx, cancelRun := req.Limits.runContext(ctx)
 	defer cancelRun()
 
+	pool := req.SupportPool
+	if pool == nil {
+		pool = newSupportPool()
+	}
 	run := &cubeRun{
 		req:   req,
 		pol:   req.Limits.policy(),
 		cubes: planCubes(req, workers),
-		pool:  newSupportPool(),
+		pool:  pool,
 	}
 	if workers > len(run.cubes) {
 		workers = len(run.cubes)

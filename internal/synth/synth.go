@@ -109,6 +109,16 @@ type Requirements struct {
 	// every cube — but which verified architecture is returned is
 	// first-past-the-post among the workers.
 	CubeWorkers int
+
+	// SupportPool, if non-nil, seeds the cube fleet's shared
+	// counterexample-support pool and accumulates new supports into it —
+	// the cross-request persistence hook: a caller that keys pools by
+	// attack model can make later synthesis runs start from every support
+	// earlier runs paid to discover. Supports depend only on the attack
+	// scenarios (Attack plus ExtraAttacks), never on budget or exclusions,
+	// so reuse across runs with the same scenarios is sound. nil gives the
+	// run a private pool. Ignored by the sequential loop (CubeWorkers 0).
+	SupportPool *SupportPool
 }
 
 // Architecture is a synthesized security architecture.
